@@ -1,0 +1,35 @@
+/// \file bench_fig7b_congestion.cpp
+/// Reproduces Fig. 7(b): the number of congested routing grids before the
+/// rip-up & reroute stage, with and without concurrent pin access
+/// optimization (paper: 5-10x reduction).
+///
+/// Usage: bench_fig7b_congestion [ecc,...]
+#include <cstdio>
+
+#include "bench_util.h"
+#include "route/cpr.h"
+
+int main(int argc, char** argv) {
+  using namespace cpr;
+  const auto suite = bench::selectedSuite(argc, argv);
+
+  std::printf("Fig. 7(b): congested routing grids before rip-up & reroute\n");
+  std::printf("%-5s | %16s %16s | %9s\n", "Ckt", "w/ pin access opt",
+              "w/o pin access opt", "reduction");
+  bench::hr();
+
+  for (const gen::SuiteSpec& spec : suite) {
+    const db::Design d = gen::makeSuiteDesign(spec);
+    const route::CprResult with = route::routeCpr(d);
+    const route::RoutingResult without = route::routeNegotiated(d, nullptr);
+    std::printf("%-5s | %16ld %16ld | %8.2fx\n", spec.name.c_str(),
+                with.routing.congestedGridsBeforeRrr,
+                without.congestedGridsBeforeRrr,
+                static_cast<double>(without.congestedGridsBeforeRrr) /
+                    static_cast<double>(
+                        std::max<long>(1, with.routing.congestedGridsBeforeRrr)));
+    std::fflush(stdout);
+  }
+  std::printf("(paper reports a 5-10x reduction)\n");
+  return 0;
+}

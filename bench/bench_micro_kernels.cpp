@@ -1,0 +1,98 @@
+/// \file bench_micro_kernels.cpp
+/// google-benchmark micro benchmarks of the library's hot kernels: pin
+/// access interval generation, conflict-set detection, one LR solve, the
+/// maze search, and DEF round-trip I/O.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "core/conflict.h"
+#include "core/interval_gen.h"
+#include "core/lr_solver.h"
+#include "db/panel.h"
+#include "gen/generator.h"
+#include "lefdef/def_io.h"
+#include "route/engine.h"
+
+namespace {
+
+using namespace cpr;
+
+db::Design benchDesign() {
+  gen::GenOptions o;
+  o.seed = 21;
+  o.width = 400;
+  o.numRows = 8;
+  o.pinDensity = 0.2;
+  o.minPinTracks = 2;
+  o.maxPinTracks = 4;
+  o.maxNetSpan = 60;
+  o.m3Pitch = 3;
+  o.blockagesPerRow = 6;
+  return gen::generate(o);
+}
+
+void BM_IntervalGeneration(benchmark::State& state) {
+  const db::Design d = benchDesign();
+  const db::Panel panel = db::extractPanel(d, 3);
+  core::GenOptions g;
+  g.maxExtent = 32;
+  for (auto _ : state) {
+    core::Problem p = core::buildProblem(d, panel, g);
+    benchmark::DoNotOptimize(p.intervals.size());
+  }
+}
+BENCHMARK(BM_IntervalGeneration);
+
+void BM_ConflictDetection(benchmark::State& state) {
+  const db::Design d = benchDesign();
+  core::GenOptions g;
+  g.maxExtent = 32;
+  const core::Problem base = core::buildProblem(d, db::extractPanel(d, 3), g);
+  for (auto _ : state) {
+    core::Problem p = base;
+    core::detectConflicts(p);
+    benchmark::DoNotOptimize(p.conflicts.size());
+  }
+}
+BENCHMARK(BM_ConflictDetection);
+
+void BM_LrSolvePanel(benchmark::State& state) {
+  const db::Design d = benchDesign();
+  core::GenOptions g;
+  g.maxExtent = 32;
+  core::Problem p = core::buildProblem(d, db::extractPanel(d, 3), g);
+  core::detectConflicts(p);
+  for (auto _ : state) {
+    const core::Assignment a = core::solveLr(p);
+    benchmark::DoNotOptimize(a.objective);
+  }
+}
+BENCHMARK(BM_LrSolvePanel);
+
+void BM_MazeRouteNet(benchmark::State& state) {
+  const db::Design d = benchDesign();
+  route::RouteEngine engine(d, nullptr, 12);
+  const auto net = static_cast<db::Index>(d.nets().size() / 2);
+  for (auto _ : state) {
+    const bool ok = engine.routeNet(net, {});
+    benchmark::DoNotOptimize(ok);
+    engine.ripNet(net);
+  }
+}
+BENCHMARK(BM_MazeRouteNet);
+
+void BM_DefRoundTrip(benchmark::State& state) {
+  const db::Design d = benchDesign();
+  for (auto _ : state) {
+    std::stringstream ss;
+    lefdef::writeDef(d, ss);
+    const db::Design back = lefdef::readDef(ss);
+    benchmark::DoNotOptimize(back.pins().size());
+  }
+}
+BENCHMARK(BM_DefRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

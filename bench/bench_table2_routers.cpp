@@ -1,0 +1,100 @@
+/// \file bench_table2_routers.cpp
+/// Reproduces Table 2: solution quality of the three routing approaches on
+/// the six-design suite — sequential pin access planning [12], routing
+/// without pin access optimization [21], and CPR.
+///
+/// Usage: bench_table2_routers [ecc,efc,...]   (default: all six designs)
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "eval/metrics.h"
+#include "route/cpr.h"
+#include "route/sequential_router.h"
+
+namespace {
+
+struct Row {
+  cpr::eval::Metrics seq, nopao, cpr_;
+};
+
+void printRow(const cpr::gen::SuiteSpec& spec, const cpr::db::Design& d,
+              const Row& r) {
+  std::printf("%-5s %6zu %7s", spec.name.c_str(), d.nets().size(),
+              (std::to_string(static_cast<int>(spec.widthUm)) + "x" +
+               std::to_string(static_cast<int>(spec.heightUm)))
+                  .c_str());
+  for (const cpr::eval::Metrics* m : {&r.seq, &r.nopao, &r.cpr_}) {
+    std::printf(" | %6.2f %7ld %8ld %8.2f", m->routability, m->vias,
+                m->wirelength, m->seconds);
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cpr;
+  const auto suite = bench::selectedSuite(argc, argv);
+
+  std::printf("Table 2: comparisons on solution qualities of different "
+              "routing approaches\n");
+  std::printf("%-5s %6s %7s | %-32s | %-32s | %-32s\n", "Ckt", "Net#",
+              "Size", "Sequential pin access planning [12]",
+              "Routing w/o pin access opt [21]", "CPR");
+  std::printf("%-5s %6s %7s", "", "", "");
+  for (int k = 0; k < 3; ++k)
+    std::printf(" | %6s %7s %8s %8s", "Rout%", "Via#", "WL", "cpu(s)");
+  std::printf("\n");
+  bench::hr();
+
+  Row sum{};
+  int designs = 0;
+  for (const gen::SuiteSpec& spec : suite) {
+    const db::Design d = gen::makeSuiteDesign(spec);
+
+    route::SequentialOptions so;
+    const eval::Metrics mSeq = eval::summarize(d, route::routeSequential(d, so));
+
+    const eval::Metrics mNoPao =
+        eval::summarize(d, route::routeNegotiated(d, nullptr));
+
+    const route::CprResult c = route::routeCpr(d);
+    const eval::Metrics mCpr =
+        eval::summarize(d, c.routing, c.pinAccessSeconds);
+
+    printRow(spec, d, Row{mSeq, mNoPao, mCpr});
+    auto acc = [](eval::Metrics& a, const eval::Metrics& b) {
+      a.routability += b.routability;
+      a.vias += b.vias;
+      a.wirelength += b.wirelength;
+      a.seconds += b.seconds;
+    };
+    acc(sum.seq, mSeq);
+    acc(sum.nopao, mNoPao);
+    acc(sum.cpr_, mCpr);
+    ++designs;
+  }
+  bench::hr();
+  if (designs > 0) {
+    std::printf("%-5s %6s %7s", "Avg.", "", "");
+    for (const eval::Metrics* m : {&sum.seq, &sum.nopao, &sum.cpr_}) {
+      std::printf(" | %6.2f %7ld %8ld %8.2f", m->routability / designs,
+                  m->vias / designs, m->wirelength / designs,
+                  m->seconds / designs);
+    }
+    std::printf("\n%-5s %6s %7s", "Ratio", "", "");
+    for (const eval::Metrics* m : {&sum.seq, &sum.nopao, &sum.cpr_}) {
+      std::printf(" | %6.3f %7.3f %8.3f %8.2f",
+                  m->routability / sum.cpr_.routability,
+                  static_cast<double>(m->vias) / sum.cpr_.vias,
+                  static_cast<double>(m->wirelength) / sum.cpr_.wirelength,
+                  m->seconds / sum.cpr_.seconds);
+    }
+    std::printf("\n");
+    std::printf("\nPaper ratios (vs CPR): [12] Rout 0.985 Via 1.238 WL 1.160 "
+                "cpu 12.69 | [21] Rout 0.962 Via 1.108 WL 0.998 cpu 3.26\n");
+  }
+  return 0;
+}

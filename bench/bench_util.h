@@ -1,0 +1,44 @@
+/// \file bench_util.h
+/// Shared plumbing for the paper-reproduction benches: suite selection from
+/// the command line, timing, and row formatting.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gen/generator.h"
+
+namespace cpr::bench {
+
+using Clock = std::chrono::steady_clock;
+
+inline double seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Designs to run: every suite entry by default; argv[1] may carry a
+/// comma-separated subset (e.g. "ecc,div") to shorten a run.
+inline std::vector<gen::SuiteSpec> selectedSuite(int argc, char** argv) {
+  if (argc < 2) return gen::paperSuite();
+  std::vector<gen::SuiteSpec> out;
+  std::string arg = argv[1];
+  std::size_t pos = 0;
+  while (pos < arg.size()) {
+    const std::size_t comma = arg.find(',', pos);
+    const std::string name =
+        arg.substr(pos, comma == std::string::npos ? arg.npos : comma - pos);
+    out.push_back(gen::suiteSpec(name));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+inline void hr(char c = '-') {
+  for (int i = 0; i < 110; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace cpr::bench

@@ -1,0 +1,25 @@
+/// \file conflict.h
+/// Linear conflict set detection (paper Section 3.2).
+///
+/// A conflict set is a maximal set of pin access intervals on one track
+/// whose common intersection is non-empty (a maximal clique of the track's
+/// interval graph). The scanline below emits every maximal clique exactly
+/// once; the number of cliques is linear in the number of intervals, which
+/// is what keeps the ILP constraint count (1c) linear instead of the
+/// quadratic pairwise formulation.
+#pragma once
+
+#include "core/problem.h"
+
+namespace cpr::core {
+
+/// Fills `p.conflicts` from `p.intervals`. Cliques with fewer than two
+/// members are not conflicts and are skipped.
+void detectConflicts(Problem& p);
+
+/// Reference O(n^2)-per-track implementation used by tests to validate the
+/// scanline: returns maximal cliques computed by pairwise overlap closure.
+[[nodiscard]] std::vector<ConflictSet> detectConflictsBruteForce(
+    const Problem& p);
+
+}  // namespace cpr::core

@@ -1,0 +1,426 @@
+#include "core/exact_solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "core/lr_solver.h"
+
+namespace cpr::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-9;
+
+enum : std::uint8_t { kFree = 0, kOne = 1, kZero = 2 };
+
+struct Search {
+  const Problem& p;
+  const ExactOptions& opts;
+
+  // Static structures.
+  std::vector<std::vector<Index>> csOf;  ///< interval -> conflict set ids
+  std::vector<double> term;              ///< f_i - P_i / d_i at tuned multipliers
+  double lambdaSum = 0.0;
+  std::vector<Index> activePins;
+
+  // Dynamic state with trail-based undo.
+  std::vector<std::uint8_t> status;
+  std::vector<Index> assignedTo;  ///< per pin, interval forced to cover it
+  struct TrailOp {
+    bool isStatus;
+    Index idx;
+  };
+  std::vector<TrailOp> trail;
+
+  // Node-local scratch with epoch stamping (no per-node clearing).
+  std::vector<long> chosenStamp;
+  std::vector<long> csStamp;
+  std::vector<int> csCount;
+  long epoch = 0;
+
+  // Incumbent.
+  std::vector<Index> bestAssign;
+  double bestObj = kNegInf;
+  bool haveIncumbent = false;
+
+  long nodes = 0;
+  bool truncated = false;
+  Clock::time_point start = Clock::now();
+
+  explicit Search(const Problem& prob, const ExactOptions& o)
+      : p(prob), opts(o) {
+    const std::size_t n = p.intervals.size();
+    csOf.resize(n);
+    for (std::size_t m = 0; m < p.conflicts.size(); ++m) {
+      for (Index i : p.conflicts[m].intervals)
+        csOf[static_cast<std::size_t>(i)].push_back(static_cast<Index>(m));
+    }
+    for (std::size_t j = 0; j < p.pins.size(); ++j) {
+      if (!p.pins[j].intervals.empty())
+        activePins.push_back(static_cast<Index>(j));
+    }
+    status.assign(n, kFree);
+    assignedTo.assign(p.pins.size(), geom::kInvalidIndex);
+    chosenStamp.assign(n, -1);
+    csStamp.assign(p.conflicts.size(), -1);
+    csCount.assign(p.conflicts.size(), 0);
+    term.assign(n, 0.0);
+  }
+
+  /// Subgradient tuning of the root multipliers: minimizes the split-penalty
+  /// dual bound and freezes the best snapshot into `term` / `lambdaSum`.
+  /// With a known feasible value (the LR seed) the step follows Polyak's
+  /// rule t_k = θ (D(λ) - LB) / ||g||², which closes the root gap far faster
+  /// than the diminishing schedule alone.
+  void tuneRootDual(double incumbentValue) {
+    const std::size_t n = p.intervals.size();
+    std::vector<double> lambda(p.conflicts.size(), 0.0);
+    std::vector<double> penalty(n, 0.0);  // P_i = sum of lambda over csOf[i]
+    std::vector<double> bestPenalty(n, 0.0);
+    double bestBound = std::numeric_limits<double>::infinity();
+    double bestLambdaSum = 0.0;
+    std::vector<Index> choice(p.pins.size(), geom::kInvalidIndex);
+    const bool polyak = incumbentValue > kNegInf;
+    double theta = 1.0;  // Polyak relaxation factor, halved on stalls
+    int sinceImprove = 0;
+
+    for (int k = 1; k <= std::max(1, opts.rootDualIterations); ++k) {
+      // Per-pin argmax under current multipliers.
+      double bound = 0.0;
+      for (Index j : activePins) {
+        double best = kNegInf;
+        Index arg = geom::kInvalidIndex;
+        for (Index i : p.pins[static_cast<std::size_t>(j)].intervals) {
+          const std::size_t ii = static_cast<std::size_t>(i);
+          const double t = p.profit[ii] - penalty[ii] / p.degree(i);
+          if (t > best) {
+            best = t;
+            arg = i;
+          }
+        }
+        bound += best;
+        choice[static_cast<std::size_t>(j)] = arg;
+      }
+      double lsum = 0.0;
+      for (double l : lambda) lsum += l;
+      bound += lsum;
+      if (bound < bestBound - 1e-12) {
+        bestBound = bound;
+        bestPenalty = penalty;
+        bestLambdaSum = lsum;
+        sinceImprove = 0;
+      } else if (polyak && ++sinceImprove >= 20) {
+        theta = std::max(0.05, theta * 0.5);
+        sinceImprove = 0;
+      }
+      if (polyak && bestBound <= incumbentValue + 1e-9) break;  // gap closed
+
+      // Subgradient step on every conflict set.
+      ++epoch;
+      for (Index j : activePins) {
+        const Index i = choice[static_cast<std::size_t>(j)];
+        chosenStamp[static_cast<std::size_t>(i)] = epoch;
+      }
+      double gradNormSq = 0.0;
+      if (polyak) {
+        for (std::size_t m = 0; m < p.conflicts.size(); ++m) {
+          const ConflictSet& cs = p.conflicts[m];
+          int count = 0;
+          for (Index i : cs.intervals)
+            count += chosenStamp[static_cast<std::size_t>(i)] == epoch ? 1 : 0;
+          const double grad = static_cast<double>(count - 1);
+          if (grad > 0.0 || (grad < 0.0 && lambda[m] > 0.0))
+            gradNormSq += grad * grad;
+        }
+        if (gradNormSq == 0.0) break;  // stationary: dual optimum reached
+      }
+      const double schedule =
+          1.0 / std::pow(static_cast<double>(k), opts.alpha);
+      const double polyakStep =
+          polyak ? theta * std::max(0.0, bound - incumbentValue) / gradNormSq
+                 : 0.0;
+      for (std::size_t m = 0; m < p.conflicts.size(); ++m) {
+        const ConflictSet& cs = p.conflicts[m];
+        int count = 0;
+        for (Index i : cs.intervals)
+          count += chosenStamp[static_cast<std::size_t>(i)] == epoch ? 1 : 0;
+        const double grad = static_cast<double>(count - 1);
+        if (grad == 0.0) continue;
+        const double tk =
+            polyak ? polyakStep
+                   : schedule * static_cast<double>(cs.common.span());
+        const double next = std::max(0.0, lambda[m] + tk * grad);
+        const double delta = next - lambda[m];
+        if (delta == 0.0) continue;
+        lambda[m] = next;
+        for (Index i : cs.intervals)
+          penalty[static_cast<std::size_t>(i)] += delta;
+      }
+    }
+
+    for (std::size_t i = 0; i < n; ++i)
+      term[i] = p.profit[i] - bestPenalty[i] / p.degree(static_cast<Index>(i));
+    lambdaSum = bestLambdaSum;
+  }
+
+  [[nodiscard]] bool outOfBudget() {
+    if (nodes >= opts.maxNodes) return true;
+    if ((nodes & 0x3ff) == 0 &&
+        std::chrono::duration<double>(Clock::now() - start).count() >
+            opts.timeLimitSeconds) {
+      return true;
+    }
+    return false;
+  }
+
+  std::size_t mark() const { return trail.size(); }
+
+  void undoTo(std::size_t m) {
+    while (trail.size() > m) {
+      const TrailOp op = trail.back();
+      trail.pop_back();
+      if (op.isStatus) {
+        status[static_cast<std::size_t>(op.idx)] = kFree;
+      } else {
+        assignedTo[static_cast<std::size_t>(op.idx)] = geom::kInvalidIndex;
+      }
+    }
+  }
+
+  bool setZero(Index i) {
+    std::uint8_t& s = status[static_cast<std::size_t>(i)];
+    if (s == kOne) return false;
+    if (s == kFree) {
+      s = kZero;
+      trail.push_back({true, i});
+    }
+    return true;
+  }
+
+  /// Forces x_i = 1 and propagates the equality (1b) and conflict (1c) rows.
+  bool forceOne(Index i) {
+    std::uint8_t& s = status[static_cast<std::size_t>(i)];
+    if (s == kZero) return false;
+    if (s == kFree) {
+      s = kOne;
+      trail.push_back({true, i});
+    }
+    for (Index q : p.intervals[static_cast<std::size_t>(i)].pins) {
+      const std::size_t qq = static_cast<std::size_t>(q);
+      if (assignedTo[qq] != geom::kInvalidIndex) {
+        if (assignedTo[qq] != i) return false;
+      } else {
+        assignedTo[qq] = i;
+        trail.push_back({false, q});
+      }
+      for (Index j : p.pins[qq].intervals) {
+        if (j != i && !setZero(j)) return false;
+      }
+    }
+    for (Index m : csOf[static_cast<std::size_t>(i)]) {
+      for (Index j : p.conflicts[static_cast<std::size_t>(m)].intervals) {
+        if (j != i && !setZero(j)) return false;
+      }
+    }
+    return true;
+  }
+
+  void dfs() {
+    if (outOfBudget()) {
+      truncated = true;
+      return;
+    }
+    ++nodes;
+
+    // Bound and per-pin choice under the current fixing.
+    std::vector<Index> choice(p.pins.size(), geom::kInvalidIndex);
+    double bound = lambdaSum;
+    for (Index j : activePins) {
+      const std::size_t jj = static_cast<std::size_t>(j);
+      if (assignedTo[jj] != geom::kInvalidIndex) {
+        choice[jj] = assignedTo[jj];
+        bound += term[static_cast<std::size_t>(assignedTo[jj])];
+        continue;
+      }
+      double best = kNegInf;
+      Index arg = geom::kInvalidIndex;
+      for (Index i : p.pins[jj].intervals) {
+        if (status[static_cast<std::size_t>(i)] == kZero) continue;
+        const double t = term[static_cast<std::size_t>(i)];
+        if (t > best) {
+          best = t;
+          arg = i;
+        }
+      }
+      if (arg == geom::kInvalidIndex) return;  // pin starved: infeasible node
+      choice[jj] = arg;
+      bound += best;
+    }
+    if (haveIncumbent && bound <= bestObj + kEps) return;
+
+    // Identify a violated conflict set or an inconsistently chosen shared
+    // interval; both yield a free interval to branch on.
+    ++epoch;
+    std::vector<Index> chosen;
+    for (Index j : activePins) {
+      const Index i = choice[static_cast<std::size_t>(j)];
+      long& st = chosenStamp[static_cast<std::size_t>(i)];
+      if (st != epoch) {
+        st = epoch;
+        chosen.push_back(i);
+      }
+    }
+    Index branchI = geom::kInvalidIndex;
+    double branchScore = kNegInf;
+    for (Index i : chosen) {
+      for (Index m : csOf[static_cast<std::size_t>(i)]) {
+        const std::size_t mm = static_cast<std::size_t>(m);
+        if (csStamp[mm] != epoch) {
+          csStamp[mm] = epoch;
+          csCount[mm] = 0;
+        }
+        if (++csCount[mm] >= 2) {
+          // Conflict violated: branch on its free chosen member of max term.
+          for (Index c : p.conflicts[mm].intervals) {
+            const std::size_t cc = static_cast<std::size_t>(c);
+            if (chosenStamp[cc] == epoch && status[cc] == kFree &&
+                term[cc] > branchScore) {
+              branchScore = term[cc];
+              branchI = c;
+            }
+          }
+        }
+      }
+    }
+    if (branchI == geom::kInvalidIndex) {
+      for (Index i : chosen) {
+        for (Index q : p.intervals[static_cast<std::size_t>(i)].pins) {
+          if (choice[static_cast<std::size_t>(q)] != i) {
+            branchI = i;  // shared interval chosen by only some covered pins
+            break;
+          }
+        }
+        if (branchI != geom::kInvalidIndex) break;
+      }
+    }
+
+    if (branchI == geom::kInvalidIndex) {
+      // Consistent and conflict-free: a feasible ILP point.
+      double value = 0.0;
+      for (Index j : activePins)
+        value += p.profit[static_cast<std::size_t>(
+            choice[static_cast<std::size_t>(j)])];
+      if (!haveIncumbent || value > bestObj) {
+        bestObj = value;
+        bestAssign = choice;
+        haveIncumbent = true;
+      }
+      if (bound <= value + kEps) return;  // bound met: subtree closed
+      // Gap comes only from the penalty split; branch on the pin with the
+      // widest top-two margin to shrink it.
+      Index pinToSplit = geom::kInvalidIndex;
+      double bestMargin = kNegInf;
+      for (Index j : activePins) {
+        const std::size_t jj = static_cast<std::size_t>(j);
+        if (assignedTo[jj] != geom::kInvalidIndex) continue;
+        int allowed = 0;
+        double top1 = kNegInf;
+        double top2 = kNegInf;
+        for (Index i : p.pins[jj].intervals) {
+          if (status[static_cast<std::size_t>(i)] == kZero) continue;
+          ++allowed;
+          const double t = term[static_cast<std::size_t>(i)];
+          if (t > top1) {
+            top2 = top1;
+            top1 = t;
+          } else if (t > top2) {
+            top2 = t;
+          }
+        }
+        if (allowed >= 2 && top1 - top2 > bestMargin) {
+          bestMargin = top1 - top2;
+          pinToSplit = j;
+        }
+      }
+      if (pinToSplit == geom::kInvalidIndex) return;  // fixing is fully forced
+      branchI = choice[static_cast<std::size_t>(pinToSplit)];
+      if (status[static_cast<std::size_t>(branchI)] != kFree) return;
+    }
+
+    // Children: x = 1 first (finds strong incumbents early), then x = 0.
+    const std::size_t m0 = mark();
+    if (forceOne(branchI)) dfs();
+    undoTo(m0);
+    if (setZero(branchI)) dfs();
+    undoTo(m0);
+  }
+};
+
+}  // namespace
+
+Assignment solveExact(const Problem& p, const ExactOptions& opts,
+                      ExactStats* stats) {
+  Search search(p, opts);
+
+  // Root incumbent from the LR heuristic (always conflict-free); it also
+  // anchors the Polyak steps of the root dual tuning.
+  {
+    LrOptions lrOpts;
+    Assignment seed = solveLr(p, lrOpts);
+    if (seed.violations == 0) {
+      const AssignmentAudit a = audit(p, seed);
+      if (a.overlapsBetweenNets == 0) {
+        search.bestAssign = seed.intervalOfPin;
+        search.bestObj = seed.objective;
+        search.haveIncumbent = true;
+      }
+    }
+  }
+  search.tuneRootDual(search.haveIncumbent ? search.bestObj : kNegInf);
+
+  {
+    double rootBound = search.lambdaSum;
+    for (Index j : search.activePins) {
+      double best = kNegInf;
+      for (Index i : p.pins[static_cast<std::size_t>(j)].intervals)
+        best = std::max(best, search.term[static_cast<std::size_t>(i)]);
+      rootBound += best;
+    }
+    if (stats) stats->rootUpperBound = rootBound;
+  }
+
+  search.dfs();
+
+  Assignment out;
+  out.intervalOfPin.assign(p.pins.size(), geom::kInvalidIndex);
+  if (search.haveIncumbent) out.intervalOfPin = search.bestAssign;
+  for (std::size_t j = 0; j < p.pins.size(); ++j) {
+    const Index i = out.intervalOfPin[j];
+    if (i != geom::kInvalidIndex)
+      out.objective += p.profit[static_cast<std::size_t>(i)];
+  }
+  out.iterations = search.nodes;
+  out.provedOptimal = search.haveIncumbent && !search.truncated;
+  // Violations of the final selection (0 expected).
+  std::vector<char> sel(p.intervals.size(), 0);
+  for (Index i : out.intervalOfPin)
+    if (i != geom::kInvalidIndex) sel[static_cast<std::size_t>(i)] = 1;
+  for (const ConflictSet& cs : p.conflicts) {
+    int count = 0;
+    for (Index i : cs.intervals) count += sel[static_cast<std::size_t>(i)];
+    if (count > 1) ++out.violations;
+  }
+  if (stats) {
+    stats->nodes = search.nodes;
+    stats->bestObjective = out.objective;
+    stats->optimal = out.provedOptimal;
+  }
+  return out;
+}
+
+}  // namespace cpr::core

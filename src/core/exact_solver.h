@@ -1,0 +1,51 @@
+/// \file exact_solver.h
+/// Exact solver for the weighted interval assignment ILP (Formula 1).
+///
+/// This plays the role of the paper's commercial ILP solver: it returns a
+/// provably optimal selection (one interval per pin, at most one interval
+/// per conflict set) or the best incumbent when a node/time budget runs out.
+///
+/// Method: branch & bound over interval variables with a Lagrangian dual
+/// bound. For multipliers λ >= 0 and per-interval penalty P_i = Σ_{m: i∈Cm}
+/// λ_m, the value  Σ_j max_{i∈Sj} (f(I_i) - P_i / d_i)  +  Σ_m λ_m   is an
+/// upper bound on Formula (1): splitting each interval's penalty across its
+/// d_i covered pins relaxes the equality-coupled problem into independent
+/// per-pin maximizations. Multipliers are tuned once at the root by
+/// subgradient descent; branching fixes an interval from a violated conflict
+/// set (or an inconsistently-chosen shared interval) to 1 or 0 and
+/// propagates through the equality and conflict rows.
+///
+/// The generic LP-based branch & bound in `ilp/` solves the same model via
+/// `buildIlpModel` (ilp_builder.h); tests cross-check the two and a brute
+/// forcer on small instances. This specialized solver is the one that scales
+/// far enough to trace the paper's Fig. 6 "ILP" curves.
+#pragma once
+
+#include "core/problem.h"
+
+namespace cpr::core {
+
+struct ExactOptions {
+  long maxNodes = 50'000'000;
+  double timeLimitSeconds = 1e9;
+  /// Root subgradient iterations used to tighten the dual bound.
+  int rootDualIterations = 300;
+  /// Subgradient step exponent (same schedule as the LR solver).
+  double alpha = 0.95;
+};
+
+struct ExactStats {
+  long nodes = 0;
+  double rootUpperBound = 0.0;  ///< dual bound after root tuning
+  double bestObjective = 0.0;
+  bool optimal = false;
+};
+
+/// Solves `p` exactly (requires profits and conflicts filled). The returned
+/// assignment has violations == 0; `provedOptimal` reports whether the
+/// search completed within its budget.
+[[nodiscard]] Assignment solveExact(const Problem& p,
+                                    const ExactOptions& opts = {},
+                                    ExactStats* stats = nullptr);
+
+}  // namespace cpr::core

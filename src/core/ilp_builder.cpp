@@ -1,0 +1,70 @@
+#include "core/ilp_builder.h"
+
+#include <cmath>
+#include <string>
+
+namespace cpr::core {
+
+IlpBuild buildIlpModel(const Problem& p, bool pairwiseConflicts) {
+  IlpBuild out;
+  out.varOfInterval.reserve(p.intervals.size());
+  for (std::size_t i = 0; i < p.intervals.size(); ++i) {
+    out.varOfInterval.push_back(
+        out.model.addBinary(p.weight(static_cast<Index>(i)),
+                            "x" + std::to_string(i)));
+  }
+  // (1b): sum_{Ii in Sj} x_i = 1 for every accessible pin.
+  for (const ProblemPin& pin : p.pins) {
+    if (pin.intervals.empty()) continue;
+    std::vector<ilp::Term> terms;
+    terms.reserve(pin.intervals.size());
+    for (Index i : pin.intervals)
+      terms.push_back({out.varOfInterval[static_cast<std::size_t>(i)], 1.0});
+    out.model.addConstraint(std::move(terms), ilp::Sense::Equal, 1.0);
+  }
+  if (!pairwiseConflicts) {
+    // (1c): sum_{Ii in Cm} x_i <= 1 per conflict set.
+    for (const ConflictSet& cs : p.conflicts) {
+      std::vector<ilp::Term> terms;
+      terms.reserve(cs.intervals.size());
+      for (Index i : cs.intervals)
+        terms.push_back({out.varOfInterval[static_cast<std::size_t>(i)], 1.0});
+      out.model.addConstraint(std::move(terms), ilp::Sense::LessEqual, 1.0);
+    }
+  } else {
+    // Quadratic pairwise encoding for the ablation bench.
+    for (const ConflictSet& cs : p.conflicts) {
+      for (std::size_t a = 0; a < cs.intervals.size(); ++a) {
+        for (std::size_t b = a + 1; b < cs.intervals.size(); ++b) {
+          out.model.addConstraint(
+              {{out.varOfInterval[static_cast<std::size_t>(cs.intervals[a])],
+                1.0},
+               {out.varOfInterval[static_cast<std::size_t>(cs.intervals[b])],
+                1.0}},
+              ilp::Sense::LessEqual, 1.0);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Assignment decodeIlpSolution(const Problem& p, const IlpBuild& build,
+                             const std::vector<double>& x) {
+  Assignment out;
+  out.intervalOfPin.assign(p.pins.size(), geom::kInvalidIndex);
+  for (std::size_t j = 0; j < p.pins.size(); ++j) {
+    for (Index i : p.pins[j].intervals) {
+      const auto var = static_cast<std::size_t>(
+          build.varOfInterval[static_cast<std::size_t>(i)]);
+      if (x[var] > 0.5) {
+        out.intervalOfPin[j] = i;
+        out.objective += p.profit[static_cast<std::size_t>(i)];
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cpr::core

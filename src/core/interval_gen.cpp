@@ -1,0 +1,186 @@
+#include "core/interval_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+namespace cpr::core {
+
+namespace {
+
+using geom::Interval;
+
+/// Per-track view of a panel's pins, for cut-line and coverage queries.
+struct TrackPin {
+  Index localPin;
+  Interval x;
+  Index net;
+};
+
+/// Incrementally builds a (possibly multi-panel) Problem.
+class Builder {
+ public:
+  Builder(const db::Design& design, const GenOptions& opts, Problem& out)
+      : design_(design), opts_(opts), out_(out) {}
+
+  void addPanel(const db::Panel& panel) {
+    const std::size_t firstLocal = out_.pins.size();
+    // Local pin records.
+    for (Index dp : panel.pins) {
+      ProblemPin pp;
+      pp.designPin = dp;
+      pp.net = design_.pin(dp).net;
+      out_.pins.push_back(std::move(pp));
+    }
+    // Per-track pin buckets.
+    const std::size_t nTracks = static_cast<std::size_t>(panel.tracks.span());
+    std::vector<std::vector<TrackPin>> byTrack(nTracks);
+    for (std::size_t k = 0; k < panel.pins.size(); ++k) {
+      const db::Pin& pin = design_.pin(panel.pins[k]);
+      for (Coord t = pin.shape.y.lo; t <= pin.shape.y.hi; ++t) {
+        byTrack[static_cast<std::size_t>(t - panel.tracks.lo)].push_back(
+            TrackPin{static_cast<Index>(firstLocal + k), pin.shape.x, pin.net});
+      }
+    }
+    for (auto& bucket : byTrack) {
+      std::sort(bucket.begin(), bucket.end(),
+                [](const TrackPin& a, const TrackPin& b) { return a.x.lo < b.x.lo; });
+    }
+    // Generate candidates pin by pin.
+    for (std::size_t k = 0; k < panel.pins.size(); ++k) {
+      generateForPin(panel, byTrack, static_cast<Index>(firstLocal + k));
+    }
+  }
+
+ private:
+  /// Returns (creating if needed) the interval id for (net, track, span);
+  /// associates it with every same-net pin it covers on that track.
+  Index internInterval(Coord track, Interval span, Index net,
+                       const std::vector<TrackPin>& bucket, bool minimal) {
+    const auto key = std::make_tuple(net, track, span.lo, span.hi);
+    if (auto it = interned_.find(key); it != interned_.end()) {
+      AccessInterval& existing =
+          out_.intervals[static_cast<std::size_t>(it->second)];
+      if (minimal) existing.minimal = true;
+      return it->second;
+    }
+    AccessInterval iv;
+    iv.track = track;
+    iv.span = span;
+    // Uniform inflation: Theorem 1 feasibility then requires same-track
+    // diff-net pins to sit more than 2*spacingGuard columns apart, which the
+    // design rules (and our generator) guarantee — standard cells never abut
+    // I/O pins that closely.
+    iv.conflictSpan = Interval{span.lo - opts_.spacingGuard,
+                               span.hi + opts_.spacingGuard};
+    iv.net = net;
+    iv.minimal = minimal;
+    for (const TrackPin& tp : bucket) {
+      if (tp.net == net && span.contains(tp.x)) iv.pins.push_back(tp.localPin);
+    }
+    const Index id = static_cast<Index>(out_.intervals.size());
+    for (Index covered : iv.pins)
+      out_.pins[static_cast<std::size_t>(covered)].intervals.push_back(id);
+    out_.intervals.push_back(std::move(iv));
+    interned_.emplace(key, id);
+    return id;
+  }
+
+  void generateForPin(const db::Panel& panel,
+                      const std::vector<std::vector<TrackPin>>& byTrack,
+                      Index local) {
+    ProblemPin& pp = out_.pins[static_cast<std::size_t>(local)];
+    const db::Pin& pin = design_.pin(pp.designPin);
+    Interval box = design_.netBox(pin.net).x;
+    if (opts_.maxExtent > 0) {
+      box = geom::intersect(
+          box, Interval{pin.shape.x.lo - opts_.maxExtent,
+                        pin.shape.x.hi + opts_.maxExtent});
+    }
+
+    for (Coord t = pin.shape.y.lo; t <= pin.shape.y.hi; ++t) {
+      const Interval segment =
+          panel.freeOn(t).segmentContaining(pin.shape.x.lo);
+      if (!segment.contains(pin.shape.x)) continue;  // blocked track
+      const Interval avail = geom::intersect(segment, box);
+      if (!avail.contains(pin.shape.x)) continue;
+
+      const auto& bucket =
+          byTrack[static_cast<std::size_t>(t - panel.tracks.lo)];
+      // Cut lines of diff-net pins on this track inside `avail`
+      // (paper Fig. 3(a): candidate edges are the box edges plus the
+      // vertical cutting line of each diff-net pin).
+      std::vector<Coord> lefts{avail.lo};
+      std::vector<Coord> rights{avail.hi};
+      for (const TrackPin& q : bucket) {
+        if (q.localPin == local || q.net == pin.net) continue;
+        if (!q.x.overlaps(avail)) continue;
+        if (q.x.hi < pin.shape.x.lo) {
+          lefts.push_back(q.x.hi + 1);
+        } else if (q.x.lo > pin.shape.x.hi) {
+          rights.push_back(q.x.lo - 1);
+        }
+        // Diff-net pins overlapping the pin's own columns produce no cut
+        // line; the conflict sets capture that interference.
+      }
+      dedupe(lefts);
+      dedupe(rights);
+
+      bool emittedMinimal = false;
+      for (const Coord le : lefts) {
+        if (le > pin.shape.x.lo) continue;
+        for (const Coord re : rights) {
+          if (re < pin.shape.x.hi) continue;
+          const Index id = internInterval(t, Interval{le, re}, pin.net, bucket,
+                                          /*minimal=*/false);
+          (void)id;
+        }
+      }
+      if (opts_.minimalPerTrack || pp.minimalInterval == geom::kInvalidIndex) {
+        const Index id = internInterval(t, pin.shape.x, pin.net, bucket,
+                                        /*minimal=*/true);
+        emittedMinimal = true;
+        if (pp.minimalInterval == geom::kInvalidIndex) pp.minimalInterval = id;
+      }
+      (void)emittedMinimal;
+    }
+  }
+
+  static void dedupe(std::vector<Coord>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+
+  const db::Design& design_;
+  const GenOptions& opts_;
+  Problem& out_;
+  std::map<std::tuple<Index, Coord, Coord, Coord>, Index> interned_;
+};
+
+}  // namespace
+
+Problem buildProblem(const db::Design& design, const db::Panel& panel,
+                     const GenOptions& opts) {
+  return buildProblem(design, std::span<const db::Panel>{&panel, 1}, opts);
+}
+
+Problem buildProblem(const db::Design& design,
+                     std::span<const db::Panel> panels,
+                     const GenOptions& opts) {
+  Problem out;
+  Builder builder(design, opts, out);
+  for (const db::Panel& panel : panels) builder.addPanel(panel);
+  assignProfits(out);
+  return out;
+}
+
+void assignProfits(Problem& p, ProfitModel model) {
+  p.profit.resize(p.intervals.size());
+  for (std::size_t i = 0; i < p.intervals.size(); ++i) {
+    const double span = static_cast<double>(p.intervals[i].span.span());
+    p.profit[i] = model == ProfitModel::SqrtSpan ? std::sqrt(span) : span;
+  }
+}
+
+}  // namespace cpr::core

@@ -1,0 +1,64 @@
+/// \file interval_gen.h
+/// Track-based pin access interval generation (paper Section 3.1).
+///
+/// For a pin `p` on an M2 track `t`, candidate intervals are all strips
+/// [le, re] covering p's columns where `le` is either the net-bounding-box
+/// left edge or the cut line (x.hi + 1) of a diff-net pin left of p, and `re`
+/// symmetric on the right — O(m·n) intervals for m left / n right diff-net
+/// pins — plus the minimum interval (the smallest strip covering the pin).
+/// All candidates are clipped to the free space on the track (die minus M2
+/// blockages) and to the net bounding box; identical same-net intervals
+/// generated from several pins (intra-panel connections, Fig. 3(b)) are
+/// deduplicated into one candidate associated with every covered pin.
+#pragma once
+
+#include <span>
+
+#include "core/problem.h"
+#include "db/design.h"
+#include "db/panel.h"
+
+namespace cpr::core {
+
+struct GenOptions {
+  /// Footnote 1 of the paper: cap the interval extent around the pin when M2
+  /// routing is not favored for long nets. 0 disables the cap; otherwise the
+  /// net bounding box is intersected with pin.x expanded by this many
+  /// columns on each side.
+  geom::Coord maxExtent = 0;
+  /// Emit a minimum interval on every accessible track (more candidates)
+  /// instead of only the first one.
+  bool minimalPerTrack = true;
+  /// Line-end spacing guard: every interval is inflated by this many columns
+  /// per side when conflicts are detected, so selected diff-net intervals
+  /// keep a gap of >= 2*guard — room for the router's line-end extensions
+  /// (Section 4). Theorem 1's feasibility argument then requires same-track
+  /// diff-net pins to be more than 2*guard columns apart, which real cell
+  /// layouts (and our generator) guarantee. 0 disables the guard.
+  geom::Coord spacingGuard = 1;
+};
+
+/// Builds the interval-assignment instance for one panel. Pins whose every
+/// track is blocked get an empty candidate set (`minimalInterval ==
+/// kInvalidIndex`); callers can detect them via `Problem::pins`.
+/// Conflict sets are NOT filled here — run `detectConflicts` afterwards.
+[[nodiscard]] Problem buildProblem(const db::Design& design,
+                                   const db::Panel& panel,
+                                   const GenOptions& opts = {});
+
+/// Multi-panel variant: one merged instance over several panels ("handle
+/// multiple panels simultaneously", Section 3). Panels never share tracks,
+/// so candidates from different panels can only interact through solver-side
+/// accounting, which is exactly what the Fig. 6 scalability sweep measures.
+[[nodiscard]] Problem buildProblem(const db::Design& design,
+                                   std::span<const db::Panel> panels,
+                                   const GenOptions& opts = {});
+
+/// Recomputes f(Ii) for every interval of `p` (default: sqrt of span).
+enum class ProfitModel {
+  SqrtSpan,   ///< f(I) = sqrt(span)  — the paper's balanced objective
+  LinearSpan, ///< f(I) = span        — ablation: unbalanced maximization
+};
+void assignProfits(Problem& p, ProfitModel model = ProfitModel::SqrtSpan);
+
+}  // namespace cpr::core

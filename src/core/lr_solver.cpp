@@ -1,0 +1,426 @@
+#include "core/lr_solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace cpr::core {
+
+namespace {
+
+struct Selection {
+  std::vector<Index> sel;            ///< distinct selected interval ids
+  std::vector<Index> intervalOfPin;  ///< per-pin assignment
+};
+
+/// Sort key for maxGains: non-increasing gain, ties toward intervals
+/// covering more same-net pins (intra-panel connections are preferred,
+/// Section 3.1), then by index for determinism.
+struct Key {
+  double gain;
+  Index degree;
+  Index idx;
+};
+
+bool keyLess(const Key& a, const Key& b) {
+  if (a.gain != b.gain) return a.gain > b.gain;
+  if (a.degree != b.degree) return a.degree > b.degree;
+  return a.idx < b.idx;
+}
+
+/// Algorithm 1, maxGains selection over a pre-sorted key order: select an
+/// interval when every covered pin is still free; leftover pins fall back to
+/// their minimum interval (always selectable — Theorem 1).
+Selection runMaxGainsOrdered(const Problem& p, const std::vector<Key>& keys) {
+  Selection out;
+  out.intervalOfPin.assign(p.pins.size(), geom::kInvalidIndex);
+  std::size_t unassigned = p.pins.size();
+  auto select = [&](Index i) {
+    out.sel.push_back(i);
+    for (Index q : p.intervals[static_cast<std::size_t>(i)].pins) {
+      if (out.intervalOfPin[static_cast<std::size_t>(q)] ==
+          geom::kInvalidIndex) {
+        out.intervalOfPin[static_cast<std::size_t>(q)] = i;
+        --unassigned;
+      }
+    }
+  };
+  for (const Key& k : keys) {
+    if (unassigned == 0) break;  // every pin holds an interval already
+    const auto& pins = p.intervals[static_cast<std::size_t>(k.idx)].pins;
+    const bool allFree = std::all_of(pins.begin(), pins.end(), [&](Index q) {
+      return out.intervalOfPin[static_cast<std::size_t>(q)] ==
+             geom::kInvalidIndex;
+    });
+    if (allFree && !pins.empty()) select(k.idx);
+  }
+  // Equality constraints (1b): every pin must hold exactly one interval.
+  for (std::size_t j = 0; j < p.pins.size(); ++j) {
+    if (out.intervalOfPin[j] != geom::kInvalidIndex) continue;
+    const Index mi = p.pins[j].minimalInterval;
+    if (mi == geom::kInvalidIndex) continue;  // inaccessible pin
+    out.sel.push_back(mi);
+    out.intervalOfPin[j] = mi;
+  }
+  return out;
+}
+
+int selectedCount(const ConflictSet& cs, const std::vector<char>& selFlag) {
+  int count = 0;
+  for (Index i : cs.intervals)
+    count += selFlag[static_cast<std::size_t>(i)] ? 1 : 0;
+  return count;
+}
+
+std::vector<char> flags(std::size_t n, const std::vector<Index>& sel) {
+  std::vector<char> f(n, 0);
+  for (Index i : sel) f[static_cast<std::size_t>(i)] = 1;
+  return f;
+}
+
+}  // namespace
+
+std::vector<Index> maxGains(const Problem& p, const std::vector<double>& gains) {
+  std::vector<Key> keys(p.intervals.size());
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    keys[i] = Key{gains[i], static_cast<Index>(p.intervals[i].pins.size()),
+                  static_cast<Index>(i)};
+  std::sort(keys.begin(), keys.end(), keyLess);
+  return runMaxGainsOrdered(p, keys).sel;
+}
+
+Assignment solveLr(const Problem& p, const LrOptions& opts, LrStats* stats) {
+  const std::size_t n = p.intervals.size();
+  std::vector<double> profits(n);
+  std::vector<Index> degree(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    profits[i] = p.weight(static_cast<Index>(i));
+    degree[i] = static_cast<Index>(p.intervals[i].pins.size());
+  }
+
+  std::vector<double> penalties(n, 0.0);
+  std::vector<double> lambda(p.conflicts.size(), 0.0);
+
+  Selection best;
+  int bestVio = std::numeric_limits<int>::max();
+  int stall = 0;
+  int iterations = 0;
+
+  // Interval -> conflict sets containing it, for incremental violation
+  // counting.
+  std::vector<std::vector<Index>> csOf(n);
+  for (std::size_t m = 0; m < p.conflicts.size(); ++m) {
+    for (Index i : p.conflicts[m].intervals)
+      csOf[static_cast<std::size_t>(i)].push_back(static_cast<Index>(m));
+  }
+  std::vector<int> csCount(p.conflicts.size(), 0);
+  std::vector<Index> touched;
+
+  // Sorted key order, maintained incrementally: only intervals whose
+  // penalties changed are re-keyed and merged back (the full per-iteration
+  // sort dominates LR runtime on large panels otherwise).
+  std::vector<Key> keys(n);
+  for (std::size_t i = 0; i < n; ++i)
+    keys[i] = Key{profits[i], degree[i], static_cast<Index>(i)};
+  std::sort(keys.begin(), keys.end(), keyLess);
+  std::vector<char> dirtyFlag(n, 0);
+  std::vector<Index> dirtyList;
+  std::vector<Key> dirtyKeys;
+  std::vector<Key> mergeBuf;
+
+  auto markDirty = [&](Index i) {
+    if (!dirtyFlag[static_cast<std::size_t>(i)]) {
+      dirtyFlag[static_cast<std::size_t>(i)] = 1;
+      dirtyList.push_back(i);
+    }
+  };
+
+  auto refreshKeys = [&] {
+    if (dirtyList.empty()) return;
+    if (dirtyList.size() > n / 3) {
+      for (std::size_t i = 0; i < n; ++i)
+        keys[i] = Key{profits[i] - penalties[i], degree[i],
+                      static_cast<Index>(i)};
+      std::sort(keys.begin(), keys.end(), keyLess);
+    } else {
+      dirtyKeys.clear();
+      for (Index i : dirtyList) {
+        dirtyKeys.push_back(Key{profits[static_cast<std::size_t>(i)] -
+                                    penalties[static_cast<std::size_t>(i)],
+                                degree[static_cast<std::size_t>(i)], i});
+      }
+      std::sort(dirtyKeys.begin(), dirtyKeys.end(), keyLess);
+      mergeBuf.clear();
+      mergeBuf.reserve(n);
+      // Drop stale entries, then merge the re-keyed ones back in.
+      auto clean = [&](const Key& k) {
+        return !dirtyFlag[static_cast<std::size_t>(k.idx)];
+      };
+      std::size_t a = 0;
+      std::size_t b = 0;
+      while (a < keys.size() || b < dirtyKeys.size()) {
+        while (a < keys.size() && !clean(keys[a])) ++a;
+        if (a == keys.size()) {
+          while (b < dirtyKeys.size()) mergeBuf.push_back(dirtyKeys[b++]);
+          break;
+        }
+        if (b == dirtyKeys.size() || keyLess(keys[a], dirtyKeys[b])) {
+          mergeBuf.push_back(keys[a++]);
+        } else {
+          mergeBuf.push_back(dirtyKeys[b++]);
+        }
+      }
+      keys.swap(mergeBuf);
+    }
+    for (Index i : dirtyList) dirtyFlag[static_cast<std::size_t>(i)] = 0;
+    dirtyList.clear();
+  };
+
+  for (int k = 1; k <= opts.maxIterations; ++k) {
+    iterations = k;
+    refreshKeys();
+    Selection cur = runMaxGainsOrdered(p, keys);
+
+    // Per-set selected counts, touching only sets of selected intervals.
+    touched.clear();
+    for (Index i : cur.sel) {
+      for (Index m : csOf[static_cast<std::size_t>(i)]) {
+        if (csCount[static_cast<std::size_t>(m)]++ == 0) touched.push_back(m);
+      }
+    }
+
+    // Algorithm 1, penalize: subgradient multiplier update (Eq. 3) with
+    // step t_k = L_m / k^alpha.
+    int vio = 0;
+    const double step = 1.0 / std::pow(static_cast<double>(k), opts.alpha);
+    auto applyDelta = [&](Index m, double delta) {
+      lambda[static_cast<std::size_t>(m)] += delta;
+      for (Index i : p.conflicts[static_cast<std::size_t>(m)].intervals) {
+        penalties[static_cast<std::size_t>(i)] += delta;
+        markDirty(i);
+      }
+    };
+    for (Index m : touched) {
+      const int count = csCount[static_cast<std::size_t>(m)];
+      if (count <= 1) continue;
+      ++vio;
+      const double tk =
+          step * static_cast<double>(
+                     p.conflicts[static_cast<std::size_t>(m)].common.span());
+      applyDelta(m, tk * static_cast<double>(count - 1));
+    }
+    if (opts.bidirectionalMultipliers) {
+      // Full subgradient: multipliers of unselected sets decay toward 0.
+      for (std::size_t m = 0; m < p.conflicts.size(); ++m) {
+        if (csCount[m] != 0 || lambda[m] == 0.0) continue;
+        const double tk =
+            step * static_cast<double>(p.conflicts[m].common.span());
+        applyDelta(static_cast<Index>(m),
+                   std::max(0.0, lambda[m] - tk) - lambda[m]);
+      }
+    }
+    for (Index m : touched) csCount[static_cast<std::size_t>(m)] = 0;
+
+    if (vio < bestVio) {
+      bestVio = vio;
+      best = std::move(cur);
+      stall = 0;
+    } else if (opts.stallLimit > 0 && ++stall >= opts.stallLimit) {
+      break;
+    }
+    if (bestVio == 0) break;
+  }
+
+  if (stats) {
+    stats->iterations = iterations;
+    stats->bestViolations =
+        bestVio == std::numeric_limits<int>::max() ? 0 : bestVio;
+    stats->removalRounds = 0;
+  }
+
+  // Greedy conflict removal (Algorithm 2, line 11): shrink conflicting
+  // selections to minimum intervals until no conflict set holds more than
+  // one selected interval.
+  std::vector<char> selFlag = flags(n, best.sel);
+  if (!opts.skipConflictRemoval && bestVio > 0) {
+    // An interval is shrinkable when some pin assigned to it has a smaller
+    // minimum interval to retreat to. Two unshrinkable members can never
+    // share a conflict set when pins respect the spacing-guard separation,
+    // so shrinking all shrinkable members — sparing the most valuable one
+    // only when every member is shrinkable — terminates with at most one
+    // selected interval per conflict set.
+    auto shrinkable = [&](Index i) {
+      for (std::size_t q = 0; q < p.pins.size(); ++q) {
+        if (best.intervalOfPin[q] == i && p.pins[q].minimalInterval != i)
+          return true;
+      }
+      return false;
+    };
+    auto shrink = [&](Index i) {
+      selFlag[static_cast<std::size_t>(i)] = 0;
+      for (std::size_t q = 0; q < p.pins.size(); ++q) {
+        if (best.intervalOfPin[q] != i) continue;
+        const Index mi = p.pins[q].minimalInterval;
+        assert(mi != geom::kInvalidIndex);
+        best.intervalOfPin[q] = mi;
+        selFlag[static_cast<std::size_t>(mi)] = 1;
+      }
+    };
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const ConflictSet& cs : p.conflicts) {
+        if (selectedCount(cs, selFlag) <= 1) continue;
+        std::vector<Index> members;
+        bool anyUnshrinkable = false;
+        for (Index i : cs.intervals) {
+          if (!selFlag[static_cast<std::size_t>(i)]) continue;
+          members.push_back(i);
+          anyUnshrinkable |= !shrinkable(i);
+        }
+        Index keep = geom::kInvalidIndex;
+        if (!anyUnshrinkable) {
+          for (Index i : members) {
+            if (keep == geom::kInvalidIndex || p.weight(i) > p.weight(keep))
+              keep = i;
+          }
+        }
+        for (Index i : members) {
+          if (i == keep || !shrinkable(i)) continue;
+          shrink(i);
+          changed = true;
+        }
+        // Ghost members (selected but assigned to no pin) just deselect.
+        for (Index i : members) {
+          if (i != keep && !shrinkable(i)) {
+            bool assigned = false;
+            for (std::size_t q = 0; q < p.pins.size() && !assigned; ++q)
+              assigned = best.intervalOfPin[q] == i;
+            if (!assigned && selFlag[static_cast<std::size_t>(i)]) {
+              selFlag[static_cast<std::size_t>(i)] = 0;
+              changed = true;
+            }
+          }
+        }
+      }
+      if (stats && changed) ++stats->removalRounds;
+    }
+  }
+
+  // Greedy re-expansion: conflict removal trades interval length for
+  // legality; this recovers length by upgrading each pin to its most
+  // profitable candidate that keeps every conflict set at <= 1 selected
+  // interval. Selecting interval i re-points all pins i covers, so shared
+  // (intra-panel) intervals can be joined or formed during refinement.
+  if (opts.reexpandRounds > 0 && !p.pins.empty()) {
+    std::vector<int> usage(n, 0);
+    for (std::size_t j = 0; j < p.pins.size(); ++j) {
+      const Index cur = best.intervalOfPin[j];
+      if (cur != geom::kInvalidIndex) ++usage[static_cast<std::size_t>(cur)];
+    }
+    // Candidates per pin, most profitable first.
+    std::vector<std::vector<Index>> sortedSj(p.pins.size());
+    for (std::size_t j = 0; j < p.pins.size(); ++j) {
+      sortedSj[j] = p.pins[j].intervals;
+      std::sort(sortedSj[j].begin(), sortedSj[j].end(), [&](Index a, Index b) {
+        const double pa = p.profit[static_cast<std::size_t>(a)];
+        const double pb = p.profit[static_cast<std::size_t>(b)];
+        return pa != pb ? pa > pb : a < b;
+      });
+    }
+    std::vector<int> freedWithin(n, 0);
+    for (int round = 0; round < opts.reexpandRounds; ++round) {
+      bool improved = false;
+      for (std::size_t j = 0; j < p.pins.size(); ++j) {
+        const Index cur = best.intervalOfPin[j];
+        if (cur == geom::kInvalidIndex) continue;
+        for (Index i : sortedSj[j]) {
+          const std::size_t ii = static_cast<std::size_t>(i);
+          if (p.profit[ii] <= p.profit[static_cast<std::size_t>(cur)]) break;
+          if (i == cur) continue;
+          const auto& covered = p.intervals[ii].pins;
+          // Total objective delta over every pin the candidate re-points.
+          double gain = 0.0;
+          bool feasiblePins = true;
+          for (Index q : covered) {
+            const Index old = best.intervalOfPin[static_cast<std::size_t>(q)];
+            if (old == geom::kInvalidIndex) {
+              feasiblePins = false;  // inaccessible pin cannot be re-pointed
+              break;
+            }
+            gain += p.profit[ii] - p.profit[static_cast<std::size_t>(old)];
+            ++freedWithin[static_cast<std::size_t>(old)];
+          }
+          bool ok = feasiblePins && gain > 1e-12;
+          if (ok) {
+            // Equality rows (1b): an interval that stays selected must not
+            // cover a re-pointed pin, so every displaced interval has to be
+            // fully freed by this move.
+            for (Index q : covered) {
+              const std::size_t oo = static_cast<std::size_t>(
+                  best.intervalOfPin[static_cast<std::size_t>(q)]);
+              if (static_cast<Index>(oo) != i &&
+                  freedWithin[oo] < usage[oo]) {
+                ok = false;
+                break;
+              }
+            }
+          }
+          if (ok) {
+            // Conflict sets of the candidate must hold no interval that
+            // stays selected after the move.
+            for (Index m : csOf[ii]) {
+              for (Index s : p.conflicts[static_cast<std::size_t>(m)].intervals) {
+                const std::size_t ss = static_cast<std::size_t>(s);
+                if (s == i || usage[ss] == 0) continue;
+                if (freedWithin[ss] < usage[ss]) {
+                  ok = false;
+                  break;
+                }
+              }
+              if (!ok) break;
+            }
+          }
+          for (Index q : covered) {
+            const Index old = best.intervalOfPin[static_cast<std::size_t>(q)];
+            if (old != geom::kInvalidIndex)
+              freedWithin[static_cast<std::size_t>(old)] = 0;
+          }
+          if (!ok) continue;
+          for (Index q : covered) {
+            const std::size_t qq = static_cast<std::size_t>(q);
+            --usage[static_cast<std::size_t>(best.intervalOfPin[qq])];
+            best.intervalOfPin[qq] = i;
+            ++usage[ii];
+          }
+          improved = true;
+          break;  // next pin
+        }
+      }
+      if (!improved) break;
+    }
+  }
+
+  Assignment out;
+  out.intervalOfPin = std::move(best.intervalOfPin);
+  out.iterations = iterations;
+  if (out.intervalOfPin.empty())
+    out.intervalOfPin.assign(p.pins.size(), geom::kInvalidIndex);
+  for (std::size_t j = 0; j < p.pins.size(); ++j) {
+    const Index i = out.intervalOfPin[j];
+    if (i != geom::kInvalidIndex)
+      out.objective += p.profit[static_cast<std::size_t>(i)];
+  }
+  // Final violation count over the (possibly repaired) selection.
+  selFlag.assign(n, 0);
+  for (Index i : out.intervalOfPin)
+    if (i != geom::kInvalidIndex) selFlag[static_cast<std::size_t>(i)] = 1;
+  for (const ConflictSet& cs : p.conflicts) {
+    if (selectedCount(cs, selFlag) > 1) ++out.violations;
+  }
+  return out;
+}
+
+}  // namespace cpr::core

@@ -1,0 +1,60 @@
+/// \file lr_solver.h
+/// Lagrangian-relaxation pin access optimization (paper Section 3.4).
+///
+/// Implements Algorithm 2: the conflict constraints (1c) are relaxed into
+/// the objective with multipliers λm updated by subgradient steps
+/// (Eq. 3, t_k = L_m / k^α); each LR subproblem is solved by the greedy
+/// `maxGains` of Algorithm 1 (gain-sorted selection, ties broken toward
+/// intervals covering more same-net pins); the best-so-far solution (fewest
+/// violated conflict sets) is kept, and remaining conflicts are removed by
+/// shrinking intervals to their pins' minimum intervals.
+#pragma once
+
+#include "core/problem.h"
+
+namespace cpr::core {
+
+struct LrOptions {
+  /// Iteration upper bound (the paper's experiments use UB = 200).
+  int maxIterations = 200;
+  /// Engineering addition: stop early when the best violation count has not
+  /// improved for this many iterations (0 disables; the paper always runs to
+  /// UB or zero violations, but stalled panels only waste time — the best
+  /// solution is tracked either way).
+  int stallLimit = 40;
+  /// Subgradient step exponent α in t_k = L_m / k^α (paper: 0.95).
+  double alpha = 0.95;
+  /// Also decrease multipliers of satisfied conflict sets (full subgradient
+  /// of Eq. 3 instead of Algorithm 1's increase-on-violation). Off by
+  /// default to match the paper.
+  bool bidirectionalMultipliers = false;
+  /// Skip the final greedy conflict removal (used when quantifying raw LR
+  /// convergence, e.g. the Fig. 6(b) objective comparison).
+  bool skipConflictRemoval = false;
+  /// Greedy refinement rounds after conflict removal: every pin tries to
+  /// upgrade to its most profitable candidate that stays conflict-free.
+  /// Complements the shrink-to-minimum step — shrinking repairs conflicts,
+  /// re-expansion recovers the interval length the repair gave away. 0
+  /// disables.
+  int reexpandRounds = 2;
+};
+
+struct LrStats {
+  int iterations = 0;        ///< subgradient iterations executed
+  int bestViolations = 0;    ///< violations of the best pre-removal solution
+  int removalRounds = 0;     ///< greedy conflict removal sweeps
+};
+
+/// Solves `p` with Lagrangian relaxation. Requires `p.profit` filled and
+/// `p.conflicts` detected. The returned assignment is conflict-free
+/// (violations == 0) unless conflict removal was skipped.
+[[nodiscard]] Assignment solveLr(const Problem& p, const LrOptions& opts = {},
+                                 LrStats* stats = nullptr);
+
+/// One invocation of Algorithm 1's maxGains greedy: selects one interval per
+/// pin maximizing total gain (profit minus penalty), ignoring conflicts.
+/// Exposed for tests and for the exact solver's incumbent heuristic.
+[[nodiscard]] std::vector<Index> maxGains(const Problem& p,
+                                          const std::vector<double>& gains);
+
+}  // namespace cpr::core

@@ -1,0 +1,108 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "core/conflict.h"
+#include "db/panel.h"
+
+namespace cpr::core {
+
+namespace {
+
+/// Per-panel outcome, merged into the plan after the parallel phase.
+struct PanelOutcome {
+  Problem problem;
+  Assignment assignment;
+  bool lrFallback = false;
+};
+
+PanelOutcome solvePanel(const db::Design& design, const db::Panel& panel,
+                        const OptimizerOptions& opts) {
+  PanelOutcome out;
+  out.problem = buildProblem(design, panel, opts.gen);
+  if (opts.profitModel != ProfitModel::SqrtSpan)
+    assignProfits(out.problem, opts.profitModel);
+  detectConflicts(out.problem);
+
+  out.assignment = opts.method == Method::Lr
+                       ? solveLr(out.problem, opts.lr)
+                       : solveExact(out.problem, opts.exact);
+  if (opts.method == Method::Exact) {
+    // Budget exhaustion without an incumbent (or a genuinely infeasible
+    // panel): fall back to the LR heuristic rather than dropping pins.
+    const bool empty = std::all_of(
+        out.assignment.intervalOfPin.begin(),
+        out.assignment.intervalOfPin.end(),
+        [](Index i) { return i == geom::kInvalidIndex; });
+    if (empty && !out.problem.pins.empty()) {
+      out.assignment = solveLr(out.problem, opts.lr);
+      out.lrFallback = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PinAccessPlan optimizePinAccess(const db::Design& design,
+                                const OptimizerOptions& opts) {
+  PinAccessPlan plan;
+  plan.routes.assign(design.pins().size(), PinRoute{});
+
+  const std::vector<db::Panel> panels = db::extractPanels(design);
+  std::vector<const db::Panel*> work;
+  for (const db::Panel& p : panels) {
+    if (!p.pins.empty()) work.push_back(&p);
+  }
+  std::vector<PanelOutcome> outcomes(work.size());
+
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int threads = std::clamp(
+      opts.threads > 0 ? opts.threads : (hw > 0 ? hw : 1), 1,
+      static_cast<int>(std::max<std::size_t>(1, work.size())));
+  if (threads <= 1) {
+    for (std::size_t k = 0; k < work.size(); ++k)
+      outcomes[k] = solvePanel(design, *work[k], opts);
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (std::size_t k = next.fetch_add(1); k < work.size();
+           k = next.fetch_add(1)) {
+        outcomes[k] = solvePanel(design, *work[k], opts);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (const PanelOutcome& out : outcomes) {
+    const Problem& problem = out.problem;
+    const Assignment& a = out.assignment;
+    plan.totalIntervals += static_cast<long>(problem.intervals.size());
+    plan.totalConflicts += static_cast<long>(problem.conflicts.size());
+    plan.objective += a.objective;
+    plan.solverIterations += a.iterations;
+    if (opts.method == Method::Exact && (out.lrFallback || !a.provedOptimal))
+      plan.allProvedOptimal = false;
+
+    for (std::size_t j = 0; j < problem.pins.size(); ++j) {
+      const Index designPin = problem.pins[j].designPin;
+      const Index i = a.intervalOfPin[j];
+      if (i == geom::kInvalidIndex) {
+        ++plan.unassignedPins;
+        continue;
+      }
+      const AccessInterval& iv =
+          problem.intervals[static_cast<std::size_t>(i)];
+      plan.routes[static_cast<std::size_t>(designPin)] =
+          PinRoute{iv.track, iv.span};
+    }
+  }
+  return plan;
+}
+
+}  // namespace cpr::core

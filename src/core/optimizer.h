@@ -1,0 +1,62 @@
+/// \file optimizer.h
+/// PinAccessOptimizer facade: design-level concurrent pin access
+/// optimization (paper Problem 1), panel by panel.
+///
+/// For each standard-cell row the facade generates pin access intervals
+/// (Section 3.1), detects conflict sets (3.2), and solves the weighted
+/// interval assignment with either the scalable LR algorithm (3.4) or the
+/// exact solver (3.3). The result maps every accessible design pin to one
+/// conflict-free M2 interval — the "partial routes" handed to the router
+/// (Section 4).
+#pragma once
+
+#include <vector>
+
+#include "core/exact_solver.h"
+#include "core/interval_gen.h"
+#include "core/lr_solver.h"
+#include "db/design.h"
+
+namespace cpr::core {
+
+enum class Method {
+  Lr,    ///< Lagrangian relaxation + greedy conflict removal (Algorithm 2)
+  Exact, ///< branch & bound to proven optimality (the paper's "ILP")
+};
+
+struct OptimizerOptions {
+  Method method = Method::Lr;
+  GenOptions gen;
+  LrOptions lr;
+  ExactOptions exact;
+  ProfitModel profitModel = ProfitModel::SqrtSpan;
+  /// Worker threads for panel-level parallelism ("concurrent pin access
+  /// optimization ... can also handle multiple panels simultaneously with
+  /// scalable solutions", Section 3). Panels are independent, so results are
+  /// identical for any thread count; 0 = use the hardware concurrency.
+  int threads = 0;
+};
+
+/// One pin's optimized access interval (a horizontal M2 partial route).
+struct PinRoute {
+  Coord track = -1;
+  geom::Interval span;  ///< empty when the pin could not be assigned
+
+  [[nodiscard]] bool valid() const { return !span.empty(); }
+};
+
+struct PinAccessPlan {
+  /// Indexed by design pin id.
+  std::vector<PinRoute> routes;
+  double objective = 0.0;     ///< sum over pins of f(assigned interval)
+  long totalIntervals = 0;    ///< candidates generated across panels
+  long totalConflicts = 0;    ///< conflict sets detected across panels
+  int unassignedPins = 0;     ///< pins with no access at all (blocked)
+  long solverIterations = 0;  ///< LR iterations or B&B nodes, summed
+  bool allProvedOptimal = true;  ///< exact method only
+};
+
+[[nodiscard]] PinAccessPlan optimizePinAccess(const db::Design& design,
+                                              const OptimizerOptions& opts = {});
+
+}  // namespace cpr::core

@@ -1,0 +1,57 @@
+#include "core/problem.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace cpr::core {
+
+AssignmentAudit audit(const Problem& p, const Assignment& a) {
+  AssignmentAudit out;
+  // Distinct selected intervals (a shared interval assigned to several pins
+  // counts once for overlap checking, once per pin for the objective).
+  std::vector<Index> selected;
+  for (std::size_t j = 0; j < p.pins.size(); ++j) {
+    const Index i = a.intervalOfPin[j];
+    if (i == geom::kInvalidIndex) {
+      ++out.unassignedPins;
+      continue;
+    }
+    out.objective += p.profit[static_cast<std::size_t>(i)];
+    selected.push_back(i);
+    // The assigned interval must be a candidate of this pin.
+    const ProblemPin& pin = p.pins[j];
+    if (std::find(pin.intervals.begin(), pin.intervals.end(), i) ==
+        pin.intervals.end()) {
+      out.eachPinCovered = false;
+    }
+  }
+  std::sort(selected.begin(), selected.end());
+  selected.erase(std::unique(selected.begin(), selected.end()), selected.end());
+
+  // Group by track and count pairwise diff-net overlaps.
+  std::map<Coord, std::vector<Index>> byTrack;
+  for (Index i : selected)
+    byTrack[p.intervals[static_cast<std::size_t>(i)].track].push_back(i);
+  for (const auto& [track, ids] : byTrack) {
+    for (std::size_t u = 0; u < ids.size(); ++u) {
+      const AccessInterval& a1 = p.intervals[static_cast<std::size_t>(ids[u])];
+      for (std::size_t v = u + 1; v < ids.size(); ++v) {
+        const AccessInterval& a2 = p.intervals[static_cast<std::size_t>(ids[v])];
+        if (a1.net != a2.net && a1.span.overlaps(a2.span))
+          ++out.overlapsBetweenNets;
+      }
+    }
+  }
+  return out;
+}
+
+std::string summary(const Problem& p) {
+  std::ostringstream os;
+  os << "pins=" << p.pins.size() << " intervals=" << p.intervals.size()
+     << " conflicts=" << p.conflicts.size();
+  return os.str();
+}
+
+}  // namespace cpr::core

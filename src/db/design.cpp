@@ -1,0 +1,81 @@
+#include "db/design.h"
+
+#include <sstream>
+
+namespace cpr::db {
+
+geom::Rect Design::netBox(Index n) const {
+  geom::Rect box;
+  bool first = true;
+  for (Index p : net(n).pins) {
+    const geom::Rect& s = pin(p).shape;
+    if (first) {
+      box = s;
+      first = false;
+    } else {
+      box.expand(s);
+    }
+  }
+  return box;
+}
+
+Index Design::addNet(std::string name) {
+  nets_.push_back(Net{std::move(name), {}});
+  return static_cast<Index>(nets_.size() - 1);
+}
+
+Index Design::addPin(std::string name, Index net, geom::Rect shape) {
+  Pin p;
+  p.name = std::move(name);
+  p.net = net;
+  p.shape = shape;
+  p.row = shape.y.empty() ? geom::kInvalidIndex : rowOfTrack(shape.y.lo);
+  const Index id = static_cast<Index>(pins_.size());
+  pins_.push_back(std::move(p));
+  nets_[static_cast<std::size_t>(net)].pins.push_back(id);
+  return id;
+}
+
+void Design::addBlockage(Layer layer, geom::Rect shape) {
+  blockages_.push_back(Blockage{layer, shape});
+}
+
+std::string Design::validate() const {
+  std::ostringstream out;
+  if (width_ <= 0) out << "non-positive die width\n";
+  if (numRows_ <= 0) out << "non-positive row count\n";
+  if (tracksPerRow_ <= 0) out << "non-positive tracks per row\n";
+
+  const geom::Rect die{0, 0, width_ - 1, gridHeight() - 1};
+  for (std::size_t i = 0; i < pins_.size(); ++i) {
+    const Pin& p = pins_[i];
+    if (p.shape.empty()) out << "pin " << p.name << ": empty shape\n";
+    if (!die.contains(p.shape))
+      out << "pin " << p.name << ": shape " << p.shape << " outside die\n";
+    if (p.net < 0 || p.net >= static_cast<Index>(nets_.size()))
+      out << "pin " << p.name << ": dangling net index " << p.net << "\n";
+    if (!p.shape.y.empty() &&
+        rowOfTrack(p.shape.y.lo) != rowOfTrack(p.shape.y.hi))
+      out << "pin " << p.name << ": spans multiple rows\n";
+  }
+  for (std::size_t n = 0; n < nets_.size(); ++n) {
+    const Net& net = nets_[n];
+    if (net.pins.empty()) out << "net " << net.name << ": no pins\n";
+    for (Index p : net.pins) {
+      if (p < 0 || p >= static_cast<Index>(pins_.size())) {
+        out << "net " << net.name << ": dangling pin index " << p << "\n";
+      } else if (pins_[static_cast<std::size_t>(p)].net !=
+                 static_cast<Index>(n)) {
+        out << "net " << net.name << ": pin " << p << " back-reference mismatch\n";
+      }
+    }
+  }
+  for (const Blockage& b : blockages_) {
+    if (b.shape.empty()) out << "blockage with empty shape\n";
+    if (!die.contains(b.shape))
+      out << "blockage " << b.shape << " outside die\n";
+  }
+  return out.str();
+}
+
+}  // namespace cpr::db

@@ -1,0 +1,106 @@
+/// \file design.h
+/// Grid-based design database: pins, nets, blockages, rows and tracks.
+///
+/// Coordinate system
+/// -----------------
+/// The die is a uniform routing grid. `x` in [0, width) indexes vertical grid
+/// columns (M3 tracks and via sites). Standard cell rows stack vertically;
+/// each row owns `tracksPerRow` horizontal M2 tracks, so the global track
+/// (y) coordinate runs in [0, numRows * tracksPerRow). One grid unit is one
+/// track pitch in both directions.
+///
+/// A standard-cell I/O pin is an M1 shape: a small rectangle spanning one or
+/// two columns and a few consecutive M2 tracks within its row (an M1 vertical
+/// strip crosses several M2 tracks — this is what creates multiple candidate
+/// access tracks per pin, paper Fig. 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/layer.h"
+#include "geom/rect.h"
+#include "geom/types.h"
+
+namespace cpr::db {
+
+using geom::Coord;
+using geom::Index;
+
+/// A standard-cell I/O pin (M1 shape).
+struct Pin {
+  std::string name;    ///< e.g. "a1"
+  Index net = geom::kInvalidIndex;
+  Index row = geom::kInvalidIndex;  ///< cell row (== panel) owning the pin
+  geom::Rect shape;    ///< x: column range; y: global M2 track range
+};
+
+/// A routed net: set of pins that must be connected.
+struct Net {
+  std::string name;
+  std::vector<Index> pins;  ///< indices into Design::pins
+};
+
+/// A routing blockage on one layer (pre-routes, macros, power hookups).
+struct Blockage {
+  Layer layer = Layer::M2;
+  geom::Rect shape;  ///< x: column range; y: global track range
+};
+
+/// Immutable-after-build description of a placed design.
+class Design {
+ public:
+  Design() = default;
+  Design(std::string name, Coord width, Coord numRows, Coord tracksPerRow)
+      : name_(std::move(name)),
+        width_(width),
+        numRows_(numRows),
+        tracksPerRow_(tracksPerRow) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Coord width() const { return width_; }
+  [[nodiscard]] Coord numRows() const { return numRows_; }
+  [[nodiscard]] Coord tracksPerRow() const { return tracksPerRow_; }
+  /// Total number of horizontal (M2) tracks on the die.
+  [[nodiscard]] Coord gridHeight() const { return numRows_ * tracksPerRow_; }
+
+  [[nodiscard]] const std::vector<Pin>& pins() const { return pins_; }
+  [[nodiscard]] const std::vector<Net>& nets() const { return nets_; }
+  [[nodiscard]] const std::vector<Blockage>& blockages() const { return blockages_; }
+
+  [[nodiscard]] const Pin& pin(Index i) const { return pins_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const Net& net(Index i) const { return nets_[static_cast<std::size_t>(i)]; }
+
+  /// Global track range owned by `row`.
+  [[nodiscard]] geom::Interval rowTracks(Coord row) const {
+    return {row * tracksPerRow_, (row + 1) * tracksPerRow_ - 1};
+  }
+  /// Row owning global track `t`.
+  [[nodiscard]] Coord rowOfTrack(Coord t) const { return t / tracksPerRow_; }
+
+  /// Bounding box over all pin shapes of net `n` (paper Section 3.1: pin
+  /// access intervals are generated within the net bounding box).
+  [[nodiscard]] geom::Rect netBox(Index n) const;
+
+  // ---- construction ----
+  Index addNet(std::string name);
+  /// Adds a pin to `net`; the pin's row is derived from its track range,
+  /// which must lie within a single row.
+  Index addPin(std::string name, Index net, geom::Rect shape);
+  void addBlockage(Layer layer, geom::Rect shape);
+
+  /// Validates structural invariants; returns a human-readable report of all
+  /// violations (empty string when the design is well-formed).
+  [[nodiscard]] std::string validate() const;
+
+ private:
+  std::string name_;
+  Coord width_ = 0;
+  Coord numRows_ = 0;
+  Coord tracksPerRow_ = 10;  ///< the paper's 10-track M2 panel
+  std::vector<Pin> pins_;
+  std::vector<Net> nets_;
+  std::vector<Blockage> blockages_;
+};
+
+}  // namespace cpr::db

@@ -1,0 +1,42 @@
+/// \file layer.h
+/// Routing layer model for unidirectional lower-metal routing.
+///
+/// The paper routes nets on a three-layer stack (Fig. 1): M1 carries standard
+/// cell I/O pins only, M2 is a horizontal unidirectional routing layer, M3 is
+/// vertical. V1 connects M1-M2 and V2 connects M2-M3.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace cpr::db {
+
+enum class Layer : std::uint8_t {
+  M1 = 0,  ///< pin layer; no routing
+  M2 = 1,  ///< horizontal unidirectional routing
+  M3 = 2,  ///< vertical unidirectional routing
+};
+
+inline constexpr int kNumLayers = 3;
+
+enum class Dir : std::uint8_t { Horizontal, Vertical, None };
+
+/// Preferred (and, for unidirectional routing, the only legal) direction.
+constexpr Dir direction(Layer l) {
+  switch (l) {
+    case Layer::M1: return Dir::None;
+    case Layer::M2: return Dir::Horizontal;
+    case Layer::M3: return Dir::Vertical;
+  }
+  return Dir::None;
+}
+
+constexpr std::string_view name(Layer l) {
+  constexpr std::array<std::string_view, kNumLayers> kNames{"M1", "M2", "M3"};
+  return kNames[static_cast<std::size_t>(l)];
+}
+
+constexpr int index(Layer l) { return static_cast<int>(l); }
+
+}  // namespace cpr::db

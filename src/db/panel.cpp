@@ -1,0 +1,49 @@
+#include "db/panel.h"
+
+namespace cpr::db {
+
+namespace {
+
+void fillFreeSpace(const Design& design, Panel& panel) {
+  const geom::Interval dieX{0, design.width() - 1};
+  panel.freeSpace.assign(static_cast<std::size_t>(panel.tracks.span()),
+                         geom::IntervalSet{dieX});
+  for (const Blockage& b : design.blockages()) {
+    if (b.layer != Layer::M2) continue;
+    const geom::Interval trackHit = geom::intersect(b.shape.y, panel.tracks);
+    for (Coord t = trackHit.lo; t <= trackHit.hi; ++t) {
+      panel.freeSpace[static_cast<std::size_t>(t - panel.tracks.lo)].subtract(
+          b.shape.x);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Panel> extractPanels(const Design& design) {
+  std::vector<Panel> panels(static_cast<std::size_t>(design.numRows()));
+  for (Coord r = 0; r < design.numRows(); ++r) {
+    panels[static_cast<std::size_t>(r)].row = r;
+    panels[static_cast<std::size_t>(r)].tracks = design.rowTracks(r);
+  }
+  for (std::size_t p = 0; p < design.pins().size(); ++p) {
+    const Pin& pin = design.pins()[p];
+    panels[static_cast<std::size_t>(pin.row)].pins.push_back(
+        static_cast<Index>(p));
+  }
+  for (Panel& panel : panels) fillFreeSpace(design, panel);
+  return panels;
+}
+
+Panel extractPanel(const Design& design, Coord row) {
+  Panel panel;
+  panel.row = row;
+  panel.tracks = design.rowTracks(row);
+  for (std::size_t p = 0; p < design.pins().size(); ++p) {
+    if (design.pins()[p].row == row) panel.pins.push_back(static_cast<Index>(p));
+  }
+  fillFreeSpace(design, panel);
+  return panel;
+}
+
+}  // namespace cpr::db

@@ -1,0 +1,40 @@
+/// \file panel.h
+/// Routing panels: one standard-cell row of M2 tracks.
+///
+/// "A design with synthesized power/ground rails is inherently separated into
+/// panels, i.e. rows or columns on a horizontal or vertical routing layer"
+/// (paper Section 3). Concurrent pin access optimization runs panel-by-panel;
+/// this module extracts, for each row, the pins it owns and the free space on
+/// each of its M2 tracks (die width minus M2 blockages).
+#pragma once
+
+#include <vector>
+
+#include "db/design.h"
+#include "geom/interval_set.h"
+
+namespace cpr::db {
+
+/// One routing panel: a cell row with `tracksPerRow` M2 tracks.
+struct Panel {
+  Coord row = 0;
+  geom::Interval tracks;             ///< global track range owned by the row
+  std::vector<Index> pins;           ///< pins whose shapes live in this row
+  /// Free space per track, indexed by local track (t - tracks.lo). A grid
+  /// point is free when it is on the die and not covered by an M2 blockage.
+  std::vector<geom::IntervalSet> freeSpace;
+
+  /// Free space on global track `t`.
+  [[nodiscard]] const geom::IntervalSet& freeOn(Coord t) const {
+    return freeSpace[static_cast<std::size_t>(t - tracks.lo)];
+  }
+};
+
+/// Extracts all panels of `design`. Panels come back in row order; every pin
+/// of the design appears in exactly one panel.
+[[nodiscard]] std::vector<Panel> extractPanels(const Design& design);
+
+/// Extracts a single row's panel.
+[[nodiscard]] Panel extractPanel(const Design& design, Coord row);
+
+}  // namespace cpr::db

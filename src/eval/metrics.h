@@ -1,0 +1,37 @@
+/// \file metrics.h
+/// The paper's evaluation metrics (Section 5): routability, via count and
+/// wirelength, computed exactly as described — nets with design rule
+/// violations count as unrouted; "WL" sums actual grid wirelength of routed
+/// nets and half-perimeter wirelength of unrouted nets; "Via#" totals vias
+/// of routed nets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/design.h"
+#include "route/result.h"
+
+namespace cpr::eval {
+
+struct Metrics {
+  int totalNets = 0;
+  int routedClean = 0;
+  double routability = 0.0;  ///< percent, the paper's "Rout.(%)"
+  long vias = 0;             ///< "Via#"
+  long wirelength = 0;       ///< "WL"
+  double seconds = 0.0;      ///< "cpu(s)"
+  long congestedGridsBeforeRrr = 0;
+  long drcViolations = 0;
+};
+
+[[nodiscard]] Metrics summarize(const db::Design& design,
+                                const route::RoutingResult& result,
+                                double extraSeconds = 0.0);
+
+/// One formatted row of a Table-2-like report.
+[[nodiscard]] std::string tableRow(const std::string& design,
+                                   const Metrics& m);
+[[nodiscard]] std::string tableHeader();
+
+}  // namespace cpr::eval

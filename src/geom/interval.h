@@ -1,0 +1,82 @@
+/// \file interval.h
+/// Closed integer intervals on a routing track.
+///
+/// A pin access interval (paper Section 3.1) is a horizontal metal strip on
+/// one routing track; geometrically it is a closed range [lo, hi] of grid
+/// columns. Two intervals *conflict* when their ranges intersect (they would
+/// share at least one grid point on the same track).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <compare>
+#include <optional>
+#include <ostream>
+
+#include "geom/types.h"
+
+namespace cpr::geom {
+
+/// Closed integer interval [lo, hi]; valid iff lo <= hi.
+/// A single grid point is the interval [p, p] with span() == 1.
+struct Interval {
+  Coord lo = 0;
+  Coord hi = -1;  ///< default-constructed interval is empty
+
+  constexpr Interval() = default;
+  constexpr Interval(Coord lo_, Coord hi_) : lo(lo_), hi(hi_) {}
+
+  /// Interval covering a single grid point.
+  static constexpr Interval point(Coord p) { return {p, p}; }
+
+  [[nodiscard]] constexpr bool empty() const { return lo > hi; }
+
+  /// Number of grid points covered; 0 when empty.
+  [[nodiscard]] constexpr Coord span() const { return empty() ? 0 : hi - lo + 1; }
+
+  /// Geometric length in pitch units (span - 1); 0 for a point.
+  [[nodiscard]] constexpr Coord length() const { return empty() ? 0 : hi - lo; }
+
+  [[nodiscard]] constexpr bool contains(Coord p) const { return lo <= p && p <= hi; }
+
+  [[nodiscard]] constexpr bool contains(const Interval& o) const {
+    return o.empty() || (lo <= o.lo && o.hi <= hi);
+  }
+
+  /// Closed intervals overlap iff neither ends before the other starts.
+  [[nodiscard]] constexpr bool overlaps(const Interval& o) const {
+    return !empty() && !o.empty() && lo <= o.hi && o.lo <= hi;
+  }
+
+  /// True when `o` starts exactly after this ends or vice versa.
+  [[nodiscard]] constexpr bool abuts(const Interval& o) const {
+    if (empty() || o.empty()) return false;
+    return hi + 1 == o.lo || o.hi + 1 == lo;
+  }
+
+  friend constexpr auto operator<=>(const Interval&, const Interval&) = default;
+};
+
+/// Intersection of two closed intervals (empty interval when disjoint).
+constexpr Interval intersect(const Interval& a, const Interval& b) {
+  return {std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+/// Smallest interval containing both inputs (ignores empties).
+constexpr Interval hull(const Interval& a, const Interval& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+/// Clamp `v` into [iv.lo, iv.hi]; requires non-empty `iv`.
+constexpr Coord clamp(Coord v, const Interval& iv) {
+  assert(!iv.empty());
+  return std::clamp(v, iv.lo, iv.hi);
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << '[' << iv.lo << ',' << iv.hi << ']';
+}
+
+}  // namespace cpr::geom

@@ -1,0 +1,74 @@
+#include "geom/interval_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cpr::geom {
+
+Coord IntervalSet::totalSpan() const {
+  Coord total = 0;
+  for (const Interval& iv : ivs_) total += iv.span();
+  return total;
+}
+
+std::size_t IntervalSet::firstReaching(Coord p) const {
+  return static_cast<std::size_t>(
+      std::lower_bound(ivs_.begin(), ivs_.end(), p,
+                       [](const Interval& iv, Coord v) { return iv.hi < v; }) -
+      ivs_.begin());
+}
+
+void IntervalSet::add(const Interval& iv) {
+  if (iv.empty()) return;
+  // Find the run of members that overlap or abut [iv.lo-1, iv.hi+1].
+  std::size_t first = firstReaching(iv.lo == INT32_MIN ? iv.lo : iv.lo - 1);
+  std::size_t last = first;
+  Interval merged = iv;
+  while (last < ivs_.size() && ivs_[last].lo <= (iv.hi == INT32_MAX ? iv.hi : iv.hi + 1)) {
+    merged = hull(merged, ivs_[last]);
+    ++last;
+  }
+  ivs_.erase(ivs_.begin() + static_cast<std::ptrdiff_t>(first),
+             ivs_.begin() + static_cast<std::ptrdiff_t>(last));
+  ivs_.insert(ivs_.begin() + static_cast<std::ptrdiff_t>(first), merged);
+}
+
+void IntervalSet::subtract(const Interval& iv) {
+  if (iv.empty() || ivs_.empty()) return;
+  std::vector<Interval> out;
+  out.reserve(ivs_.size() + 1);
+  for (const Interval& m : ivs_) {
+    if (!m.overlaps(iv)) {
+      out.push_back(m);
+      continue;
+    }
+    if (m.lo < iv.lo) out.push_back({m.lo, iv.lo - 1});
+    if (m.hi > iv.hi) out.push_back({iv.hi + 1, m.hi});
+  }
+  ivs_ = std::move(out);
+}
+
+bool IntervalSet::contains(Coord p) const {
+  const std::size_t i = firstReaching(p);
+  return i < ivs_.size() && ivs_[i].contains(p);
+}
+
+bool IntervalSet::containsAll(const Interval& iv) const {
+  if (iv.empty()) return true;
+  const std::size_t i = firstReaching(iv.lo);
+  return i < ivs_.size() && ivs_[i].contains(iv);
+}
+
+bool IntervalSet::overlaps(const Interval& iv) const {
+  if (iv.empty()) return false;
+  const std::size_t i = firstReaching(iv.lo);
+  return i < ivs_.size() && ivs_[i].overlaps(iv);
+}
+
+Interval IntervalSet::segmentContaining(Coord p) const {
+  const std::size_t i = firstReaching(p);
+  if (i < ivs_.size() && ivs_[i].contains(p)) return ivs_[i];
+  return {};
+}
+
+}  // namespace cpr::geom

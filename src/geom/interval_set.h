@@ -1,0 +1,56 @@
+/// \file interval_set.h
+/// A set of disjoint closed intervals with union/subtract/query operations.
+///
+/// Used to model free space on a routing track: blockages subtract from the
+/// track, interval generation queries the maximal free segment around a pin.
+#pragma once
+
+#include <vector>
+
+#include "geom/interval.h"
+
+namespace cpr::geom {
+
+/// Maintains a normalized (sorted, disjoint, non-abutting) list of closed
+/// integer intervals. All operations keep the normal form.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// Set covering a single interval (no-op when empty).
+  explicit IntervalSet(const Interval& iv) {
+    if (!iv.empty()) ivs_.push_back(iv);
+  }
+
+  [[nodiscard]] bool empty() const { return ivs_.empty(); }
+  [[nodiscard]] const std::vector<Interval>& intervals() const { return ivs_; }
+
+  /// Total number of grid points covered.
+  [[nodiscard]] Coord totalSpan() const;
+
+  /// Add an interval (merging with any overlapping or abutting members).
+  void add(const Interval& iv);
+
+  /// Remove all points of `iv` from the set (may split members).
+  void subtract(const Interval& iv);
+
+  /// True if any member contains `p`.
+  [[nodiscard]] bool contains(Coord p) const;
+
+  /// True if a single member contains the whole of `iv`.
+  [[nodiscard]] bool containsAll(const Interval& iv) const;
+
+  /// True if any member overlaps `iv`.
+  [[nodiscard]] bool overlaps(const Interval& iv) const;
+
+  /// The member containing `p`, or an empty interval if none does.
+  [[nodiscard]] Interval segmentContaining(Coord p) const;
+
+ private:
+  /// Index of first member with hi >= p (lower bound by right edge).
+  [[nodiscard]] std::size_t firstReaching(Coord p) const;
+
+  std::vector<Interval> ivs_;
+};
+
+}  // namespace cpr::geom

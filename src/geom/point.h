@@ -1,0 +1,33 @@
+/// \file point.h
+/// 2-D grid point.
+#pragma once
+
+#include <compare>
+#include <cstdlib>
+#include <ostream>
+
+#include "geom/types.h"
+
+namespace cpr::geom {
+
+/// A point on the routing grid. `x` indexes vertical grid lines (columns),
+/// `y` indexes horizontal grid lines (rows / tracks).
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend constexpr auto operator<=>(const Point&, const Point&) = default;
+};
+
+/// Manhattan distance between two grid points.
+constexpr Coord manhattan(const Point& a, const Point& b) {
+  const Coord dx = a.x >= b.x ? a.x - b.x : b.x - a.x;
+  const Coord dy = a.y >= b.y ? a.y - b.y : b.y - a.y;
+  return dx + dy;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ',' << p.y << ')';
+}
+
+}  // namespace cpr::geom

@@ -1,0 +1,70 @@
+/// \file rect.h
+/// Axis-aligned grid rectangles (net bounding boxes, blockages, pin shapes).
+#pragma once
+
+#include <ostream>
+
+#include "geom/interval.h"
+#include "geom/point.h"
+
+namespace cpr::geom {
+
+/// Closed axis-aligned rectangle: the product of two closed intervals.
+/// Empty iff either side is empty.
+struct Rect {
+  Interval x;  ///< column range
+  Interval y;  ///< row / track range
+
+  constexpr Rect() = default;
+  constexpr Rect(Interval x_, Interval y_) : x(x_), y(y_) {}
+  constexpr Rect(Coord xlo, Coord ylo, Coord xhi, Coord yhi)
+      : x(xlo, xhi), y(ylo, yhi) {}
+
+  static constexpr Rect point(const Point& p) {
+    return {Interval::point(p.x), Interval::point(p.y)};
+  }
+
+  [[nodiscard]] constexpr bool empty() const { return x.empty() || y.empty(); }
+  [[nodiscard]] constexpr Coord width() const { return x.span(); }
+  [[nodiscard]] constexpr Coord height() const { return y.span(); }
+
+  [[nodiscard]] constexpr bool contains(const Point& p) const {
+    return x.contains(p.x) && y.contains(p.y);
+  }
+  [[nodiscard]] constexpr bool contains(const Rect& o) const {
+    return x.contains(o.x) && y.contains(o.y);
+  }
+  [[nodiscard]] constexpr bool overlaps(const Rect& o) const {
+    return x.overlaps(o.x) && y.overlaps(o.y);
+  }
+
+  /// Half-perimeter in pitch units — the paper's wirelength estimate for
+  /// unrouted nets ("summation of half perimeter wirelength of unrouted
+  /// nets", Section 5).
+  [[nodiscard]] constexpr Coord halfPerimeter() const {
+    return empty() ? 0 : x.length() + y.length();
+  }
+
+  /// Grow to include a point.
+  constexpr void expand(const Point& p) {
+    x = hull(x, Interval::point(p.x));
+    y = hull(y, Interval::point(p.y));
+  }
+  /// Grow to include a rectangle.
+  constexpr void expand(const Rect& o) {
+    x = hull(x, o.x);
+    y = hull(y, o.y);
+  }
+
+  friend constexpr auto operator<=>(const Rect&, const Rect&) = default;
+};
+
+constexpr Rect intersect(const Rect& a, const Rect& b) {
+  return {intersect(a.x, b.x), intersect(a.y, b.y)};
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '{' << r.x << 'x' << r.y << '}';
+}
+
+}  // namespace cpr::geom

@@ -1,0 +1,23 @@
+/// \file types.h
+/// Fundamental scalar types for the routing geometry.
+///
+/// All geometry in this library is expressed on a uniform routing grid:
+/// one unit equals one routing-track pitch (the paper routes on a gridded
+/// M1/M2/M3 plane, Section 4). Coordinates are signed so that callers may
+/// use sentinel or offset coordinate systems freely.
+#pragma once
+
+#include <cstdint>
+
+namespace cpr::geom {
+
+/// Grid coordinate, in units of routing pitch.
+using Coord = std::int32_t;
+
+/// Generic dense index (pins, intervals, nets, tracks, ...).
+using Index = std::int32_t;
+
+/// Sentinel for "no index".
+inline constexpr Index kInvalidIndex = -1;
+
+}  // namespace cpr::geom

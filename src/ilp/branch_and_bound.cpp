@@ -1,0 +1,105 @@
+#include "ilp/branch_and_bound.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+namespace cpr::ilp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Search {
+  Search(const Model& m, const IlpOptions& o) : model(m), opts(o) {}
+
+  const Model& model;
+  const IlpOptions& opts;
+  Clock::time_point deadlineStart = Clock::now();
+  IlpResult result;
+  bool haveIncumbent = false;
+  bool truncated = false;
+  bool timedOut = false;
+
+  [[nodiscard]] bool outOfBudget() {
+    if (result.nodesExplored >= opts.maxNodes) {
+      truncated = true;
+      return true;
+    }
+    if (std::chrono::duration<double>(Clock::now() - deadlineStart).count() >
+        opts.timeLimitSeconds) {
+      timedOut = true;
+      return true;
+    }
+    return false;
+  }
+
+  void explore(Fixing& fix) {
+    if (outOfBudget()) return;
+    ++result.nodesExplored;
+
+    const LpResult lp = solveLp(model, opts.lp, &fix);
+    if (lp.status == LpStatus::Infeasible) return;
+    if (lp.status != LpStatus::Optimal) {
+      // Iteration-limited or unbounded relaxation: cannot certify this
+      // subtree; treat the search as truncated rather than mispruning.
+      truncated = true;
+      return;
+    }
+    if (haveIncumbent && lp.objective <= result.objective + 1e-9) return;
+
+    // Find the most fractional variable.
+    Index branchVar = -1;
+    double bestFrac = opts.integralityEps;
+    for (Index v = 0; v < model.numVars(); ++v) {
+      if (fix[static_cast<std::size_t>(v)] >= 0) continue;
+      const double xv = lp.x[static_cast<std::size_t>(v)];
+      const double frac = std::min(xv, 1.0 - xv);
+      if (frac > bestFrac) {
+        bestFrac = frac;
+        branchVar = v;
+      }
+    }
+    if (branchVar < 0) {
+      // Integral solution: round and accept as incumbent.
+      std::vector<double> x(lp.x.size());
+      for (std::size_t v = 0; v < x.size(); ++v) x[v] = std::round(lp.x[v]);
+      if (!model.feasible(x)) return;  // defensive: rounding artifact
+      const double obj = model.evaluate(x);
+      if (!haveIncumbent || obj > result.objective) {
+        result.objective = obj;
+        result.x = std::move(x);
+        haveIncumbent = true;
+      }
+      return;
+    }
+
+    fix[static_cast<std::size_t>(branchVar)] = 1;
+    explore(fix);
+    fix[static_cast<std::size_t>(branchVar)] = 0;
+    explore(fix);
+    fix[static_cast<std::size_t>(branchVar)] = -1;
+  }
+};
+
+}  // namespace
+
+IlpResult solveBinaryIlp(const Model& m, const IlpOptions& opts) {
+  Search search(m, opts);
+  Fixing fix(static_cast<std::size_t>(m.numVars()), -1);
+  search.explore(fix);
+
+  IlpResult res = std::move(search.result);
+  if (search.timedOut) {
+    res.status = IlpStatus::TimeLimit;
+  } else if (search.truncated) {
+    res.status = IlpStatus::NodeLimit;
+  } else if (!search.haveIncumbent) {
+    res.status = IlpStatus::Infeasible;
+  } else {
+    res.status = IlpStatus::Optimal;
+  }
+  return res;
+}
+
+}  // namespace cpr::ilp

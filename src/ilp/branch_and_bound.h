@@ -1,0 +1,42 @@
+/// \file branch_and_bound.h
+/// Exact binary ILP solver: LP-relaxation branch & bound.
+///
+/// Depth-first branch & bound over `ilp::Model` binaries using the two-phase
+/// simplex (`simplex.h`) for node bounds. Branches on the most fractional
+/// variable, exploring the x=1 child first (effective for the paper's
+/// set-partitioning structure, where fixing an interval to 1 rapidly
+/// propagates through the pin-equality rows).
+#pragma once
+
+#include <vector>
+
+#include "ilp/model.h"
+#include "ilp/simplex.h"
+
+namespace cpr::ilp {
+
+enum class IlpStatus {
+  Optimal,      ///< proven optimal incumbent
+  Infeasible,   ///< no binary assignment satisfies the constraints
+  NodeLimit,    ///< search truncated; `x` holds the best incumbent (if any)
+  TimeLimit,    ///< wall-clock budget exhausted; best incumbent returned
+};
+
+struct IlpResult {
+  IlpStatus status = IlpStatus::Infeasible;
+  double objective = 0.0;
+  std::vector<double> x;  ///< 0/1 values; empty when no incumbent found
+  long nodesExplored = 0;
+};
+
+struct IlpOptions {
+  long maxNodes = 10'000'000;
+  double timeLimitSeconds = 1e9;
+  double integralityEps = 1e-6;
+  LpOptions lp;
+};
+
+[[nodiscard]] IlpResult solveBinaryIlp(const Model& m,
+                                       const IlpOptions& opts = {});
+
+}  // namespace cpr::ilp

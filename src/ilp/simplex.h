@@ -1,0 +1,45 @@
+/// \file simplex.h
+/// Dense two-phase primal simplex for the LP relaxation of `ilp::Model`.
+///
+/// Solves   max c·x   s.t.  Ax {<=,=,>=} b,  0 <= x <= 1
+/// where the unit upper bounds come from the binary declarations in the
+/// model. Intended for the moderate-size relaxations produced by the pin
+/// access ILP on a panel and for the branch-and-bound solver's node bounds;
+/// it is a textbook dense implementation (Dantzig pricing with a Bland's-rule
+/// anti-cycling fallback), not a sparse production LP code.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ilp/model.h"
+
+namespace cpr::ilp {
+
+enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+struct LpResult {
+  LpStatus status = LpStatus::IterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;  ///< structural variable values (size = model vars)
+};
+
+struct LpOptions {
+  long maxIterations = 200000;
+  double eps = 1e-9;
+  /// Skip the automatic `x_i <= 1` rows (valid when every variable is
+  /// covered by an equality row with unit coefficients, as in the pin access
+  /// set-partitioning model).
+  bool implicitUnitBounds = false;
+};
+
+/// Variable fixing for branch & bound: -1 free, 0/1 fixed.
+using Fixing = std::vector<std::int8_t>;
+
+/// Solves the LP relaxation of `m`. When `fix` is non-null, fixed variables
+/// are substituted out before solving and reported back at their fixed
+/// values.
+[[nodiscard]] LpResult solveLp(const Model& m, const LpOptions& opts = {},
+                               const Fixing* fix = nullptr);
+
+}  // namespace cpr::ilp

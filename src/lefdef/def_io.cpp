@@ -1,0 +1,263 @@
+#include "lefdef/def_io.h"
+
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace cpr::lefdef {
+
+namespace {
+
+using geom::Coord;
+
+/// Whitespace tokenizer that tracks line numbers and treats the DEF
+/// punctuation characters '(' ')' ';' '-' as standalone tokens.
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::istream& is) : is_(is) {}
+
+  [[nodiscard]] int line() const { return line_; }
+
+  /// Next token, or nullopt at EOF.
+  std::optional<std::string> next() {
+    if (pending_) {
+      auto t = std::move(*pending_);
+      pending_.reset();
+      return t;
+    }
+    std::string tok;
+    char c = 0;
+    while (is_.get(c)) {
+      if (c == '\n') ++line_;
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        if (!tok.empty()) return tok;
+        continue;
+      }
+      if (c == '(' || c == ')' || c == ';') {
+        if (!tok.empty()) {
+          pending_ = std::string(1, c);
+          return tok;
+        }
+        return std::string(1, c);
+      }
+      tok.push_back(c);
+    }
+    if (!tok.empty()) return tok;
+    return std::nullopt;
+  }
+
+  std::string expectAny() {
+    auto t = next();
+    if (!t) throw DefParseError(line_, "unexpected end of file");
+    return *t;
+  }
+
+  void expect(const std::string& want) {
+    const std::string got = expectAny();
+    if (got != want)
+      throw DefParseError(line_, "expected '" + want + "', got '" + got + "'");
+  }
+
+  Coord expectInt() {
+    const std::string t = expectAny();
+    try {
+      std::size_t used = 0;
+      const long v = std::stol(t, &used);
+      if (used != t.size()) throw std::invalid_argument(t);
+      return static_cast<Coord>(v);
+    } catch (const std::exception&) {
+      throw DefParseError(line_, "expected integer, got '" + t + "'");
+    }
+  }
+
+  /// Reads "( x y )".
+  geom::Point expectPoint() {
+    expect("(");
+    const Coord x = expectInt();
+    const Coord y = expectInt();
+    expect(")");
+    return {x, y};
+  }
+
+ private:
+  std::istream& is_;
+  int line_ = 1;
+  std::optional<std::string> pending_;
+};
+
+db::Layer layerFromName(const std::string& name, int line) {
+  if (name == "M1") return db::Layer::M1;
+  if (name == "M2") return db::Layer::M2;
+  if (name == "M3") return db::Layer::M3;
+  throw DefParseError(line, "unknown layer '" + name + "'");
+}
+
+}  // namespace
+
+void writeDef(const db::Design& design, std::ostream& os) {
+  os << "VERSION 5.8 ;\n";
+  os << "DESIGN " << design.name() << " ;\n";
+  os << "UNITS DISTANCE MICRONS 1000 ;\n";
+  os << "DIEAREA ( 0 0 ) ( " << design.width() << ' ' << design.gridHeight()
+     << " ) ;\n";
+  os << "ROWS " << design.numRows() << ' ' << design.tracksPerRow() << " ;\n";
+
+  os << "BLOCKAGES " << design.blockages().size() << " ;\n";
+  for (const db::Blockage& b : design.blockages()) {
+    os << "  - LAYER " << db::name(b.layer) << " RECT ( " << b.shape.x.lo
+       << ' ' << b.shape.y.lo << " ) ( " << b.shape.x.hi << ' ' << b.shape.y.hi
+       << " ) ;\n";
+  }
+  os << "END BLOCKAGES\n";
+
+  os << "NETS " << design.nets().size() << " ;\n";
+  for (const db::Net& net : design.nets()) {
+    os << "  - " << net.name << "\n";
+    for (db::Index p : net.pins) {
+      const db::Pin& pin = design.pin(p);
+      os << "    ( PIN " << pin.name << " LAYER M1 RECT ( " << pin.shape.x.lo
+         << ' ' << pin.shape.y.lo << " ) ( " << pin.shape.x.hi << ' '
+         << pin.shape.y.hi << " ) )\n";
+    }
+    os << "  ;\n";
+  }
+  os << "END NETS\n";
+  os << "END DESIGN\n";
+}
+
+db::Design readDef(std::istream& is) {
+  Tokenizer tok(is);
+  tok.expect("VERSION");
+  tok.expectAny();  // version literal
+  tok.expect(";");
+  tok.expect("DESIGN");
+  const std::string name = tok.expectAny();
+  tok.expect(";");
+  tok.expect("UNITS");
+  tok.expect("DISTANCE");
+  tok.expect("MICRONS");
+  tok.expectInt();
+  tok.expect(";");
+  tok.expect("DIEAREA");
+  const geom::Point origin = tok.expectPoint();
+  const geom::Point extent = tok.expectPoint();
+  if (origin.x != 0 || origin.y != 0)
+    throw DefParseError(tok.line(), "DIEAREA must start at the origin");
+  tok.expect(";");
+  tok.expect("ROWS");
+  const Coord numRows = tok.expectInt();
+  const Coord tracksPerRow = tok.expectInt();
+  tok.expect(";");
+  if (numRows <= 0 || tracksPerRow <= 0)
+    throw DefParseError(tok.line(), "non-positive row geometry");
+  if (numRows * tracksPerRow != extent.y)
+    throw DefParseError(tok.line(), "DIEAREA height disagrees with ROWS");
+
+  db::Design design(name, extent.x, numRows, tracksPerRow);
+
+  tok.expect("BLOCKAGES");
+  const Coord nBlockages = tok.expectInt();
+  tok.expect(";");
+  for (Coord k = 0; k < nBlockages; ++k) {
+    tok.expect("-");
+    tok.expect("LAYER");
+    const db::Layer layer = layerFromName(tok.expectAny(), tok.line());
+    tok.expect("RECT");
+    const geom::Point lo = tok.expectPoint();
+    const geom::Point hi = tok.expectPoint();
+    tok.expect(";");
+    design.addBlockage(layer, geom::Rect{lo.x, lo.y, hi.x, hi.y});
+  }
+  tok.expect("END");
+  tok.expect("BLOCKAGES");
+
+  tok.expect("NETS");
+  const Coord nNets = tok.expectInt();
+  tok.expect(";");
+  for (Coord k = 0; k < nNets; ++k) {
+    tok.expect("-");
+    const std::string netName = tok.expectAny();
+    const db::Index net = design.addNet(netName);
+    for (std::string t = tok.expectAny(); t != ";"; t = tok.expectAny()) {
+      if (t != "(")
+        throw DefParseError(tok.line(), "expected '(' or ';' in net " + netName);
+      tok.expect("PIN");
+      const std::string pinName = tok.expectAny();
+      tok.expect("LAYER");
+      const db::Layer layer = layerFromName(tok.expectAny(), tok.line());
+      if (layer != db::Layer::M1)
+        throw DefParseError(tok.line(), "pins must be on M1");
+      tok.expect("RECT");
+      const geom::Point lo = tok.expectPoint();
+      const geom::Point hi = tok.expectPoint();
+      tok.expect(")");
+      design.addPin(pinName, net, geom::Rect{lo.x, lo.y, hi.x, hi.y});
+    }
+  }
+  tok.expect("END");
+  tok.expect("NETS");
+  tok.expect("END");
+  tok.expect("DESIGN");
+  return design;
+}
+
+void saveDef(const db::Design& design, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  writeDef(design, os);
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+db::Design loadDef(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  return readDef(is);
+}
+
+void writeRoutedDef(const db::Design& design,
+                    const std::vector<route::NetGeometry>& geometry,
+                    std::ostream& os) {
+  os << "VERSION 5.8 ;\n";
+  os << "DESIGN " << design.name() << " ;\n";
+  os << "UNITS DISTANCE MICRONS 1000 ;\n";
+  os << "DIEAREA ( 0 0 ) ( " << design.width() << ' ' << design.gridHeight()
+     << " ) ;\n";
+  os << "ROWS " << design.numRows() << ' ' << design.tracksPerRow() << " ;\n";
+  os << "NETS " << design.nets().size() << " ;\n";
+  for (std::size_t n = 0; n < design.nets().size(); ++n) {
+    const db::Net& net = design.nets()[n];
+    os << "  - " << net.name << "\n";
+    for (db::Index p : net.pins) {
+      const db::Pin& pin = design.pin(p);
+      os << "    ( PIN " << pin.name << " LAYER M1 RECT ( " << pin.shape.x.lo
+         << ' ' << pin.shape.y.lo << " ) ( " << pin.shape.x.hi << ' '
+         << pin.shape.y.hi << " ) )\n";
+    }
+    if (n < geometry.size() && !geometry[n].segments.empty()) {
+      os << "    + ROUTED";
+      bool first = true;
+      for (const route::RouteSegment& s : geometry[n].segments) {
+        os << (first ? " " : "\n      NEW ");
+        first = false;
+        if (s.m3) {
+          os << "M3 ( " << s.lane << ' ' << s.span.lo << " ) ( " << s.lane
+             << ' ' << s.span.hi << " )";
+        } else {
+          os << "M2 ( " << s.span.lo << ' ' << s.lane << " ) ( " << s.span.hi
+             << ' ' << s.lane << " )";
+        }
+      }
+      for (const route::NetGeometry::Via& v : geometry[n].vias) {
+        os << "\n      NEW " << (v.level == 1 ? "M1" : "M2") << " ( " << v.x
+           << ' ' << v.y << " ) VIA V" << static_cast<int>(v.level);
+      }
+    }
+    os << "\n  ;\n";
+  }
+  os << "END NETS\n";
+  os << "END DESIGN\n";
+}
+
+}  // namespace cpr::lefdef

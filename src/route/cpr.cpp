@@ -1,0 +1,17 @@
+#include "route/cpr.h"
+
+#include <chrono>
+
+namespace cpr::route {
+
+CprResult routeCpr(const db::Design& design, const CprOptions& opts) {
+  using Clock = std::chrono::steady_clock;
+  CprResult out;
+  const auto t0 = Clock::now();
+  out.plan = core::optimizePinAccess(design, opts.pinAccess);
+  out.pinAccessSeconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  out.routing = routeNegotiated(design, &out.plan, opts.routing);
+  return out;
+}
+
+}  // namespace cpr::route

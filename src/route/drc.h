@@ -1,0 +1,61 @@
+/// \file drc.h
+/// Unidirectional / SADP manufacturing rule checking (paper Section 4).
+///
+/// The paper performs line-end extensions and treats rule-violating nets as
+/// unrouted at evaluation time. The rule set here is the parameterized
+/// equivalent of the constraints "listed in [12]": every routed segment is
+/// extended by `lineEndExtension` grids at both ends (cut-mask friendliness),
+/// after which (a) extended segments of different nets on the same track
+/// must not overlap and must keep `minLineEndSpacing` grids between line
+/// ends, and (b) vias of different nets must be more than `minViaSpacing`
+/// grids apart (Chebyshev). Violations mark both offending nets dirty.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "db/design.h"
+#include "geom/types.h"
+
+namespace cpr::route {
+
+using geom::Coord;
+using geom::Index;
+
+/// Rules live per track/column: unidirectional SADP cut conflicts happen
+/// between features on the same routing line (each line's cuts share a
+/// mask), so both checks below are same-lane checks.
+struct DrcRules {
+  Coord lineEndExtension = 1;   ///< applied to both ends of every segment
+  Coord minLineEndSpacing = 0;  ///< required gap between *extended* segments
+  Coord minViaSpacing = 1;      ///< same-lane same-level diff-net vias need |dx| > this
+};
+
+/// One via of a routed net. Level 1 = V1 (M1 pin hookup), level 2 = V2
+/// (M2-M3). The spacing rule applies between same-level vias of different
+/// nets (different cut masks are independent).
+struct ViaSite {
+  Coord x = 0;
+  Coord y = 0;
+  std::uint8_t level = 2;
+};
+
+struct DrcInput {
+  /// Committed node ids per net (packed as in RoutingGrid), only for nets
+  /// that routed successfully; empty vectors otherwise.
+  const std::vector<std::vector<int>>& netNodes;
+  /// Via sites per net.
+  const std::vector<std::vector<ViaSite>>& netVias;
+  Coord width = 0;
+  Coord height = 0;
+};
+
+struct DrcReport {
+  long violations = 0;
+  std::vector<char> dirty;  ///< per net: 1 when any rule is violated
+};
+
+[[nodiscard]] DrcReport checkDesignRules(const DrcInput& in,
+                                         const DrcRules& rules);
+
+}  // namespace cpr::route

@@ -1,0 +1,359 @@
+#include "route/engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cpr::route {
+
+RouteEngine::RouteEngine(const db::Design& design,
+                         const core::PinAccessPlan* plan, Coord windowMargin,
+                         Coord lineEndExtension)
+    : design_(design),
+      grid_(design, plan),
+      maze_(grid_),
+      margin_(windowMargin),
+      lineEndExtension_(lineEndExtension) {
+  infos_.resize(design.nets().size());
+  states_.resize(design.nets().size());
+  treeStamp_.assign(static_cast<std::size_t>(grid_.numNodes()), -1);
+  for (std::size_t n = 0; n < design.nets().size(); ++n)
+    buildNetInfo(static_cast<Index>(n), plan);
+}
+
+void RouteEngine::buildNetInfo(Index net, const core::PinAccessPlan* plan) {
+  NetInfo& info = infos_[static_cast<std::size_t>(net)];
+  geom::Rect window;
+  bool first = true;
+
+  for (Index pinId : design_.net(net).pins) {
+    const db::Pin& pin = design_.pin(pinId);
+    PinAccess acc;
+
+    const core::PinRoute* route =
+        plan && plan->routes[static_cast<std::size_t>(pinId)].valid()
+            ? &plan->routes[static_cast<std::size_t>(pinId)]
+            : nullptr;
+    if (route) {
+      // Find or create the interval record (pins may share one interval).
+      int rec = -1;
+      for (std::size_t r = 0; r < info.recs.size(); ++r) {
+        if (info.recs[r].track == route->track &&
+            info.recs[r].span == route->span) {
+          rec = static_cast<int>(r);
+          break;
+        }
+      }
+      if (rec < 0) {
+        rec = static_cast<int>(info.recs.size());
+        info.recs.push_back(IntervalRec{route->track, route->span,
+                                        pin.shape.x, {}});
+      } else {
+        info.recs[static_cast<std::size_t>(rec)].needed =
+            geom::hull(info.recs[static_cast<std::size_t>(rec)].needed,
+                       pin.shape.x);
+      }
+      acc.rec = rec;
+      acc.targets.reserve(static_cast<std::size_t>(route->span.span()));
+      for (Coord x = route->span.lo; x <= route->span.hi; ++x)
+        acc.targets.push_back(grid_.id(Node{RLayer::M2, x, route->track}));
+      // V1 drops at the pin's center column on the interval track.
+      const Coord mid = (pin.shape.x.lo + pin.shape.x.hi) / 2;
+      acc.via = ViaSite{mid, route->track, 1};
+      window.expand(geom::Rect{route->span, geom::Interval::point(route->track)});
+    } else {
+      for (Coord t = pin.shape.y.lo; t <= pin.shape.y.hi; ++t) {
+        for (Coord x = pin.shape.x.lo; x <= pin.shape.x.hi; ++x)
+          acc.targets.push_back(grid_.id(Node{RLayer::M2, x, t}));
+      }
+      acc.via = ViaSite{0, 0, 1};  // filled at landing time
+      window.expand(pin.shape);
+    }
+    if (first) {
+      first = false;
+    }
+    info.access.push_back(std::move(acc));
+  }
+  info.window = window;
+}
+
+void RouteEngine::noteIntervalUse(NetInfo& info, int nodeId) {
+  const Node n = grid_.node(nodeId);
+  if (n.layer != RLayer::M2) return;
+  for (IntervalRec& rec : info.recs) {
+    if (rec.track == n.y && rec.span.contains(n.x)) {
+      rec.usedXs.push_back(n.x);
+      return;
+    }
+  }
+}
+
+void RouteEngine::ripNet(Index net) {
+  NetState& st = states_[static_cast<std::size_t>(net)];
+  for (int id : st.nodes) grid_.removeOcc(id);
+  for (const ViaSite& v : st.vias) grid_.removeVia(v.x, v.y, net);
+  st.nodes.clear();
+  st.vias.clear();
+  st.routed = false;
+  st.wirelength = 0;
+  for (IntervalRec& rec : infos_[static_cast<std::size_t>(net)].recs)
+    rec.usedXs.clear();
+}
+
+bool RouteEngine::routeNet(Index net, const MazeCosts& costs,
+                           Coord extraMargin) {
+  ripNet(net);
+  NetInfo& info = infos_[static_cast<std::size_t>(net)];
+  NetState& st = states_[static_cast<std::size_t>(net)];
+  if (info.access.empty()) return false;
+
+  const Coord m = margin_ + extraMargin;
+  geom::Rect window{
+      geom::Interval{std::max<Coord>(0, info.window.x.lo - m),
+                     std::min<Coord>(grid_.width() - 1, info.window.x.hi + m)},
+      geom::Interval{std::max<Coord>(0, info.window.y.lo - m),
+                     std::min<Coord>(grid_.height() - 1, info.window.y.hi + m)}};
+
+  // Connect pins left-to-right starting from pin 0's access component.
+  std::vector<std::size_t> order(info.access.size());
+  for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const Index pa = design_.net(net).pins[a];
+    const Index pb = design_.net(net).pins[b];
+    return design_.pin(pa).shape.x.lo < design_.pin(pb).shape.x.lo;
+  });
+
+  ++epoch_;
+  std::vector<int> tree;
+  auto addTree = [&](int id) {
+    if (treeStamp_[static_cast<std::size_t>(id)] != epoch_) {
+      treeStamp_[static_cast<std::size_t>(id)] = epoch_;
+      tree.push_back(id);
+    }
+  };
+
+  std::vector<std::vector<int>> paths;
+  std::vector<ViaSite> vias;
+
+  // Seed with the first pin.
+  {
+    PinAccess& acc0 = info.access[order[0]];
+    for (int id : acc0.targets) addTree(id);
+    if (acc0.rec >= 0) vias.push_back(acc0.via);
+    // Projection pins get their V1 at the first path's source (or, for
+    // single-pin nets, at the first target).
+  }
+
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    PinAccess& acc = info.access[order[k]];
+    std::optional<std::vector<int>> path =
+        maze_.findPath(tree, acc.targets, window, net, costs);
+    if (!path) return false;  // caller may retry with a larger margin
+    // Record V2 vias along the path and interval usage at both ends.
+    for (std::size_t i = 0; i + 1 < path->size(); ++i) {
+      const Node a = grid_.node((*path)[i]);
+      const Node b = grid_.node((*path)[i + 1]);
+      if (a.layer != b.layer)
+        vias.push_back(ViaSite{a.x, a.y, 2});
+    }
+    noteIntervalUse(info, path->front());
+    noteIntervalUse(info, path->back());
+    if (acc.rec >= 0) {
+      vias.push_back(acc.via);
+      for (int id : acc.targets) addTree(id);
+    } else {
+      const Node landing = grid_.node(path->back());
+      acc.via = ViaSite{landing.x, landing.y, 1};
+      vias.push_back(acc.via);
+    }
+    // First pin's projection V1: source end of the first path.
+    if (k == 1 && info.access[order[0]].rec < 0) {
+      const Node src = grid_.node(path->front());
+      info.access[order[0]].via = ViaSite{src.x, src.y, 1};
+      vias.push_back(info.access[order[0]].via);
+    }
+    for (int id : *path) addTree(id);
+    paths.push_back(std::move(*path));
+  }
+
+  if (order.size() == 1) {
+    // Single-pin net: drop one via on the first access node.
+    PinAccess& acc0 = info.access[order[0]];
+    if (acc0.rec < 0) {
+      const Node n0 = grid_.node(acc0.targets.front());
+      acc0.via = ViaSite{n0.x, n0.y, 1};
+      vias.push_back(acc0.via);
+      paths.push_back({acc0.targets.front()});
+    }
+  }
+
+  // ---- commit ----
+  std::vector<int> committed;
+  for (const auto& path : paths)
+    committed.insert(committed.end(), path.begin(), path.end());
+  // Interval metal, trimmed to used extent but always covering its pins
+  // (unused tails are not manufactured; Section 5's WL stays comparable).
+  for (const IntervalRec& rec : info.recs) {
+    geom::Interval trimmed = rec.needed;
+    for (Coord x : rec.usedXs) trimmed = geom::hull(trimmed, geom::Interval::point(x));
+    trimmed = geom::intersect(trimmed, rec.span);
+    for (Coord x = trimmed.lo; x <= trimmed.hi; ++x)
+      committed.push_back(grid_.id(Node{RLayer::M2, x, rec.track}));
+  }
+  std::sort(committed.begin(), committed.end());
+  committed.erase(std::unique(committed.begin(), committed.end()),
+                  committed.end());
+
+  // Line-end extensions (Section 4): every maximal run gets one extra cell
+  // at each end, committed as metal so the negotiation itself keeps
+  // diff-net line ends a cut-mask-friendly distance apart.
+  if (lineEndExtension_ > 0) {
+    const int plane = grid_.planeSize();
+    const Coord w = grid_.width();
+    std::vector<int> extension;
+    auto tryExtend = [&](Coord x, Coord y, RLayer layer) {
+      if (!grid_.inside(x, y)) return;
+      const int id = grid_.id(Node{layer, x, y});
+      if (!grid_.blocked(id)) extension.push_back(id);
+    };
+    for (std::size_t i = 0; i < committed.size(); ++i) {
+      const int a = committed[i];
+      const Node n = grid_.node(a);
+      if (a < plane) {  // M2 run ends: previous/next column missing
+        const bool hasPrev = i > 0 && committed[i - 1] == a - 1 &&
+                             (a % plane) / w == ((a - 1) % plane) / w;
+        const bool hasNext = i + 1 < committed.size() &&
+                             committed[i + 1] == a + 1 &&
+                             (a % plane) / w == ((a + 1) % plane) / w;
+        for (Coord e = 1; e <= lineEndExtension_; ++e) {
+          if (!hasPrev) tryExtend(n.x - e, n.y, RLayer::M2);
+          if (!hasNext) tryExtend(n.x + e, n.y, RLayer::M2);
+        }
+      } else {  // M3 run ends: previous/next track missing
+        const bool hasPrev =
+            std::binary_search(committed.begin(), committed.end(), a - w);
+        const bool hasNext =
+            std::binary_search(committed.begin(), committed.end(), a + w);
+        for (Coord e = 1; e <= lineEndExtension_; ++e) {
+          if (!hasPrev) tryExtend(n.x, n.y - e, RLayer::M3);
+          if (!hasNext) tryExtend(n.x, n.y + e, RLayer::M3);
+        }
+      }
+    }
+    committed.insert(committed.end(), extension.begin(), extension.end());
+    std::sort(committed.begin(), committed.end());
+    committed.erase(std::unique(committed.begin(), committed.end()),
+                    committed.end());
+  }
+
+  for (int id : committed) grid_.addOcc(id);
+  for (const ViaSite& v : vias) grid_.addVia(v.x, v.y, net);
+
+  // Wirelength: same-layer adjacent committed pairs. Ids pack x
+  // consecutively, so M2 adjacency is id+1 (same y) and M3 adjacency id+W.
+  long wl = 0;
+  const int plane = grid_.planeSize();
+  for (std::size_t i = 0; i + 1 < committed.size(); ++i) {
+    const int a = committed[i];
+    for (std::size_t j = i + 1; j < committed.size(); ++j) {
+      const int b = committed[j];
+      if (b - a > grid_.width()) break;
+      const bool sameLayer = (a < plane) == (b < plane);
+      if (!sameLayer) continue;
+      if (a < plane) {  // M2: +1 within the same row
+        if (b == a + 1 && (a % plane) / grid_.width() == (b % plane) / grid_.width())
+          ++wl;
+      } else {  // M3: +W
+        if (b == a + grid_.width()) ++wl;
+      }
+    }
+  }
+
+  st.nodes = std::move(committed);
+  st.vias = std::move(vias);
+  st.wirelength = wl;
+  st.routed = true;
+  return true;
+}
+
+std::optional<std::vector<int>> RouteEngine::probePath(Index net,
+                                                       float present) {
+  NetInfo& info = infos_[static_cast<std::size_t>(net)];
+  if (info.access.size() < 2) return std::nullopt;
+  MazeCosts costs;
+  costs.present = present;
+  costs.hardBlockOccupied = false;
+  const Coord m = margin_ * 2;
+  geom::Rect window{
+      geom::Interval{std::max<Coord>(0, info.window.x.lo - m),
+                     std::min<Coord>(grid_.width() - 1, info.window.x.hi + m)},
+      geom::Interval{std::max<Coord>(0, info.window.y.lo - m),
+                     std::min<Coord>(grid_.height() - 1, info.window.y.hi + m)}};
+  return maze_.findPath(info.access[0].targets, info.access[1].targets, window,
+                        net, costs);
+}
+
+NetGeometry RouteEngine::geometryOf(Index net) const {
+  NetGeometry out;
+  const NetState& st = states_[static_cast<std::size_t>(net)];
+  if (!st.routed) return out;
+  const int plane = grid_.planeSize();
+  const Coord w = grid_.width();
+  // Committed nodes are sorted by id: M2 first (row-major: runs are
+  // consecutive ids), then M3 (runs differ by `w`). Extract maximal runs.
+  std::size_t k = 0;
+  while (k < st.nodes.size() && st.nodes[k] < plane) {  // M2
+    std::size_t e = k;
+    const Node start = grid_.node(st.nodes[k]);
+    while (e + 1 < st.nodes.size() && st.nodes[e + 1] == st.nodes[e] + 1 &&
+           grid_.node(st.nodes[e + 1]).y == start.y) {
+      ++e;
+    }
+    const Node last = grid_.node(st.nodes[e]);
+    out.segments.push_back(
+        RouteSegment{false, start.y, geom::Interval{start.x, last.x}});
+    k = e + 1;
+  }
+  // M3: group by column.
+  std::vector<int> m3(st.nodes.begin() + static_cast<std::ptrdiff_t>(k),
+                      st.nodes.end());
+  std::sort(m3.begin(), m3.end(), [&](int a, int b) {
+    const Node na = grid_.node(a);
+    const Node nb = grid_.node(b);
+    return na.x != nb.x ? na.x < nb.x : na.y < nb.y;
+  });
+  for (std::size_t i = 0; i < m3.size();) {
+    const Node start = grid_.node(m3[i]);
+    std::size_t e = i;
+    while (e + 1 < m3.size()) {
+      const Node next = grid_.node(m3[e + 1]);
+      if (next.x != start.x || next.y != grid_.node(m3[e]).y + 1) break;
+      ++e;
+    }
+    out.segments.push_back(RouteSegment{
+        true, start.x, geom::Interval{start.y, grid_.node(m3[e]).y}});
+    i = e + 1;
+  }
+  (void)w;
+  out.vias.reserve(st.vias.size());
+  for (const ViaSite& v : st.vias)
+    out.vias.push_back(NetGeometry::Via{v.x, v.y, v.level});
+  return out;
+}
+
+std::vector<std::vector<int>> RouteEngine::allNodes() const {
+  std::vector<std::vector<int>> out(states_.size());
+  for (std::size_t n = 0; n < states_.size(); ++n) {
+    if (states_[n].routed) out[n] = states_[n].nodes;
+  }
+  return out;
+}
+
+std::vector<std::vector<ViaSite>> RouteEngine::allVias() const {
+  std::vector<std::vector<ViaSite>> out(states_.size());
+  for (std::size_t n = 0; n < states_.size(); ++n) {
+    if (states_[n].routed) out[n] = states_[n].vias;
+  }
+  return out;
+}
+
+}  // namespace cpr::route

@@ -1,0 +1,102 @@
+/// \file engine.h
+/// Net-level routing engine shared by the negotiation (CPR / no-PAO) and
+/// sequential drivers.
+///
+/// The engine owns the grid and the maze searcher, precomputes per-net pin
+/// access (either the optimized pin access intervals — treated as partial
+/// routes, Section 4 — or the raw M2 projection of each pin), and routes one
+/// net at a time: pins are connected to the growing tree by negotiated A*
+/// searches, V1/V2 vias are recorded, and on completion the interval metal
+/// is trimmed to its used extent before being committed to the grid.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "db/design.h"
+#include "route/drc.h"
+#include "route/grid.h"
+#include "route/maze.h"
+#include "route/result.h"
+
+namespace cpr::route {
+
+class RouteEngine {
+ public:
+  struct NetState {
+    bool routed = false;
+    std::vector<int> nodes;      ///< committed grid nodes (sorted, unique)
+    std::vector<ViaSite> vias;   ///< V1 + V2 vias
+    long wirelength = 0;         ///< same-layer adjacent node pairs
+  };
+
+  RouteEngine(const db::Design& design, const core::PinAccessPlan* plan,
+              Coord windowMargin, Coord lineEndExtension = 1);
+
+  [[nodiscard]] RoutingGrid& grid() { return grid_; }
+  [[nodiscard]] const db::Design& design() const { return design_; }
+  [[nodiscard]] const NetState& state(Index net) const {
+    return states_[static_cast<std::size_t>(net)];
+  }
+  [[nodiscard]] std::size_t numNets() const { return states_.size(); }
+
+  /// Routes `net` under the given cost model. Any previous route of the net
+  /// is ripped first. `extraMargin` widens the search window (used by
+  /// retries). Returns success; on failure the net is left unrouted.
+  bool routeNet(Index net, const MazeCosts& costs, Coord extraMargin = 0);
+
+  /// Removes the net's committed metal, occupancy and vias.
+  void ripNet(Index net);
+
+  /// Min-cost path for `net` ignoring hard occupancy (sharing allowed at
+  /// cost `present`); used by the sequential driver to find blocker nets.
+  [[nodiscard]] std::optional<std::vector<int>> probePath(Index net,
+                                                          float present);
+
+  /// Node-id views for DRC input.
+  [[nodiscard]] std::vector<std::vector<int>> allNodes() const;
+  [[nodiscard]] std::vector<std::vector<ViaSite>> allVias() const;
+
+  /// Committed geometry of one net as maximal straight segments plus vias
+  /// (empty geometry when the net is unrouted).
+  [[nodiscard]] NetGeometry geometryOf(Index net) const;
+
+ private:
+  /// One optimized access interval used by this net (deduplicated across
+  /// pins sharing it).
+  struct IntervalRec {
+    Coord track = 0;
+    geom::Interval span;    ///< full assigned interval
+    geom::Interval needed;  ///< hull of covered pin x-ranges (never trimmed away)
+    std::vector<Coord> usedXs;  ///< connection points discovered while routing
+  };
+  /// Per-pin access description.
+  struct PinAccess {
+    std::vector<int> targets;  ///< M2 node ids reaching the pin
+    int rec = -1;              ///< interval record index (-1: raw projection)
+    ViaSite via;               ///< V1 site (projection pins: filled at landing)
+  };
+  struct NetInfo {
+    std::vector<PinAccess> access;
+    std::vector<IntervalRec> recs;
+    geom::Rect window;
+  };
+
+  void buildNetInfo(Index net, const core::PinAccessPlan* plan);
+  /// Records a path endpoint landing on one of the net's intervals.
+  void noteIntervalUse(NetInfo& info, int nodeId);
+
+  const db::Design& design_;
+  RoutingGrid grid_;
+  MazeRouter maze_;
+  Coord margin_;
+  Coord lineEndExtension_;
+  std::vector<NetInfo> infos_;
+  std::vector<NetState> states_;
+  // Scratch for tree membership during one routeNet call.
+  std::vector<long> treeStamp_;
+  long epoch_ = 0;
+};
+
+}  // namespace cpr::route

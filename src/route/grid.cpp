@@ -1,0 +1,92 @@
+#include "route/grid.h"
+
+namespace cpr::route {
+
+RoutingGrid::RoutingGrid(const db::Design& design,
+                         const core::PinAccessPlan* plan)
+    : w_(design.width()), h_(design.gridHeight()) {
+  const std::size_t plane = static_cast<std::size_t>(planeSize());
+  blocked_.assign(2 * plane, 0);
+  pinNet_.assign(plane, geom::kInvalidIndex);
+  occ_.assign(2 * plane, 0);
+  hist_.assign(2 * plane, 0.0F);
+  viaNet_.assign(plane, geom::kInvalidIndex);
+  viaCount_.assign(plane, 0);
+
+  for (const db::Blockage& b : design.blockages()) {
+    if (b.layer == db::Layer::M1) continue;
+    const std::size_t base =
+        b.layer == db::Layer::M2 ? 0 : plane;
+    for (Coord y = b.shape.y.lo; y <= b.shape.y.hi; ++y) {
+      for (Coord x = b.shape.x.lo; x <= b.shape.x.hi; ++x) {
+        blocked_[base + static_cast<std::size_t>(y) * static_cast<std::size_t>(w_) +
+                 static_cast<std::size_t>(x)] = 1;
+      }
+    }
+  }
+
+  for (std::size_t pid = 0; pid < design.pins().size(); ++pid) {
+    const db::Pin& p = design.pins()[pid];
+    for (Coord y = p.shape.y.lo; y <= p.shape.y.hi; ++y) {
+      for (Coord x = p.shape.x.lo; x <= p.shape.x.hi; ++x) {
+        pinNet_[static_cast<std::size_t>(y) * static_cast<std::size_t>(w_) +
+                static_cast<std::size_t>(x)] = p.net;
+      }
+    }
+  }
+
+  if (plan) {
+    intervalNet_.assign(plane, geom::kInvalidIndex);
+    for (std::size_t pid = 0; pid < plan->routes.size(); ++pid) {
+      const core::PinRoute& r = plan->routes[pid];
+      if (!r.valid()) continue;
+      const Index net = design.pins()[pid].net;
+      for (Coord x = r.span.lo; x <= r.span.hi; ++x) {
+        intervalNet_[static_cast<std::size_t>(r.track) *
+                         static_cast<std::size_t>(w_) +
+                     static_cast<std::size_t>(x)] = net;
+      }
+    }
+  }
+}
+
+long RoutingGrid::congestedNodeCount() const {
+  long count = 0;
+  for (const std::uint16_t o : occ_) count += o > 1 ? 1 : 0;
+  return count;
+}
+
+void RoutingGrid::addVia(Coord x, Coord y, Index net) {
+  const std::size_t at = static_cast<std::size_t>(y) *
+                             static_cast<std::size_t>(w_) +
+                         static_cast<std::size_t>(x);
+  ++viaCount_[at];
+  viaNet_[at] = net;
+}
+
+void RoutingGrid::removeVia(Coord x, Coord y, Index net) {
+  const std::size_t at = static_cast<std::size_t>(y) *
+                             static_cast<std::size_t>(w_) +
+                         static_cast<std::size_t>(x);
+  if (viaCount_[at] > 0) --viaCount_[at];
+  if (viaCount_[at] == 0) {
+    viaNet_[at] = geom::kInvalidIndex;
+  } else {
+    viaNet_[at] = net;  // best effort; exact owner tracking not needed
+  }
+}
+
+bool RoutingGrid::viaForbidden(Coord x, Coord y, Index net) const {
+  // Same-track check, mirroring the DRC via-spacing rule.
+  for (Coord dx = -1; dx <= 1; ++dx) {
+    const Coord nx = x + dx;
+    if (!inside(nx, y)) continue;
+    const std::size_t at = static_cast<std::size_t>(y) *
+                               static_cast<std::size_t>(w_) +
+                           static_cast<std::size_t>(nx);
+    if (viaCount_[at] > 0 && viaNet_[at] != net) return true;
+  }
+  return false;
+}
+
+}  // namespace cpr::route

@@ -1,0 +1,100 @@
+/// \file grid.h
+/// The unidirectional routing grid: M2 (horizontal) and M3 (vertical) nodes
+/// over the die, with blockage, pin-projection, interval-blockage,
+/// occupancy, history-cost and via maps.
+///
+/// Node addressing: a routable node is (layer, x, y) with layer ∈ {M2, M3},
+/// x ∈ [0, width), y ∈ [0, height) (y is the global M2 track index; M3 uses
+/// the same y granularity so a V2 via joins (M2,x,y)–(M3,x,y)). Nodes pack
+/// into a dense int id = layer*W*H + y*W + x for flat-array state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "db/design.h"
+#include "geom/types.h"
+
+namespace cpr::route {
+
+using geom::Coord;
+using geom::Index;
+
+enum class RLayer : std::uint8_t { M2 = 0, M3 = 1 };
+
+struct Node {
+  RLayer layer = RLayer::M2;
+  Coord x = 0;
+  Coord y = 0;
+
+  friend constexpr bool operator==(const Node&, const Node&) = default;
+};
+
+class RoutingGrid {
+ public:
+  /// Builds static state from the design: M2/M3 blockages and the
+  /// projection of every pin onto M2 (pin x-range × track-range). When
+  /// `plan` is non-null, each assigned pin access interval is also recorded
+  /// so routers can treat other nets' intervals as blockages (Section 4).
+  RoutingGrid(const db::Design& design, const core::PinAccessPlan* plan);
+
+  [[nodiscard]] Coord width() const { return w_; }
+  [[nodiscard]] Coord height() const { return h_; }
+  [[nodiscard]] int numNodes() const { return 2 * planeSize(); }
+  [[nodiscard]] int planeSize() const { return static_cast<int>(w_) * h_; }
+
+  [[nodiscard]] int id(const Node& n) const {
+    return static_cast<int>(n.layer) * planeSize() + n.y * w_ + n.x;
+  }
+  [[nodiscard]] Node node(int id) const {
+    const int plane = planeSize();
+    const RLayer layer = id >= plane ? RLayer::M3 : RLayer::M2;
+    const int rem = id % plane;
+    return Node{layer, rem % w_, rem / w_};
+  }
+  [[nodiscard]] bool inside(Coord x, Coord y) const {
+    return x >= 0 && x < w_ && y >= 0 && y < h_;
+  }
+
+  // ---- static obstacles ----
+  [[nodiscard]] bool blocked(int id) const { return blocked_[static_cast<std::size_t>(id)]; }
+  /// Net whose pin projects onto this M2 node (kInvalidIndex if none).
+  [[nodiscard]] Index pinNetAt(int m2id) const { return pinNet_[static_cast<std::size_t>(m2id)]; }
+  /// Net whose assigned access interval covers this M2 node.
+  [[nodiscard]] Index intervalNetAt(int m2id) const {
+    return intervalNet_.empty() ? geom::kInvalidIndex
+                                : intervalNet_[static_cast<std::size_t>(m2id)];
+  }
+
+  // ---- congestion state ----
+  [[nodiscard]] int occupancy(int id) const { return occ_[static_cast<std::size_t>(id)]; }
+  void addOcc(int id) { ++occ_[static_cast<std::size_t>(id)]; }
+  void removeOcc(int id) { --occ_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] float history(int id) const { return hist_[static_cast<std::size_t>(id)]; }
+  void addHistory(int id, float amount) { hist_[static_cast<std::size_t>(id)] += amount; }
+
+  /// Number of nodes currently shared by more than one net.
+  [[nodiscard]] long congestedNodeCount() const;
+
+  // ---- via sites (for the forbidden-via-grid cost and via spacing DRC) ----
+  /// Registers/unregisters a V1 or V2 via of `net` at column x, track y.
+  void addVia(Coord x, Coord y, Index net);
+  void removeVia(Coord x, Coord y, Index net);
+  /// True when a different net owns a via within Chebyshev distance 1 —
+  /// the router charges the paper's forbidden grid cost (10) there.
+  [[nodiscard]] bool viaForbidden(Coord x, Coord y, Index net) const;
+
+ private:
+  Coord w_ = 0;
+  Coord h_ = 0;
+  std::vector<std::uint8_t> blocked_;   ///< per node
+  std::vector<Index> pinNet_;           ///< per M2 node
+  std::vector<Index> intervalNet_;      ///< per M2 node (empty w/o plan)
+  std::vector<std::uint16_t> occ_;      ///< per node
+  std::vector<float> hist_;             ///< per node
+  std::vector<Index> viaNet_;           ///< per (x,y): owning net or invalid
+  std::vector<std::uint8_t> viaCount_;  ///< per (x,y)
+};
+
+}  // namespace cpr::route

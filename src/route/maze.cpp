@@ -1,0 +1,135 @@
+#include "route/maze.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace cpr::route {
+
+namespace {
+constexpr float kInf = std::numeric_limits<float>::infinity();
+}
+
+MazeRouter::MazeRouter(RoutingGrid& grid) : grid_(grid) {
+  const std::size_t n = static_cast<std::size_t>(grid_.numNodes());
+  dist_.assign(n, kInf);
+  parent_.assign(n, -1);
+  stamp_.assign(n, -1);
+  targetStamp_.assign(n, -1);
+}
+
+float MazeRouter::nodeCost(int id, Index net, const MazeCosts& c) const {
+  if (grid_.blocked(id)) return kInf;
+  const Node n = grid_.node(id);
+  if (n.layer == RLayer::M2) {
+    const int m2 = id;  // M2 ids occupy the first plane
+    const Index pinNet = grid_.pinNetAt(m2);
+    if (pinNet != geom::kInvalidIndex && pinNet != net) return kInf;
+    const Index ivNet = grid_.intervalNetAt(m2);
+    if (ivNet != geom::kInvalidIndex && ivNet != net) return kInf;
+  }
+  const int occ = grid_.occupancy(id);
+  if (c.hardBlockOccupied && occ > 0) return kInf;
+  float cost = c.metal + c.present * static_cast<float>(occ) + grid_.history(id);
+  if (c.adjacency > 0.0F) {
+    // Same-lane neighbors: previous/next column on M2, previous/next track
+    // on M3 (parallel wires on adjacent lanes are fine in unidirectional
+    // routing; only same-lane proximity threatens the cut mask).
+    const auto occAt = [&](Coord x, Coord y) {
+      return grid_.inside(x, y) ? grid_.occupancy(grid_.id(Node{n.layer, x, y}))
+                                : 0;
+    };
+    const int near = n.layer == RLayer::M2
+                         ? occAt(n.x - 1, n.y) + occAt(n.x + 1, n.y)
+                         : occAt(n.x, n.y - 1) + occAt(n.x, n.y + 1);
+    cost += c.adjacency * static_cast<float>(near);
+  }
+  return cost;
+}
+
+std::optional<std::vector<int>> MazeRouter::findPath(
+    const std::vector<int>& sources, const std::vector<int>& targets,
+    const geom::Rect& window, Index net, const MazeCosts& costs) {
+  if (sources.empty() || targets.empty()) return std::nullopt;
+  ++epoch_;
+
+  // Target bbox for the admissible A* heuristic (min edge cost = metal).
+  geom::Rect tbox;
+  bool first = true;
+  for (int t : targets) {
+    targetStamp_[static_cast<std::size_t>(t)] = epoch_;
+    const Node n = grid_.node(t);
+    if (first) {
+      tbox = geom::Rect::point({n.x, n.y});
+      first = false;
+    } else {
+      tbox.expand(geom::Point{n.x, n.y});
+    }
+  }
+  auto heuristic = [&](const Node& n) {
+    const Coord dx = n.x < tbox.x.lo ? tbox.x.lo - n.x
+                     : n.x > tbox.x.hi ? n.x - tbox.x.hi
+                                       : 0;
+    const Coord dy = n.y < tbox.y.lo ? tbox.y.lo - n.y
+                     : n.y > tbox.y.hi ? n.y - tbox.y.hi
+                                       : 0;
+    return costs.metal * static_cast<float>(dx + dy);
+  };
+
+  using QEntry = std::pair<float, int>;  // (f = g + h, node)
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> open;
+
+  auto relax = [&](int id, float g, int from) {
+    std::size_t i = static_cast<std::size_t>(id);
+    if (stamp_[i] == epoch_ && dist_[i] <= g) return;
+    stamp_[i] = epoch_;
+    dist_[i] = g;
+    parent_[i] = from;
+    open.push({g + heuristic(grid_.node(id)), id});
+  };
+
+  for (int s : sources) relax(s, 0.0F, -1);
+
+  while (!open.empty()) {
+    const auto [f, u] = open.top();
+    open.pop();
+    const std::size_t ui = static_cast<std::size_t>(u);
+    if (stamp_[ui] != epoch_ || f > dist_[ui] + heuristic(grid_.node(u)) + 1e-5F)
+      continue;  // stale entry
+    if (targetStamp_[ui] == epoch_) {
+      std::vector<int> path;
+      for (int v = u; v != -1; v = parent_[static_cast<std::size_t>(v)])
+        path.push_back(v);
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    const Node n = grid_.node(u);
+    const float g = dist_[ui];
+
+    auto tryMove = [&](Coord x, Coord y, RLayer layer, bool viaMove) {
+      if (!grid_.inside(x, y) || !window.contains(geom::Point{x, y})) return;
+      const int vid = grid_.id(Node{layer, x, y});
+      float step = nodeCost(vid, net, costs);
+      if (step == kInf) return;
+      if (viaMove) {
+        step += costs.via;
+        if (grid_.viaForbidden(x, y, net)) step += costs.forbiddenVia;
+      }
+      relax(vid, g + step, u);
+    };
+
+    if (n.layer == RLayer::M2) {
+      tryMove(n.x - 1, n.y, RLayer::M2, false);
+      tryMove(n.x + 1, n.y, RLayer::M2, false);
+      tryMove(n.x, n.y, RLayer::M3, true);  // V2 up
+    } else {
+      tryMove(n.x, n.y - 1, RLayer::M3, false);
+      tryMove(n.x, n.y + 1, RLayer::M3, false);
+      tryMove(n.x, n.y, RLayer::M2, true);  // V2 down
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace cpr::route

@@ -1,0 +1,57 @@
+/// \file maze.h
+/// Negotiated-cost A* maze search on the unidirectional routing grid.
+///
+/// One search connects the net's partially built tree (multi-source) to the
+/// next pin's access nodes (multi-target). Moves follow the unidirectional
+/// rule: M2 nodes expand horizontally, M3 nodes vertically, and a via move
+/// toggles the layer in place. Node entry cost = metal base + present-
+/// sharing penalty * occupancy + history (PathFinder negotiation [21,22]);
+/// via moves add the via base cost and the paper's forbidden grid cost (10)
+/// when a different net owns a via within one grid of the site.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geom/rect.h"
+#include "route/grid.h"
+
+namespace cpr::route {
+
+struct MazeCosts {
+  float metal = 1.0F;          ///< paper: base cost 1 for metal grids
+  float via = 1.0F;            ///< paper: base cost 1 for via grids
+  float forbiddenVia = 10.0F;  ///< paper: forbidden cost 10 for via grids
+  float present = 0.0F;        ///< sharing penalty multiplier (0 = independent stage)
+  /// Same-lane adjacency penalty: entering a node whose same-direction
+  /// neighbor is occupied by another net prices the line-end extension that
+  /// would collide there (extensions are committed as metal at the end of
+  /// every run, so a stop next to foreign metal shares the extension cell).
+  float adjacency = 0.0F;
+  bool hardBlockOccupied = false;  ///< sequential mode: occupied nodes are walls
+};
+
+class MazeRouter {
+ public:
+  explicit MazeRouter(RoutingGrid& grid);
+
+  /// Finds a min-cost path from any source to any target inside `window`
+  /// (both layers). Returns the node-id path source→target inclusive, or
+  /// nullopt when disconnected. Sources already in the target set return a
+  /// single-node path.
+  [[nodiscard]] std::optional<std::vector<int>> findPath(
+      const std::vector<int>& sources, const std::vector<int>& targets,
+      const geom::Rect& window, Index net, const MazeCosts& costs);
+
+ private:
+  [[nodiscard]] float nodeCost(int id, Index net, const MazeCosts& c) const;
+
+  RoutingGrid& grid_;
+  std::vector<float> dist_;
+  std::vector<int> parent_;
+  std::vector<long> stamp_;        ///< epoch per node for dist/parent
+  std::vector<long> targetStamp_;  ///< epoch per node marking targets
+  long epoch_ = 0;
+};
+
+}  // namespace cpr::route

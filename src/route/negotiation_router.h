@@ -1,0 +1,46 @@
+/// \file negotiation_router.h
+/// Negotiation-congestion routing (PathFinder [22] style, as in [21]).
+///
+/// Two-stage scheme (paper Section 5.2): an *independent routing stage*
+/// routes every net ignoring sharing (the congested-grid count after this
+/// stage is the Fig. 7(b) metric), then *rip-up & reroute* iterations add
+/// history cost on congested grids and reroute the offending nets with a
+/// growing present-sharing penalty until no grid is shared. Design rule
+/// violations are mitigated by the forbidden via grid cost during search and
+/// by dedicated DRC repair passes; nets still dirty at signoff are counted
+/// unrouted.
+///
+/// With a `PinAccessPlan` this is the paper's CPR (intervals become partial
+/// routes and other nets' intervals become blockages); with `plan == nullptr`
+/// it is the "routing w/o pin access optimization" baseline [21].
+#pragma once
+
+#include "core/optimizer.h"
+#include "db/design.h"
+#include "route/drc.h"
+#include "route/maze.h"
+#include "route/result.h"
+
+namespace cpr::route {
+
+struct NegotiationOptions {
+  Coord windowMargin = 12;
+  int maxRrrIterations = 20;
+  /// Stop rip-up & reroute early when the congested-grid count has not
+  /// improved for this many iterations (0 = always run to the cap).
+  int congestionStallIters = 4;
+  int drcRepairPasses = 2;
+  MazeCosts costs;               ///< base costs; `present` is driven per stage
+  float presentFactor = 3.0F;    ///< present penalty = factor * iteration
+  float historyIncrement = 1.0F;
+  DrcRules drc;
+  /// Fill RoutingResult::geometry with each routed net's segments and vias
+  /// (visualization / export); costs memory on big designs, off by default.
+  bool keepGeometry = false;
+};
+
+[[nodiscard]] RoutingResult routeNegotiated(const db::Design& design,
+                                            const core::PinAccessPlan* plan,
+                                            const NegotiationOptions& opts = {});
+
+}  // namespace cpr::route

@@ -1,0 +1,62 @@
+/// \file result.h
+/// Routing outcome structures shared by all three routers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/interval.h"
+#include "geom/types.h"
+
+namespace cpr::route {
+
+using geom::Coord;
+using geom::Index;
+
+/// Outcome for one net.
+struct NetResult {
+  bool routed = false;  ///< all pins connected
+  bool clean = false;   ///< routed and free of design-rule violations
+  long wirelength = 0;  ///< grid edges of committed metal (M2+M3)
+  int vias = 0;         ///< V1 + V2 vias
+};
+
+/// One straight metal segment of a routed net (unidirectional: M2 segments
+/// run along a track, M3 segments along a column).
+struct RouteSegment {
+  bool m3 = false;      ///< false: M2 (horizontal), true: M3 (vertical)
+  Coord lane = 0;       ///< track (M2) or column (M3)
+  geom::Interval span;  ///< column range (M2) or track range (M3)
+};
+
+/// Full geometry of one routed net, for visualization, export, and external
+/// rule checking. Filled only when a driver is asked to keep geometry.
+struct NetGeometry {
+  std::vector<RouteSegment> segments;
+  /// (x, y, level) vias; level 1 = V1 (pin hookup), 2 = V2 (M2-M3).
+  struct Via {
+    Coord x = 0;
+    Coord y = 0;
+    std::uint8_t level = 2;
+  };
+  std::vector<Via> vias;
+};
+
+/// Whole-design routing outcome. The paper's Table 2 metrics (Rout., Via#,
+/// WL) are computed from this by `eval::summarize`; nets that routed but
+/// violate design rules count as unrouted ("we treat those nets introducing
+/// violations as unrouted nets", Section 5.2).
+struct RoutingResult {
+  std::vector<NetResult> nets;
+  /// Per-net committed geometry; empty unless the driver ran with
+  /// `keepGeometry` (indexing matches `nets` when present).
+  std::vector<NetGeometry> geometry;
+  /// Grid nodes occupied by more than one net after the independent routing
+  /// stage — the paper's Fig. 7(b) metric.
+  long congestedGridsBeforeRrr = 0;
+  int rrrIterations = 0;       ///< negotiation rip-up & reroute rounds used
+  double seconds = 0.0;        ///< wall-clock routing time
+  long drcViolations = 0;      ///< total rule violations found at signoff
+};
+
+}  // namespace cpr::route

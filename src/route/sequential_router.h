@@ -1,0 +1,38 @@
+/// \file sequential_router.h
+/// Sequential pin-access-planning baseline (the PARR scheme of [12]).
+///
+/// Nets are routed one at a time over hard obstacles (no sharing is ever
+/// allowed): shorter nets first, each attempt choosing greedy pin access on
+/// the fly. A failing net is retried with a wider window, then *deferred*
+/// (the paper's net-deferring / dynamic reordering); in later passes a
+/// blocked net may rip up the nets occupying its cheapest probe path and
+/// requeue them — the expensive sequential rip-up behaviour that Table 2's
+/// runtime column quantifies. A final legalization pass reroutes
+/// DRC-violating nets; nets still dirty count as unrouted.
+#pragma once
+
+#include "db/design.h"
+#include "route/drc.h"
+#include "route/maze.h"
+#include "route/result.h"
+
+namespace cpr::route {
+
+struct SequentialOptions {
+  Coord windowMargin = 12;
+  int maxPasses = 4;        ///< deferral passes
+  int maxRipsPerNet = 2;    ///< times one net may be ripped by a blocked net
+  int legalizationPasses = 2;
+  /// Failed nets retry with a die-spanning window — PARR "depends on
+  /// detours" to finish nets, which is where its runtime goes (Section 5.2).
+  bool globalRetry = true;
+  MazeCosts costs;          ///< hardBlockOccupied is forced on
+  DrcRules drc;
+  /// Fill RoutingResult::geometry (see NegotiationOptions::keepGeometry).
+  bool keepGeometry = false;
+};
+
+[[nodiscard]] RoutingResult routeSequential(const db::Design& design,
+                                            const SequentialOptions& opts = {});
+
+}  // namespace cpr::route

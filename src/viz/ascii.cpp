@@ -1,0 +1,69 @@
+#include "viz/ascii.h"
+
+#include <sstream>
+#include <vector>
+
+namespace cpr::viz {
+
+namespace {
+using geom::Coord;
+
+char netChar(db::Index net) {
+  return static_cast<char>('a' + net % 26);
+}
+}  // namespace
+
+std::string renderPanelAscii(const db::Design& design, Coord row,
+                             const core::PinAccessPlan* plan) {
+  const geom::Interval tracks = design.rowTracks(row);
+  const Coord w = design.width();
+  std::vector<std::string> canvas(static_cast<std::size_t>(tracks.span()),
+                                  std::string(static_cast<std::size_t>(w), '.'));
+  auto at = [&](Coord x, Coord t) -> char& {
+    return canvas[static_cast<std::size_t>(t - tracks.lo)]
+                 [static_cast<std::size_t>(x)];
+  };
+
+  for (const db::Blockage& b : design.blockages()) {
+    if (b.layer != db::Layer::M2) continue;
+    const geom::Interval hit = geom::intersect(b.shape.y, tracks);
+    for (Coord t = hit.lo; t <= hit.hi; ++t) {
+      for (Coord x = std::max<Coord>(0, b.shape.x.lo);
+           x <= std::min(w - 1, b.shape.x.hi); ++x) {
+        at(x, t) = '#';
+      }
+    }
+  }
+
+  if (plan) {
+    for (std::size_t p = 0; p < plan->routes.size(); ++p) {
+      const core::PinRoute& r = plan->routes[p];
+      if (!r.valid() || !tracks.contains(r.track)) continue;
+      for (Coord x = r.span.lo; x <= r.span.hi; ++x) {
+        if (at(x, r.track) == '.') at(x, r.track) = '=';
+      }
+    }
+  }
+
+  for (const db::Pin& pin : design.pins()) {
+    if (pin.row != row) continue;
+    for (Coord t = pin.shape.y.lo; t <= pin.shape.y.hi; ++t) {
+      for (Coord x = pin.shape.x.lo; x <= pin.shape.x.hi; ++x) {
+        at(x, t) = netChar(pin.net);
+      }
+    }
+  }
+
+  std::ostringstream os;
+  for (Coord t = tracks.hi; t >= tracks.lo; --t) {
+    os << 't';
+    os.width(2);
+    os.fill('0');
+    os << (t - tracks.lo);
+    os.width(0);
+    os << ' ' << canvas[static_cast<std::size_t>(t - tracks.lo)] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cpr::viz

@@ -1,0 +1,21 @@
+/// \file ascii.h
+/// Terminal rendering of one routing panel: tracks as rows, columns as
+/// characters. Pins print as their net's letter, assigned intervals as '=',
+/// blockages as '#'. Handy for debugging pin access interference in tests
+/// and examples without leaving the terminal.
+#pragma once
+
+#include <string>
+
+#include "core/optimizer.h"
+#include "db/design.h"
+
+namespace cpr::viz {
+
+/// Renders row `row` of the design (tracks top-to-bottom = high-to-low).
+/// When `plan` is non-null, assigned intervals overlay their tracks.
+[[nodiscard]] std::string renderPanelAscii(const db::Design& design,
+                                           geom::Coord row,
+                                           const core::PinAccessPlan* plan);
+
+}  // namespace cpr::viz

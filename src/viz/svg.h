@@ -1,0 +1,41 @@
+/// \file svg.h
+/// SVG rendering of designs, pin access plans, and routed geometry.
+///
+/// Produces a self-contained SVG: die outline, per-row panel shading, M2/M3
+/// blockages, M1 pins (labelled), assigned pin access intervals, routed
+/// segments and vias. Intended for debugging pin access interference and
+/// for documentation figures (the paper's Figs. 1-5 are exactly this kind
+/// of picture).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/optimizer.h"
+#include "db/design.h"
+#include "route/result.h"
+
+namespace cpr::viz {
+
+struct SvgOptions {
+  double cellPx = 8.0;    ///< pixels per grid unit
+  bool labelPins = true;  ///< draw pin names (disable for large designs)
+  bool drawGridLines = false;
+  /// Clip to a window of the die (full die when empty).
+  geom::Rect window;
+};
+
+/// Renders the design (pins, blockages, rows). `plan` adds the assigned pin
+/// access intervals; `geometry` (indexed like Design::nets) adds routed
+/// segments and vias. Either may be null.
+void renderSvg(const db::Design& design, const core::PinAccessPlan* plan,
+               const std::vector<route::NetGeometry>* geometry,
+               std::ostream& os, const SvgOptions& opts = {});
+
+/// Convenience wrapper writing to a file (throws std::runtime_error on I/O
+/// failure).
+void saveSvg(const db::Design& design, const core::PinAccessPlan* plan,
+             const std::vector<route::NetGeometry>* geometry,
+             const std::string& path, const SvgOptions& opts = {});
+
+}  // namespace cpr::viz

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include "core/conflict.h"
+
+namespace cpr::core {
+namespace {
+
+using geom::Interval;
+
+Problem problemWith(std::vector<std::pair<geom::Coord, Interval>> items) {
+  Problem p;
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    AccessInterval iv;
+    iv.track = items[k].first;
+    iv.span = items[k].second;
+    iv.conflictSpan = items[k].second;  // no spacing guard in these tests
+    iv.net = static_cast<Index>(k);     // all diff-net
+    p.intervals.push_back(iv);
+  }
+  p.profit.assign(p.intervals.size(), 1.0);
+  return p;
+}
+
+std::set<std::set<Index>> asSets(const std::vector<ConflictSet>& cs) {
+  std::set<std::set<Index>> out;
+  for (const ConflictSet& c : cs)
+    out.insert(std::set<Index>(c.intervals.begin(), c.intervals.end()));
+  return out;
+}
+
+TEST(Conflict, DisjointIntervalsNoConflicts) {
+  Problem p = problemWith({{0, {0, 3}}, {0, {5, 8}}, {0, {10, 12}}});
+  detectConflicts(p);
+  EXPECT_TRUE(p.conflicts.empty());
+}
+
+TEST(Conflict, SingleOverlapPair) {
+  Problem p = problemWith({{0, {0, 5}}, {0, {4, 9}}});
+  detectConflicts(p);
+  ASSERT_EQ(p.conflicts.size(), 1u);
+  EXPECT_EQ(p.conflicts[0].intervals.size(), 2u);
+  EXPECT_EQ(p.conflicts[0].common, Interval(4, 5));
+}
+
+TEST(Conflict, ChainYieldsTwoMaximalCliques) {
+  // a-[0,5], b-[4,9], c-[8,12]: cliques {a,b} and {b,c}, not {a,b,c}.
+  Problem p = problemWith({{0, {0, 5}}, {0, {4, 9}}, {0, {8, 12}}});
+  detectConflicts(p);
+  const auto sets = asSets(p.conflicts);
+  EXPECT_EQ(sets.size(), 2u);
+  EXPECT_TRUE(sets.count({0, 1}));
+  EXPECT_TRUE(sets.count({1, 2}));
+}
+
+TEST(Conflict, TracksAreIndependent) {
+  Problem p = problemWith({{0, {0, 5}}, {1, {0, 5}}, {0, {3, 8}}});
+  detectConflicts(p);
+  ASSERT_EQ(p.conflicts.size(), 1u);
+  EXPECT_EQ(p.conflicts[0].track, 0);
+}
+
+TEST(Conflict, Figure4LikeStack) {
+  // Five nested intervals sharing a common core plus one off to the right:
+  // the scanline must emit the big clique and the right pair.
+  Problem p = problemWith({{0, {0, 20}},
+                           {0, {2, 18}},
+                           {0, {4, 16}},
+                           {0, {6, 14}},
+                           {0, {8, 12}},
+                           {0, {15, 30}}});
+  detectConflicts(p);
+  const auto sets = asSets(p.conflicts);
+  EXPECT_TRUE(sets.count({0, 1, 2, 3, 4}));
+  // Intervals with hi >= 15: ids 0(20),1(18),2(16),5.
+  EXPECT_TRUE(sets.count({0, 1, 2, 5}));
+  EXPECT_EQ(sets.size(), 2u);
+}
+
+TEST(Conflict, CommonIntersectionIsTight) {
+  Problem p = problemWith({{0, {0, 10}}, {0, {5, 15}}, {0, {7, 9}}});
+  detectConflicts(p);
+  ASSERT_EQ(p.conflicts.size(), 1u);
+  EXPECT_EQ(p.conflicts[0].common, Interval(7, 9));  // L_m = 3
+  EXPECT_EQ(p.conflicts[0].common.span(), 3);
+}
+
+TEST(Conflict, IdenticalIntervalsFormOneClique) {
+  Problem p = problemWith({{0, {3, 7}}, {0, {3, 7}}, {0, {3, 7}}});
+  detectConflicts(p);
+  ASSERT_EQ(p.conflicts.size(), 1u);
+  EXPECT_EQ(p.conflicts[0].intervals.size(), 3u);
+}
+
+/// Property: the scanline agrees with the brute-force maximal-clique
+/// enumeration on random interval families, and the clique count stays
+/// linear in the interval count (paper Section 3.2).
+class ConflictProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ConflictProperty, MatchesBruteForce) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> nDist(1, 40);
+  std::uniform_int_distribution<int> coordDist(0, 50);
+  std::uniform_int_distribution<int> trackDist(0, 2);
+
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::pair<geom::Coord, Interval>> items;
+    const int n = nDist(rng);
+    for (int k = 0; k < n; ++k) {
+      int a = coordDist(rng);
+      int b = coordDist(rng);
+      if (a > b) std::swap(a, b);
+      items.push_back({trackDist(rng), {a, b}});
+    }
+    Problem p = problemWith(items);
+    detectConflicts(p);
+    const auto scan = asSets(p.conflicts);
+    const auto ref = asSets(detectConflictsBruteForce(p));
+    EXPECT_EQ(scan, ref) << "round " << round;
+    EXPECT_LE(p.conflicts.size(), items.size());  // linear bound
+    // Every clique's members truly share the recorded common range.
+    for (const ConflictSet& cs : p.conflicts) {
+      ASSERT_FALSE(cs.common.empty());
+      for (Index i : cs.intervals) {
+        EXPECT_TRUE(
+            p.intervals[static_cast<std::size_t>(i)].span.contains(cs.common));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConflictProperty,
+                         ::testing::Values(31u, 32u, 33u, 34u, 35u, 36u));
+
+}  // namespace
+}  // namespace cpr::core

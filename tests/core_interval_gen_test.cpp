@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/interval_gen.h"
+#include "db/panel.h"
+
+namespace cpr::core {
+namespace {
+
+using db::Design;
+using db::Layer;
+using geom::Interval;
+using geom::Rect;
+
+/// Fig. 3-style single-row scenario: net A = {a2(col2), a1(col10), a3(col30)},
+/// diff-net pins b1(col15) and d1(col22) inside A's bounding box.
+Design fig3Design() {
+  Design d("fig3", /*width=*/40, /*numRows=*/1, /*tracksPerRow=*/10);
+  const db::Index nA = d.addNet("A");
+  const db::Index nB = d.addNet("B");
+  const db::Index nD = d.addNet("D");
+  d.addPin("a1", nA, Rect{Interval::point(10), Interval{2, 4}});
+  d.addPin("a2", nA, Rect{Interval::point(2), Interval{1, 3}});
+  d.addPin("a3", nA, Rect{Interval::point(30), Interval{1, 3}});
+  d.addPin("b1", nB, Rect{Interval::point(15), Interval{3, 5}});
+  d.addPin("d1", nD, Rect{Interval::point(22), Interval{3, 5}});
+  return d;
+}
+
+Index localPin(const Problem& p, const Design& d, const std::string& name) {
+  for (std::size_t j = 0; j < p.pins.size(); ++j) {
+    if (d.pin(p.pins[j].designPin).name == name) return static_cast<Index>(j);
+  }
+  return geom::kInvalidIndex;
+}
+
+TEST(IntervalGen, EveryPinGetsAMinimalInterval) {
+  const Design d = fig3Design();
+  const Problem p = buildProblem(d, db::extractPanel(d, 0));
+  ASSERT_EQ(p.pins.size(), 5u);
+  for (const ProblemPin& pin : p.pins) {
+    ASSERT_NE(pin.minimalInterval, geom::kInvalidIndex);
+    const AccessInterval& mi =
+        p.intervals[static_cast<std::size_t>(pin.minimalInterval)];
+    EXPECT_TRUE(mi.minimal);
+    EXPECT_EQ(mi.span, d.pin(pin.designPin).shape.x);
+    ASSERT_EQ(mi.pins.size(), 1u);  // minimum interval covers only its pin
+  }
+}
+
+TEST(IntervalGen, CandidatesCoverTheirPinAndStayInBox) {
+  const Design d = fig3Design();
+  const Problem p = buildProblem(d, db::extractPanel(d, 0));
+  for (std::size_t j = 0; j < p.pins.size(); ++j) {
+    const db::Pin& pin = d.pin(p.pins[j].designPin);
+    const Interval box = d.netBox(pin.net).x;
+    for (Index i : p.pins[j].intervals) {
+      const AccessInterval& iv = p.intervals[static_cast<std::size_t>(i)];
+      EXPECT_TRUE(iv.span.contains(pin.shape.x))
+          << "interval " << iv.span << " misses pin " << pin.name;
+      EXPECT_TRUE(box.contains(iv.span))
+          << "interval " << iv.span << " outside box " << box;
+      EXPECT_TRUE(pin.shape.y.contains(iv.track));
+      EXPECT_EQ(iv.net, pin.net);
+    }
+  }
+}
+
+TEST(IntervalGen, DiffNetCutLinesAreEnumerated) {
+  const Design d = fig3Design();
+  const Problem p = buildProblem(d, db::extractPanel(d, 0));
+  const Index a1 = localPin(p, d, "a1");
+  // On track 3, b1(15) and d1(22) sit right of a1(10) inside box [2,30]:
+  // right edges {14, 21, 30}, left edge {2}; plus minimum [10,10].
+  std::set<std::pair<geom::Coord, geom::Coord>> spans;
+  for (Index i : p.pins[static_cast<std::size_t>(a1)].intervals) {
+    const AccessInterval& iv = p.intervals[static_cast<std::size_t>(i)];
+    if (iv.track == 3) spans.insert({iv.span.lo, iv.span.hi});
+  }
+  EXPECT_TRUE(spans.count({2, 14}));   // stop before b1 (paper's I^a1_1)
+  EXPECT_TRUE(spans.count({2, 21}));   // stop before d1 (paper's I^a1_2)
+  EXPECT_TRUE(spans.count({2, 30}));   // maximum interval
+  EXPECT_TRUE(spans.count({10, 10}));  // minimum interval
+  EXPECT_EQ(spans.size(), 4u);
+}
+
+TEST(IntervalGen, TracksWithoutDiffNetPinsGetMaximumInterval) {
+  const Design d = fig3Design();
+  const Problem p = buildProblem(d, db::extractPanel(d, 0));
+  const Index a1 = localPin(p, d, "a1");
+  // Track 2: no diff-net pins (b1/d1 start at track 3) → only the maximum
+  // [2,30] and minimum [10,10].
+  std::set<std::pair<geom::Coord, geom::Coord>> spans;
+  for (Index i : p.pins[static_cast<std::size_t>(a1)].intervals) {
+    const AccessInterval& iv = p.intervals[static_cast<std::size_t>(i)];
+    if (iv.track == 2) spans.insert({iv.span.lo, iv.span.hi});
+  }
+  EXPECT_TRUE(spans.count({2, 30}));
+  EXPECT_TRUE(spans.count({10, 10}));
+  EXPECT_EQ(spans.size(), 2u);
+}
+
+TEST(IntervalGen, SharedIntervalCoversMultipleSameNetPins) {
+  const Design d = fig3Design();
+  const Problem p = buildProblem(d, db::extractPanel(d, 0));
+  // The maximum interval [2,30] on track 2 covers a2(2), a1(10) and a3(30):
+  // one candidate shared by three pins (an intra-panel connection).
+  bool found = false;
+  for (const AccessInterval& iv : p.intervals) {
+    if (iv.track == 2 && iv.span == Interval(2, 30)) {
+      EXPECT_EQ(iv.pins.size(), 3u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(IntervalGen, BlockageClipsAvailableRange) {
+  Design d = fig3Design();
+  d.addBlockage(Layer::M2, Rect{Interval{18, 25}, Interval{2, 2}});
+  const Problem p = buildProblem(d, db::extractPanel(d, 0));
+  const Index a1 = localPin(p, d, "a1");
+  for (Index i : p.pins[static_cast<std::size_t>(a1)].intervals) {
+    const AccessInterval& iv = p.intervals[static_cast<std::size_t>(i)];
+    if (iv.track == 2) {
+      EXPECT_LE(iv.span.hi, 17);
+    }
+  }
+}
+
+TEST(IntervalGen, FullyBlockedTrackSkipped) {
+  Design d = fig3Design();
+  // Block a1's column on tracks 2 and 3; only track 4 stays accessible.
+  d.addBlockage(Layer::M2, Rect{Interval{9, 11}, Interval{2, 3}});
+  const Problem p = buildProblem(d, db::extractPanel(d, 0));
+  const Index a1 = localPin(p, d, "a1");
+  ASSERT_NE(a1, geom::kInvalidIndex);
+  EXPECT_FALSE(p.pins[static_cast<std::size_t>(a1)].intervals.empty());
+  for (Index i : p.pins[static_cast<std::size_t>(a1)].intervals) {
+    EXPECT_EQ(p.intervals[static_cast<std::size_t>(i)].track, 4);
+  }
+}
+
+TEST(IntervalGen, InaccessiblePinReported) {
+  Design d("t", 20, 1, 10);
+  const db::Index n = d.addNet("A");
+  d.addPin("p", n, Rect{Interval::point(5), Interval{2, 3}});
+  d.addPin("q", n, Rect{Interval::point(12), Interval{2, 3}});
+  d.addBlockage(Layer::M2, Rect{Interval{4, 6}, Interval{2, 3}});  // buries p
+  const Problem p = buildProblem(d, db::extractPanel(d, 0));
+  const Index lp = localPin(p, d, "p");
+  EXPECT_TRUE(p.pins[static_cast<std::size_t>(lp)].intervals.empty());
+  EXPECT_EQ(p.pins[static_cast<std::size_t>(lp)].minimalInterval,
+            geom::kInvalidIndex);
+}
+
+TEST(IntervalGen, MaxExtentCapsLongNets) {
+  const Design d = fig3Design();
+  GenOptions opts;
+  opts.maxExtent = 3;  // paper footnote 1: estimated M2 routing box
+  const Problem p = buildProblem(d, db::extractPanel(d, 0), opts);
+  const Index a1 = localPin(p, d, "a1");
+  for (Index i : p.pins[static_cast<std::size_t>(a1)].intervals) {
+    const AccessInterval& iv = p.intervals[static_cast<std::size_t>(i)];
+    EXPECT_GE(iv.span.lo, 7);
+    EXPECT_LE(iv.span.hi, 13);
+  }
+}
+
+TEST(IntervalGen, ProfitModelsDifferOnLongIntervals) {
+  const Design d = fig3Design();
+  Problem p = buildProblem(d, db::extractPanel(d, 0));
+  std::vector<double> sqrtProfit = p.profit;
+  assignProfits(p, ProfitModel::LinearSpan);
+  for (std::size_t i = 0; i < p.intervals.size(); ++i) {
+    const double span = static_cast<double>(p.intervals[i].span.span());
+    EXPECT_NEAR(sqrtProfit[i], std::sqrt(span), 1e-12);
+    EXPECT_NEAR(p.profit[i], span, 1e-12);
+  }
+}
+
+TEST(IntervalGen, MultiPanelMergeKeepsPerPanelPins) {
+  Design d("two", 40, 2, 10);
+  const db::Index nA = d.addNet("A");
+  const db::Index nB = d.addNet("B");
+  d.addPin("a1", nA, Rect{Interval::point(5), Interval{2, 4}});
+  d.addPin("a2", nA, Rect{Interval::point(15), Interval{2, 4}});
+  d.addPin("b1", nB, Rect{Interval::point(5), Interval{12, 14}});
+  d.addPin("b2", nB, Rect{Interval::point(15), Interval{12, 14}});
+  const std::vector<db::Panel> panels = db::extractPanels(d);
+  const Problem merged = buildProblem(d, panels);
+  EXPECT_EQ(merged.pins.size(), 4u);
+  // Intervals from different panels must sit on that panel's tracks.
+  for (const AccessInterval& iv : merged.intervals) {
+    if (iv.net == nA) {
+      EXPECT_LE(iv.track, 9);
+    }
+    if (iv.net == nB) {
+      EXPECT_GE(iv.track, 10);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpr::core

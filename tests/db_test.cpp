@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "db/design.h"
+#include "db/panel.h"
+
+namespace cpr::db {
+namespace {
+
+using geom::Interval;
+using geom::Rect;
+
+/// Small two-row design used throughout: 40 columns, 10 tracks per row.
+Design makeDesign() {
+  Design d("t", /*width=*/40, /*numRows=*/2, /*tracksPerRow=*/10);
+  const Index nA = d.addNet("A");
+  const Index nB = d.addNet("B");
+  d.addPin("a1", nA, Rect{Interval::point(5), Interval{2, 5}});
+  d.addPin("a2", nA, Rect{Interval::point(20), Interval{3, 6}});
+  d.addPin("b1", nB, Rect{Interval::point(10), Interval{12, 15}});
+  d.addPin("b2", nB, Rect{Interval::point(30), Interval{13, 16}});
+  return d;
+}
+
+TEST(Design, BasicAccessors) {
+  const Design d = makeDesign();
+  EXPECT_EQ(d.width(), 40);
+  EXPECT_EQ(d.gridHeight(), 20);
+  EXPECT_EQ(d.pins().size(), 4u);
+  EXPECT_EQ(d.nets().size(), 2u);
+  EXPECT_EQ(d.rowTracks(1), Interval(10, 19));
+  EXPECT_EQ(d.rowOfTrack(9), 0);
+  EXPECT_EQ(d.rowOfTrack(10), 1);
+}
+
+TEST(Design, PinRowDerivedFromTracks) {
+  const Design d = makeDesign();
+  EXPECT_EQ(d.pin(0).row, 0);
+  EXPECT_EQ(d.pin(2).row, 1);
+}
+
+TEST(Design, NetBoxCoversAllPins) {
+  const Design d = makeDesign();
+  const Rect boxA = d.netBox(0);
+  EXPECT_EQ(boxA.x, Interval(5, 20));
+  EXPECT_EQ(boxA.y, Interval(2, 6));
+  const Rect boxB = d.netBox(1);
+  EXPECT_EQ(boxB.x, Interval(10, 30));
+}
+
+TEST(Design, ValidateAcceptsWellFormed) {
+  EXPECT_EQ(makeDesign().validate(), "");
+}
+
+TEST(Design, ValidateRejectsOutOfDiePin) {
+  Design d("t", 10, 1, 10);
+  const Index n = d.addNet("A");
+  d.addPin("p", n, Rect{Interval::point(50), Interval{1, 3}});
+  d.addPin("q", n, Rect{Interval::point(2), Interval{1, 3}});
+  EXPECT_NE(d.validate().find("outside die"), std::string::npos);
+}
+
+TEST(Design, ValidateRejectsEmptyNet) {
+  Design d("t", 10, 1, 10);
+  d.addNet("empty");
+  EXPECT_NE(d.validate().find("no pins"), std::string::npos);
+}
+
+TEST(Design, ValidateRejectsRowStraddlingPin) {
+  Design d("t", 10, 2, 10);
+  const Index n = d.addNet("A");
+  d.addPin("p", n, Rect{Interval::point(1), Interval{8, 12}});
+  d.addPin("q", n, Rect{Interval::point(5), Interval{1, 3}});
+  EXPECT_NE(d.validate().find("multiple rows"), std::string::npos);
+}
+
+TEST(Panel, ExtractAssignsEveryPinOnce) {
+  const Design d = makeDesign();
+  const std::vector<Panel> panels = extractPanels(d);
+  ASSERT_EQ(panels.size(), 2u);
+  EXPECT_EQ(panels[0].pins.size(), 2u);
+  EXPECT_EQ(panels[1].pins.size(), 2u);
+  EXPECT_EQ(panels[0].tracks, Interval(0, 9));
+  EXPECT_EQ(panels[1].tracks, Interval(10, 19));
+}
+
+TEST(Panel, FreeSpaceIsWholeDieWithoutBlockages) {
+  const Design d = makeDesign();
+  const Panel p = extractPanel(d, 0);
+  for (geom::Coord t = 0; t <= 9; ++t) {
+    ASSERT_EQ(p.freeOn(t).intervals().size(), 1u);
+    EXPECT_EQ(p.freeOn(t).intervals().front(), Interval(0, 39));
+  }
+}
+
+TEST(Panel, BlockageCarvesFreeSpace) {
+  Design d = makeDesign();
+  d.addBlockage(Layer::M2, Rect{Interval{10, 14}, Interval{3, 4}});
+  const Panel p = extractPanel(d, 0);
+  EXPECT_TRUE(p.freeOn(2).containsAll(Interval{10, 14}));   // untouched track
+  EXPECT_FALSE(p.freeOn(3).overlaps(Interval{10, 14}));
+  EXPECT_FALSE(p.freeOn(4).contains(12));
+  EXPECT_EQ(p.freeOn(3).segmentContaining(5), Interval(0, 9));
+  EXPECT_EQ(p.freeOn(3).segmentContaining(20), Interval(15, 39));
+}
+
+TEST(Panel, M3BlockagesDoNotAffectM2FreeSpace) {
+  Design d = makeDesign();
+  d.addBlockage(Layer::M3, Rect{Interval{10, 14}, Interval{3, 4}});
+  const Panel p = extractPanel(d, 0);
+  EXPECT_TRUE(p.freeOn(3).containsAll(Interval{10, 14}));
+}
+
+}  // namespace
+}  // namespace cpr::db

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "geom/interval.h"
+#include "geom/interval_set.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace cpr::geom {
+namespace {
+
+TEST(Interval, DefaultIsEmpty) {
+  Interval iv;
+  EXPECT_TRUE(iv.empty());
+  EXPECT_EQ(iv.span(), 0);
+  EXPECT_EQ(iv.length(), 0);
+}
+
+TEST(Interval, PointSpanAndLength) {
+  const Interval iv = Interval::point(5);
+  EXPECT_FALSE(iv.empty());
+  EXPECT_EQ(iv.span(), 1);
+  EXPECT_EQ(iv.length(), 0);
+  EXPECT_TRUE(iv.contains(5));
+  EXPECT_FALSE(iv.contains(4));
+}
+
+TEST(Interval, SpanCountsGridPoints) {
+  EXPECT_EQ(Interval(2, 7).span(), 6);
+  EXPECT_EQ(Interval(2, 7).length(), 5);
+  EXPECT_EQ(Interval(-3, 3).span(), 7);
+}
+
+TEST(Interval, OverlapIsSymmetricAndClosed) {
+  const Interval a{0, 5};
+  const Interval b{5, 9};
+  const Interval c{6, 9};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_FALSE(a.overlaps(Interval{}));
+}
+
+TEST(Interval, AbutsDetectsAdjacency) {
+  EXPECT_TRUE(Interval(0, 4).abuts(Interval(5, 7)));
+  EXPECT_TRUE(Interval(5, 7).abuts(Interval(0, 4)));
+  EXPECT_FALSE(Interval(0, 4).abuts(Interval(4, 7)));  // overlap, not abut
+  EXPECT_FALSE(Interval(0, 4).abuts(Interval(6, 7)));  // gap
+}
+
+TEST(Interval, IntersectAndHull) {
+  EXPECT_EQ(intersect(Interval(0, 5), Interval(3, 9)), Interval(3, 5));
+  EXPECT_TRUE(intersect(Interval(0, 2), Interval(4, 5)).empty());
+  EXPECT_EQ(hull(Interval(0, 2), Interval(4, 5)), Interval(0, 5));
+  EXPECT_EQ(hull(Interval{}, Interval(4, 5)), Interval(4, 5));
+}
+
+TEST(Interval, ContainsInterval) {
+  EXPECT_TRUE(Interval(0, 9).contains(Interval(2, 5)));
+  EXPECT_TRUE(Interval(0, 9).contains(Interval{}));  // empty always contained
+  EXPECT_FALSE(Interval(0, 9).contains(Interval(5, 10)));
+}
+
+TEST(Point, Manhattan) {
+  EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan({3, 4}, {0, 0}), 7);
+  EXPECT_EQ(manhattan({-2, 1}, {2, -1}), 6);
+}
+
+TEST(Rect, HalfPerimeterMatchesPaperWlEstimate) {
+  // A 3x2-grid-point box spans lengths 2 and 1.
+  const Rect r{0, 0, 2, 1};
+  EXPECT_EQ(r.halfPerimeter(), 3);
+  EXPECT_EQ(Rect::point({4, 4}).halfPerimeter(), 0);
+}
+
+TEST(Rect, ExpandGrowsToCover) {
+  Rect r = Rect::point({5, 5});
+  r.expand(Point{2, 7});
+  EXPECT_TRUE(r.contains(Point{2, 7}));
+  EXPECT_TRUE(r.contains(Point{5, 5}));
+  EXPECT_EQ(r, Rect(2, 5, 5, 7));
+  r.expand(Rect{0, 0, 1, 1});
+  EXPECT_EQ(r, Rect(0, 0, 5, 7));
+}
+
+TEST(Rect, OverlapAndContains) {
+  const Rect a{0, 0, 4, 4};
+  EXPECT_TRUE(a.overlaps(Rect{4, 4, 8, 8}));   // closed: corner touch
+  EXPECT_FALSE(a.overlaps(Rect{5, 0, 8, 4}));
+  EXPECT_TRUE(a.contains(Rect{1, 1, 3, 3}));
+  EXPECT_FALSE(a.contains(Rect{1, 1, 5, 3}));
+}
+
+TEST(IntervalSet, AddMergesOverlapsAndAbutments) {
+  IntervalSet s;
+  s.add({0, 3});
+  s.add({8, 10});
+  ASSERT_EQ(s.intervals().size(), 2u);
+  s.add({4, 7});  // abuts both: everything merges
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.intervals().front(), Interval(0, 10));
+}
+
+TEST(IntervalSet, SubtractSplits) {
+  IntervalSet s(Interval{0, 10});
+  s.subtract({4, 6});
+  ASSERT_EQ(s.intervals().size(), 2u);
+  EXPECT_EQ(s.intervals()[0], Interval(0, 3));
+  EXPECT_EQ(s.intervals()[1], Interval(7, 10));
+  EXPECT_FALSE(s.contains(5));
+  EXPECT_TRUE(s.contains(3));
+}
+
+TEST(IntervalSet, SegmentContaining) {
+  IntervalSet s(Interval{0, 20});
+  s.subtract({5, 5});
+  EXPECT_EQ(s.segmentContaining(3), Interval(0, 4));
+  EXPECT_EQ(s.segmentContaining(10), Interval(6, 20));
+  EXPECT_TRUE(s.segmentContaining(5).empty());
+}
+
+TEST(IntervalSet, ContainsAllRequiresSingleSegment) {
+  IntervalSet s;
+  s.add({0, 4});
+  s.add({6, 9});
+  EXPECT_TRUE(s.containsAll({1, 3}));
+  EXPECT_FALSE(s.containsAll({3, 7}));  // spans the hole
+}
+
+/// Property test: IntervalSet agrees with a naive point-set model under a
+/// random add/subtract workload.
+class IntervalSetProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IntervalSetProperty, MatchesNaiveModel) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> coordDist(0, 60);
+  std::uniform_int_distribution<int> opDist(0, 1);
+
+  IntervalSet s;
+  std::set<int> model;
+  for (int step = 0; step < 200; ++step) {
+    int a = coordDist(rng);
+    int b = coordDist(rng);
+    if (a > b) std::swap(a, b);
+    if (opDist(rng) == 0) {
+      s.add({a, b});
+      for (int v = a; v <= b; ++v) model.insert(v);
+    } else {
+      s.subtract({a, b});
+      for (int v = a; v <= b; ++v) model.erase(v);
+    }
+    // Normal form: sorted, disjoint, non-abutting.
+    for (std::size_t i = 0; i + 1 < s.intervals().size(); ++i) {
+      ASSERT_LT(s.intervals()[i].hi + 1, s.intervals()[i + 1].lo);
+    }
+    // Membership agreement.
+    for (int v = 0; v <= 60; ++v) {
+      ASSERT_EQ(s.contains(v), model.count(v) > 0) << "point " << v;
+    }
+    ASSERT_EQ(s.totalSpan(), static_cast<Coord>(model.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace cpr::geom

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ilp/branch_and_bound.h"
+
+namespace cpr::ilp {
+namespace {
+
+/// Exhaustive reference solver for tiny binary ILPs.
+double bruteForceOpt(const Model& m, bool* feasible) {
+  const int n = m.numVars();
+  double best = 0.0;
+  *feasible = false;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    std::vector<double> x(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) x[static_cast<std::size_t>(v)] = (mask >> v) & 1;
+    if (!m.feasible(x)) continue;
+    const double obj = m.evaluate(x);
+    if (!*feasible || obj > best) best = obj;
+    *feasible = true;
+  }
+  return best;
+}
+
+TEST(BranchAndBound, SolvesKnapsack) {
+  // max 10a + 6b + 4c st 5a + 4b + 3c <= 8 → {a,c}: 14.
+  Model m;
+  const Index a = m.addBinary(10.0);
+  const Index b = m.addBinary(6.0);
+  const Index c = m.addBinary(4.0);
+  m.addConstraint({{a, 5.0}, {b, 4.0}, {c, 3.0}}, Sense::LessEqual, 8.0);
+  const IlpResult r = solveBinaryIlp(m);
+  ASSERT_EQ(r.status, IlpStatus::Optimal);
+  EXPECT_NEAR(r.objective, 14.0, 1e-7);
+  EXPECT_NEAR(r.x[a], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[b], 0.0, 1e-9);
+  EXPECT_NEAR(r.x[c], 1.0, 1e-9);
+}
+
+TEST(BranchAndBound, SolvesAssignmentWithEqualities) {
+  // Two pins, three intervals; shared interval c worth selecting once.
+  Model m;
+  const Index a = m.addBinary(1.0);
+  const Index b = m.addBinary(1.0);
+  const Index c = m.addBinary(2.2);  // covers both pins
+  m.addConstraint({{a, 1.0}, {c, 1.0}}, Sense::Equal, 1.0);
+  m.addConstraint({{b, 1.0}, {c, 1.0}}, Sense::Equal, 1.0);
+  const IlpResult r = solveBinaryIlp(m);
+  ASSERT_EQ(r.status, IlpStatus::Optimal);
+  EXPECT_NEAR(r.objective, 2.2, 1e-7);
+  EXPECT_NEAR(r.x[c], 1.0, 1e-9);
+}
+
+TEST(BranchAndBound, DetectsInfeasible) {
+  Model m;
+  const Index a = m.addBinary(1.0);
+  const Index b = m.addBinary(1.0);
+  m.addConstraint({{a, 1.0}, {b, 1.0}}, Sense::Equal, 1.0);
+  m.addConstraint({{a, 1.0}}, Sense::Equal, 1.0);
+  m.addConstraint({{b, 1.0}}, Sense::Equal, 1.0);
+  EXPECT_EQ(solveBinaryIlp(m).status, IlpStatus::Infeasible);
+}
+
+TEST(BranchAndBound, HonorsNodeLimit) {
+  Model m;
+  for (int i = 0; i < 12; ++i) m.addBinary(1.0 + 0.01 * i);
+  // Parity-ish coupling to make the LP fractional everywhere.
+  for (int i = 0; i + 1 < 12; ++i) {
+    m.addConstraint({{i, 2.0}, {i + 1, 2.0}}, Sense::LessEqual, 3.0);
+  }
+  IlpOptions opts;
+  opts.maxNodes = 3;
+  const IlpResult r = solveBinaryIlp(m, opts);
+  EXPECT_EQ(r.status, IlpStatus::NodeLimit);
+  EXPECT_LE(r.nodesExplored, 3);
+}
+
+/// Property test: B&B equals brute force on random tiny ILPs, including
+/// infeasible ones.
+class BnbProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BnbProperty, MatchesBruteForce) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> nDist(2, 7);
+  std::uniform_int_distribution<int> cDist(-5, 8);
+  std::uniform_int_distribution<int> rhsDist(0, 3);
+  std::uniform_int_distribution<int> senseDist(0, 4);
+
+  for (int round = 0; round < 60; ++round) {
+    Model m;
+    const int n = nDist(rng);
+    for (int v = 0; v < n; ++v) m.addBinary(cDist(rng));
+    const int rows = nDist(rng);
+    for (int r = 0; r < rows; ++r) {
+      std::vector<Term> terms;
+      for (Index v = 0; v < n; ++v) {
+        if (cDist(rng) > 2) terms.push_back({v, 1.0});
+      }
+      if (terms.empty()) continue;
+      const int s = senseDist(rng);
+      if (s == 0) {
+        m.addConstraint(std::move(terms), Sense::Equal, 1.0);
+      } else {
+        m.addConstraint(std::move(terms), Sense::LessEqual,
+                        static_cast<double>(rhsDist(rng)));
+      }
+    }
+    bool feasible = false;
+    const double ref = bruteForceOpt(m, &feasible);
+    const IlpResult r = solveBinaryIlp(m);
+    if (!feasible) {
+      EXPECT_EQ(r.status, IlpStatus::Infeasible) << "round " << round;
+    } else {
+      ASSERT_EQ(r.status, IlpStatus::Optimal) << "round " << round;
+      EXPECT_NEAR(r.objective, ref, 1e-6) << "round " << round;
+      EXPECT_TRUE(m.feasible(r.x));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BnbProperty,
+                         ::testing::Values(21u, 22u, 23u, 24u, 25u));
+
+}  // namespace
+}  // namespace cpr::ilp

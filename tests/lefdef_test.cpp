@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/generator.h"
+#include "lefdef/def_io.h"
+
+namespace cpr::lefdef {
+namespace {
+
+using db::Design;
+using geom::Interval;
+using geom::Rect;
+
+Design sample() {
+  Design d("demo", 40, 2, 10);
+  const db::Index a = d.addNet("A");
+  const db::Index b = d.addNet("B");
+  d.addPin("a1", a, Rect{Interval::point(5), Interval{2, 4}});
+  d.addPin("a2", a, Rect{Interval::point(15), Interval{3, 5}});
+  d.addPin("b1", b, Rect{Interval::point(9), Interval{12, 14}});
+  d.addPin("b2", b, Rect{Interval::point(30), Interval{12, 14}});
+  d.addBlockage(db::Layer::M2, Rect{Interval{10, 20}, Interval{7, 7}});
+  d.addBlockage(db::Layer::M3, Rect{Interval{3, 3}, Interval{0, 19}});
+  return d;
+}
+
+std::string serialize(const Design& d) {
+  std::ostringstream os;
+  writeDef(d, os);
+  return os.str();
+}
+
+TEST(DefIo, WriterEmitsExpectedRecords) {
+  const std::string text = serialize(sample());
+  EXPECT_NE(text.find("DESIGN demo ;"), std::string::npos);
+  EXPECT_NE(text.find("DIEAREA ( 0 0 ) ( 40 20 ) ;"), std::string::npos);
+  EXPECT_NE(text.find("ROWS 2 10 ;"), std::string::npos);
+  EXPECT_NE(text.find("BLOCKAGES 2 ;"), std::string::npos);
+  EXPECT_NE(text.find("NETS 2 ;"), std::string::npos);
+  EXPECT_NE(text.find("( PIN a1 LAYER M1 RECT ( 5 2 ) ( 5 4 ) )"),
+            std::string::npos);
+}
+
+TEST(DefIo, RoundTripPreservesDesign) {
+  const Design orig = sample();
+  std::stringstream ss;
+  writeDef(orig, ss);
+  const Design back = readDef(ss);
+
+  EXPECT_EQ(back.name(), orig.name());
+  EXPECT_EQ(back.width(), orig.width());
+  EXPECT_EQ(back.numRows(), orig.numRows());
+  EXPECT_EQ(back.tracksPerRow(), orig.tracksPerRow());
+  ASSERT_EQ(back.pins().size(), orig.pins().size());
+  ASSERT_EQ(back.nets().size(), orig.nets().size());
+  ASSERT_EQ(back.blockages().size(), orig.blockages().size());
+  for (std::size_t i = 0; i < orig.pins().size(); ++i) {
+    EXPECT_EQ(back.pins()[i].name, orig.pins()[i].name);
+    EXPECT_EQ(back.pins()[i].shape, orig.pins()[i].shape);
+    EXPECT_EQ(back.pins()[i].net, orig.pins()[i].net);
+  }
+  for (std::size_t i = 0; i < orig.blockages().size(); ++i) {
+    EXPECT_EQ(back.blockages()[i].layer, orig.blockages()[i].layer);
+    EXPECT_EQ(back.blockages()[i].shape, orig.blockages()[i].shape);
+  }
+  EXPECT_EQ(back.validate(), "");
+}
+
+TEST(DefIo, RoundTripOnGeneratedDesign) {
+  gen::GenOptions o;
+  o.seed = 11;
+  o.width = 120;
+  o.numRows = 6;
+  const Design orig = gen::generate(o);
+  std::stringstream ss;
+  writeDef(orig, ss);
+  const Design back = readDef(ss);
+  ASSERT_EQ(back.pins().size(), orig.pins().size());
+  ASSERT_EQ(back.nets().size(), orig.nets().size());
+  for (std::size_t i = 0; i < orig.pins().size(); ++i)
+    EXPECT_EQ(back.pins()[i].shape, orig.pins()[i].shape);
+  EXPECT_EQ(back.validate(), "");
+}
+
+TEST(DefIo, RejectsTruncatedInput) {
+  std::string text = serialize(sample());
+  text.resize(text.size() / 2);
+  std::istringstream is(text);
+  EXPECT_THROW((void)readDef(is), DefParseError);
+}
+
+TEST(DefIo, RejectsBadKeyword) {
+  std::istringstream is("VERSION 5.8 ;\nGARBAGE demo ;\n");
+  try {
+    (void)readDef(is);
+    FAIL() << "expected DefParseError";
+  } catch (const DefParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(DefIo, RejectsNonM1Pin) {
+  std::istringstream is(
+      "VERSION 5.8 ;\nDESIGN d ;\nUNITS DISTANCE MICRONS 1000 ;\n"
+      "DIEAREA ( 0 0 ) ( 10 10 ) ;\nROWS 1 10 ;\n"
+      "BLOCKAGES 0 ;\nEND BLOCKAGES\nNETS 1 ;\n- n0\n"
+      "( PIN p LAYER M2 RECT ( 1 1 ) ( 1 3 ) )\n;\nEND NETS\nEND DESIGN\n");
+  EXPECT_THROW((void)readDef(is), DefParseError);
+}
+
+TEST(DefIo, RejectsInconsistentRowGeometry) {
+  std::istringstream is(
+      "VERSION 5.8 ;\nDESIGN d ;\nUNITS DISTANCE MICRONS 1000 ;\n"
+      "DIEAREA ( 0 0 ) ( 10 25 ) ;\nROWS 2 10 ;\n");
+  EXPECT_THROW((void)readDef(is), DefParseError);
+}
+
+TEST(DefIo, RejectsNonIntegerCoordinate) {
+  std::istringstream is(
+      "VERSION 5.8 ;\nDESIGN d ;\nUNITS DISTANCE MICRONS 1000 ;\n"
+      "DIEAREA ( 0 0 ) ( 1x 20 ) ;\n");
+  EXPECT_THROW((void)readDef(is), DefParseError);
+}
+
+TEST(DefIo, FileRoundTrip) {
+  const Design orig = sample();
+  const std::string path = ::testing::TempDir() + "/cpr_def_io_test.def";
+  saveDef(orig, path);
+  const Design back = loadDef(path);
+  EXPECT_EQ(back.pins().size(), orig.pins().size());
+  EXPECT_THROW((void)loadDef(path + ".missing"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cpr::lefdef

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "route/grid.h"
+
+namespace cpr::route {
+namespace {
+
+using db::Design;
+using db::Layer;
+using geom::Interval;
+using geom::Rect;
+
+Design makeDesign() {
+  Design d("g", 20, 2, 10);
+  const db::Index a = d.addNet("A");
+  const db::Index b = d.addNet("B");
+  d.addPin("a1", a, Rect{Interval::point(3), Interval{2, 4}});
+  d.addPin("a2", a, Rect{Interval::point(12), Interval{2, 4}});
+  d.addPin("b1", b, Rect{Interval::point(7), Interval{13, 15}});
+  d.addPin("b2", b, Rect{Interval::point(16), Interval{13, 15}});
+  d.addBlockage(Layer::M2, Rect{Interval{0, 5}, Interval{8, 8}});
+  d.addBlockage(Layer::M3, Rect{Interval{9, 9}, Interval{0, 19}});
+  return d;
+}
+
+TEST(RoutingGrid, NodePackingRoundTrips) {
+  const Design d = makeDesign();
+  RoutingGrid g(d, nullptr);
+  EXPECT_EQ(g.width(), 20);
+  EXPECT_EQ(g.height(), 20);
+  for (const Node n : {Node{RLayer::M2, 0, 0}, Node{RLayer::M2, 19, 19},
+                       Node{RLayer::M3, 7, 13}, Node{RLayer::M3, 19, 0}}) {
+    EXPECT_EQ(g.node(g.id(n)), n);
+  }
+  EXPECT_EQ(g.numNodes(), 2 * 20 * 20);
+}
+
+TEST(RoutingGrid, BlockagesPerLayer) {
+  const Design d = makeDesign();
+  RoutingGrid g(d, nullptr);
+  EXPECT_TRUE(g.blocked(g.id(Node{RLayer::M2, 3, 8})));
+  EXPECT_FALSE(g.blocked(g.id(Node{RLayer::M3, 3, 8})));
+  EXPECT_TRUE(g.blocked(g.id(Node{RLayer::M3, 9, 11})));
+  EXPECT_FALSE(g.blocked(g.id(Node{RLayer::M2, 9, 11})));
+}
+
+TEST(RoutingGrid, PinProjectionRecordsOwningNet) {
+  const Design d = makeDesign();
+  RoutingGrid g(d, nullptr);
+  EXPECT_EQ(g.pinNetAt(g.id(Node{RLayer::M2, 3, 2})), 0);
+  EXPECT_EQ(g.pinNetAt(g.id(Node{RLayer::M2, 3, 4})), 0);
+  EXPECT_EQ(g.pinNetAt(g.id(Node{RLayer::M2, 7, 14})), 1);
+  EXPECT_EQ(g.pinNetAt(g.id(Node{RLayer::M2, 5, 2})), geom::kInvalidIndex);
+}
+
+TEST(RoutingGrid, IntervalMapFollowsPlan) {
+  const Design d = makeDesign();
+  core::PinAccessPlan plan;
+  plan.routes.assign(d.pins().size(), core::PinRoute{});
+  plan.routes[0] = core::PinRoute{3, Interval{1, 8}};  // pin a1 on track 3
+  RoutingGrid g(d, &plan);
+  EXPECT_EQ(g.intervalNetAt(g.id(Node{RLayer::M2, 1, 3})), 0);
+  EXPECT_EQ(g.intervalNetAt(g.id(Node{RLayer::M2, 8, 3})), 0);
+  EXPECT_EQ(g.intervalNetAt(g.id(Node{RLayer::M2, 9, 3})), geom::kInvalidIndex);
+  // Without a plan the map reports no interval anywhere.
+  RoutingGrid g2(d, nullptr);
+  EXPECT_EQ(g2.intervalNetAt(g2.id(Node{RLayer::M2, 1, 3})), geom::kInvalidIndex);
+}
+
+TEST(RoutingGrid, OccupancyAndCongestion) {
+  const Design d = makeDesign();
+  RoutingGrid g(d, nullptr);
+  const int id = g.id(Node{RLayer::M2, 10, 10});
+  EXPECT_EQ(g.occupancy(id), 0);
+  g.addOcc(id);
+  g.addOcc(id);
+  EXPECT_EQ(g.occupancy(id), 2);
+  EXPECT_EQ(g.congestedNodeCount(), 1);
+  g.removeOcc(id);
+  EXPECT_EQ(g.congestedNodeCount(), 0);
+}
+
+TEST(RoutingGrid, HistoryAccumulates) {
+  const Design d = makeDesign();
+  RoutingGrid g(d, nullptr);
+  const int id = g.id(Node{RLayer::M3, 4, 4});
+  g.addHistory(id, 1.5F);
+  g.addHistory(id, 0.5F);
+  EXPECT_FLOAT_EQ(g.history(id), 2.0F);
+}
+
+TEST(RoutingGrid, ViaForbiddenIsSameTrackOnly) {
+  const Design d = makeDesign();
+  RoutingGrid g(d, nullptr);
+  g.addVia(10, 10, /*net=*/0);
+  EXPECT_TRUE(g.viaForbidden(10, 10, 1));   // same site, other net
+  EXPECT_TRUE(g.viaForbidden(11, 10, 1));   // adjacent column, same track
+  EXPECT_TRUE(g.viaForbidden(9, 10, 1));
+  EXPECT_FALSE(g.viaForbidden(10, 11, 1));  // adjacent track: fine
+  EXPECT_FALSE(g.viaForbidden(12, 10, 1));  // two columns away: fine
+  EXPECT_FALSE(g.viaForbidden(11, 10, 0));  // same net: fine
+  g.removeVia(10, 10, 0);
+  EXPECT_FALSE(g.viaForbidden(10, 10, 1));
+}
+
+}  // namespace
+}  // namespace cpr::route

@@ -1,0 +1,181 @@
+/// \file cpr_route.cpp
+/// Command-line front end: load or synthesize a design, route it with any of
+/// the three schemes, and export reports, SVG pictures, and routed DEF.
+///
+///   cpr_route --design ecc                       # synthesize a suite design
+///   cpr_route --def my.def                       # or load a DEF subset
+///   cpr_route --design ecc --scheme nopao        # cpr | nopao | seq
+///   cpr_route --design ecc --pin-access ilp      # lr | ilp (cpr scheme)
+///   cpr_route --design ecc --svg out.svg --routed-def out.def --seed 9
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "eval/metrics.h"
+#include "gen/generator.h"
+#include "lefdef/def_io.h"
+#include "route/cpr.h"
+#include "route/sequential_router.h"
+#include "viz/svg.h"
+
+namespace {
+
+struct Args {
+  std::string design;
+  std::string defPath;
+  std::string scheme = "cpr";
+  std::string pinAccess = "lr";
+  std::string svgPath;
+  std::string routedDefPath;
+  std::uint64_t seed = 7;
+  bool help = false;
+};
+
+std::optional<Args> parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (flag == "--help" || flag == "-h") {
+      a.help = true;
+    } else if (flag == "--design") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      a.design = v;
+    } else if (flag == "--def") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      a.defPath = v;
+    } else if (flag == "--scheme") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      a.scheme = v;
+    } else if (flag == "--pin-access") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      a.pinAccess = v;
+    } else if (flag == "--svg") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      a.svgPath = v;
+    } else if (flag == "--routed-def") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      a.routedDefPath = v;
+    } else if (flag == "--seed") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      a.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", flag.c_str());
+      return std::nullopt;
+    }
+  }
+  return a;
+}
+
+void usage() {
+  std::puts(
+      "cpr_route — concurrent pin access routing\n"
+      "  --design <ecc|efc|ctl|alu|div|top>  synthesize a suite benchmark\n"
+      "  --def <path>                        load a DEF-subset design instead\n"
+      "  --scheme <cpr|nopao|seq>            routing scheme (default cpr)\n"
+      "  --pin-access <lr|ilp>               optimizer for the cpr scheme\n"
+      "  --svg <path>                        write an SVG of the result\n"
+      "  --routed-def <path>                 write routed DEF\n"
+      "  --seed <n>                          generator seed (default 7)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cpr;
+  const std::optional<Args> args = parse(argc, argv);
+  if (!args) return 2;
+  if (args->help || (args->design.empty() && args->defPath.empty())) {
+    usage();
+    return args->help ? 0 : 2;
+  }
+
+  try {
+    const db::Design d = !args->defPath.empty()
+                             ? lefdef::loadDef(args->defPath)
+                             : gen::makeSuiteDesign(
+                                   gen::suiteSpec(args->design), args->seed);
+    if (const std::string report = d.validate(); !report.empty()) {
+      std::fprintf(stderr, "design fails validation:\n%s", report.c_str());
+      return 1;
+    }
+    std::printf("design %s: %zu nets, %zu pins, %d x %d grid\n",
+                d.name().c_str(), d.nets().size(), d.pins().size(), d.width(),
+                d.gridHeight());
+
+    const bool wantGeometry =
+        !args->svgPath.empty() || !args->routedDefPath.empty();
+    route::RoutingResult result;
+    core::PinAccessPlan plan;
+    double extraSeconds = 0.0;
+    if (args->scheme == "seq") {
+      route::SequentialOptions opts;
+      opts.keepGeometry = wantGeometry;
+      result = route::routeSequential(d, opts);
+    } else if (args->scheme == "nopao") {
+      route::NegotiationOptions opts;
+      opts.keepGeometry = wantGeometry;
+      result = route::routeNegotiated(d, nullptr, opts);
+    } else if (args->scheme == "cpr") {
+      route::CprOptions opts;
+      opts.routing.keepGeometry = wantGeometry;
+      if (args->pinAccess == "ilp") {
+        opts.pinAccess.method = core::Method::Exact;
+        opts.pinAccess.exact.timeLimitSeconds = 1.0;  // per panel
+      } else if (args->pinAccess != "lr") {
+        std::fprintf(stderr, "unknown --pin-access %s\n",
+                     args->pinAccess.c_str());
+        return 2;
+      }
+      route::CprResult r = route::routeCpr(d, opts);
+      result = std::move(r.routing);
+      plan = std::move(r.plan);
+      extraSeconds = r.pinAccessSeconds;
+    } else {
+      std::fprintf(stderr, "unknown --scheme %s\n", args->scheme.c_str());
+      return 2;
+    }
+
+    const eval::Metrics m = eval::summarize(d, result, extraSeconds);
+    std::printf("%s\n", eval::tableHeader().c_str());
+    std::printf("%s\n", eval::tableRow(args->scheme, m).c_str());
+    std::printf("congested grids before RRR: %ld, DRC violations at signoff: "
+                "%ld\n",
+                m.congestedGridsBeforeRrr, m.drcViolations);
+
+    if (!args->svgPath.empty()) {
+      viz::SvgOptions svg;
+      svg.labelPins = d.pins().size() <= 400;
+      viz::saveSvg(d, args->scheme == "cpr" ? &plan : nullptr,
+                   result.geometry.empty() ? nullptr : &result.geometry,
+                   args->svgPath, svg);
+      std::printf("wrote %s\n", args->svgPath.c_str());
+    }
+    if (!args->routedDefPath.empty()) {
+      std::ofstream os(args->routedDefPath);
+      if (!os) throw std::runtime_error("cannot write " + args->routedDefPath);
+      lefdef::writeRoutedDef(d, result.geometry, os);
+      std::printf("wrote %s\n", args->routedDefPath.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
