@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_constraints.cpp" "bench/CMakeFiles/bench_ablation_constraints.dir/bench_ablation_constraints.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_constraints.dir/bench_ablation_constraints.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/cpr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/cpr_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/cpr_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/cpr_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/cpr_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/cpr_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/lefdef/CMakeFiles/cpr_lefdef.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_routers.dir/bench_table2_routers.cpp.o"
+  "CMakeFiles/bench_table2_routers.dir/bench_table2_routers.cpp.o.d"
+  "bench_table2_routers"
+  "bench_table2_routers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_routers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

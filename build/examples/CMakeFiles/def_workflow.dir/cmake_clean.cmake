@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/def_workflow.dir/def_workflow.cpp.o"
+  "CMakeFiles/def_workflow.dir/def_workflow.cpp.o.d"
+  "def_workflow"
+  "def_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/def_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_chip_route.dir/full_chip_route.cpp.o"
+  "CMakeFiles/full_chip_route.dir/full_chip_route.cpp.o.d"
+  "full_chip_route"
+  "full_chip_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_chip_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

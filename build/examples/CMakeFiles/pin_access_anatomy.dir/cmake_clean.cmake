@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pin_access_anatomy.dir/pin_access_anatomy.cpp.o"
+  "CMakeFiles/pin_access_anatomy.dir/pin_access_anatomy.cpp.o.d"
+  "pin_access_anatomy"
+  "pin_access_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pin_access_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

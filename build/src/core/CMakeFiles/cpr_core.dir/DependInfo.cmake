@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/conflict.cpp" "src/core/CMakeFiles/cpr_core.dir/conflict.cpp.o" "gcc" "src/core/CMakeFiles/cpr_core.dir/conflict.cpp.o.d"
+  "/root/repo/src/core/exact_solver.cpp" "src/core/CMakeFiles/cpr_core.dir/exact_solver.cpp.o" "gcc" "src/core/CMakeFiles/cpr_core.dir/exact_solver.cpp.o.d"
+  "/root/repo/src/core/ilp_builder.cpp" "src/core/CMakeFiles/cpr_core.dir/ilp_builder.cpp.o" "gcc" "src/core/CMakeFiles/cpr_core.dir/ilp_builder.cpp.o.d"
+  "/root/repo/src/core/interval_gen.cpp" "src/core/CMakeFiles/cpr_core.dir/interval_gen.cpp.o" "gcc" "src/core/CMakeFiles/cpr_core.dir/interval_gen.cpp.o.d"
+  "/root/repo/src/core/lr_solver.cpp" "src/core/CMakeFiles/cpr_core.dir/lr_solver.cpp.o" "gcc" "src/core/CMakeFiles/cpr_core.dir/lr_solver.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/cpr_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/cpr_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/problem.cpp" "src/core/CMakeFiles/cpr_core.dir/problem.cpp.o" "gcc" "src/core/CMakeFiles/cpr_core.dir/problem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/cpr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/cpr_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/cpr_ilp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

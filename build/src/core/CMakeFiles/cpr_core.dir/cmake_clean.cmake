@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_core.dir/conflict.cpp.o"
+  "CMakeFiles/cpr_core.dir/conflict.cpp.o.d"
+  "CMakeFiles/cpr_core.dir/exact_solver.cpp.o"
+  "CMakeFiles/cpr_core.dir/exact_solver.cpp.o.d"
+  "CMakeFiles/cpr_core.dir/ilp_builder.cpp.o"
+  "CMakeFiles/cpr_core.dir/ilp_builder.cpp.o.d"
+  "CMakeFiles/cpr_core.dir/interval_gen.cpp.o"
+  "CMakeFiles/cpr_core.dir/interval_gen.cpp.o.d"
+  "CMakeFiles/cpr_core.dir/lr_solver.cpp.o"
+  "CMakeFiles/cpr_core.dir/lr_solver.cpp.o.d"
+  "CMakeFiles/cpr_core.dir/optimizer.cpp.o"
+  "CMakeFiles/cpr_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/cpr_core.dir/problem.cpp.o"
+  "CMakeFiles/cpr_core.dir/problem.cpp.o.d"
+  "libcpr_core.a"
+  "libcpr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/design.cpp" "src/db/CMakeFiles/cpr_db.dir/design.cpp.o" "gcc" "src/db/CMakeFiles/cpr_db.dir/design.cpp.o.d"
+  "/root/repo/src/db/panel.cpp" "src/db/CMakeFiles/cpr_db.dir/panel.cpp.o" "gcc" "src/db/CMakeFiles/cpr_db.dir/panel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/cpr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_db.dir/design.cpp.o"
+  "CMakeFiles/cpr_db.dir/design.cpp.o.d"
+  "CMakeFiles/cpr_db.dir/panel.cpp.o"
+  "CMakeFiles/cpr_db.dir/panel.cpp.o.d"
+  "libcpr_db.a"
+  "libcpr_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_eval.dir/metrics.cpp.o"
+  "CMakeFiles/cpr_eval.dir/metrics.cpp.o.d"
+  "libcpr_eval.a"
+  "libcpr_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_gen.dir/generator.cpp.o"
+  "CMakeFiles/cpr_gen.dir/generator.cpp.o.d"
+  "libcpr_gen.a"
+  "libcpr_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

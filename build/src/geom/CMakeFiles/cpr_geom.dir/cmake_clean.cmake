@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_geom.dir/interval_set.cpp.o"
+  "CMakeFiles/cpr_geom.dir/interval_set.cpp.o.d"
+  "libcpr_geom.a"
+  "libcpr_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_ilp.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/cpr_ilp.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/cpr_ilp.dir/model.cpp.o"
+  "CMakeFiles/cpr_ilp.dir/model.cpp.o.d"
+  "CMakeFiles/cpr_ilp.dir/simplex.cpp.o"
+  "CMakeFiles/cpr_ilp.dir/simplex.cpp.o.d"
+  "libcpr_ilp.a"
+  "libcpr_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

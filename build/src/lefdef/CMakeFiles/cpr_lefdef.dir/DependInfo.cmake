@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lefdef/def_io.cpp" "src/lefdef/CMakeFiles/cpr_lefdef.dir/def_io.cpp.o" "gcc" "src/lefdef/CMakeFiles/cpr_lefdef.dir/def_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/cpr_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/cpr_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/cpr_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/cpr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_lefdef.dir/def_io.cpp.o"
+  "CMakeFiles/cpr_lefdef.dir/def_io.cpp.o.d"
+  "libcpr_lefdef.a"
+  "libcpr_lefdef.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_lefdef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/cpr.cpp" "src/route/CMakeFiles/cpr_route.dir/cpr.cpp.o" "gcc" "src/route/CMakeFiles/cpr_route.dir/cpr.cpp.o.d"
+  "/root/repo/src/route/drc.cpp" "src/route/CMakeFiles/cpr_route.dir/drc.cpp.o" "gcc" "src/route/CMakeFiles/cpr_route.dir/drc.cpp.o.d"
+  "/root/repo/src/route/engine.cpp" "src/route/CMakeFiles/cpr_route.dir/engine.cpp.o" "gcc" "src/route/CMakeFiles/cpr_route.dir/engine.cpp.o.d"
+  "/root/repo/src/route/grid.cpp" "src/route/CMakeFiles/cpr_route.dir/grid.cpp.o" "gcc" "src/route/CMakeFiles/cpr_route.dir/grid.cpp.o.d"
+  "/root/repo/src/route/maze.cpp" "src/route/CMakeFiles/cpr_route.dir/maze.cpp.o" "gcc" "src/route/CMakeFiles/cpr_route.dir/maze.cpp.o.d"
+  "/root/repo/src/route/negotiation_router.cpp" "src/route/CMakeFiles/cpr_route.dir/negotiation_router.cpp.o" "gcc" "src/route/CMakeFiles/cpr_route.dir/negotiation_router.cpp.o.d"
+  "/root/repo/src/route/sequential_router.cpp" "src/route/CMakeFiles/cpr_route.dir/sequential_router.cpp.o" "gcc" "src/route/CMakeFiles/cpr_route.dir/sequential_router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/cpr_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/cpr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/cpr_ilp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

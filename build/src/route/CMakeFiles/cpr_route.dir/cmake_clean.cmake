@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_route.dir/cpr.cpp.o"
+  "CMakeFiles/cpr_route.dir/cpr.cpp.o.d"
+  "CMakeFiles/cpr_route.dir/drc.cpp.o"
+  "CMakeFiles/cpr_route.dir/drc.cpp.o.d"
+  "CMakeFiles/cpr_route.dir/engine.cpp.o"
+  "CMakeFiles/cpr_route.dir/engine.cpp.o.d"
+  "CMakeFiles/cpr_route.dir/grid.cpp.o"
+  "CMakeFiles/cpr_route.dir/grid.cpp.o.d"
+  "CMakeFiles/cpr_route.dir/maze.cpp.o"
+  "CMakeFiles/cpr_route.dir/maze.cpp.o.d"
+  "CMakeFiles/cpr_route.dir/negotiation_router.cpp.o"
+  "CMakeFiles/cpr_route.dir/negotiation_router.cpp.o.d"
+  "CMakeFiles/cpr_route.dir/sequential_router.cpp.o"
+  "CMakeFiles/cpr_route.dir/sequential_router.cpp.o.d"
+  "libcpr_route.a"
+  "libcpr_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_viz.dir/ascii.cpp.o"
+  "CMakeFiles/cpr_viz.dir/ascii.cpp.o.d"
+  "CMakeFiles/cpr_viz.dir/svg.cpp.o"
+  "CMakeFiles/cpr_viz.dir/svg.cpp.o.d"
+  "libcpr_viz.a"
+  "libcpr_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

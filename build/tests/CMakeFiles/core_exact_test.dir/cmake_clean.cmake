@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_exact_test.dir/core_exact_test.cpp.o"
+  "CMakeFiles/core_exact_test.dir/core_exact_test.cpp.o.d"
+  "core_exact_test"
+  "core_exact_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_exact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_interval_gen_test.dir/core_interval_gen_test.cpp.o"
+  "CMakeFiles/core_interval_gen_test.dir/core_interval_gen_test.cpp.o.d"
+  "core_interval_gen_test"
+  "core_interval_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_interval_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

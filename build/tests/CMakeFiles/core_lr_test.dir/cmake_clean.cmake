@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_lr_test.dir/core_lr_test.cpp.o"
+  "CMakeFiles/core_lr_test.dir/core_lr_test.cpp.o.d"
+  "core_lr_test"
+  "core_lr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_lr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

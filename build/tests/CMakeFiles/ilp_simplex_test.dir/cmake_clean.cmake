@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_simplex_test.dir/ilp_simplex_test.cpp.o"
+  "CMakeFiles/ilp_simplex_test.dir/ilp_simplex_test.cpp.o.d"
+  "ilp_simplex_test"
+  "ilp_simplex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_simplex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_drc_test.dir/route_drc_test.cpp.o"
+  "CMakeFiles/route_drc_test.dir/route_drc_test.cpp.o.d"
+  "route_drc_test"
+  "route_drc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_drc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_grid_test.dir/route_grid_test.cpp.o"
+  "CMakeFiles/route_grid_test.dir/route_grid_test.cpp.o.d"
+  "route_grid_test"
+  "route_grid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

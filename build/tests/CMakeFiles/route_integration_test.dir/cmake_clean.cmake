@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_integration_test.dir/route_integration_test.cpp.o"
+  "CMakeFiles/route_integration_test.dir/route_integration_test.cpp.o.d"
+  "route_integration_test"
+  "route_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_maze_test.dir/route_maze_test.cpp.o"
+  "CMakeFiles/route_maze_test.dir/route_maze_test.cpp.o.d"
+  "route_maze_test"
+  "route_maze_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_maze_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_route_cli.dir/cpr_route.cpp.o"
+  "CMakeFiles/cpr_route_cli.dir/cpr_route.cpp.o.d"
+  "cpr_route"
+  "cpr_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_route_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
