@@ -11,8 +11,9 @@
 #include "bench_util.h"
 #include "core/conflict.h"
 #include "core/interval_gen.h"
-#include "core/lr_solver.h"
+#include "core/solver.h"
 #include "db/panel.h"
+#include "obs/names.h"
 
 int main(int argc, char** argv) {
   using namespace cpr;
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
     core::LrOptions lr;
     lr.alpha = alpha;
     lr.stallLimit = 0;  // run each panel to UB or convergence
+    const core::LrSolver solver{lr};
     long iters = 0;
     long vio = 0;
     double obj = 0.0;
@@ -40,10 +42,14 @@ int main(int argc, char** argv) {
       if (panel.pins.empty()) continue;
       core::Problem prob = core::buildProblem(d, panel, g);
       core::detectConflicts(prob);
-      core::LrStats stats;
-      const core::Assignment a = core::solveLr(prob, lr, &stats);
-      iters += stats.iterations;
-      vio += stats.bestViolations;
+      obs::Collector stats;
+      const core::Assignment a = solver.solve(prob, &stats);
+      iters += stats.counter(obs::names::kLrIterations);
+      // Pre-repair violations: best_violations of the last lr.iter sample
+      // (columns are src, iter, violations, best_violations, ...).
+      if (auto it = stats.series().find("lr.iter");
+          it != stats.series().end() && !it->second.rows.empty())
+        vio += static_cast<long>(it->second.rows.back()[3]);
       obj += a.objective;
     }
     std::printf("%6.2f | %9.3f %12ld %12ld %10.1f\n", alpha,

@@ -17,9 +17,8 @@
 
 #include "bench_util.h"
 #include "core/conflict.h"
-#include "core/exact_solver.h"
 #include "core/interval_gen.h"
-#include "core/lr_solver.h"
+#include "core/solver.h"
 #include "db/panel.h"
 
 namespace {
@@ -69,22 +68,23 @@ int main(int argc, char** argv) {
     const long pins = static_cast<long>(prob.pins.size());
     if (pins == 0) continue;
 
+    const core::LrSolver lrSolver{{}};
     auto t0 = bench::Clock::now();
-    const core::Assignment lr = core::solveLr(prob);
+    const core::Assignment lr = lrSolver.solve(prob);
     const double lrSec = bench::seconds(t0, bench::Clock::now());
 
     core::ExactOptions eo;
     eo.timeLimitSeconds = ilpCap;
-    core::ExactStats stats;
+    const core::ExactSolver exactSolver{eo};
     t0 = bench::Clock::now();
-    const core::Assignment ilp = core::solveExact(prob, eo, &stats);
+    const core::Assignment ilp = exactSolver.solve(prob);
     const double ilpSec = bench::seconds(t0, bench::Clock::now());
 
     std::printf("%6ld %9zu %9zu | %10.3f %11.3f%s | %10.1f %10.1f %7.4f %8s\n",
                 pins, prob.intervals.size(), prob.conflicts.size(), lrSec,
-                ilpSec, stats.optimal ? " " : "+", lr.objective,
+                ilpSec, ilp.provedOptimal ? " " : "+", lr.objective,
                 ilp.objective, lr.objective / ilp.objective,
-                stats.optimal ? "proven" : "capped");
+                ilp.provedOptimal ? "proven" : "capped");
     std::fflush(stdout);
     if (pins >= maxPins) break;
   }

@@ -8,7 +8,7 @@
 /// whenever it proves optimality; budget exhaustion falls back to the
 /// incumbent, which never hurts the comparison's direction).
 ///
-/// Usage: bench_fig7a_lr_over_ilp [ecc,...] [perPanelSeconds]
+/// Usage: bench_fig7a_lr_over_ilp [ecc,...] [perPanelSeconds] [--report out.json]
 #include <cstdio>
 #include <cstdlib>
 
@@ -19,7 +19,10 @@
 int main(int argc, char** argv) {
   using namespace cpr;
   const auto suite = bench::selectedSuite(argc, argv);
-  const double perPanel = argc > 2 ? std::atof(argv[2]) : 0.3;
+  const double perPanel =
+      argc > 2 && argv[2][0] != '-' ? std::atof(argv[2]) : 0.3;
+  obs::Collector report;
+  report.note("bench", "fig7a_lr_over_ilp");
 
   std::printf("Fig. 7(a): LR-based over ILP-based pin access optimization "
               "(routing quality ratios; ILP budget %.2fs/panel)\n", perPanel);
@@ -45,10 +48,13 @@ int main(int argc, char** argv) {
                 static_cast<double>(mLr.vias) / mIlp.vias,
                 static_cast<double>(mLr.wirelength) / mIlp.wirelength,
                 lr.plan.objective, ilp.plan.objective,
-                ilp.plan.allProvedOptimal ? " (proven)" : " (budget)");
+                ilp.plan.allProvedOptimal() ? " (proven)" : " (budget)");
+    report.merge(lr.plan.stats);
+    report.merge(ilp.plan.stats);
     std::fflush(stdout);
   }
   std::printf("(paper: Rout and WL ratios ~1.0 across designs; LR Via# about "
               "5%% above ILP)\n");
+  bench::maybeWriteReport(argc, argv, report);
   return 0;
 }

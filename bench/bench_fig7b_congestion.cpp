@@ -3,7 +3,7 @@
 /// rip-up & reroute stage, with and without concurrent pin access
 /// optimization (paper: 5-10x reduction).
 ///
-/// Usage: bench_fig7b_congestion [ecc,...]
+/// Usage: bench_fig7b_congestion [ecc,...] [--report out.json]
 #include <cstdio>
 
 #include "bench_util.h"
@@ -12,6 +12,8 @@
 int main(int argc, char** argv) {
   using namespace cpr;
   const auto suite = bench::selectedSuite(argc, argv);
+  obs::Collector report;
+  report.note("bench", "fig7b_congestion");
 
   std::printf("Fig. 7(b): congested routing grids before rip-up & reroute\n");
   std::printf("%-5s | %16s %16s | %9s\n", "Ckt", "w/ pin access opt",
@@ -23,13 +25,17 @@ int main(int argc, char** argv) {
     const route::CprResult with = route::routeCpr(d);
     const route::RoutingResult without = route::routeNegotiated(d, nullptr);
     std::printf("%-5s | %16ld %16ld | %8.2fx\n", spec.name.c_str(),
-                with.routing.congestedGridsBeforeRrr,
-                without.congestedGridsBeforeRrr,
-                static_cast<double>(without.congestedGridsBeforeRrr) /
-                    static_cast<double>(
-                        std::max<long>(1, with.routing.congestedGridsBeforeRrr)));
+                with.routing.congestedGridsBeforeRrr(),
+                without.congestedGridsBeforeRrr(),
+                static_cast<double>(without.congestedGridsBeforeRrr()) /
+                    static_cast<double>(std::max<long>(
+                        1, with.routing.congestedGridsBeforeRrr())));
+    report.merge(with.plan.stats);
+    report.merge(with.routing.stats);
+    report.merge(without.stats);
     std::fflush(stdout);
   }
   std::printf("(paper reports a 5-10x reduction)\n");
+  bench::maybeWriteReport(argc, argv, report);
   return 0;
 }

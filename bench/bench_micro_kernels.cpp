@@ -8,7 +8,7 @@
 
 #include "core/conflict.h"
 #include "core/interval_gen.h"
-#include "core/lr_solver.h"
+#include "core/solver.h"
 #include "db/panel.h"
 #include "gen/generator.h"
 #include "lefdef/def_io.h"
@@ -63,8 +63,9 @@ void BM_LrSolvePanel(benchmark::State& state) {
   g.maxExtent = 32;
   core::Problem p = core::buildProblem(d, db::extractPanel(d, 3), g);
   core::detectConflicts(p);
+  const core::LrSolver solver;
   for (auto _ : state) {
-    const core::Assignment a = core::solveLr(p);
+    const core::Assignment a = solver.solve(p);
     benchmark::DoNotOptimize(a.objective);
   }
 }

@@ -1,14 +1,16 @@
 /// \file bench_util.h
 /// Shared plumbing for the paper-reproduction benches: suite selection from
-/// the command line, timing, and row formatting.
+/// the command line, timing, row formatting, and run-report emission.
 #pragma once
 
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "gen/generator.h"
+#include "obs/report.h"
 
 namespace cpr::bench {
 
@@ -21,7 +23,7 @@ inline double seconds(Clock::time_point a, Clock::time_point b) {
 /// Designs to run: every suite entry by default; argv[1] may carry a
 /// comma-separated subset (e.g. "ecc,div") to shorten a run.
 inline std::vector<gen::SuiteSpec> selectedSuite(int argc, char** argv) {
-  if (argc < 2) return gen::paperSuite();
+  if (argc < 2 || argv[1][0] == '-') return gen::paperSuite();
   std::vector<gen::SuiteSpec> out;
   std::string arg = argv[1];
   std::size_t pos = 0;
@@ -39,6 +41,23 @@ inline std::vector<gen::SuiteSpec> selectedSuite(int argc, char** argv) {
 inline void hr(char c = '-') {
   for (int i = 0; i < 110; ++i) std::putchar(c);
   std::putchar('\n');
+}
+
+/// Value of a `--report out.json` flag anywhere on the command line, or "".
+inline std::string reportPath(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string_view(argv[i]) == "--report") return argv[i + 1];
+  return {};
+}
+
+/// Saves `stats` as a `cpr.report.v1` JSON file (the same schema cpr_route
+/// emits) when the command line carried `--report <path>`.
+inline void maybeWriteReport(int argc, char** argv,
+                             const obs::Collector& stats) {
+  const std::string path = reportPath(argc, argv);
+  if (path.empty()) return;
+  obs::saveReportJson(stats, path);
+  std::printf("wrote run report to %s\n", path.c_str());
 }
 
 }  // namespace cpr::bench

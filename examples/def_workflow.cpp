@@ -48,5 +48,5 @@ int main(int argc, char** argv) {
   std::printf("pin access optimization on the reloaded design: "
               "%d/%zu pins assigned, objective %.2f\n",
               assigned, plan.routes.size(), plan.objective);
-  return plan.unassignedPins == 0 ? 0 : 1;
+  return plan.unassignedPins() == 0 ? 0 : 1;
 }

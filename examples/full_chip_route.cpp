@@ -45,9 +45,9 @@ int main(int argc, char** argv) {
 
   std::printf("\ncongested grids before rip-up & reroute: %ld (CPR) vs %ld "
               "(w/o pin access optimization) — %.1fx reduction\n",
-              cpr_.routing.congestedGridsBeforeRrr,
-              nopao.congestedGridsBeforeRrr,
-              static_cast<double>(nopao.congestedGridsBeforeRrr) /
-                  std::max<long>(1, cpr_.routing.congestedGridsBeforeRrr));
+              cpr_.routing.congestedGridsBeforeRrr(),
+              nopao.congestedGridsBeforeRrr(),
+              static_cast<double>(nopao.congestedGridsBeforeRrr()) /
+                  std::max<long>(1, cpr_.routing.congestedGridsBeforeRrr()));
   return 0;
 }

@@ -2,18 +2,20 @@
 /// Anatomy of concurrent pin access optimization on one panel: prints the
 /// candidate intervals the generator enumerates for each pin (Section 3.1),
 /// the conflict sets the scanline detects (Section 3.2), and the solutions
-/// found by the LR algorithm and the exact solver (Sections 3.3-3.4).
+/// found by the LR algorithm and the exact solver (Sections 3.3-3.4), both
+/// invoked through the uniform `core::Solver` interface with an
+/// `obs::Collector` gathering the work counters.
 ///
 ///   $ ./pin_access_anatomy [seed]
 #include <cstdio>
 #include <cstdlib>
 
 #include "core/conflict.h"
-#include "core/exact_solver.h"
 #include "core/interval_gen.h"
-#include "core/lr_solver.h"
+#include "core/solver.h"
 #include "db/panel.h"
 #include "gen/generator.h"
+#include "obs/names.h"
 
 int main(int argc, char** argv) {
   using namespace cpr;
@@ -60,19 +62,22 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n== solving the weighted interval assignment ==\n");
-  core::LrStats lrStats;
-  const core::Assignment lr = core::solveLr(p, {}, &lrStats);
-  std::printf("LR (Algorithm 2): objective %.3f after %d iterations, "
-              "%d pre-repair violations\n",
-              lr.objective, lrStats.iterations, lrStats.bestViolations);
+  obs::Collector stats;
+  const core::LrSolver lrSolver{{}};
+  const core::Assignment lr = lrSolver.solve(p, &stats);
+  std::printf("%-5s (Algorithm 2): objective %.3f after %ld iterations\n",
+              lrSolver.name().data(), lr.objective,
+              stats.counter(obs::names::kLrIterations));
 
   core::ExactOptions eo;
   eo.timeLimitSeconds = 10.0;
-  core::ExactStats exStats;
-  const core::Assignment exact = core::solveExact(p, eo, &exStats);
-  std::printf("ILP (exact B&B) : objective %.3f, %ld nodes, %s\n",
-              exact.objective, exStats.nodes,
-              exStats.optimal ? "proven optimal" : "budget-capped incumbent");
+  const core::ExactSolver exactSolver{eo};
+  const core::Assignment exact = exactSolver.solve(p, &stats);
+  std::printf("%-5s (ILP B&B)   : objective %.3f, %ld nodes, %s\n",
+              exactSolver.name().data(), exact.objective,
+              stats.counter(obs::names::kExactNodes),
+              exact.provedOptimal ? "proven optimal"
+                                  : "budget-capped incumbent");
   std::printf("LR achieves %.2f%% of the ILP objective\n",
               100.0 * lr.objective / exact.objective);
 

@@ -38,8 +38,8 @@ int main() {
   const core::PinAccessPlan plan = core::optimizePinAccess(d);
   std::printf("pin access optimization: objective %.2f over %zu pins "
               "(%ld candidate intervals, %ld conflict sets)\n\n",
-              plan.objective, d.pins().size(), plan.totalIntervals,
-              plan.totalConflicts);
+              plan.objective, d.pins().size(), plan.totalIntervals(),
+              plan.totalConflicts());
   for (std::size_t p = 0; p < d.pins().size(); ++p) {
     const core::PinRoute& r = plan.routes[p];
     std::printf("  pin %-3s -> track %d, columns [%d, %d] (span %d)\n",
@@ -56,6 +56,6 @@ int main() {
               m.routability, m.vias, m.wirelength, m.seconds,
               result.pinAccessSeconds);
   std::printf("congested grids before rip-up & reroute: %ld\n",
-              result.routing.congestedGridsBeforeRrr);
+              result.routing.congestedGridsBeforeRrr());
   return 0;
 }

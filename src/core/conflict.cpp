@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/names.h"
+
 namespace cpr::core {
 
 namespace {
@@ -38,7 +40,7 @@ ConflictSet makeSet(const Problem& p, Coord track, std::vector<Index> members) {
 
 }  // namespace
 
-void detectConflicts(Problem& p) {
+void detectConflicts(Problem& p, obs::Collector* obs) {
   p.conflicts.clear();
   for (auto& [track, ids] : groupByTrack(p)) {
     // Scanline: `active` holds intervals containing the lo of the last
@@ -66,6 +68,8 @@ void detectConflicts(Problem& p) {
     if (insertedSinceEmit && active.size() >= 2)
       p.conflicts.push_back(makeSet(p, track, std::move(active)));
   }
+  obs::add(obs, obs::names::kConflictSets,
+           static_cast<long>(p.conflicts.size()));
 }
 
 std::vector<ConflictSet> detectConflictsBruteForce(const Problem& p) {

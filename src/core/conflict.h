@@ -10,12 +10,14 @@
 #pragma once
 
 #include "core/problem.h"
+#include "obs/collector.h"
 
 namespace cpr::core {
 
 /// Fills `p.conflicts` from `p.intervals`. Cliques with fewer than two
-/// members are not conflicts and are skipped.
-void detectConflicts(Problem& p);
+/// members are not conflicts and are skipped. A non-null `obs` receives the
+/// `conflict.sets` counter.
+void detectConflicts(Problem& p, obs::Collector* obs = nullptr);
 
 /// Reference O(n^2)-per-track implementation used by tests to validate the
 /// scanline: returns maximal cliques computed by pairwise overlap closure.

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "core/lr_solver.h"
+#include "obs/names.h"
 
 namespace cpr::core {
 
@@ -21,6 +22,7 @@ enum : std::uint8_t { kFree = 0, kOne = 1, kZero = 2 };
 struct Search {
   const Problem& p;
   const ExactOptions& opts;
+  obs::Collector* obs = nullptr;
 
   // Static structures.
   std::vector<std::vector<Index>> csOf;  ///< interval -> conflict set ids
@@ -109,6 +111,8 @@ struct Search {
       double lsum = 0.0;
       for (double l : lambda) lsum += l;
       bound += lsum;
+      obs::row(obs, "exact.root", {"iter", "bound"},
+               {static_cast<double>(k), bound});
       if (bound < bestBound - 1e-12) {
         bestBound = bound;
         bestPenalty = penalty;
@@ -364,8 +368,9 @@ struct Search {
 }  // namespace
 
 Assignment solveExact(const Problem& p, const ExactOptions& opts,
-                      ExactStats* stats) {
+                      ExactStats* stats, obs::Collector* obs) {
   Search search(p, opts);
+  search.obs = obs;
 
   // Root incumbent from the LR heuristic (always conflict-free); it also
   // anchors the Polyak steps of the root dual tuning.
@@ -383,16 +388,14 @@ Assignment solveExact(const Problem& p, const ExactOptions& opts,
   }
   search.tuneRootDual(search.haveIncumbent ? search.bestObj : kNegInf);
 
-  {
-    double rootBound = search.lambdaSum;
-    for (Index j : search.activePins) {
-      double best = kNegInf;
-      for (Index i : p.pins[static_cast<std::size_t>(j)].intervals)
-        best = std::max(best, search.term[static_cast<std::size_t>(i)]);
-      rootBound += best;
-    }
-    if (stats) stats->rootUpperBound = rootBound;
+  double rootBound = search.lambdaSum;
+  for (Index j : search.activePins) {
+    double best = kNegInf;
+    for (Index i : p.pins[static_cast<std::size_t>(j)].intervals)
+      best = std::max(best, search.term[static_cast<std::size_t>(i)]);
+    rootBound += best;
   }
+  if (stats) stats->rootUpperBound = rootBound;
 
   search.dfs();
 
@@ -404,7 +407,6 @@ Assignment solveExact(const Problem& p, const ExactOptions& opts,
     if (i != geom::kInvalidIndex)
       out.objective += p.profit[static_cast<std::size_t>(i)];
   }
-  out.iterations = search.nodes;
   out.provedOptimal = search.haveIncumbent && !search.truncated;
   // Violations of the final selection (0 expected).
   std::vector<char> sel(p.intervals.size(), 0);
@@ -420,6 +422,12 @@ Assignment solveExact(const Problem& p, const ExactOptions& opts,
     stats->bestObjective = out.objective;
     stats->optimal = out.provedOptimal;
   }
+  obs::add(obs, obs::names::kExactNodes, search.nodes);
+  if (!out.provedOptimal) obs::add(obs, obs::names::kExactNotProved);
+  obs::row(obs, "exact.panel",
+           {"nodes", "root_bound", "best_objective", "gap", "proved"},
+           {static_cast<double>(search.nodes), rootBound, out.objective,
+            rootBound - out.objective, out.provedOptimal ? 1.0 : 0.0});
   return out;
 }
 

@@ -22,6 +22,7 @@
 #pragma once
 
 #include "core/problem.h"
+#include "obs/collector.h"
 
 namespace cpr::core {
 
@@ -44,8 +45,13 @@ struct ExactStats {
 /// Solves `p` exactly (requires profits and conflicts filled). The returned
 /// assignment has violations == 0; `provedOptimal` reports whether the
 /// search completed within its budget.
+///
+/// When `obs` is non-null the solver reports `exact.*` counters, the root
+/// dual convergence series `exact.root` (bound per subgradient iteration),
+/// and one `exact.panel` summary row (nodes, root bound, incumbent, gap).
 [[nodiscard]] Assignment solveExact(const Problem& p,
                                     const ExactOptions& opts = {},
-                                    ExactStats* stats = nullptr);
+                                    ExactStats* stats = nullptr,
+                                    obs::Collector* obs = nullptr);
 
 }  // namespace cpr::core

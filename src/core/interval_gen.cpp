@@ -5,6 +5,8 @@
 #include <map>
 #include <tuple>
 
+#include "obs/names.h"
+
 namespace cpr::core {
 
 namespace {
@@ -161,17 +163,30 @@ class Builder {
 }  // namespace
 
 Problem buildProblem(const db::Design& design, const db::Panel& panel,
-                     const GenOptions& opts) {
-  return buildProblem(design, std::span<const db::Panel>{&panel, 1}, opts);
+                     const GenOptions& opts, obs::Collector* obs) {
+  return buildProblem(design, std::span<const db::Panel>{&panel, 1}, opts,
+                      obs);
 }
 
 Problem buildProblem(const db::Design& design,
                      std::span<const db::Panel> panels,
-                     const GenOptions& opts) {
+                     const GenOptions& opts, obs::Collector* obs) {
   Problem out;
   Builder builder(design, opts, out);
   for (const db::Panel& panel : panels) builder.addPanel(panel);
   assignProfits(out);
+  if (obs) {
+    obs->add(obs::names::kGenIntervals,
+             static_cast<long>(out.intervals.size()));
+    long shared = 0;
+    for (const AccessInterval& iv : out.intervals)
+      shared += iv.pins.size() > 1 ? 1 : 0;
+    obs->add(obs::names::kGenShared, shared);
+    long blocked = 0;
+    for (const ProblemPin& pin : out.pins)
+      blocked += pin.minimalInterval == geom::kInvalidIndex ? 1 : 0;
+    obs->add(obs::names::kGenBlockedPins, blocked);
+  }
   return out;
 }
 

@@ -17,6 +17,7 @@
 #include "core/problem.h"
 #include "db/design.h"
 #include "db/panel.h"
+#include "obs/collector.h"
 
 namespace cpr::core {
 
@@ -42,9 +43,12 @@ struct GenOptions {
 /// track is blocked get an empty candidate set (`minimalInterval ==
 /// kInvalidIndex`); callers can detect them via `Problem::pins`.
 /// Conflict sets are NOT filled here — run `detectConflicts` afterwards.
+/// A non-null `obs` receives the `gen.*` counters (emitted / shared
+/// intervals, blocked pins).
 [[nodiscard]] Problem buildProblem(const db::Design& design,
                                    const db::Panel& panel,
-                                   const GenOptions& opts = {});
+                                   const GenOptions& opts = {},
+                                   obs::Collector* obs = nullptr);
 
 /// Multi-panel variant: one merged instance over several panels ("handle
 /// multiple panels simultaneously", Section 3). Panels never share tracks,
@@ -52,7 +56,8 @@ struct GenOptions {
 /// accounting, which is exactly what the Fig. 6 scalability sweep measures.
 [[nodiscard]] Problem buildProblem(const db::Design& design,
                                    std::span<const db::Panel> panels,
-                                   const GenOptions& opts = {});
+                                   const GenOptions& opts = {},
+                                   obs::Collector* obs = nullptr);
 
 /// Recomputes f(Ii) for every interval of `p` (default: sqrt of span).
 enum class ProfitModel {

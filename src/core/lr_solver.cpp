@@ -6,6 +6,8 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/names.h"
+
 namespace cpr::core {
 
 namespace {
@@ -91,7 +93,8 @@ std::vector<Index> maxGains(const Problem& p, const std::vector<double>& gains) 
   return runMaxGainsOrdered(p, keys).sel;
 }
 
-Assignment solveLr(const Problem& p, const LrOptions& opts, LrStats* stats) {
+Assignment solveLr(const Problem& p, const LrOptions& opts, LrStats* stats,
+                   obs::Collector* obs) {
   const std::size_t n = p.intervals.size();
   std::vector<double> profits(n);
   std::vector<Index> degree(n);
@@ -102,6 +105,7 @@ Assignment solveLr(const Problem& p, const LrOptions& opts, LrStats* stats) {
 
   std::vector<double> penalties(n, 0.0);
   std::vector<double> lambda(p.conflicts.size(), 0.0);
+  double lambdaL1 = 0.0;  ///< Σ λ_m, maintained incrementally for the trace
 
   Selection best;
   int bestVio = std::numeric_limits<int>::max();
@@ -197,6 +201,7 @@ Assignment solveLr(const Problem& p, const LrOptions& opts, LrStats* stats) {
     const double step = 1.0 / std::pow(static_cast<double>(k), opts.alpha);
     auto applyDelta = [&](Index m, double delta) {
       lambda[static_cast<std::size_t>(m)] += delta;
+      lambdaL1 += delta;  // multipliers stay >= 0, so Σλ is the L1 norm
       for (Index i : p.conflicts[static_cast<std::size_t>(m)].intervals) {
         penalties[static_cast<std::size_t>(i)] += delta;
         markDirty(i);
@@ -223,6 +228,22 @@ Assignment solveLr(const Problem& p, const LrOptions& opts, LrStats* stats) {
     }
     for (Index m : touched) csCount[static_cast<std::size_t>(m)] = 0;
 
+    const int newBest = std::min(bestVio, vio);
+    if (obs) {
+      // The extra O(pins) objective sum only runs when tracing is on.
+      double curObjective = 0.0;
+      for (std::size_t j = 0; j < p.pins.size(); ++j) {
+        const Index i = cur.intervalOfPin[j];
+        if (i != geom::kInvalidIndex)
+          curObjective += p.profit[static_cast<std::size_t>(i)];
+      }
+      obs->row("lr.iter",
+               {"iter", "violations", "best_violations", "lambda_norm",
+                "objective"},
+               {static_cast<double>(k), static_cast<double>(vio),
+                static_cast<double>(newBest), lambdaL1, curObjective});
+    }
+
     if (vio < bestVio) {
       bestVio = vio;
       best = std::move(cur);
@@ -232,6 +253,7 @@ Assignment solveLr(const Problem& p, const LrOptions& opts, LrStats* stats) {
     }
     if (bestVio == 0) break;
   }
+  obs::add(obs, obs::names::kLrIterations, iterations);
 
   if (stats) {
     stats->iterations = iterations;
@@ -305,7 +327,10 @@ Assignment solveLr(const Problem& p, const LrOptions& opts, LrStats* stats) {
           }
         }
       }
-      if (stats && changed) ++stats->removalRounds;
+      if (changed) {
+        if (stats) ++stats->removalRounds;
+        obs::add(obs, obs::names::kLrRemovalRounds);
+      }
     }
   }
 
@@ -396,6 +421,7 @@ Assignment solveLr(const Problem& p, const LrOptions& opts, LrStats* stats) {
             ++usage[ii];
           }
           improved = true;
+          obs::add(obs, obs::names::kLrReexpandUpgrades);
           break;  // next pin
         }
       }
@@ -405,7 +431,6 @@ Assignment solveLr(const Problem& p, const LrOptions& opts, LrStats* stats) {
 
   Assignment out;
   out.intervalOfPin = std::move(best.intervalOfPin);
-  out.iterations = iterations;
   if (out.intervalOfPin.empty())
     out.intervalOfPin.assign(p.pins.size(), geom::kInvalidIndex);
   for (std::size_t j = 0; j < p.pins.size(); ++j) {

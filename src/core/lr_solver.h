@@ -11,6 +11,7 @@
 #pragma once
 
 #include "core/problem.h"
+#include "obs/collector.h"
 
 namespace cpr::core {
 
@@ -48,8 +49,13 @@ struct LrStats {
 /// Solves `p` with Lagrangian relaxation. Requires `p.profit` filled and
 /// `p.conflicts` detected. The returned assignment is conflict-free
 /// (violations == 0) unless conflict removal was skipped.
+///
+/// When `obs` is non-null the solver reports `lr.*` counters plus the
+/// per-iteration trace series `lr.iter` (violations, best violations, λ L1
+/// norm, and the current selection's objective per subgradient step).
 [[nodiscard]] Assignment solveLr(const Problem& p, const LrOptions& opts = {},
-                                 LrStats* stats = nullptr);
+                                 LrStats* stats = nullptr,
+                                 obs::Collector* obs = nullptr);
 
 /// One invocation of Algorithm 1's maxGains greedy: selects one interval per
 /// pin maximizing total gain (profit minus penalty), ignoring conflicts.

@@ -15,31 +15,43 @@ namespace {
 struct PanelOutcome {
   Problem problem;
   Assignment assignment;
-  bool lrFallback = false;
+  obs::Collector stats;
 };
 
 PanelOutcome solvePanel(const db::Design& design, const db::Panel& panel,
-                        const OptimizerOptions& opts) {
+                        const OptimizerOptions& opts, const Solver& solver,
+                        int panelIndex) {
   PanelOutcome out;
-  out.problem = buildProblem(design, panel, opts.gen);
-  if (opts.profitModel != ProfitModel::SqrtSpan)
-    assignProfits(out.problem, opts.profitModel);
-  detectConflicts(out.problem);
+  out.stats = obs::Collector(panelIndex);
+  obs::Collector* obs = &out.stats;
+  {
+    obs::ScopedTimer t(obs, "pao.gen");
+    out.problem = buildProblem(design, panel, opts.gen, obs);
+    if (opts.profitModel != ProfitModel::SqrtSpan)
+      assignProfits(out.problem, opts.profitModel);
+  }
+  {
+    obs::ScopedTimer t(obs, "pao.conflict");
+    detectConflicts(out.problem, obs);
+  }
+  obs->add(obs::names::kPaoIntervals,
+           static_cast<long>(out.problem.intervals.size()));
+  obs->add(obs::names::kPaoConflicts,
+           static_cast<long>(out.problem.conflicts.size()));
 
-  out.assignment = opts.method == Method::Lr
-                       ? solveLr(out.problem, opts.lr)
-                       : solveExact(out.problem, opts.exact);
-  if (opts.method == Method::Exact) {
-    // Budget exhaustion without an incumbent (or a genuinely infeasible
-    // panel): fall back to the LR heuristic rather than dropping pins.
-    const bool empty = std::all_of(
-        out.assignment.intervalOfPin.begin(),
-        out.assignment.intervalOfPin.end(),
-        [](Index i) { return i == geom::kInvalidIndex; });
-    if (empty && !out.problem.pins.empty()) {
-      out.assignment = solveLr(out.problem, opts.lr);
-      out.lrFallback = true;
-    }
+  {
+    obs::ScopedTimer t(obs, "pao.solve");
+    out.assignment = solver.solve(out.problem, obs);
+  }
+  // Budget exhaustion without an incumbent (or a genuinely infeasible
+  // panel): fall back to the LR heuristic rather than dropping pins.
+  const bool empty = std::all_of(
+      out.assignment.intervalOfPin.begin(), out.assignment.intervalOfPin.end(),
+      [](Index i) { return i == geom::kInvalidIndex; });
+  if (empty && !out.problem.pins.empty() && solver.name() != "lr") {
+    obs::ScopedTimer t(obs, "pao.fallback");
+    out.assignment = LrSolver(opts.lr).solve(out.problem, obs);
+    obs->add(obs::names::kPaoFallbacks);
   }
   return out;
 }
@@ -50,6 +62,10 @@ PinAccessPlan optimizePinAccess(const db::Design& design,
                                 const OptimizerOptions& opts) {
   PinAccessPlan plan;
   plan.routes.assign(design.pins().size(), PinRoute{});
+
+  std::shared_ptr<const Solver> solver = opts.solver;
+  if (!solver)
+    solver = makeSolver(opts.method, opts.lr, opts.exact, opts.ilp);
 
   const std::vector<db::Panel> panels = db::extractPanels(design);
   std::vector<const db::Panel*> work;
@@ -62,38 +78,45 @@ PinAccessPlan optimizePinAccess(const db::Design& design,
   const int threads = std::clamp(
       opts.threads > 0 ? opts.threads : (hw > 0 ? hw : 1), 1,
       static_cast<int>(std::max<std::size_t>(1, work.size())));
-  if (threads <= 1) {
-    for (std::size_t k = 0; k < work.size(); ++k)
-      outcomes[k] = solvePanel(design, *work[k], opts);
-  } else {
-    std::atomic<std::size_t> next{0};
-    auto worker = [&] {
-      for (std::size_t k = next.fetch_add(1); k < work.size();
-           k = next.fetch_add(1)) {
-        outcomes[k] = solvePanel(design, *work[k], opts);
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
+  {
+    // Scoped so the span is closed before `plan` can be returned (the timer
+    // must not outlive its collector's final resting place).
+    obs::ScopedTimer total(&plan.stats, "pao.total");
+    if (threads <= 1) {
+      for (std::size_t k = 0; k < work.size(); ++k)
+        outcomes[k] = solvePanel(design, *work[k], opts, *solver,
+                                 static_cast<int>(k));
+    } else {
+      std::atomic<std::size_t> next{0};
+      auto worker = [&] {
+        for (std::size_t k = next.fetch_add(1); k < work.size();
+             k = next.fetch_add(1)) {
+          outcomes[k] = solvePanel(design, *work[k], opts, *solver,
+                                   static_cast<int>(k));
+        }
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(threads));
+      for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+      for (std::thread& t : pool) t.join();
+    }
   }
 
+  plan.stats.note("pao.solver", solver->name());
+  plan.stats.add(obs::names::kPaoPanels, static_cast<long>(work.size()));
+  // Merge in panel order: counters and series come out identical for any
+  // thread count (only span wall-times differ run to run).
   for (const PanelOutcome& out : outcomes) {
     const Problem& problem = out.problem;
     const Assignment& a = out.assignment;
-    plan.totalIntervals += static_cast<long>(problem.intervals.size());
-    plan.totalConflicts += static_cast<long>(problem.conflicts.size());
+    plan.stats.merge(out.stats);
     plan.objective += a.objective;
-    plan.solverIterations += a.iterations;
-    if (opts.method == Method::Exact && (out.lrFallback || !a.provedOptimal))
-      plan.allProvedOptimal = false;
 
     for (std::size_t j = 0; j < problem.pins.size(); ++j) {
       const Index designPin = problem.pins[j].designPin;
       const Index i = a.intervalOfPin[j];
       if (i == geom::kInvalidIndex) {
-        ++plan.unassignedPins;
+        plan.stats.add(obs::names::kPaoUnassigned);
         continue;
       }
       const AccessInterval& iv =

@@ -4,37 +4,46 @@
 ///
 /// For each standard-cell row the facade generates pin access intervals
 /// (Section 3.1), detects conflict sets (3.2), and solves the weighted
-/// interval assignment with either the scalable LR algorithm (3.4) or the
-/// exact solver (3.3). The result maps every accessible design pin to one
-/// conflict-free M2 interval — the "partial routes" handed to the router
-/// (Section 4).
+/// interval assignment through the unified `Solver` interface (LR, exact
+/// branch & bound, or the generic ILP translation — solver.h). The result
+/// maps every accessible design pin to one conflict-free M2 interval — the
+/// "partial routes" handed to the router (Section 4).
+///
+/// Every run is instrumented: `PinAccessPlan::stats` carries the merged
+/// per-panel counters, trace series, and phase timers. Each panel is
+/// processed under its own collector (src = panel index) and the collectors
+/// are merged in panel order, so all counters and series are identical for
+/// any `threads` value; only span wall-times vary.
 #pragma once
 
+#include <memory>
 #include <vector>
 
-#include "core/exact_solver.h"
 #include "core/interval_gen.h"
-#include "core/lr_solver.h"
+#include "core/solver.h"
 #include "db/design.h"
+#include "obs/collector.h"
+#include "obs/names.h"
 
 namespace cpr::core {
-
-enum class Method {
-  Lr,    ///< Lagrangian relaxation + greedy conflict removal (Algorithm 2)
-  Exact, ///< branch & bound to proven optimality (the paper's "ILP")
-};
 
 struct OptimizerOptions {
   Method method = Method::Lr;
   GenOptions gen;
   LrOptions lr;
   ExactOptions exact;
+  ilp::IlpOptions ilp;
   ProfitModel profitModel = ProfitModel::SqrtSpan;
   /// Worker threads for panel-level parallelism ("concurrent pin access
   /// optimization ... can also handle multiple panels simultaneously with
-  /// scalable solutions", Section 3). Panels are independent, so results are
-  /// identical for any thread count; 0 = use the hardware concurrency.
+  /// scalable solutions", Section 3). Panels are independent and stats merge
+  /// in panel order, so results are identical for any thread count; 0 = use
+  /// the hardware concurrency.
   int threads = 0;
+  /// Overrides `method`/`lr`/`exact`/`ilp` when set: panels are solved by
+  /// this solver instance (it must be safe for concurrent `solve` calls, as
+  /// the built-in three are).
+  std::shared_ptr<const Solver> solver;
 };
 
 /// One pin's optimized access interval (a horizontal M2 partial route).
@@ -48,12 +57,35 @@ struct PinRoute {
 struct PinAccessPlan {
   /// Indexed by design pin id.
   std::vector<PinRoute> routes;
-  double objective = 0.0;     ///< sum over pins of f(assigned interval)
-  long totalIntervals = 0;    ///< candidates generated across panels
-  long totalConflicts = 0;    ///< conflict sets detected across panels
-  int unassignedPins = 0;     ///< pins with no access at all (blocked)
-  long solverIterations = 0;  ///< LR iterations or B&B nodes, summed
-  bool allProvedOptimal = true;  ///< exact method only
+  double objective = 0.0;  ///< sum over pins of f(assigned interval)
+  /// Merged per-panel instrumentation (counters, series, phase timers).
+  obs::Collector stats;
+
+  // Thin accessors over the canonical counters (kept for call sites that
+  // predate the obs subsystem).
+  [[nodiscard]] long totalIntervals() const {
+    return stats.counter(obs::names::kPaoIntervals);
+  }
+  [[nodiscard]] long totalConflicts() const {
+    return stats.counter(obs::names::kPaoConflicts);
+  }
+  [[nodiscard]] int unassignedPins() const {
+    return static_cast<int>(stats.counter(obs::names::kPaoUnassigned));
+  }
+  /// Solver work summed across panels: LR iterations, exact B&B nodes, and
+  /// generic-ILP nodes all count.
+  [[nodiscard]] long solverIterations() const {
+    return stats.counter(obs::names::kLrIterations) +
+           stats.counter(obs::names::kExactNodes) +
+           stats.counter(obs::names::kIlpNodes);
+  }
+  /// True when no panel's solver gave up on proving optimality and no panel
+  /// fell back to the LR heuristic. Trivially true for Method::Lr.
+  [[nodiscard]] bool allProvedOptimal() const {
+    return stats.counter(obs::names::kExactNotProved) == 0 &&
+           stats.counter(obs::names::kIlpNotProved) == 0 &&
+           stats.counter(obs::names::kPaoFallbacks) == 0;
+  }
 };
 
 [[nodiscard]] PinAccessPlan optimizePinAccess(const db::Design& design,

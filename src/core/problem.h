@@ -84,9 +84,10 @@ struct Assignment {
   double objective = 0.0;
   /// Conflict sets still violated (0 for legal assignments).
   int violations = 0;
-  /// Solver iterations (LR) or search nodes (exact) consumed.
-  long iterations = 0;
-  /// True when the solver proved optimality (exact solver only).
+  /// True when the solver proved optimality (exact solver only). Work
+  /// counts (LR iterations, branch & bound nodes, simplex pivots) are
+  /// reported through the `obs::Collector` passed to the solver instead of
+  /// being carried here.
   bool provedOptimal = false;
 };
 

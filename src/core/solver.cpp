@@ -1,0 +1,46 @@
+#include "core/solver.h"
+
+#include "core/ilp_builder.h"
+#include "obs/names.h"
+
+namespace cpr::core {
+
+Assignment LrSolver::solve(const Problem& p, obs::Collector* obs) const {
+  return solveLr(p, opts_, nullptr, obs);
+}
+
+Assignment ExactSolver::solve(const Problem& p, obs::Collector* obs) const {
+  return solveExact(p, opts_, nullptr, obs);
+}
+
+Assignment IlpSolver::solve(const Problem& p, obs::Collector* obs) const {
+  const IlpBuild build = buildIlpModel(p);
+  const ilp::IlpResult res = ilp::solveBinaryIlp(build.model, opts_);
+  obs::add(obs, obs::names::kIlpNodes, res.nodesExplored);
+  obs::add(obs, obs::names::kIlpPivots, res.lpPivots);
+  if (res.status != ilp::IlpStatus::Optimal)
+    obs::add(obs, obs::names::kIlpNotProved);
+  if (res.x.empty()) {
+    // No incumbent within budget: report an empty (all-unassigned)
+    // assignment rather than inventing one.
+    Assignment out;
+    out.intervalOfPin.assign(p.pins.size(), geom::kInvalidIndex);
+    return out;
+  }
+  Assignment out = decodeIlpSolution(p, build, res.x);
+  out.provedOptimal = res.status == ilp::IlpStatus::Optimal;
+  return out;
+}
+
+std::unique_ptr<Solver> makeSolver(Method method, const LrOptions& lr,
+                                   const ExactOptions& exact,
+                                   const ilp::IlpOptions& ilp) {
+  switch (method) {
+    case Method::Lr: return std::make_unique<LrSolver>(lr);
+    case Method::Exact: return std::make_unique<ExactSolver>(exact);
+    case Method::Ilp: return std::make_unique<IlpSolver>(ilp);
+  }
+  return std::make_unique<LrSolver>(lr);  // unreachable
+}
+
+}  // namespace cpr::core

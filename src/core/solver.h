@@ -1,0 +1,95 @@
+/// \file solver.h
+/// Unified solver interface over the weighted interval assignment problem.
+///
+/// All three solving paths of the reproduction — the scalable Lagrangian
+/// relaxation (Section 3.4), the specialized exact branch & bound (playing
+/// the paper's commercial ILP solver), and the generic ILP translation
+/// through `ilp::Model` — implement the same `Solver` interface, so the
+/// design-level optimizer, the benches, and the CLI select a solver by value
+/// instead of switching on an enum at every call site. Solvers are stateless
+/// after construction and safe to share across panel-solving threads.
+///
+/// Every `solve` accepts an optional `obs::Collector` into which the solver
+/// reports its canonical counters and per-iteration trace series (see
+/// obs/names.h); pass nullptr to skip all instrumentation.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "core/exact_solver.h"
+#include "core/lr_solver.h"
+#include "core/problem.h"
+#include "ilp/branch_and_bound.h"
+#include "obs/collector.h"
+
+namespace cpr::core {
+
+/// Solver selection for option structs and command lines. `Lr` and `Exact`
+/// are the paper's two methods; `Ilp` is the generic LP-based branch & bound
+/// over the translated Formula (1) model (slow, used for cross-checking).
+enum class Method {
+  Lr,    ///< Lagrangian relaxation + greedy conflict removal (Algorithm 2)
+  Exact, ///< specialized branch & bound to proven optimality (the "ILP")
+  Ilp,   ///< generic ILP translation solved by ilp::solveBinaryIlp
+};
+
+class Solver {
+ public:
+  virtual ~Solver() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Solves `p` (profits and conflicts must be filled). Reports counters and
+  /// traces into `obs` when non-null.
+  [[nodiscard]] virtual Assignment solve(const Problem& p,
+                                         obs::Collector* obs = nullptr)
+      const = 0;
+};
+
+/// Algorithm 2 behind the interface; thin wrapper over `solveLr`.
+class LrSolver final : public Solver {
+ public:
+  explicit LrSolver(LrOptions opts = {}) : opts_(opts) {}
+  [[nodiscard]] std::string_view name() const override { return "lr"; }
+  [[nodiscard]] Assignment solve(const Problem& p,
+                                 obs::Collector* obs = nullptr) const override;
+  [[nodiscard]] const LrOptions& options() const { return opts_; }
+
+ private:
+  LrOptions opts_;
+};
+
+/// The specialized exact branch & bound behind the interface; wraps
+/// `solveExact`.
+class ExactSolver final : public Solver {
+ public:
+  explicit ExactSolver(ExactOptions opts = {}) : opts_(opts) {}
+  [[nodiscard]] std::string_view name() const override { return "exact"; }
+  [[nodiscard]] Assignment solve(const Problem& p,
+                                 obs::Collector* obs = nullptr) const override;
+  [[nodiscard]] const ExactOptions& options() const { return opts_; }
+
+ private:
+  ExactOptions opts_;
+};
+
+/// The ILP translation path: builds Formula (1) with `buildIlpModel`, solves
+/// it with the generic LP-based branch & bound, and decodes the 0/1 solution.
+class IlpSolver final : public Solver {
+ public:
+  explicit IlpSolver(ilp::IlpOptions opts = {}) : opts_(opts) {}
+  [[nodiscard]] std::string_view name() const override { return "ilp"; }
+  [[nodiscard]] Assignment solve(const Problem& p,
+                                 obs::Collector* obs = nullptr) const override;
+  [[nodiscard]] const ilp::IlpOptions& options() const { return opts_; }
+
+ private:
+  ilp::IlpOptions opts_;
+};
+
+/// Factory used by the optimizer, benches, and CLI.
+[[nodiscard]] std::unique_ptr<Solver> makeSolver(Method method,
+                                                 const LrOptions& lr = {},
+                                                 const ExactOptions& exact = {},
+                                                 const ilp::IlpOptions& ilp = {});
+
+}  // namespace cpr::core

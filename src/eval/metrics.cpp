@@ -21,8 +21,8 @@ Metrics summarize(const db::Design& design,
   m.routability =
       m.totalNets == 0 ? 0.0 : 100.0 * m.routedClean / m.totalNets;
   m.seconds = result.seconds + extraSeconds;
-  m.congestedGridsBeforeRrr = result.congestedGridsBeforeRrr;
-  m.drcViolations = result.drcViolations;
+  m.congestedGridsBeforeRrr = result.congestedGridsBeforeRrr();
+  m.drcViolations = result.drcViolations();
   return m;
 }
 

@@ -39,6 +39,7 @@ struct Search {
     ++result.nodesExplored;
 
     const LpResult lp = solveLp(model, opts.lp, &fix);
+    result.lpPivots += lp.pivots;
     if (lp.status == LpStatus::Infeasible) return;
     if (lp.status != LpStatus::Optimal) {
       // Iteration-limited or unbounded relaxation: cannot certify this

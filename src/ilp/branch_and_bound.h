@@ -27,6 +27,7 @@ struct IlpResult {
   double objective = 0.0;
   std::vector<double> x;  ///< 0/1 values; empty when no incumbent found
   long nodesExplored = 0;
+  long lpPivots = 0;  ///< total simplex pivots across all node relaxations
 };
 
 struct IlpOptions {

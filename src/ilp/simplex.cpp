@@ -72,8 +72,9 @@ class Tableau {
 
 enum class PivotOutcome { Optimal, Unbounded, IterationLimit };
 
-/// Runs primal simplex iterations on a canonicalized tableau.
-PivotOutcome iterate(Tableau& t, long maxIters, double eps) {
+/// Runs primal simplex iterations on a canonicalized tableau; every pivot
+/// performed is accumulated into `pivots`.
+PivotOutcome iterate(Tableau& t, long maxIters, double eps, long& pivots) {
   long degenerateRun = 0;
   for (long it = 0; it < maxIters; ++it) {
     const bool bland = degenerateRun > 64;  // anti-cycling fallback
@@ -108,6 +109,7 @@ PivotOutcome iterate(Tableau& t, long maxIters, double eps) {
     if (leave == t.rows()) return PivotOutcome::Unbounded;
     degenerateRun = bestRatio < eps ? degenerateRun + 1 : 0;
     t.pivot(leave, enter);
+    ++pivots;
   }
   return PivotOutcome::IterationLimit;
 }
@@ -225,7 +227,8 @@ LpResult solveLp(const Model& m, const LpOptions& opts, const Fixing* fix) {
     std::vector<double> phase1(nCols, 0.0);
     for (std::size_t j = artifBegin; j < nCols; ++j) phase1[j] = -1.0;
     t.priceObjective(phase1);
-    const PivotOutcome out = iterate(t, opts.maxIterations, opts.eps);
+    const PivotOutcome out =
+        iterate(t, opts.maxIterations, opts.eps, res.pivots);
     if (out == PivotOutcome::IterationLimit) {
       res.status = LpStatus::IterationLimit;
       return res;
@@ -243,7 +246,10 @@ LpResult solveLp(const Model& m, const LpOptions& opts, const Fixing* fix) {
       for (; j < artifBegin; ++j) {
         if (!t.banned()[j] && std::abs(t.at(i, j)) > opts.eps) break;
       }
-      if (j < artifBegin) t.pivot(i, j);
+      if (j < artifBegin) {
+        t.pivot(i, j);
+        ++res.pivots;
+      }
       // else: redundant row; the artificial stays basic at value 0.
     }
   }
@@ -254,7 +260,7 @@ LpResult solveLp(const Model& m, const LpOptions& opts, const Fixing* fix) {
     if (colOf[v] >= 0) phase2[static_cast<std::size_t>(colOf[v])] = m.objective()[v];
   }
   t.priceObjective(phase2);
-  switch (iterate(t, opts.maxIterations, opts.eps)) {
+  switch (iterate(t, opts.maxIterations, opts.eps, res.pivots)) {
     case PivotOutcome::Optimal: res.status = LpStatus::Optimal; break;
     case PivotOutcome::Unbounded: res.status = LpStatus::Unbounded; return res;
     case PivotOutcome::IterationLimit:

@@ -22,6 +22,7 @@ struct LpResult {
   LpStatus status = LpStatus::IterationLimit;
   double objective = 0.0;
   std::vector<double> x;  ///< structural variable values (size = model vars)
+  long pivots = 0;        ///< simplex pivots performed (both phases)
 };
 
 struct LpOptions {

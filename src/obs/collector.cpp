@@ -1,0 +1,86 @@
+#include "obs/collector.h"
+
+#include <cassert>
+
+namespace cpr::obs {
+
+void Collector::add(std::string_view name, long delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+long Collector::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Collector::gauge(std::string_view name, double value) {
+  gauges_.insert_or_assign(std::string(name), value);
+}
+
+double Collector::gaugeOr(std::string_view name, double fallback) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? fallback : it->second;
+}
+
+void Collector::note(std::string_view key, std::string_view value) {
+  notes_.insert_or_assign(std::string(key), std::string(value));
+}
+
+void Collector::row(std::string_view name,
+                    std::initializer_list<std::string_view> columns,
+                    std::initializer_list<double> values) {
+  assert(columns.size() == values.size());
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    Series s;
+    s.columns.reserve(columns.size() + 1);
+    s.columns.emplace_back("src");
+    for (std::string_view c : columns) s.columns.emplace_back(c);
+    it = series_.emplace(std::string(name), std::move(s)).first;
+  }
+  assert(it->second.columns.size() == columns.size() + 1);
+  std::vector<double> r;
+  r.reserve(values.size() + 1);
+  r.push_back(static_cast<double>(src_));
+  r.insert(r.end(), values.begin(), values.end());
+  it->second.rows.push_back(std::move(r));
+}
+
+void Collector::merge(const Collector& other) {
+  for (const auto& [name, v] : other.counters_) add(name, v);
+  for (const auto& [name, v] : other.gauges_) gauge(name, v);
+  for (const auto& [key, v] : other.notes_) note(key, v);
+  for (const auto& [name, s] : other.series_) {
+    auto it = series_.find(name);
+    if (it == series_.end()) {
+      series_.emplace(name, s);
+    } else {
+      assert(it->second.columns == s.columns);
+      it->second.rows.insert(it->second.rows.end(), s.rows.begin(),
+                             s.rows.end());
+    }
+  }
+  spans_.insert(spans_.end(), other.spans_.begin(), other.spans_.end());
+}
+
+ScopedTimer::ScopedTimer(Collector* c, std::string_view name) : c_(c) {
+  if (!c_) return;
+  slot_ = c_->spans_.size();
+  c_->spans_.push_back(
+      Span{std::string(name), c_->src_, c_->depth_, Clock::now(), {}});
+  ++c_->depth_;
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!c_) return;
+  Span& s = c_->spans_[slot_];
+  s.dur = Clock::now() - s.start;
+  --c_->depth_;
+}
+
+}  // namespace cpr::obs

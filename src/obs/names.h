@@ -1,0 +1,52 @@
+/// \file names.h
+/// Canonical counter names shared between emitters and the backward-compat
+/// accessors on result structs. Naming convention:
+/// `<layer>.<subject>[.<aspect>]`, dot-separated lower_snake_case segments.
+/// Layers: gen, conflict, lr, exact, ilp, pao, route, drc, cli, bench.
+#pragma once
+
+#include <string_view>
+
+namespace cpr::obs::names {
+
+// Pin access interval generation (Section 3.1).
+inline constexpr std::string_view kGenIntervals = "gen.intervals.emitted";
+inline constexpr std::string_view kGenShared = "gen.intervals.shared";
+inline constexpr std::string_view kGenBlockedPins = "gen.pins.blocked";
+// Conflict detection (Section 3.2).
+inline constexpr std::string_view kConflictSets = "conflict.sets";
+// LR solver (Section 3.4).
+inline constexpr std::string_view kLrIterations = "lr.iterations";
+inline constexpr std::string_view kLrRemovalRounds = "lr.removal.rounds";
+inline constexpr std::string_view kLrReexpandUpgrades = "lr.reexpand.upgrades";
+// Specialized exact branch & bound (Section 3.3).
+inline constexpr std::string_view kExactNodes = "exact.nodes";
+inline constexpr std::string_view kExactNotProved = "exact.not_proved";
+// Generic ILP translation path (Formula 1 via ilp::Model).
+inline constexpr std::string_view kIlpNodes = "ilp.nodes";
+inline constexpr std::string_view kIlpPivots = "ilp.lp.pivots";
+inline constexpr std::string_view kIlpNotProved = "ilp.not_proved";
+// Design-level optimizer (panel fan-out).
+inline constexpr std::string_view kPaoPanels = "pao.panels";
+inline constexpr std::string_view kPaoIntervals = "pao.intervals.generated";
+inline constexpr std::string_view kPaoConflicts = "pao.conflicts.detected";
+inline constexpr std::string_view kPaoUnassigned = "pao.pins.unassigned";
+inline constexpr std::string_view kPaoFallbacks = "pao.solver.fallbacks";
+// Routing.
+inline constexpr std::string_view kRouteRrrIterations = "route.rrr.iterations";
+inline constexpr std::string_view kRouteCongestedPreRrr =
+    "route.congested.pre_rrr";
+inline constexpr std::string_view kRouteRipups = "route.ripups";
+inline constexpr std::string_view kRouteRetries = "route.retries";
+inline constexpr std::string_view kRouteSearches = "route.astar.searches";
+inline constexpr std::string_view kRoutePops = "route.astar.pops";
+inline constexpr std::string_view kRouteDroppedSharing =
+    "route.dropped.sharing";
+// DRC signoff.
+inline constexpr std::string_view kDrcViolations = "drc.violations";
+inline constexpr std::string_view kDrcLineEnd = "drc.violations.line_end";
+inline constexpr std::string_view kDrcViaSpacing =
+    "drc.violations.via_spacing";
+inline constexpr std::string_view kDrcDirtyNets = "drc.nets.dirty";
+
+}  // namespace cpr::obs::names

@@ -1,0 +1,195 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cpr::obs {
+
+namespace {
+
+/// Earliest span start, the t=0 of both output formats (keeps timestamps
+/// small and diff-friendly).
+Clock::time_point timeOrigin(const Collector& c) {
+  Clock::time_point origin = Clock::time_point::max();
+  for (const Span& s : c.spans()) origin = std::min(origin, s.start);
+  return origin == Clock::time_point::max() ? Clock::time_point{} : origin;
+}
+
+double toMicros(Clock::duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+/// Doubles print shortest-round-trip-ish: integers without a trailing ".0"
+/// noise is fine for JSON; use %.17g only when needed.
+void writeDouble(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << (v > 0 ? "1e308" : (v < 0 ? "-1e308" : "0"));
+    return;
+  }
+  char buf[32];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+  }
+  os << buf;
+}
+
+}  // namespace
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void writeReportJson(const Collector& c, std::ostream& os) {
+  os << "{\n  \"schema\": \"cpr.report.v1\"";
+
+  os << ",\n  \"notes\": {";
+  bool first = true;
+  for (const auto& [k, v] : c.notes()) {
+    os << (first ? "" : ",") << "\n    \"" << jsonEscape(k) << "\": \""
+       << jsonEscape(v) << "\"";
+    first = false;
+  }
+  os << (first ? "}" : "\n  }");
+
+  os << ",\n  \"counters\": {";
+  first = true;
+  for (const auto& [k, v] : c.counters()) {
+    os << (first ? "" : ",") << "\n    \"" << jsonEscape(k) << "\": " << v;
+    first = false;
+  }
+  os << (first ? "}" : "\n  }");
+
+  os << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [k, v] : c.gauges()) {
+    os << (first ? "" : ",") << "\n    \"" << jsonEscape(k) << "\": ";
+    writeDouble(os, v);
+    first = false;
+  }
+  os << (first ? "}" : "\n  }");
+
+  os << ",\n  \"series\": {";
+  first = true;
+  for (const auto& [name, s] : c.series()) {
+    os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+       << "\": {\"columns\": [";
+    for (std::size_t i = 0; i < s.columns.size(); ++i)
+      os << (i ? ", " : "") << "\"" << jsonEscape(s.columns[i]) << "\"";
+    os << "], \"rows\": [";
+    for (std::size_t r = 0; r < s.rows.size(); ++r) {
+      os << (r ? ", " : "") << "[";
+      for (std::size_t i = 0; i < s.rows[r].size(); ++i) {
+        os << (i ? ", " : "");
+        writeDouble(os, s.rows[r][i]);
+      }
+      os << "]";
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "}" : "\n  }");
+
+  os << ",\n  \"phases\": [";
+  const Clock::time_point origin = timeOrigin(c);
+  first = true;
+  for (const Span& s : c.spans()) {
+    os << (first ? "" : ",") << "\n    {\"name\": \"" << jsonEscape(s.name)
+       << "\", \"src\": " << s.src << ", \"depth\": " << s.depth
+       << ", \"start_us\": ";
+    writeDouble(os, toMicros(s.start - origin));
+    os << ", \"dur_us\": ";
+    writeDouble(os, toMicros(s.dur));
+    os << "}";
+    first = false;
+  }
+  os << (first ? "]" : "\n  ]") << "\n}\n";
+}
+
+void writeChromeTrace(const Collector& c, std::ostream& os) {
+  // The plain-array form; chrome://tracing and Perfetto both accept it.
+  os << "[";
+  const Clock::time_point origin = timeOrigin(c);
+  bool first = true;
+  for (const Span& s : c.spans()) {
+    os << (first ? "" : ",") << "\n{\"name\": \"" << jsonEscape(s.name)
+       << "\", \"cat\": \"cpr\", \"ph\": \"X\", \"ts\": ";
+    writeDouble(os, toMicros(s.start - origin));
+    os << ", \"dur\": ";
+    writeDouble(os, toMicros(s.dur));
+    os << ", \"pid\": 1, \"tid\": " << s.src << "}";
+    first = false;
+  }
+  // Counters ride along as one instant event so a trace file alone still
+  // carries the run's headline numbers.
+  if (!c.counters().empty()) {
+    os << (first ? "" : ",")
+       << "\n{\"name\": \"counters\", \"cat\": \"cpr\", \"ph\": \"i\", "
+          "\"ts\": 0, \"s\": \"g\", \"pid\": 1, \"tid\": 0, \"args\": {";
+    bool f2 = true;
+    for (const auto& [k, v] : c.counters()) {
+      os << (f2 ? "" : ", ") << "\"" << jsonEscape(k) << "\": " << v;
+      f2 = false;
+    }
+    os << "}}";
+  }
+  os << "\n]\n";
+}
+
+std::string reportJson(const Collector& c) {
+  std::ostringstream os;
+  writeReportJson(c, os);
+  return os.str();
+}
+
+std::string chromeTrace(const Collector& c) {
+  std::ostringstream os;
+  writeChromeTrace(c, os);
+  return os.str();
+}
+
+namespace {
+void saveTo(const std::string& path, const std::string& body) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot write " + path);
+  os << body;
+  if (!os) throw std::runtime_error("failed writing " + path);
+}
+}  // namespace
+
+void saveReportJson(const Collector& c, const std::string& path) {
+  saveTo(path, reportJson(c));
+}
+
+void saveChromeTrace(const Collector& c, const std::string& path) {
+  saveTo(path, chromeTrace(c));
+}
+
+}  // namespace cpr::obs

@@ -1,0 +1,36 @@
+/// \file report.h
+/// Serialization of a Collector into machine-readable run reports.
+///
+/// Two formats:
+///  - `cpr.report.v1` JSON: notes, counters, gauges, series, and phase spans
+///    in one document. Counters / gauges / series are deterministic for a
+///    fixed input (maps are emitted in sorted key order and concurrent
+///    collectors merge in a fixed order); only the `start_us` / `dur_us`
+///    fields of `phases` carry wall-clock noise.
+///  - Chrome `trace_event` JSON (the `chrome://tracing` / Perfetto format):
+///    every span becomes a complete "X" event; the collector `src` id is the
+///    trace thread, so per-panel work shows up as parallel lanes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/collector.h"
+
+namespace cpr::obs {
+
+/// Escapes `s` for embedding inside a JSON string literal (no quotes added).
+[[nodiscard]] std::string jsonEscape(std::string_view s);
+
+void writeReportJson(const Collector& c, std::ostream& os);
+void writeChromeTrace(const Collector& c, std::ostream& os);
+
+[[nodiscard]] std::string reportJson(const Collector& c);
+[[nodiscard]] std::string chromeTrace(const Collector& c);
+
+/// Writes `writer`'s format to `path`; throws std::runtime_error on I/O
+/// failure. Convenience for CLI / bench `--report` / `--trace` flags.
+void saveReportJson(const Collector& c, const std::string& path);
+void saveChromeTrace(const Collector& c, const std::string& path);
+
+}  // namespace cpr::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/names.h"
+
 namespace cpr::route {
 
 namespace {
@@ -52,9 +54,11 @@ void collectSegments(const DrcInput& in, bool m3, Coord ext,
 
 }  // namespace
 
-DrcReport checkDesignRules(const DrcInput& in, const DrcRules& rules) {
+DrcReport checkDesignRules(const DrcInput& in, const DrcRules& rules,
+                           obs::Collector* obs) {
   DrcReport report;
   report.dirty.assign(in.netNodes.size(), 0);
+  long lineEndViolations = 0;
 
   auto flag = [&](Index a, Index b) {
     ++report.violations;
@@ -74,7 +78,10 @@ DrcReport checkDesignRules(const DrcInput& in, const DrcRules& rules) {
       for (std::size_t i = 0; i + 1 < segs.size(); ++i) {
         for (std::size_t j = i + 1; j < segs.size(); ++j) {
           if (segs[j].lo > segs[i].hi + rules.minLineEndSpacing) break;
-          if (segs[i].net != segs[j].net) flag(segs[i].net, segs[j].net);
+          if (segs[i].net != segs[j].net) {
+            flag(segs[i].net, segs[j].net);
+            ++lineEndViolations;
+          }
         }
       }
     }
@@ -101,6 +108,15 @@ DrcReport checkDesignRules(const DrcInput& in, const DrcRules& rules) {
         }
       }
     }
+  }
+  if (obs) {
+    obs->add(obs::names::kDrcViolations, report.violations);
+    obs->add(obs::names::kDrcLineEnd, lineEndViolations);
+    obs->add(obs::names::kDrcViaSpacing,
+             report.violations - lineEndViolations);
+    long dirtyNets = 0;
+    for (const char d : report.dirty) dirtyNets += d ? 1 : 0;
+    obs->add(obs::names::kDrcDirtyNets, dirtyNets);
   }
   return report;
 }

@@ -16,6 +16,7 @@
 
 #include "db/design.h"
 #include "geom/types.h"
+#include "obs/collector.h"
 
 namespace cpr::route {
 
@@ -55,7 +56,12 @@ struct DrcReport {
   std::vector<char> dirty;  ///< per net: 1 when any rule is violated
 };
 
+/// Checks the rule set against committed routes. A non-null `obs` receives
+/// the categorized `drc.*` counters (total, line-end, via-spacing, dirty
+/// nets); drivers pass it only on the signoff call so intermediate repair
+/// sweeps do not inflate the run report.
 [[nodiscard]] DrcReport checkDesignRules(const DrcInput& in,
-                                         const DrcRules& rules);
+                                         const DrcRules& rules,
+                                         obs::Collector* obs = nullptr);
 
 }  // namespace cpr::route

@@ -3,14 +3,17 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/names.h"
+
 namespace cpr::route {
 
 RouteEngine::RouteEngine(const db::Design& design,
                          const core::PinAccessPlan* plan, Coord windowMargin,
-                         Coord lineEndExtension)
+                         Coord lineEndExtension, obs::Collector* obs)
     : design_(design),
       grid_(design, plan),
-      maze_(grid_),
+      obs_(obs),
+      maze_(grid_, obs),
       margin_(windowMargin),
       lineEndExtension_(lineEndExtension) {
   infos_.resize(design.nets().size());
@@ -89,6 +92,7 @@ void RouteEngine::noteIntervalUse(NetInfo& info, int nodeId) {
 
 void RouteEngine::ripNet(Index net) {
   NetState& st = states_[static_cast<std::size_t>(net)];
+  if (st.routed) obs::add(obs_, obs::names::kRouteRipups);
   for (int id : st.nodes) grid_.removeOcc(id);
   for (const ViaSite& v : st.vias) grid_.removeVia(v.x, v.y, net);
   st.nodes.clear();

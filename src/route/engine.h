@@ -31,8 +31,11 @@ class RouteEngine {
     long wirelength = 0;         ///< same-layer adjacent node pairs
   };
 
+  /// A non-null `obs` receives the engine-level `route.*` counters (rip-ups,
+  /// A* searches and pops); drivers layer their own stage counters on top.
   RouteEngine(const db::Design& design, const core::PinAccessPlan* plan,
-              Coord windowMargin, Coord lineEndExtension = 1);
+              Coord windowMargin, Coord lineEndExtension = 1,
+              obs::Collector* obs = nullptr);
 
   [[nodiscard]] RoutingGrid& grid() { return grid_; }
   [[nodiscard]] const db::Design& design() const { return design_; }
@@ -89,6 +92,7 @@ class RouteEngine {
 
   const db::Design& design_;
   RoutingGrid grid_;
+  obs::Collector* obs_ = nullptr;
   MazeRouter maze_;
   Coord margin_;
   Coord lineEndExtension_;

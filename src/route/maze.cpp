@@ -5,13 +5,16 @@
 #include <limits>
 #include <queue>
 
+#include "obs/names.h"
+
 namespace cpr::route {
 
 namespace {
 constexpr float kInf = std::numeric_limits<float>::infinity();
 }
 
-MazeRouter::MazeRouter(RoutingGrid& grid) : grid_(grid) {
+MazeRouter::MazeRouter(RoutingGrid& grid, obs::Collector* obs)
+    : grid_(grid), obs_(obs) {
   const std::size_t n = static_cast<std::size_t>(grid_.numNodes());
   dist_.assign(n, kInf);
   parent_.assign(n, -1);
@@ -53,6 +56,8 @@ std::optional<std::vector<int>> MazeRouter::findPath(
     const geom::Rect& window, Index net, const MazeCosts& costs) {
   if (sources.empty() || targets.empty()) return std::nullopt;
   ++epoch_;
+  obs::add(obs_, obs::names::kRouteSearches);
+  long pops = 0;  // reported once per search to keep the hot loop branchless
 
   // Target bbox for the admissible A* heuristic (min edge cost = metal).
   geom::Rect tbox;
@@ -94,6 +99,7 @@ std::optional<std::vector<int>> MazeRouter::findPath(
   while (!open.empty()) {
     const auto [f, u] = open.top();
     open.pop();
+    ++pops;
     const std::size_t ui = static_cast<std::size_t>(u);
     if (stamp_[ui] != epoch_ || f > dist_[ui] + heuristic(grid_.node(u)) + 1e-5F)
       continue;  // stale entry
@@ -102,6 +108,7 @@ std::optional<std::vector<int>> MazeRouter::findPath(
       for (int v = u; v != -1; v = parent_[static_cast<std::size_t>(v)])
         path.push_back(v);
       std::reverse(path.begin(), path.end());
+      obs::add(obs_, obs::names::kRoutePops, pops);
       return path;
     }
     const Node n = grid_.node(u);
@@ -129,6 +136,7 @@ std::optional<std::vector<int>> MazeRouter::findPath(
       tryMove(n.x, n.y, RLayer::M2, true);  // V2 down
     }
   }
+  obs::add(obs_, obs::names::kRoutePops, pops);
   return std::nullopt;
 }
 

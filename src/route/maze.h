@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "geom/rect.h"
+#include "obs/collector.h"
 #include "route/grid.h"
 
 namespace cpr::route {
@@ -33,12 +34,17 @@ struct MazeCosts {
 
 class MazeRouter {
  public:
-  explicit MazeRouter(RoutingGrid& grid);
+  explicit MazeRouter(RoutingGrid& grid, obs::Collector* obs = nullptr);
+
+  /// Switches the instrumentation sink (the engine owns the router but the
+  /// driver owns the collector).
+  void setObserver(obs::Collector* obs) { obs_ = obs; }
 
   /// Finds a min-cost path from any source to any target inside `window`
   /// (both layers). Returns the node-id path source→target inclusive, or
   /// nullopt when disconnected. Sources already in the target set return a
-  /// single-node path.
+  /// single-node path. Each call reports one `route.astar.searches` count
+  /// and its popped-node total (`route.astar.pops`) to the observer.
   [[nodiscard]] std::optional<std::vector<int>> findPath(
       const std::vector<int>& sources, const std::vector<int>& targets,
       const geom::Rect& window, Index net, const MazeCosts& costs);
@@ -47,6 +53,7 @@ class MazeRouter {
   [[nodiscard]] float nodeCost(int id, Index net, const MazeCosts& c) const;
 
   RoutingGrid& grid_;
+  obs::Collector* obs_ = nullptr;
   std::vector<float> dist_;
   std::vector<int> parent_;
   std::vector<long> stamp_;        ///< epoch per node for dist/parent

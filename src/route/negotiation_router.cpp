@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/names.h"
 #include "route/engine.h"
 
 namespace cpr::route {
@@ -10,8 +11,10 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 /// Routes one net, retrying once with a widened window.
-bool routeWithRetry(RouteEngine& engine, Index net, const MazeCosts& costs) {
+bool routeWithRetry(RouteEngine& engine, Index net, const MazeCosts& costs,
+                    obs::Collector* obs) {
   if (engine.routeNet(net, costs)) return true;
+  obs::add(obs, obs::names::kRouteRetries);
   return engine.routeNet(net, costs, /*extraMargin=*/24);
 }
 
@@ -21,8 +24,10 @@ RoutingResult routeNegotiated(const db::Design& design,
                               const core::PinAccessPlan* plan,
                               const NegotiationOptions& opts) {
   const auto t0 = Clock::now();
+  RoutingResult result;
+  obs::Collector* obs = &result.stats;
   RouteEngine engine(design, plan, opts.windowMargin,
-                     opts.drc.lineEndExtension);
+                     opts.drc.lineEndExtension, obs);
   // Extensions are committed as metal by the engine; signoff checks the
   // committed geometry directly.
   DrcRules signoff = opts.drc;
@@ -30,52 +35,60 @@ RoutingResult routeNegotiated(const db::Design& design,
   RoutingGrid& grid = engine.grid();
   const auto numNets = static_cast<Index>(design.nets().size());
 
-  RoutingResult result;
   result.nets.resize(static_cast<std::size_t>(numNets));
 
   // ---- independent routing stage ----
   MazeCosts costs = opts.costs;
   costs.present = 0.0F;
   costs.hardBlockOccupied = false;
-  for (Index n = 0; n < numNets; ++n) routeWithRetry(engine, n, costs);
-  result.congestedGridsBeforeRrr = grid.congestedNodeCount();
+  {
+    obs::ScopedTimer t(obs, "route.independent");
+    for (Index n = 0; n < numNets; ++n) routeWithRetry(engine, n, costs, obs);
+  }
+  obs->add(obs::names::kRouteCongestedPreRrr, grid.congestedNodeCount());
 
   // ---- rip-up & reroute ----
-  long bestCongestion = result.congestedGridsBeforeRrr;
+  long bestCongestion = grid.congestedNodeCount();
   int congestionStall = 0;
-  for (int iter = 1; iter <= opts.maxRrrIterations; ++iter) {
-    const long congestion = grid.congestedNodeCount();
-    if (congestion == 0) break;
-    // Progress must be material (2%): a long tail of structurally shared
-    // grids otherwise keeps the loop alive for no benefit.
-    if (congestion < bestCongestion - std::max<long>(1, bestCongestion / 50)) {
-      bestCongestion = congestion;
-      congestionStall = 0;
-    } else if (opts.congestionStallIters > 0 &&
-               ++congestionStall >= opts.congestionStallIters) {
-      break;  // negotiation has stopped making progress
-    }
-    bestCongestion = std::min(bestCongestion, congestion);
-    result.rrrIterations = iter;
-    // History accrues on currently congested nodes.
-    for (int id = 0; id < grid.numNodes(); ++id) {
-      if (grid.occupancy(id) > 1) grid.addHistory(id, opts.historyIncrement);
-    }
-    costs.present = opts.presentFactor * static_cast<float>(iter);
-    costs.adjacency = 0.5F * costs.present;
-    for (Index n = 0; n < numNets; ++n) {
-      if (!engine.state(n).routed) {
-        routeWithRetry(engine, n, costs);  // keep retrying failed nets
-        continue;
+  {
+    obs::ScopedTimer t(obs, "route.rrr");
+    for (int iter = 1; iter <= opts.maxRrrIterations; ++iter) {
+      const long congestion = grid.congestedNodeCount();
+      if (congestion == 0) break;
+      // Progress must be material (2%): a long tail of structurally shared
+      // grids otherwise keeps the loop alive for no benefit.
+      if (congestion <
+          bestCongestion - std::max<long>(1, bestCongestion / 50)) {
+        bestCongestion = congestion;
+        congestionStall = 0;
+      } else if (opts.congestionStallIters > 0 &&
+                 ++congestionStall >= opts.congestionStallIters) {
+        break;  // negotiation has stopped making progress
       }
-      bool shares = false;
-      for (int id : engine.state(n).nodes) {
-        if (grid.occupancy(id) > 1) {
-          shares = true;
-          break;
+      bestCongestion = std::min(bestCongestion, congestion);
+      obs->add(obs::names::kRouteRrrIterations);
+      obs->row("rrr.iter", {"iter", "congested"},
+               {static_cast<double>(iter), static_cast<double>(congestion)});
+      // History accrues on currently congested nodes.
+      for (int id = 0; id < grid.numNodes(); ++id) {
+        if (grid.occupancy(id) > 1) grid.addHistory(id, opts.historyIncrement);
+      }
+      costs.present = opts.presentFactor * static_cast<float>(iter);
+      costs.adjacency = 0.5F * costs.present;
+      for (Index n = 0; n < numNets; ++n) {
+        if (!engine.state(n).routed) {
+          routeWithRetry(engine, n, costs, obs);  // keep retrying failed nets
+          continue;
         }
+        bool shares = false;
+        for (int id : engine.state(n).nodes) {
+          if (grid.occupancy(id) > 1) {
+            shares = true;
+            break;
+          }
+        }
+        if (shares) routeWithRetry(engine, n, costs, obs);
       }
-      if (shares) routeWithRetry(engine, n, costs);
     }
   }
 
@@ -90,54 +103,65 @@ RoutingResult routeNegotiated(const db::Design& design,
         break;
       }
     }
-    if (shares) engine.ripNet(n);
+    if (shares) {
+      engine.ripNet(n);
+      obs->add(obs::names::kRouteDroppedSharing);
+    }
   }
 
   // ---- DRC repair ----
   costs.present = opts.presentFactor * static_cast<float>(opts.maxRrrIterations);
   costs.adjacency = 0.5F * costs.present;
-  for (int pass = 0; pass < opts.drcRepairPasses; ++pass) {
-    const auto nodes = engine.allNodes();
-    const auto vias = engine.allVias();
-    const DrcReport report = checkDesignRules(
-        DrcInput{nodes, vias, grid.width(), grid.height()}, signoff);
-    bool any = false;
-    for (Index n = 0; n < numNets; ++n) {
-      if (!report.dirty[static_cast<std::size_t>(n)]) continue;
-      any = true;
-      routeWithRetry(engine, n, costs);
-    }
-    if (!any) break;
-    // Rerouting may reintroduce sharing; drop offenders once more.
-    for (Index n = 0; n < numNets; ++n) {
-      if (!engine.state(n).routed) continue;
-      for (int id : engine.state(n).nodes) {
-        if (grid.occupancy(id) > 1) {
-          engine.ripNet(n);
-          break;
+  {
+    obs::ScopedTimer t(obs, "route.drc_repair");
+    for (int pass = 0; pass < opts.drcRepairPasses; ++pass) {
+      const auto nodes = engine.allNodes();
+      const auto vias = engine.allVias();
+      const DrcReport report = checkDesignRules(
+          DrcInput{nodes, vias, grid.width(), grid.height()}, signoff);
+      bool any = false;
+      for (Index n = 0; n < numNets; ++n) {
+        if (!report.dirty[static_cast<std::size_t>(n)]) continue;
+        any = true;
+        routeWithRetry(engine, n, costs, obs);
+      }
+      if (!any) break;
+      // Rerouting may reintroduce sharing; drop offenders once more.
+      for (Index n = 0; n < numNets; ++n) {
+        if (!engine.state(n).routed) continue;
+        for (int id : engine.state(n).nodes) {
+          if (grid.occupancy(id) > 1) {
+            engine.ripNet(n);
+            obs->add(obs::names::kRouteDroppedSharing);
+            break;
+          }
         }
       }
     }
   }
 
   // ---- signoff ----
-  const auto nodes = engine.allNodes();
-  const auto vias = engine.allVias();
-  const DrcReport report = checkDesignRules(
-      DrcInput{nodes, vias, grid.width(), grid.height()}, signoff);
-  result.drcViolations = report.violations;
-  for (Index n = 0; n < numNets; ++n) {
-    NetResult& nr = result.nets[static_cast<std::size_t>(n)];
-    const RouteEngine::NetState& st = engine.state(n);
-    nr.routed = st.routed;
-    nr.clean = st.routed && !report.dirty[static_cast<std::size_t>(n)];
-    nr.wirelength = st.wirelength;
-    nr.vias = static_cast<int>(st.vias.size());
-  }
-  if (opts.keepGeometry) {
-    result.geometry.resize(static_cast<std::size_t>(numNets));
-    for (Index n = 0; n < numNets; ++n)
-      result.geometry[static_cast<std::size_t>(n)] = engine.geometryOf(n);
+  {
+    // Scoped so the span closes before `result` can be returned (a timer
+    // must never outlive the collector it points into).
+    obs::ScopedTimer t(obs, "route.signoff");
+    const auto nodes = engine.allNodes();
+    const auto vias = engine.allVias();
+    const DrcReport report = checkDesignRules(
+        DrcInput{nodes, vias, grid.width(), grid.height()}, signoff, obs);
+    for (Index n = 0; n < numNets; ++n) {
+      NetResult& nr = result.nets[static_cast<std::size_t>(n)];
+      const RouteEngine::NetState& st = engine.state(n);
+      nr.routed = st.routed;
+      nr.clean = st.routed && !report.dirty[static_cast<std::size_t>(n)];
+      nr.wirelength = st.wirelength;
+      nr.vias = static_cast<int>(st.vias.size());
+    }
+    if (opts.keepGeometry) {
+      result.geometry.resize(static_cast<std::size_t>(numNets));
+      for (Index n = 0; n < numNets; ++n)
+        result.geometry[static_cast<std::size_t>(n)] = engine.geometryOf(n);
+    }
   }
   result.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
   return result;

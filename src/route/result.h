@@ -7,6 +7,8 @@
 
 #include "geom/interval.h"
 #include "geom/types.h"
+#include "obs/collector.h"
+#include "obs/names.h"
 
 namespace cpr::route {
 
@@ -51,12 +53,27 @@ struct RoutingResult {
   /// Per-net committed geometry; empty unless the driver ran with
   /// `keepGeometry` (indexing matches `nets` when present).
   std::vector<NetGeometry> geometry;
+  double seconds = 0.0;  ///< wall-clock routing time
+  /// Run instrumentation: `route.*` / `drc.*` counters, stage timers, and
+  /// the per-iteration `rrr.iter` negotiation series.
+  obs::Collector stats;
+
+  // Thin accessors over the canonical counters (kept for call sites that
+  // predate the obs subsystem).
   /// Grid nodes occupied by more than one net after the independent routing
   /// stage — the paper's Fig. 7(b) metric.
-  long congestedGridsBeforeRrr = 0;
-  int rrrIterations = 0;       ///< negotiation rip-up & reroute rounds used
-  double seconds = 0.0;        ///< wall-clock routing time
-  long drcViolations = 0;      ///< total rule violations found at signoff
+  [[nodiscard]] long congestedGridsBeforeRrr() const {
+    return stats.counter(obs::names::kRouteCongestedPreRrr);
+  }
+  /// Negotiation rip-up & reroute rounds used (routing passes for the
+  /// sequential driver).
+  [[nodiscard]] int rrrIterations() const {
+    return static_cast<int>(stats.counter(obs::names::kRouteRrrIterations));
+  }
+  /// Total rule violations found at signoff.
+  [[nodiscard]] long drcViolations() const {
+    return stats.counter(obs::names::kDrcViolations);
+  }
 };
 
 }  // namespace cpr::route

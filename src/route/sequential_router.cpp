@@ -5,6 +5,7 @@
 #include <deque>
 #include <numeric>
 
+#include "obs/names.h"
 #include "route/engine.h"
 
 namespace cpr::route {
@@ -16,8 +17,10 @@ using Clock = std::chrono::steady_clock;
 RoutingResult routeSequential(const db::Design& design,
                               const SequentialOptions& opts) {
   const auto t0 = Clock::now();
+  RoutingResult result;
+  obs::Collector* obs = &result.stats;
   RouteEngine engine(design, /*plan=*/nullptr, opts.windowMargin,
-                     opts.drc.lineEndExtension);
+                     opts.drc.lineEndExtension, obs);
   DrcRules signoff = opts.drc;
   signoff.lineEndExtension = 0;
   RoutingGrid& grid = engine.grid();
@@ -125,14 +128,12 @@ RoutingResult routeSequential(const db::Design& design,
   }
 
   // ---- signoff ----
-  RoutingResult result;
   result.nets.resize(static_cast<std::size_t>(numNets));
-  result.rrrIterations = passes;
+  obs->add(obs::names::kRouteRrrIterations, passes);
   const auto nodes = engine.allNodes();
   const auto vias = engine.allVias();
   const DrcReport report = checkDesignRules(
-      DrcInput{nodes, vias, grid.width(), grid.height()}, signoff);
-  result.drcViolations = report.violations;
+      DrcInput{nodes, vias, grid.width(), grid.height()}, signoff, obs);
   for (Index n = 0; n < numNets; ++n) {
     NetResult& nr = result.nets[static_cast<std::size_t>(n)];
     const RouteEngine::NetState& st = engine.state(n);

@@ -43,10 +43,10 @@ void checkPlan(const db::Design& d, const PinAccessPlan& plan) {
 TEST(Optimizer, LrPlanIsLegal) {
   const db::Design d = makeDesign();
   const PinAccessPlan plan = optimizePinAccess(d);
-  EXPECT_EQ(plan.unassignedPins, 0);
+  EXPECT_EQ(plan.unassignedPins(), 0);
   checkPlan(d, plan);
   EXPECT_GT(plan.objective, 0.0);
-  EXPECT_GT(plan.totalIntervals, 0);
+  EXPECT_GT(plan.totalIntervals(), 0);
 }
 
 TEST(Optimizer, ExactPlanIsLegalAndDominatesLr) {

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/conflict.h"
+#include "core/exact_solver.h"
+#include "core/interval_gen.h"
+#include "core/lr_solver.h"
+#include "core/optimizer.h"
+#include "db/panel.h"
+#include "gen/generator.h"
+#include "obs/names.h"
+
+namespace cpr::core {
+namespace {
+
+Problem makeProblem(std::uint64_t seed = 17) {
+  gen::GenOptions o;
+  o.seed = seed;
+  o.width = 100;
+  o.numRows = 2;
+  o.pinDensity = 0.2;
+  o.maxNetSpan = 30;
+  const db::Design d = gen::generate(o);
+  Problem p =
+      buildProblem(d, std::vector<db::Panel>(db::extractPanels(d)), {});
+  detectConflicts(p);
+  return p;
+}
+
+void expectSameAssignment(const Assignment& a, const Assignment& b) {
+  ASSERT_EQ(a.intervalOfPin.size(), b.intervalOfPin.size());
+  for (std::size_t j = 0; j < a.intervalOfPin.size(); ++j)
+    EXPECT_EQ(a.intervalOfPin[j], b.intervalOfPin[j]) << "pin " << j;
+  EXPECT_DOUBLE_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.violations, b.violations);
+}
+
+TEST(SolverInterface, LrMatchesFreeFunction) {
+  const Problem p = makeProblem();
+  const Assignment direct = solveLr(p);
+  const Assignment viaIface = LrSolver{{}}.solve(p);
+  expectSameAssignment(direct, viaIface);
+}
+
+TEST(SolverInterface, ExactMatchesFreeFunction) {
+  const Problem p = makeProblem(19);
+  ExactOptions eo;
+  eo.timeLimitSeconds = 10.0;
+  const Assignment direct = solveExact(p, eo);
+  const Assignment viaIface = ExactSolver{eo}.solve(p);
+  expectSameAssignment(direct, viaIface);
+  EXPECT_TRUE(viaIface.provedOptimal);
+}
+
+TEST(SolverInterface, NamesAndFactory) {
+  EXPECT_EQ(LrSolver{}.name(), "lr");
+  EXPECT_EQ(ExactSolver{}.name(), "exact");
+  EXPECT_EQ(IlpSolver{}.name(), "ilp");
+  EXPECT_EQ(makeSolver(Method::Lr)->name(), "lr");
+  EXPECT_EQ(makeSolver(Method::Exact)->name(), "exact");
+  EXPECT_EQ(makeSolver(Method::Ilp)->name(), "ilp");
+}
+
+TEST(SolverInterface, AllThreeSolversAgreeOnObjective) {
+  // Small instance so the generic ILP path stays fast; exact and ilp are
+  // both optimal, LR is a lower bound on them.
+  gen::GenOptions o;
+  o.seed = 23;
+  o.width = 48;
+  o.numRows = 1;
+  o.pinDensity = 0.15;
+  o.maxNetSpan = 20;
+  o.maxNetRowSpread = 0;
+  const db::Design d = gen::generate(o);
+  Problem p = buildProblem(d, db::extractPanel(d, 0), {});
+  detectConflicts(p);
+
+  ExactOptions eo;
+  eo.timeLimitSeconds = 10.0;
+  const Assignment lr = LrSolver{{}}.solve(p);
+  const Assignment exact = ExactSolver{eo}.solve(p);
+  const Assignment ilp = IlpSolver{{}}.solve(p);
+  ASSERT_TRUE(exact.provedOptimal);
+  ASSERT_TRUE(ilp.provedOptimal);
+  EXPECT_NEAR(exact.objective, ilp.objective, 1e-6);
+  EXPECT_LE(lr.objective, exact.objective + 1e-6);
+}
+
+TEST(SolverInterface, SolversEmitCanonicalCounters) {
+  const Problem p = makeProblem(29);
+  obs::Collector lrObs;
+  (void)LrSolver{{}}.solve(p, &lrObs);
+  EXPECT_GT(lrObs.counter(obs::names::kLrIterations), 0);
+  EXPECT_FALSE(lrObs.series().empty());
+
+  obs::Collector exObs;
+  ExactOptions eo;
+  eo.timeLimitSeconds = 10.0;
+  (void)ExactSolver{eo}.solve(p, &exObs);
+  EXPECT_GT(exObs.counter(obs::names::kExactNodes), 0);
+
+  obs::Collector ilpObs;
+  gen::GenOptions small;
+  small.seed = 23;
+  small.width = 48;
+  small.numRows = 1;
+  small.pinDensity = 0.15;
+  small.maxNetSpan = 20;
+  small.maxNetRowSpread = 0;
+  const db::Design d = gen::generate(small);
+  Problem tiny = buildProblem(d, db::extractPanel(d, 0), {});
+  detectConflicts(tiny);
+  (void)IlpSolver{{}}.solve(tiny, &ilpObs);
+  EXPECT_GT(ilpObs.counter(obs::names::kIlpNodes), 0);
+  EXPECT_GT(ilpObs.counter(obs::names::kIlpPivots), 0);
+}
+
+TEST(SolverInterface, OptimizerHonorsCustomSolverOverride) {
+  gen::GenOptions o;
+  o.seed = 31;
+  o.width = 120;
+  o.numRows = 3;
+  o.pinDensity = 0.2;
+  const db::Design d = gen::generate(o);
+
+  OptimizerOptions viaEnum;
+  viaEnum.method = Method::Exact;
+  viaEnum.exact.timeLimitSeconds = 5.0;
+  const PinAccessPlan a = optimizePinAccess(d, viaEnum);
+
+  OptimizerOptions viaOverride;  // method left at Lr: override must win
+  viaOverride.solver = std::make_shared<ExactSolver>(viaEnum.exact);
+  const PinAccessPlan b = optimizePinAccess(d, viaOverride);
+
+  ASSERT_EQ(a.routes.size(), b.routes.size());
+  for (std::size_t j = 0; j < a.routes.size(); ++j) {
+    EXPECT_EQ(a.routes[j].track, b.routes[j].track);
+    EXPECT_EQ(a.routes[j].span, b.routes[j].span);
+  }
+  EXPECT_DOUBLE_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.stats.notes().at("pao.solver"), "exact");
+  EXPECT_EQ(b.stats.notes().at("pao.solver"), "exact");
+}
+
+TEST(SolverInterface, PlanCountersDeterministicAcrossThreadCounts) {
+  gen::GenOptions o;
+  o.seed = 37;
+  o.width = 160;
+  o.numRows = 6;
+  o.pinDensity = 0.2;
+  const db::Design d = gen::generate(o);
+
+  OptimizerOptions one;
+  one.threads = 1;
+  OptimizerOptions many;
+  many.threads = 4;
+  const PinAccessPlan a = optimizePinAccess(d, one);
+  const PinAccessPlan b = optimizePinAccess(d, many);
+  EXPECT_EQ(a.stats.counters(), b.stats.counters());
+  // Series (per-iteration LR traces tagged by panel src) also match exactly.
+  ASSERT_EQ(a.stats.series().size(), b.stats.series().size());
+  for (const auto& [name, s] : a.stats.series()) {
+    const auto it = b.stats.series().find(name);
+    ASSERT_NE(it, b.stats.series().end()) << name;
+    EXPECT_EQ(s.columns, it->second.columns) << name;
+    EXPECT_EQ(s.rows, it->second.rows) << name;
+  }
+}
+
+}  // namespace
+}  // namespace cpr::core

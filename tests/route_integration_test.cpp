@@ -48,7 +48,7 @@ TEST(Integration, CprProducesMostlyCleanRouting) {
   const eval::Metrics m = eval::summarize(d, r.routing, r.pinAccessSeconds);
   EXPECT_GT(m.routability, 90.0);
   EXPECT_EQ(r.plan.routes.size(), d.pins().size());
-  EXPECT_EQ(r.plan.unassignedPins, 0);
+  EXPECT_EQ(r.plan.unassignedPins(), 0);
 }
 
 TEST(Integration, NoPaoRoutes) {
@@ -71,8 +71,8 @@ TEST(Integration, PinAccessOptimizationReducesInitialCongestion) {
   const db::Design d = mediumDesign(5);
   const CprResult cpr_ = routeCpr(d);
   const RoutingResult nopao = routeNegotiated(d, nullptr);
-  EXPECT_LT(cpr_.routing.congestedGridsBeforeRrr,
-            nopao.congestedGridsBeforeRrr);
+  EXPECT_LT(cpr_.routing.congestedGridsBeforeRrr(),
+            nopao.congestedGridsBeforeRrr());
 }
 
 TEST(Integration, PinAccessOptimizationReducesVias) {

@@ -1,0 +1,167 @@
+/// \file cli.h
+/// Minimal reusable command-line option table for the repo's tools.
+///
+/// A tool declares its options once (name, value placeholder, help text,
+/// destination) and gets parsing, `--help` output, and error reporting from
+/// one place. Parsing is strict: unknown flags, missing values, and
+/// unparsable numbers are errors — a typo never silently routes the wrong
+/// design.
+///
+///   cli::Parser p("cpr_route", "concurrent pin access routing");
+///   p.option("--design", "name", "suite benchmark to synthesize", &design);
+///   p.option("--seed", "n", "generator seed", &seed);
+///   p.flag("--verbose", "chatty progress output", &verbose);
+///   if (!p.parse(argc, argv)) return 2;
+///   if (p.helpRequested()) { p.printUsage(); return 0; }
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cpr::cli {
+
+class Parser {
+ public:
+  Parser(std::string program, std::string summary)
+      : program_(std::move(program)), summary_(std::move(summary)) {}
+
+  /// Boolean flag: present on the command line -> `*out = true`.
+  void flag(std::string name, std::string help, bool* out) {
+    opts_.push_back({std::move(name), "", std::move(help),
+                     [out](const std::string&) {
+                       *out = true;
+                       return true;
+                     }});
+  }
+
+  /// String-valued option; consumes the next argv entry.
+  void option(std::string name, std::string valueName, std::string help,
+              std::string* out) {
+    opts_.push_back({std::move(name), std::move(valueName), std::move(help),
+                     [out](const std::string& v) {
+                       *out = v;
+                       return true;
+                     }});
+  }
+
+  void option(std::string name, std::string valueName, std::string help,
+              int* out) {
+    addNumeric(std::move(name), std::move(valueName), std::move(help),
+               [out](long long v) { *out = static_cast<int>(v); });
+  }
+
+  void option(std::string name, std::string valueName, std::string help,
+              long* out) {
+    addNumeric(std::move(name), std::move(valueName), std::move(help),
+               [out](long long v) { *out = static_cast<long>(v); });
+  }
+
+  void option(std::string name, std::string valueName, std::string help,
+              std::uint64_t* out) {
+    addNumeric(std::move(name), std::move(valueName), std::move(help),
+               [out](long long v) { *out = static_cast<std::uint64_t>(v); });
+  }
+
+  void option(std::string name, std::string valueName, std::string help,
+              double* out) {
+    opts_.push_back({std::move(name), std::move(valueName), std::move(help),
+                     [out](const std::string& v) {
+                       char* end = nullptr;
+                       const double parsed = std::strtod(v.c_str(), &end);
+                       if (end == v.c_str() || *end != '\0') return false;
+                       *out = parsed;
+                       return true;
+                     }});
+  }
+
+  /// Fully custom option; `apply` returns false to reject the value.
+  void option(std::string name, std::string valueName, std::string help,
+              std::function<bool(const std::string&)> apply) {
+    opts_.push_back({std::move(name), std::move(valueName), std::move(help),
+                     std::move(apply)});
+  }
+
+  /// Parses the whole command line. Returns false after printing a
+  /// diagnostic when it hits an unknown flag, a missing value, or a value
+  /// the option rejects. `--help` / `-h` stops parsing successfully and
+  /// sets helpRequested().
+  [[nodiscard]] bool parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        help_ = true;
+        return true;
+      }
+      const Option* opt = find(arg);
+      if (!opt) {
+        std::fprintf(stderr, "%s: unknown flag '%s' (try --help)\n",
+                     program_.c_str(), argv[i]);
+        return false;
+      }
+      std::string value;
+      if (!opt->valueName.empty()) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s: missing <%s> after %s\n", program_.c_str(),
+                       opt->valueName.c_str(), opt->name.c_str());
+          return false;
+        }
+        value = argv[++i];
+      }
+      if (!opt->apply(value)) {
+        std::fprintf(stderr, "%s: bad value '%s' for %s\n", program_.c_str(),
+                     value.c_str(), opt->name.c_str());
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool helpRequested() const { return help_; }
+
+  void printUsage(std::FILE* out = stdout) const {
+    std::fprintf(out, "%s — %s\n", program_.c_str(), summary_.c_str());
+    for (const Option& o : opts_) {
+      std::string left = o.name;
+      if (!o.valueName.empty()) left += " <" + o.valueName + ">";
+      std::fprintf(out, "  %-34s %s\n", left.c_str(), o.help.c_str());
+    }
+  }
+
+ private:
+  struct Option {
+    std::string name;
+    std::string valueName;  ///< empty for boolean flags
+    std::string help;
+    std::function<bool(const std::string&)> apply;
+  };
+
+  void addNumeric(std::string name, std::string valueName, std::string help,
+                  std::function<void(long long)> store) {
+    opts_.push_back({std::move(name), std::move(valueName), std::move(help),
+                     [store = std::move(store)](const std::string& v) {
+                       char* end = nullptr;
+                       const long long parsed =
+                           std::strtoll(v.c_str(), &end, 10);
+                       if (end == v.c_str() || *end != '\0') return false;
+                       store(parsed);
+                       return true;
+                     }});
+  }
+
+  [[nodiscard]] const Option* find(std::string_view name) const {
+    for (const Option& o : opts_)
+      if (o.name == name) return &o;
+    return nullptr;
+  }
+
+  std::string program_;
+  std::string summary_;
+  std::vector<Option> opts_;
+  bool help_ = false;
+};
+
+}  // namespace cpr::cli

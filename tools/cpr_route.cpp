@@ -1,22 +1,23 @@
 /// \file cpr_route.cpp
 /// Command-line front end: load or synthesize a design, route it with any of
-/// the three schemes, and export reports, SVG pictures, and routed DEF.
+/// the three schemes, and export reports, traces, SVG pictures, and routed
+/// DEF.
 ///
 ///   cpr_route --design ecc                       # synthesize a suite design
 ///   cpr_route --def my.def                       # or load a DEF subset
 ///   cpr_route --design ecc --scheme nopao        # cpr | nopao | seq
-///   cpr_route --design ecc --pin-access ilp      # lr | ilp (cpr scheme)
+///   cpr_route --design ecc --pin-access ilp      # lr | ilp | generic
+///   cpr_route --design ecc --threads 4 --report run.json --trace run.trace.json
 ///   cpr_route --design ecc --svg out.svg --routed-def out.def --seed 9
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
-#include <optional>
 #include <string>
 
+#include "cli.h"
 #include "eval/metrics.h"
 #include "gen/generator.h"
 #include "lefdef/def_io.h"
+#include "obs/report.h"
 #include "route/cpr.h"
 #include "route/sequential_router.h"
 #include "viz/svg.h"
@@ -30,87 +31,53 @@ struct Args {
   std::string pinAccess = "lr";
   std::string svgPath;
   std::string routedDefPath;
+  std::string reportPath;
+  std::string tracePath;
   std::uint64_t seed = 7;
-  bool help = false;
+  int threads = 0;  ///< 0 = hardware concurrency
 };
-
-std::optional<Args> parse(int argc, char** argv) {
-  Args a;
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    auto value = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
-        return nullptr;
-      }
-      return argv[++i];
-    };
-    if (flag == "--help" || flag == "-h") {
-      a.help = true;
-    } else if (flag == "--design") {
-      const char* v = value();
-      if (!v) return std::nullopt;
-      a.design = v;
-    } else if (flag == "--def") {
-      const char* v = value();
-      if (!v) return std::nullopt;
-      a.defPath = v;
-    } else if (flag == "--scheme") {
-      const char* v = value();
-      if (!v) return std::nullopt;
-      a.scheme = v;
-    } else if (flag == "--pin-access") {
-      const char* v = value();
-      if (!v) return std::nullopt;
-      a.pinAccess = v;
-    } else if (flag == "--svg") {
-      const char* v = value();
-      if (!v) return std::nullopt;
-      a.svgPath = v;
-    } else if (flag == "--routed-def") {
-      const char* v = value();
-      if (!v) return std::nullopt;
-      a.routedDefPath = v;
-    } else if (flag == "--seed") {
-      const char* v = value();
-      if (!v) return std::nullopt;
-      a.seed = static_cast<std::uint64_t>(std::atoll(v));
-    } else {
-      std::fprintf(stderr, "unknown flag %s (try --help)\n", flag.c_str());
-      return std::nullopt;
-    }
-  }
-  return a;
-}
-
-void usage() {
-  std::puts(
-      "cpr_route — concurrent pin access routing\n"
-      "  --design <ecc|efc|ctl|alu|div|top>  synthesize a suite benchmark\n"
-      "  --def <path>                        load a DEF-subset design instead\n"
-      "  --scheme <cpr|nopao|seq>            routing scheme (default cpr)\n"
-      "  --pin-access <lr|ilp>               optimizer for the cpr scheme\n"
-      "  --svg <path>                        write an SVG of the result\n"
-      "  --routed-def <path>                 write routed DEF\n"
-      "  --seed <n>                          generator seed (default 7)");
-}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace cpr;
-  const std::optional<Args> args = parse(argc, argv);
-  if (!args) return 2;
-  if (args->help || (args->design.empty() && args->defPath.empty())) {
-    usage();
-    return args->help ? 0 : 2;
+  Args args;
+  cli::Parser parser("cpr_route", "concurrent pin access routing");
+  parser.option("--design", "ecc|efc|ctl|alu|div|top",
+                "synthesize a suite benchmark", &args.design);
+  parser.option("--def", "path", "load a DEF-subset design instead",
+                &args.defPath);
+  parser.option("--scheme", "cpr|nopao|seq", "routing scheme (default cpr)",
+                &args.scheme);
+  parser.option("--pin-access", "lr|ilp|generic",
+                "pin access optimizer for the cpr scheme: lr (Algorithm 2), "
+                "ilp (exact branch & bound, the paper's ILP), generic "
+                "(Formula (1) through the generic 0/1 ILP; slow)",
+                &args.pinAccess);
+  parser.option("--threads", "n",
+                "pin access worker threads (default: hardware)",
+                &args.threads);
+  parser.option("--report", "path", "write a cpr.report.v1 JSON run report",
+                &args.reportPath);
+  parser.option("--trace", "path",
+                "write a Chrome trace_event file (chrome://tracing)",
+                &args.tracePath);
+  parser.option("--svg", "path", "write an SVG of the result", &args.svgPath);
+  parser.option("--routed-def", "path", "write routed DEF",
+                &args.routedDefPath);
+  parser.option("--seed", "n", "generator seed (default 7)", &args.seed);
+  if (!parser.parse(argc, argv)) return 2;
+  if (parser.helpRequested() ||
+      (args.design.empty() && args.defPath.empty())) {
+    parser.printUsage(parser.helpRequested() ? stdout : stderr);
+    return parser.helpRequested() ? 0 : 2;
   }
 
   try {
-    const db::Design d = !args->defPath.empty()
-                             ? lefdef::loadDef(args->defPath)
-                             : gen::makeSuiteDesign(
-                                   gen::suiteSpec(args->design), args->seed);
+    const db::Design d = !args.defPath.empty()
+                             ? lefdef::loadDef(args.defPath)
+                             : gen::makeSuiteDesign(gen::suiteSpec(args.design),
+                                                    args.seed);
     if (const std::string report = d.validate(); !report.empty()) {
       std::fprintf(stderr, "design fails validation:\n%s", report.c_str());
       return 1;
@@ -119,59 +86,80 @@ int main(int argc, char** argv) {
                 d.name().c_str(), d.nets().size(), d.pins().size(), d.width(),
                 d.gridHeight());
 
+    // Root collector for --report / --trace: plan and routing stats merge
+    // into it, plus the run's own metadata.
+    obs::Collector run;
+    run.note("cli.design", d.name());
+    run.note("cli.scheme", args.scheme);
+    run.gauge("cli.seed", static_cast<double>(args.seed));
+
     const bool wantGeometry =
-        !args->svgPath.empty() || !args->routedDefPath.empty();
+        !args.svgPath.empty() || !args.routedDefPath.empty();
     route::RoutingResult result;
     core::PinAccessPlan plan;
     double extraSeconds = 0.0;
-    if (args->scheme == "seq") {
+    if (args.scheme == "seq") {
       route::SequentialOptions opts;
       opts.keepGeometry = wantGeometry;
       result = route::routeSequential(d, opts);
-    } else if (args->scheme == "nopao") {
+    } else if (args.scheme == "nopao") {
       route::NegotiationOptions opts;
       opts.keepGeometry = wantGeometry;
       result = route::routeNegotiated(d, nullptr, opts);
-    } else if (args->scheme == "cpr") {
+    } else if (args.scheme == "cpr") {
       route::CprOptions opts;
       opts.routing.keepGeometry = wantGeometry;
-      if (args->pinAccess == "ilp") {
+      opts.pinAccess.threads = args.threads;
+      if (args.pinAccess == "ilp") {
         opts.pinAccess.method = core::Method::Exact;
         opts.pinAccess.exact.timeLimitSeconds = 1.0;  // per panel
-      } else if (args->pinAccess != "lr") {
+      } else if (args.pinAccess == "generic") {
+        opts.pinAccess.method = core::Method::Ilp;
+      } else if (args.pinAccess != "lr") {
         std::fprintf(stderr, "unknown --pin-access %s\n",
-                     args->pinAccess.c_str());
+                     args.pinAccess.c_str());
         return 2;
       }
+      run.note("cli.pin_access", args.pinAccess);
       route::CprResult r = route::routeCpr(d, opts);
       result = std::move(r.routing);
       plan = std::move(r.plan);
       extraSeconds = r.pinAccessSeconds;
+      run.merge(plan.stats);
     } else {
-      std::fprintf(stderr, "unknown --scheme %s\n", args->scheme.c_str());
+      std::fprintf(stderr, "unknown --scheme %s\n", args.scheme.c_str());
       return 2;
     }
+    run.merge(result.stats);
 
     const eval::Metrics m = eval::summarize(d, result, extraSeconds);
     std::printf("%s\n", eval::tableHeader().c_str());
-    std::printf("%s\n", eval::tableRow(args->scheme, m).c_str());
+    std::printf("%s\n", eval::tableRow(args.scheme, m).c_str());
     std::printf("congested grids before RRR: %ld, DRC violations at signoff: "
                 "%ld\n",
                 m.congestedGridsBeforeRrr, m.drcViolations);
 
-    if (!args->svgPath.empty()) {
+    if (!args.reportPath.empty()) {
+      obs::saveReportJson(run, args.reportPath);
+      std::printf("wrote %s\n", args.reportPath.c_str());
+    }
+    if (!args.tracePath.empty()) {
+      obs::saveChromeTrace(run, args.tracePath);
+      std::printf("wrote %s\n", args.tracePath.c_str());
+    }
+    if (!args.svgPath.empty()) {
       viz::SvgOptions svg;
       svg.labelPins = d.pins().size() <= 400;
-      viz::saveSvg(d, args->scheme == "cpr" ? &plan : nullptr,
+      viz::saveSvg(d, args.scheme == "cpr" ? &plan : nullptr,
                    result.geometry.empty() ? nullptr : &result.geometry,
-                   args->svgPath, svg);
-      std::printf("wrote %s\n", args->svgPath.c_str());
+                   args.svgPath, svg);
+      std::printf("wrote %s\n", args.svgPath.c_str());
     }
-    if (!args->routedDefPath.empty()) {
-      std::ofstream os(args->routedDefPath);
-      if (!os) throw std::runtime_error("cannot write " + args->routedDefPath);
+    if (!args.routedDefPath.empty()) {
+      std::ofstream os(args.routedDefPath);
+      if (!os) throw std::runtime_error("cannot write " + args.routedDefPath);
       lefdef::writeRoutedDef(d, result.geometry, os);
-      std::printf("wrote %s\n", args->routedDefPath.c_str());
+      std::printf("wrote %s\n", args.routedDefPath.c_str());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
