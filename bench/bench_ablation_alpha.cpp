@@ -4,7 +4,8 @@
 /// — iterations, remaining pre-repair violations, and objective — over the
 /// panels of one design.
 ///
-/// Usage: bench_ablation_alpha [design] (default ecc)
+/// Usage: bench_ablation_alpha [--design name] [--report out.json]
+///        (default design: ecc)
 #include <cstdio>
 #include <string>
 
@@ -17,7 +18,14 @@
 
 int main(int argc, char** argv) {
   using namespace cpr;
-  const std::string name = argc > 1 ? argv[1] : "ecc";
+  std::string name = "ecc";
+  bench::Harness h("bench_ablation_alpha",
+                   "ablation: subgradient step exponent alpha");
+  h.parser().option("--design", "name", "suite design to sweep (default ecc)",
+                    &name);
+  if (const int rc = h.parse(argc, argv); rc >= 0) return rc;
+  obs::Collector report;
+  report.note("bench", "ablation_alpha");
   const db::Design d = gen::makeSuiteDesign(gen::suiteSpec(name));
   const std::vector<db::Panel> panels = db::extractPanels(d);
   core::GenOptions g;
@@ -43,7 +51,9 @@ int main(int argc, char** argv) {
       core::Problem prob = core::buildProblem(d, panel, g);
       core::detectConflicts(prob);
       obs::Collector stats;
-      const core::Assignment a = solver.solve(prob, &stats);
+      const core::Assignment a =
+          solver.solve(core::PanelKernel::compile(std::move(prob)), nullptr,
+                       &stats);
       iters += stats.counter(obs::names::kLrIterations);
       // Pre-repair violations: best_violations of the last lr.iter sample
       // (columns are src, iter, violations, best_violations, ...).
@@ -51,10 +61,12 @@ int main(int argc, char** argv) {
           it != stats.series().end() && !it->second.rows.empty())
         vio += static_cast<long>(it->second.rows.back()[3]);
       obj += a.objective;
+      report.merge(stats);
     }
     std::printf("%6.2f | %9.3f %12ld %12ld %10.1f\n", alpha,
                 bench::seconds(t0, bench::Clock::now()), iters, vio, obj);
     std::fflush(stdout);
   }
+  h.maybeWriteReport(report);
   return 0;
 }

@@ -5,9 +5,8 @@
 /// tractable; this bench counts rows and times the generic LP-based branch &
 /// bound on both encodings over growing instances.
 ///
-/// Usage: bench_ablation_constraints [maxPins] [capSeconds]
+/// Usage: bench_ablation_constraints [--max-pins n] [--cap sec]
 #include <cstdio>
-#include <cstdlib>
 #include <span>
 
 #include "bench_util.h"
@@ -19,9 +18,16 @@
 
 int main(int argc, char** argv) {
   using namespace cpr;
-  const std::size_t maxPins =
-      argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 60;
-  const double cap = argc > 2 ? std::atof(argv[2]) : 10.0;
+  long maxPinsArg = 60;
+  double cap = 10.0;
+  bench::Harness h("bench_ablation_constraints",
+                   "ablation: clique vs pairwise conflict rows");
+  h.parser().option("--max-pins", "n", "stop once the instance reaches this "
+                    "many pins (default 60)", &maxPinsArg);
+  h.parser().option("--cap", "sec", "LP branch & bound wall-clock cap "
+                    "(default 10)", &cap);
+  if (const int rc = h.parse(argc, argv); rc >= 0) return rc;
+  const std::size_t maxPins = static_cast<std::size_t>(maxPinsArg);
 
   // Small, low-competition instances keep the generic LP B&B in range.
   gen::GenOptions go;

@@ -5,7 +5,8 @@
 /// for both profit models it reports the assigned-span distribution (mean,
 /// min, coefficient of variation) and the downstream routing quality.
 ///
-/// Usage: bench_ablation_profit [ecc,...]
+/// Usage: bench_ablation_profit [--designs ecc,...] [--threads n]
+///        [--report out.json]
 #include <cmath>
 #include <cstdio>
 
@@ -43,7 +44,12 @@ SpanStats spanStats(const cpr::core::PinAccessPlan& plan) {
 
 int main(int argc, char** argv) {
   using namespace cpr;
-  const auto suite = bench::selectedSuite(argc, argv);
+  bench::Harness h("bench_ablation_profit",
+                   "ablation: sqrt vs linear interval profit");
+  if (const int rc = h.parse(argc, argv); rc >= 0) return rc;
+  const auto suite = h.suite();
+  obs::Collector report;
+  report.note("bench", "ablation_profit");
 
   std::printf("Ablation: sqrt vs linear interval profit (Section 3.3)\n");
   std::printf("%-5s %-7s | %9s %7s | %7s %8s %9s\n", "Ckt", "profit",
@@ -55,8 +61,10 @@ int main(int argc, char** argv) {
     for (const auto model : {core::ProfitModel::SqrtSpan,
                              core::ProfitModel::LinearSpan}) {
       route::CprOptions opts;
+      opts.pinAccess.threads = h.threads();
       opts.pinAccess.profitModel = model;
       const route::CprResult r = route::routeCpr(d, opts);
+      report.merge(r.plan.stats);
       const eval::Metrics m = eval::summarize(d, r.routing);
       const SpanStats s = spanStats(r.plan);
       std::printf("%-5s %-7s | %9.2f %7.3f | %7.2f %8ld %9ld\n",
@@ -68,5 +76,6 @@ int main(int argc, char** argv) {
   }
   std::printf("(sqrt should show a lower span coefficient of variation — "
               "more balanced intervals — at comparable routing quality)\n");
+  h.maybeWriteReport(report);
   return 0;
 }

@@ -8,9 +8,9 @@
 /// whenever it proves optimality; budget exhaustion falls back to the
 /// incumbent, which never hurts the comparison's direction).
 ///
-/// Usage: bench_fig7a_lr_over_ilp [ecc,...] [perPanelSeconds] [--report out.json]
+/// Usage: bench_fig7a_lr_over_ilp [--designs ecc,...] [--per-panel sec]
+///        [--threads n] [--report out.json]
 #include <cstdio>
-#include <cstdlib>
 
 #include "bench_util.h"
 #include "eval/metrics.h"
@@ -18,9 +18,14 @@
 
 int main(int argc, char** argv) {
   using namespace cpr;
-  const auto suite = bench::selectedSuite(argc, argv);
-  const double perPanel =
-      argc > 2 && argv[2][0] != '-' ? std::atof(argv[2]) : 0.3;
+  double perPanel = 0.3;
+  bench::Harness h("bench_fig7a_lr_over_ilp",
+                   "Fig. 7(a): routing quality of LR-based over ILP-based "
+                   "pin access optimization");
+  h.parser().option("--per-panel", "sec", "exact-solver wall-clock budget "
+                    "per panel (default 0.3)", &perPanel);
+  if (const int rc = h.parse(argc, argv); rc >= 0) return rc;
+  const auto suite = h.suite();
   obs::Collector report;
   report.note("bench", "fig7a_lr_over_ilp");
 
@@ -34,10 +39,12 @@ int main(int argc, char** argv) {
     const db::Design d = gen::makeSuiteDesign(spec);
 
     route::CprOptions lrOpts;  // defaults: LR
+    lrOpts.pinAccess.threads = h.threads();
     const route::CprResult lr = route::routeCpr(d, lrOpts);
     const eval::Metrics mLr = eval::summarize(d, lr.routing);
 
     route::CprOptions ilpOpts;
+    ilpOpts.pinAccess.threads = h.threads();
     ilpOpts.pinAccess.method = core::Method::Exact;
     ilpOpts.pinAccess.exact.timeLimitSeconds = perPanel;
     const route::CprResult ilp = route::routeCpr(d, ilpOpts);
@@ -55,6 +62,6 @@ int main(int argc, char** argv) {
   }
   std::printf("(paper: Rout and WL ratios ~1.0 across designs; LR Via# about "
               "5%% above ILP)\n");
-  bench::maybeWriteReport(argc, argv, report);
+  h.maybeWriteReport(report);
   return 0;
 }

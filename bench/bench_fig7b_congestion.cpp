@@ -3,7 +3,8 @@
 /// rip-up & reroute stage, with and without concurrent pin access
 /// optimization (paper: 5-10x reduction).
 ///
-/// Usage: bench_fig7b_congestion [ecc,...] [--report out.json]
+/// Usage: bench_fig7b_congestion [--designs ecc,...] [--threads n]
+///        [--report out.json]
 #include <cstdio>
 
 #include "bench_util.h"
@@ -11,7 +12,11 @@
 
 int main(int argc, char** argv) {
   using namespace cpr;
-  const auto suite = bench::selectedSuite(argc, argv);
+  bench::Harness h("bench_fig7b_congestion",
+                   "Fig. 7(b): congested grids before rip-up & reroute, "
+                   "with vs without pin access optimization");
+  if (const int rc = h.parse(argc, argv); rc >= 0) return rc;
+  const auto suite = h.suite();
   obs::Collector report;
   report.note("bench", "fig7b_congestion");
 
@@ -22,7 +27,9 @@ int main(int argc, char** argv) {
 
   for (const gen::SuiteSpec& spec : suite) {
     const db::Design d = gen::makeSuiteDesign(spec);
-    const route::CprResult with = route::routeCpr(d);
+    route::CprOptions opts;
+    opts.pinAccess.threads = h.threads();
+    const route::CprResult with = route::routeCpr(d, opts);
     const route::RoutingResult without = route::routeNegotiated(d, nullptr);
     std::printf("%-5s | %16ld %16ld | %8.2fx\n", spec.name.c_str(),
                 with.routing.congestedGridsBeforeRrr(),
@@ -36,6 +43,6 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
   std::printf("(paper reports a 5-10x reduction)\n");
-  bench::maybeWriteReport(argc, argv, report);
+  h.maybeWriteReport(report);
   return 0;
 }

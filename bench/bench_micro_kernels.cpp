@@ -1,10 +1,19 @@
 /// \file bench_micro_kernels.cpp
 /// google-benchmark micro benchmarks of the library's hot kernels: pin
-/// access interval generation, conflict-set detection, one LR solve, the
-/// maze search, and DEF round-trip I/O.
+/// access interval generation, conflict-set detection, CSR kernel
+/// compilation, one LR solve and one exact solve over a compiled kernel
+/// (arena-reused, the optimizer's steady-state configuration), the maze
+/// search, and DEF round-trip I/O.
+///
+/// Usage mirrors the other benches: `--report out.json` writes the standard
+/// google-benchmark JSON (mapped onto --benchmark_out); every native
+/// --benchmark_* flag still works, anything else is rejected.
 #include <benchmark/benchmark.h>
 
 #include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/conflict.h"
 #include "core/interval_gen.h"
@@ -32,6 +41,14 @@ db::Design benchDesign() {
   return gen::generate(o);
 }
 
+core::Problem benchProblem(const db::Design& d) {
+  core::GenOptions g;
+  g.maxExtent = 32;
+  core::Problem p = core::buildProblem(d, db::extractPanel(d, 3), g);
+  core::detectConflicts(p);
+  return p;
+}
+
 void BM_IntervalGeneration(benchmark::State& state) {
   const db::Design d = benchDesign();
   const db::Panel panel = db::extractPanel(d, 3);
@@ -57,19 +74,55 @@ void BM_ConflictDetection(benchmark::State& state) {
 }
 BENCHMARK(BM_ConflictDetection);
 
+void BM_PanelCompile(benchmark::State& state) {
+  const db::Design d = benchDesign();
+  const core::Problem base = benchProblem(d);
+  for (auto _ : state) {
+    const core::PanelKernel k = core::PanelKernel::compile(core::Problem(base));
+    benchmark::DoNotOptimize(k.footprintBytes());
+  }
+}
+BENCHMARK(BM_PanelCompile);
+
 void BM_LrSolvePanel(benchmark::State& state) {
   const db::Design d = benchDesign();
-  core::GenOptions g;
-  g.maxExtent = 32;
-  core::Problem p = core::buildProblem(d, db::extractPanel(d, 3), g);
-  core::detectConflicts(p);
+  const core::PanelKernel k = core::PanelKernel::compile(benchProblem(d));
   const core::LrSolver solver;
+  core::PanelScratch scratch;  // reused, as in the optimizer's worker loop
   for (auto _ : state) {
-    const core::Assignment a = solver.solve(p);
+    const core::Assignment a = solver.solve(k, &scratch);
     benchmark::DoNotOptimize(a.objective);
   }
 }
 BENCHMARK(BM_LrSolvePanel);
+
+void BM_ExactSolvePanel(benchmark::State& state) {
+  // A panel the branch & bound finishes in milliseconds (a few thousand
+  // nodes), so the per-node cost dominates the measurement.
+  gen::GenOptions o;
+  o.seed = 4;
+  o.width = 120;
+  o.numRows = 4;
+  o.pinDensity = 0.2;
+  o.maxNetSpan = 40;
+  const db::Design d = gen::generate(o);
+  core::Problem p = core::buildProblem(d, db::extractPanel(d, 0), {});
+  core::detectConflicts(p);
+  const core::PanelKernel k = core::PanelKernel::compile(std::move(p));
+  const core::ExactSolver solver;
+  core::PanelScratch scratch;
+  long nodes = 0;
+  for (auto _ : state) {
+    core::ExactStats stats;
+    const core::Assignment a =
+        core::solveExact(k, {}, &stats, nullptr, &scratch.exact);
+    benchmark::DoNotOptimize(a.objective);
+    nodes += stats.nodes;
+  }
+  state.counters["nodes_per_s"] = benchmark::Counter(
+      static_cast<double>(nodes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExactSolvePanel);
 
 void BM_MazeRouteNet(benchmark::State& state) {
   const db::Design d = benchDesign();
@@ -96,4 +149,28 @@ BENCHMARK(BM_DefRoundTrip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Map the benches' uniform `--report <path>` onto google-benchmark's
+  // --benchmark_out before handing over; unrecognized flags still error.
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  std::string outFlag;
+  std::string fmtFlag = "--benchmark_out_format=json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--report" && i + 1 < argc) {
+      outFlag = std::string("--benchmark_out=") + argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!outFlag.empty()) {
+    args.push_back(outFlag.data());
+    args.push_back(fmtFlag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,7 +3,8 @@
 /// the six-design suite — sequential pin access planning [12], routing
 /// without pin access optimization [21], and CPR.
 ///
-/// Usage: bench_table2_routers [ecc,efc,...]   (default: all six designs)
+/// Usage: bench_table2_routers [--designs ecc,efc,...] [--threads n]
+///        [--report out.json]   (default: all six designs)
 #include <cstdio>
 #include <string>
 
@@ -36,7 +37,13 @@ void printRow(const cpr::gen::SuiteSpec& spec, const cpr::db::Design& d,
 
 int main(int argc, char** argv) {
   using namespace cpr;
-  const auto suite = bench::selectedSuite(argc, argv);
+  bench::Harness h("bench_table2_routers",
+                   "Table 2: routing quality of sequential planning, "
+                   "no-pin-access routing, and CPR");
+  if (const int rc = h.parse(argc, argv); rc >= 0) return rc;
+  const auto suite = h.suite();
+  obs::Collector report;
+  report.note("bench", "table2_routers");
 
   std::printf("Table 2: comparisons on solution qualities of different "
               "routing approaches\n");
@@ -60,9 +67,12 @@ int main(int argc, char** argv) {
     const eval::Metrics mNoPao =
         eval::summarize(d, route::routeNegotiated(d, nullptr));
 
-    const route::CprResult c = route::routeCpr(d);
+    route::CprOptions copts;
+    copts.pinAccess.threads = h.threads();
+    const route::CprResult c = route::routeCpr(d, copts);
     const eval::Metrics mCpr =
         eval::summarize(d, c.routing, c.pinAccessSeconds);
+    report.merge(c.plan.stats);
 
     printRow(spec, d, Row{mSeq, mNoPao, mCpr});
     auto acc = [](eval::Metrics& a, const eval::Metrics& b) {
@@ -96,5 +106,6 @@ int main(int argc, char** argv) {
     std::printf("\nPaper ratios (vs CPR): [12] Rout 0.985 Via 1.238 WL 1.160 "
                 "cpu 12.69 | [21] Rout 0.962 Via 1.108 WL 0.998 cpu 3.26\n");
   }
+  h.maybeWriteReport(report);
   return 0;
 }

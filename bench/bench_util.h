@@ -1,16 +1,25 @@
 /// \file bench_util.h
-/// Shared plumbing for the paper-reproduction benches: suite selection from
-/// the command line, timing, row formatting, and run-report emission.
+/// Shared plumbing for the paper-reproduction benches: a `cli::Parser`-based
+/// command-line harness (suite selection, `--threads`, `--report`), timing,
+/// and row formatting.
+///
+/// Every bench goes through `Harness`, so the flag surface is uniform and
+/// strict: unknown flags are rejected with a diagnostic instead of being
+/// silently ignored, `--threads <n>` selects the pin-access worker count
+/// where the bench routes designs, and `--report <out.json>` saves the
+/// merged obs collector as a `cpr.report.v1` file (the same schema cpr_route
+/// emits). Bench-specific flags are registered on `parser()` before
+/// `parse()`.
 #pragma once
 
 #include <chrono>
 #include <cstdio>
 #include <string>
-#include <string_view>
 #include <vector>
 
 #include "gen/generator.h"
 #include "obs/report.h"
+#include "tools/cli.h"
 
 namespace cpr::bench {
 
@@ -20,44 +29,78 @@ inline double seconds(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
 
-/// Designs to run: every suite entry by default; argv[1] may carry a
-/// comma-separated subset (e.g. "ecc,div") to shorten a run.
-inline std::vector<gen::SuiteSpec> selectedSuite(int argc, char** argv) {
-  if (argc < 2 || argv[1][0] == '-') return gen::paperSuite();
-  std::vector<gen::SuiteSpec> out;
-  std::string arg = argv[1];
-  std::size_t pos = 0;
-  while (pos < arg.size()) {
-    const std::size_t comma = arg.find(',', pos);
-    const std::string name =
-        arg.substr(pos, comma == std::string::npos ? arg.npos : comma - pos);
-    out.push_back(gen::suiteSpec(name));
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  return out;
-}
-
 inline void hr(char c = '-') {
   for (int i = 0; i < 110; ++i) std::putchar(c);
   std::putchar('\n');
 }
 
-/// Value of a `--report out.json` flag anywhere on the command line, or "".
-inline std::string reportPath(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i)
-    if (std::string_view(argv[i]) == "--report") return argv[i + 1];
-  return {};
-}
+/// Uniform bench command line. Construction registers the shared flags;
+/// benches add their own through `parser()` and then call `parse()`:
+///
+///   bench::Harness h("bench_fig6", "LR vs ILP scalability");
+///   h.parser().option("--max-pins", "n", "stop after this many pins", &max);
+///   if (const int rc = h.parse(argc, argv); rc >= 0) return rc;
+///
+/// `parse` returns -1 to continue, 0 when `--help` was printed, and 2 on a
+/// bad command line — ready to be returned from main() as-is.
+class Harness {
+ public:
+  Harness(std::string program, std::string summary)
+      : parser_(std::move(program), std::move(summary)) {
+    parser_.option("--designs", "a,b,...",
+                   "comma-separated suite subset (default: all six designs)",
+                   &designs_);
+    parser_.option("--threads", "n",
+                   "pin-access worker threads (0 = hardware concurrency)",
+                   &threads_);
+    parser_.option("--report", "out.json",
+                   "save the merged obs report as cpr.report.v1 JSON",
+                   &reportPath_);
+  }
 
-/// Saves `stats` as a `cpr.report.v1` JSON file (the same schema cpr_route
-/// emits) when the command line carried `--report <path>`.
-inline void maybeWriteReport(int argc, char** argv,
-                             const obs::Collector& stats) {
-  const std::string path = reportPath(argc, argv);
-  if (path.empty()) return;
-  obs::saveReportJson(stats, path);
-  std::printf("wrote run report to %s\n", path.c_str());
-}
+  /// The underlying strict parser, for bench-specific flags.
+  [[nodiscard]] cli::Parser& parser() { return parser_; }
+
+  [[nodiscard]] int parse(int argc, char** argv) {
+    if (!parser_.parse(argc, argv)) return 2;
+    if (parser_.helpRequested()) {
+      parser_.printUsage();
+      return 0;
+    }
+    return -1;
+  }
+
+  /// Designs to run: the whole paper suite unless `--designs` narrowed it.
+  [[nodiscard]] std::vector<gen::SuiteSpec> suite() const {
+    if (designs_.empty()) return gen::paperSuite();
+    std::vector<gen::SuiteSpec> out;
+    std::size_t pos = 0;
+    while (pos < designs_.size()) {
+      const std::size_t comma = designs_.find(',', pos);
+      const std::string name = designs_.substr(
+          pos, comma == std::string::npos ? designs_.npos : comma - pos);
+      out.push_back(gen::suiteSpec(name));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    return out;
+  }
+
+  /// Value of `--threads` (0 = let the optimizer pick).
+  [[nodiscard]] int threads() const { return threads_; }
+
+  /// Saves `stats` when the command line carried `--report <path>`.
+  void maybeWriteReport(const obs::Collector& stats) const {
+    if (reportPath_.empty()) return;
+    obs::saveReportJson(stats, reportPath_);
+    std::printf("wrote run report to %s\n", reportPath_.c_str());
+  }
+
+ private:
+  cli::Parser parser_;
+  std::string designs_;
+  std::string reportPath_;
+  int threads_ = 0;
+};
 
 }  // namespace cpr::bench

@@ -6,7 +6,6 @@
 #include <cmath>
 #include <limits>
 
-#include "core/lr_solver.h"
 #include "obs/names.h"
 
 namespace cpr::core {
@@ -20,58 +19,39 @@ constexpr double kEps = 1e-9;
 enum : std::uint8_t { kFree = 0, kOne = 1, kZero = 2 };
 
 struct Search {
-  const Problem& p;
+  const PanelKernel& k;
   const ExactOptions& opts;
+  ExactScratch& s;
   obs::Collector* obs = nullptr;
 
-  // Static structures.
-  std::vector<std::vector<Index>> csOf;  ///< interval -> conflict set ids
-  std::vector<double> term;              ///< f_i - P_i / d_i at tuned multipliers
   double lambdaSum = 0.0;
-  std::vector<Index> activePins;
-
-  // Dynamic state with trail-based undo.
-  std::vector<std::uint8_t> status;
-  std::vector<Index> assignedTo;  ///< per pin, interval forced to cover it
-  struct TrailOp {
-    bool isStatus;
-    Index idx;
-  };
-  std::vector<TrailOp> trail;
-
-  // Node-local scratch with epoch stamping (no per-node clearing).
-  std::vector<long> chosenStamp;
-  std::vector<long> csStamp;
-  std::vector<int> csCount;
-  long epoch = 0;
 
   // Incumbent.
-  std::vector<Index> bestAssign;
   double bestObj = kNegInf;
   bool haveIncumbent = false;
 
+  long epoch = 0;
   long nodes = 0;
   bool truncated = false;
   Clock::time_point start = Clock::now();
 
-  explicit Search(const Problem& prob, const ExactOptions& o)
-      : p(prob), opts(o) {
-    const std::size_t n = p.intervals.size();
-    csOf.resize(n);
-    for (std::size_t m = 0; m < p.conflicts.size(); ++m) {
-      for (Index i : p.conflicts[m].intervals)
-        csOf[static_cast<std::size_t>(i)].push_back(static_cast<Index>(m));
+  Search(const PanelKernel& kernel, const ExactOptions& o, ExactScratch& sc)
+      : k(kernel), opts(o), s(sc) {
+    const std::size_t n = k.numIntervals();
+    const std::size_t nPins = k.numPins();
+    s.activePins.clear();
+    for (std::size_t j = 0; j < nPins; ++j) {
+      if (!k.candidatesOf(static_cast<Index>(j)).empty())
+        s.activePins.push_back(static_cast<Index>(j));
     }
-    for (std::size_t j = 0; j < p.pins.size(); ++j) {
-      if (!p.pins[j].intervals.empty())
-        activePins.push_back(static_cast<Index>(j));
-    }
-    status.assign(n, kFree);
-    assignedTo.assign(p.pins.size(), geom::kInvalidIndex);
-    chosenStamp.assign(n, -1);
-    csStamp.assign(p.conflicts.size(), -1);
-    csCount.assign(p.conflicts.size(), 0);
-    term.assign(n, 0.0);
+    s.status.assign(n, kFree);
+    s.assignedTo.assign(nPins, geom::kInvalidIndex);
+    s.trail.clear();
+    s.chosenStamp.assign(n, -1);
+    s.csStamp.assign(k.numConflicts(), -1);
+    s.csCount.assign(k.numConflicts(), 0);
+    s.term.assign(n, 0.0);
+    s.bestAssign.clear();
   }
 
   /// Subgradient tuning of the root multipliers: minimizes the split-penalty
@@ -80,42 +60,45 @@ struct Search {
   /// rule t_k = θ (D(λ) - LB) / ||g||², which closes the root gap far faster
   /// than the diminishing schedule alone.
   void tuneRootDual(double incumbentValue) {
-    const std::size_t n = p.intervals.size();
-    std::vector<double> lambda(p.conflicts.size(), 0.0);
-    std::vector<double> penalty(n, 0.0);  // P_i = sum of lambda over csOf[i]
-    std::vector<double> bestPenalty(n, 0.0);
+    const std::size_t n = k.numIntervals();
+    const std::size_t nCs = k.numConflicts();
+    s.lambda.assign(nCs, 0.0);
+    s.penalty.assign(n, 0.0);  // P_i = sum of lambda over conflictsOf(i)
+    s.bestPenalty.assign(n, 0.0);
     double bestBound = std::numeric_limits<double>::infinity();
     double bestLambdaSum = 0.0;
-    std::vector<Index> choice(p.pins.size(), geom::kInvalidIndex);
+    s.rootChoice.assign(k.numPins(), geom::kInvalidIndex);
     const bool polyak = incumbentValue > kNegInf;
     double theta = 1.0;  // Polyak relaxation factor, halved on stalls
     int sinceImprove = 0;
 
-    for (int k = 1; k <= std::max(1, opts.rootDualIterations); ++k) {
+    for (int it = 1; it <= std::max(1, opts.rootDualIterations); ++it) {
       // Per-pin argmax under current multipliers.
       double bound = 0.0;
-      for (Index j : activePins) {
+      for (const Index j : s.activePins) {
         double best = kNegInf;
         Index arg = geom::kInvalidIndex;
-        for (Index i : p.pins[static_cast<std::size_t>(j)].intervals) {
+        for (const Index i : k.candidatesOf(j)) {
           const std::size_t ii = static_cast<std::size_t>(i);
-          const double t = p.profit[ii] - penalty[ii] / p.degree(i);
+          const double t =
+              k.profitOf(i) -
+              s.penalty[ii] / static_cast<double>(k.degreeOf(i));
           if (t > best) {
             best = t;
             arg = i;
           }
         }
         bound += best;
-        choice[static_cast<std::size_t>(j)] = arg;
+        s.rootChoice[static_cast<std::size_t>(j)] = arg;
       }
       double lsum = 0.0;
-      for (double l : lambda) lsum += l;
+      for (const double l : s.lambda) lsum += l;
       bound += lsum;
       obs::row(obs, "exact.root", {"iter", "bound"},
-               {static_cast<double>(k), bound});
+               {static_cast<double>(it), bound});
       if (bound < bestBound - 1e-12) {
         bestBound = bound;
-        bestPenalty = penalty;
+        s.bestPenalty = s.penalty;
         bestLambdaSum = lsum;
         sinceImprove = 0;
       } else if (polyak && ++sinceImprove >= 20) {
@@ -126,49 +109,51 @@ struct Search {
 
       // Subgradient step on every conflict set.
       ++epoch;
-      for (Index j : activePins) {
-        const Index i = choice[static_cast<std::size_t>(j)];
-        chosenStamp[static_cast<std::size_t>(i)] = epoch;
+      for (const Index j : s.activePins) {
+        const Index i = s.rootChoice[static_cast<std::size_t>(j)];
+        s.chosenStamp[static_cast<std::size_t>(i)] = epoch;
       }
       double gradNormSq = 0.0;
       if (polyak) {
-        for (std::size_t m = 0; m < p.conflicts.size(); ++m) {
-          const ConflictSet& cs = p.conflicts[m];
+        for (std::size_t m = 0; m < nCs; ++m) {
           int count = 0;
-          for (Index i : cs.intervals)
-            count += chosenStamp[static_cast<std::size_t>(i)] == epoch ? 1 : 0;
+          for (const Index i : k.membersOf(static_cast<Index>(m)))
+            count +=
+                s.chosenStamp[static_cast<std::size_t>(i)] == epoch ? 1 : 0;
           const double grad = static_cast<double>(count - 1);
-          if (grad > 0.0 || (grad < 0.0 && lambda[m] > 0.0))
+          if (grad > 0.0 || (grad < 0.0 && s.lambda[m] > 0.0))
             gradNormSq += grad * grad;
         }
         if (gradNormSq == 0.0) break;  // stationary: dual optimum reached
       }
       const double schedule =
-          1.0 / std::pow(static_cast<double>(k), opts.alpha);
+          1.0 / std::pow(static_cast<double>(it), opts.alpha);
       const double polyakStep =
           polyak ? theta * std::max(0.0, bound - incumbentValue) / gradNormSq
                  : 0.0;
-      for (std::size_t m = 0; m < p.conflicts.size(); ++m) {
-        const ConflictSet& cs = p.conflicts[m];
+      for (std::size_t m = 0; m < nCs; ++m) {
         int count = 0;
-        for (Index i : cs.intervals)
-          count += chosenStamp[static_cast<std::size_t>(i)] == epoch ? 1 : 0;
+        for (const Index i : k.membersOf(static_cast<Index>(m)))
+          count += s.chosenStamp[static_cast<std::size_t>(i)] == epoch ? 1 : 0;
         const double grad = static_cast<double>(count - 1);
         if (grad == 0.0) continue;
         const double tk =
             polyak ? polyakStep
-                   : schedule * static_cast<double>(cs.common.span());
-        const double next = std::max(0.0, lambda[m] + tk * grad);
-        const double delta = next - lambda[m];
+                   : schedule * static_cast<double>(
+                                    k.conflictSpanOf(static_cast<Index>(m)));
+        const double next = std::max(0.0, s.lambda[m] + tk * grad);
+        const double delta = next - s.lambda[m];
         if (delta == 0.0) continue;
-        lambda[m] = next;
-        for (Index i : cs.intervals)
-          penalty[static_cast<std::size_t>(i)] += delta;
+        s.lambda[m] = next;
+        for (const Index i : k.membersOf(static_cast<Index>(m)))
+          s.penalty[static_cast<std::size_t>(i)] += delta;
       }
     }
 
     for (std::size_t i = 0; i < n; ++i)
-      term[i] = p.profit[i] - bestPenalty[i] / p.degree(static_cast<Index>(i));
+      s.term[i] = k.profitOf(static_cast<Index>(i)) -
+                  s.bestPenalty[i] /
+                      static_cast<double>(k.degreeOf(static_cast<Index>(i)));
     lambdaSum = bestLambdaSum;
   }
 
@@ -182,52 +167,52 @@ struct Search {
     return false;
   }
 
-  std::size_t mark() const { return trail.size(); }
+  std::size_t mark() const { return s.trail.size(); }
 
   void undoTo(std::size_t m) {
-    while (trail.size() > m) {
-      const TrailOp op = trail.back();
-      trail.pop_back();
+    while (s.trail.size() > m) {
+      const ExactTrailOp op = s.trail.back();
+      s.trail.pop_back();
       if (op.isStatus) {
-        status[static_cast<std::size_t>(op.idx)] = kFree;
+        s.status[static_cast<std::size_t>(op.idx)] = kFree;
       } else {
-        assignedTo[static_cast<std::size_t>(op.idx)] = geom::kInvalidIndex;
+        s.assignedTo[static_cast<std::size_t>(op.idx)] = geom::kInvalidIndex;
       }
     }
   }
 
   bool setZero(Index i) {
-    std::uint8_t& s = status[static_cast<std::size_t>(i)];
-    if (s == kOne) return false;
-    if (s == kFree) {
-      s = kZero;
-      trail.push_back({true, i});
+    std::uint8_t& st = s.status[static_cast<std::size_t>(i)];
+    if (st == kOne) return false;
+    if (st == kFree) {
+      st = kZero;
+      s.trail.push_back({true, i});
     }
     return true;
   }
 
   /// Forces x_i = 1 and propagates the equality (1b) and conflict (1c) rows.
   bool forceOne(Index i) {
-    std::uint8_t& s = status[static_cast<std::size_t>(i)];
-    if (s == kZero) return false;
-    if (s == kFree) {
-      s = kOne;
-      trail.push_back({true, i});
+    std::uint8_t& st = s.status[static_cast<std::size_t>(i)];
+    if (st == kZero) return false;
+    if (st == kFree) {
+      st = kOne;
+      s.trail.push_back({true, i});
     }
-    for (Index q : p.intervals[static_cast<std::size_t>(i)].pins) {
+    for (const Index q : k.pinsOf(i)) {
       const std::size_t qq = static_cast<std::size_t>(q);
-      if (assignedTo[qq] != geom::kInvalidIndex) {
-        if (assignedTo[qq] != i) return false;
+      if (s.assignedTo[qq] != geom::kInvalidIndex) {
+        if (s.assignedTo[qq] != i) return false;
       } else {
-        assignedTo[qq] = i;
-        trail.push_back({false, q});
+        s.assignedTo[qq] = i;
+        s.trail.push_back({false, q});
       }
-      for (Index j : p.pins[qq].intervals) {
+      for (const Index j : k.candidatesOf(q)) {
         if (j != i && !setZero(j)) return false;
       }
     }
-    for (Index m : csOf[static_cast<std::size_t>(i)]) {
-      for (Index j : p.conflicts[static_cast<std::size_t>(m)].intervals) {
+    for (const Index m : k.conflictsOf(i)) {
+      for (const Index j : k.membersOf(m)) {
         if (j != i && !setZero(j)) return false;
       }
     }
@@ -241,28 +226,30 @@ struct Search {
     }
     ++nodes;
 
-    // Bound and per-pin choice under the current fixing.
-    std::vector<Index> choice(p.pins.size(), geom::kInvalidIndex);
+    // Bound and per-pin choice under the current fixing. `nodeChoice` and
+    // `nodeChosen` are shared across the recursion: a node never reads them
+    // after recursing into a child, so one pool per worker suffices.
+    s.nodeChoice.assign(k.numPins(), geom::kInvalidIndex);
     double bound = lambdaSum;
-    for (Index j : activePins) {
+    for (const Index j : s.activePins) {
       const std::size_t jj = static_cast<std::size_t>(j);
-      if (assignedTo[jj] != geom::kInvalidIndex) {
-        choice[jj] = assignedTo[jj];
-        bound += term[static_cast<std::size_t>(assignedTo[jj])];
+      if (s.assignedTo[jj] != geom::kInvalidIndex) {
+        s.nodeChoice[jj] = s.assignedTo[jj];
+        bound += s.term[static_cast<std::size_t>(s.assignedTo[jj])];
         continue;
       }
       double best = kNegInf;
       Index arg = geom::kInvalidIndex;
-      for (Index i : p.pins[jj].intervals) {
-        if (status[static_cast<std::size_t>(i)] == kZero) continue;
-        const double t = term[static_cast<std::size_t>(i)];
+      for (const Index i : k.candidatesOf(j)) {
+        if (s.status[static_cast<std::size_t>(i)] == kZero) continue;
+        const double t = s.term[static_cast<std::size_t>(i)];
         if (t > best) {
           best = t;
           arg = i;
         }
       }
       if (arg == geom::kInvalidIndex) return;  // pin starved: infeasible node
-      choice[jj] = arg;
+      s.nodeChoice[jj] = arg;
       bound += best;
     }
     if (haveIncumbent && bound <= bestObj + kEps) return;
@@ -270,31 +257,31 @@ struct Search {
     // Identify a violated conflict set or an inconsistently chosen shared
     // interval; both yield a free interval to branch on.
     ++epoch;
-    std::vector<Index> chosen;
-    for (Index j : activePins) {
-      const Index i = choice[static_cast<std::size_t>(j)];
-      long& st = chosenStamp[static_cast<std::size_t>(i)];
+    s.nodeChosen.clear();
+    for (const Index j : s.activePins) {
+      const Index i = s.nodeChoice[static_cast<std::size_t>(j)];
+      long& st = s.chosenStamp[static_cast<std::size_t>(i)];
       if (st != epoch) {
         st = epoch;
-        chosen.push_back(i);
+        s.nodeChosen.push_back(i);
       }
     }
     Index branchI = geom::kInvalidIndex;
     double branchScore = kNegInf;
-    for (Index i : chosen) {
-      for (Index m : csOf[static_cast<std::size_t>(i)]) {
+    for (const Index i : s.nodeChosen) {
+      for (const Index m : k.conflictsOf(i)) {
         const std::size_t mm = static_cast<std::size_t>(m);
-        if (csStamp[mm] != epoch) {
-          csStamp[mm] = epoch;
-          csCount[mm] = 0;
+        if (s.csStamp[mm] != epoch) {
+          s.csStamp[mm] = epoch;
+          s.csCount[mm] = 0;
         }
-        if (++csCount[mm] >= 2) {
+        if (++s.csCount[mm] >= 2) {
           // Conflict violated: branch on its free chosen member of max term.
-          for (Index c : p.conflicts[mm].intervals) {
+          for (const Index c : k.membersOf(m)) {
             const std::size_t cc = static_cast<std::size_t>(c);
-            if (chosenStamp[cc] == epoch && status[cc] == kFree &&
-                term[cc] > branchScore) {
-              branchScore = term[cc];
+            if (s.chosenStamp[cc] == epoch && s.status[cc] == kFree &&
+                s.term[cc] > branchScore) {
+              branchScore = s.term[cc];
               branchI = c;
             }
           }
@@ -302,9 +289,9 @@ struct Search {
       }
     }
     if (branchI == geom::kInvalidIndex) {
-      for (Index i : chosen) {
-        for (Index q : p.intervals[static_cast<std::size_t>(i)].pins) {
-          if (choice[static_cast<std::size_t>(q)] != i) {
+      for (const Index i : s.nodeChosen) {
+        for (const Index q : k.pinsOf(i)) {
+          if (s.nodeChoice[static_cast<std::size_t>(q)] != i) {
             branchI = i;  // shared interval chosen by only some covered pins
             break;
           }
@@ -316,12 +303,11 @@ struct Search {
     if (branchI == geom::kInvalidIndex) {
       // Consistent and conflict-free: a feasible ILP point.
       double value = 0.0;
-      for (Index j : activePins)
-        value += p.profit[static_cast<std::size_t>(
-            choice[static_cast<std::size_t>(j)])];
+      for (const Index j : s.activePins)
+        value += k.profitOf(s.nodeChoice[static_cast<std::size_t>(j)]);
       if (!haveIncumbent || value > bestObj) {
         bestObj = value;
-        bestAssign = choice;
+        s.bestAssign = s.nodeChoice;
         haveIncumbent = true;
       }
       if (bound <= value + kEps) return;  // bound met: subtree closed
@@ -329,16 +315,16 @@ struct Search {
       // widest top-two margin to shrink it.
       Index pinToSplit = geom::kInvalidIndex;
       double bestMargin = kNegInf;
-      for (Index j : activePins) {
+      for (const Index j : s.activePins) {
         const std::size_t jj = static_cast<std::size_t>(j);
-        if (assignedTo[jj] != geom::kInvalidIndex) continue;
+        if (s.assignedTo[jj] != geom::kInvalidIndex) continue;
         int allowed = 0;
         double top1 = kNegInf;
         double top2 = kNegInf;
-        for (Index i : p.pins[jj].intervals) {
-          if (status[static_cast<std::size_t>(i)] == kZero) continue;
+        for (const Index i : k.candidatesOf(j)) {
+          if (s.status[static_cast<std::size_t>(i)] == kZero) continue;
           ++allowed;
-          const double t = term[static_cast<std::size_t>(i)];
+          const double t = s.term[static_cast<std::size_t>(i)];
           if (t > top1) {
             top2 = top1;
             top1 = t;
@@ -352,8 +338,8 @@ struct Search {
         }
       }
       if (pinToSplit == geom::kInvalidIndex) return;  // fixing is fully forced
-      branchI = choice[static_cast<std::size_t>(pinToSplit)];
-      if (status[static_cast<std::size_t>(branchI)] != kFree) return;
+      branchI = s.nodeChoice[static_cast<std::size_t>(pinToSplit)];
+      if (s.status[static_cast<std::size_t>(branchI)] != kFree) return;
     }
 
     // Children: x = 1 first (finds strong incumbents early), then x = 0.
@@ -367,20 +353,38 @@ struct Search {
 
 }  // namespace
 
+std::size_t ExactScratch::footprintBytes() const {
+  auto bytes = [](const auto& v) { return v.capacity() * sizeof(v[0]); };
+  return bytes(term) + bytes(lambda) + bytes(penalty) + bytes(bestPenalty) +
+         bytes(rootChoice) + bytes(status) + bytes(assignedTo) +
+         bytes(trail) + bytes(chosenStamp) + bytes(csStamp) + bytes(csCount) +
+         bytes(nodeChoice) + bytes(nodeChosen) + bytes(activePins) +
+         bytes(bestAssign) + bytes(selFlag) + lr.footprintBytes();
+}
+
 Assignment solveExact(const Problem& p, const ExactOptions& opts,
                       ExactStats* stats, obs::Collector* obs) {
-  Search search(p, opts);
+  return solveExact(PanelKernel::compile(Problem(p)), opts, stats, obs,
+                    nullptr);
+}
+
+Assignment solveExact(const PanelKernel& k, const ExactOptions& opts,
+                      ExactStats* stats, obs::Collector* obs,
+                      ExactScratch* scratch) {
+  ExactScratch local;
+  ExactScratch& sc = scratch ? *scratch : local;
+  Search search(k, opts, sc);
   search.obs = obs;
 
   // Root incumbent from the LR heuristic (always conflict-free); it also
   // anchors the Polyak steps of the root dual tuning.
   {
     LrOptions lrOpts;
-    Assignment seed = solveLr(p, lrOpts);
+    Assignment seed = solveLr(k, lrOpts, nullptr, nullptr, &sc.lr);
     if (seed.violations == 0) {
-      const AssignmentAudit a = audit(p, seed);
+      const AssignmentAudit a = audit(k, seed);
       if (a.overlapsBetweenNets == 0) {
-        search.bestAssign = seed.intervalOfPin;
+        sc.bestAssign = std::move(seed.intervalOfPin);
         search.bestObj = seed.objective;
         search.haveIncumbent = true;
       }
@@ -389,32 +393,33 @@ Assignment solveExact(const Problem& p, const ExactOptions& opts,
   search.tuneRootDual(search.haveIncumbent ? search.bestObj : kNegInf);
 
   double rootBound = search.lambdaSum;
-  for (Index j : search.activePins) {
+  for (const Index j : sc.activePins) {
     double best = kNegInf;
-    for (Index i : p.pins[static_cast<std::size_t>(j)].intervals)
-      best = std::max(best, search.term[static_cast<std::size_t>(i)]);
+    for (const Index i : k.candidatesOf(j))
+      best = std::max(best, sc.term[static_cast<std::size_t>(i)]);
     rootBound += best;
   }
   if (stats) stats->rootUpperBound = rootBound;
 
   search.dfs();
 
+  const std::size_t nPins = k.numPins();
   Assignment out;
-  out.intervalOfPin.assign(p.pins.size(), geom::kInvalidIndex);
-  if (search.haveIncumbent) out.intervalOfPin = search.bestAssign;
-  for (std::size_t j = 0; j < p.pins.size(); ++j) {
+  out.intervalOfPin.assign(nPins, geom::kInvalidIndex);
+  if (search.haveIncumbent) out.intervalOfPin = sc.bestAssign;
+  for (std::size_t j = 0; j < nPins; ++j) {
     const Index i = out.intervalOfPin[j];
-    if (i != geom::kInvalidIndex)
-      out.objective += p.profit[static_cast<std::size_t>(i)];
+    if (i != geom::kInvalidIndex) out.objective += k.profitOf(i);
   }
   out.provedOptimal = search.haveIncumbent && !search.truncated;
   // Violations of the final selection (0 expected).
-  std::vector<char> sel(p.intervals.size(), 0);
-  for (Index i : out.intervalOfPin)
-    if (i != geom::kInvalidIndex) sel[static_cast<std::size_t>(i)] = 1;
-  for (const ConflictSet& cs : p.conflicts) {
+  sc.selFlag.assign(k.numIntervals(), 0);
+  for (const Index i : out.intervalOfPin)
+    if (i != geom::kInvalidIndex) sc.selFlag[static_cast<std::size_t>(i)] = 1;
+  for (std::size_t m = 0; m < k.numConflicts(); ++m) {
     int count = 0;
-    for (Index i : cs.intervals) count += sel[static_cast<std::size_t>(i)];
+    for (const Index i : k.membersOf(static_cast<Index>(m)))
+      count += sc.selFlag[static_cast<std::size_t>(i)];
     if (count > 1) ++out.violations;
   }
   if (stats) {

@@ -15,12 +15,20 @@
 /// set (or an inconsistently-chosen shared interval) to 1 or 0 and
 /// propagates through the equality and conflict rows.
 ///
+/// The hot path consumes a compiled `PanelKernel` and an optional
+/// `ExactScratch` arena (trail, stamps, node pools, root-dual buffers); the
+/// `Problem` overload compiles a kernel internally.
+///
 /// The generic LP-based branch & bound in `ilp/` solves the same model via
 /// `buildIlpModel` (ilp_builder.h); tests cross-check the two and a brute
 /// forcer on small instances. This specialized solver is the one that scales
 /// far enough to trace the paper's Fig. 6 "ILP" curves.
 #pragma once
 
+#include <cstdint>
+
+#include "core/lr_solver.h"
+#include "core/panel_kernel.h"
 #include "core/problem.h"
 #include "obs/collector.h"
 
@@ -42,13 +50,56 @@ struct ExactStats {
   bool optimal = false;
 };
 
-/// Solves `p` exactly (requires profits and conflicts filled). The returned
-/// assignment has violations == 0; `provedOptimal` reports whether the
-/// search completed within its budget.
+/// One trail entry of the B&B undo stack: either an interval status change
+/// or a pin assignment.
+struct ExactTrailOp {
+  bool isStatus;
+  Index idx;
+};
+
+/// Reusable per-worker buffers for `solveExact`. Every solve fully
+/// reinitializes the entries it reads (epoch stamps and trail included), so
+/// one scratch serves panels of any size back to back; reuse only saves the
+/// allocations. Embeds an `LrScratch` because the exact solver seeds its
+/// incumbent from an internal LR run.
+struct ExactScratch {
+  // Root dual tuning.
+  std::vector<double> term, lambda, penalty, bestPenalty;
+  std::vector<Index> rootChoice;
+  // Search state with trail-based undo.
+  std::vector<std::uint8_t> status;
+  std::vector<Index> assignedTo;
+  std::vector<ExactTrailOp> trail;
+  std::vector<long> chosenStamp, csStamp;
+  std::vector<int> csCount;
+  // Node-local pools (safe to share across the recursion: no node reads
+  // them after recursing into a child).
+  std::vector<Index> nodeChoice, nodeChosen;
+  std::vector<Index> activePins;
+  std::vector<Index> bestAssign;
+  std::vector<char> selFlag;
+  LrScratch lr;  ///< arena for the incumbent-seeding LR run
+
+  /// Current capacity across all buffers, for the optimizer's arena gauge.
+  [[nodiscard]] std::size_t footprintBytes() const;
+};
+
+/// Solves the compiled instance `k` exactly (profits and conflicts must have
+/// been filled before compilation). The returned assignment has
+/// violations == 0; `provedOptimal` reports whether the search completed
+/// within its budget. `scratch` may be null (a local arena is used) or a
+/// reused per-worker arena.
 ///
 /// When `obs` is non-null the solver reports `exact.*` counters, the root
 /// dual convergence series `exact.root` (bound per subgradient iteration),
 /// and one `exact.panel` summary row (nodes, root bound, incumbent, gap).
+[[nodiscard]] Assignment solveExact(const PanelKernel& k,
+                                    const ExactOptions& opts = {},
+                                    ExactStats* stats = nullptr,
+                                    obs::Collector* obs = nullptr,
+                                    ExactScratch* scratch = nullptr);
+
+/// Convenience overload: compiles `p` into a temporary kernel and solves.
 [[nodiscard]] Assignment solveExact(const Problem& p,
                                     const ExactOptions& opts = {},
                                     ExactStats* stats = nullptr,

@@ -5,42 +5,43 @@
 
 namespace cpr::core {
 
-IlpBuild buildIlpModel(const Problem& p, bool pairwiseConflicts) {
+IlpBuild buildIlpModel(const PanelKernel& k, bool pairwiseConflicts) {
   IlpBuild out;
-  out.varOfInterval.reserve(p.intervals.size());
-  for (std::size_t i = 0; i < p.intervals.size(); ++i) {
-    out.varOfInterval.push_back(
-        out.model.addBinary(p.weight(static_cast<Index>(i)),
-                            "x" + std::to_string(i)));
+  const std::size_t nIv = k.numIntervals();
+  out.varOfInterval.reserve(nIv);
+  for (std::size_t i = 0; i < nIv; ++i) {
+    out.varOfInterval.push_back(out.model.addBinary(
+        k.weightOf(static_cast<Index>(i)), "x" + std::to_string(i)));
   }
   // (1b): sum_{Ii in Sj} x_i = 1 for every accessible pin.
-  for (const ProblemPin& pin : p.pins) {
-    if (pin.intervals.empty()) continue;
+  for (std::size_t j = 0; j < k.numPins(); ++j) {
+    const std::span<const Index> cand = k.candidatesOf(static_cast<Index>(j));
+    if (cand.empty()) continue;
     std::vector<ilp::Term> terms;
-    terms.reserve(pin.intervals.size());
-    for (Index i : pin.intervals)
+    terms.reserve(cand.size());
+    for (const Index i : cand)
       terms.push_back({out.varOfInterval[static_cast<std::size_t>(i)], 1.0});
     out.model.addConstraint(std::move(terms), ilp::Sense::Equal, 1.0);
   }
   if (!pairwiseConflicts) {
     // (1c): sum_{Ii in Cm} x_i <= 1 per conflict set.
-    for (const ConflictSet& cs : p.conflicts) {
+    for (std::size_t m = 0; m < k.numConflicts(); ++m) {
+      const std::span<const Index> members = k.membersOf(static_cast<Index>(m));
       std::vector<ilp::Term> terms;
-      terms.reserve(cs.intervals.size());
-      for (Index i : cs.intervals)
+      terms.reserve(members.size());
+      for (const Index i : members)
         terms.push_back({out.varOfInterval[static_cast<std::size_t>(i)], 1.0});
       out.model.addConstraint(std::move(terms), ilp::Sense::LessEqual, 1.0);
     }
   } else {
     // Quadratic pairwise encoding for the ablation bench.
-    for (const ConflictSet& cs : p.conflicts) {
-      for (std::size_t a = 0; a < cs.intervals.size(); ++a) {
-        for (std::size_t b = a + 1; b < cs.intervals.size(); ++b) {
+    for (std::size_t m = 0; m < k.numConflicts(); ++m) {
+      const std::span<const Index> members = k.membersOf(static_cast<Index>(m));
+      for (std::size_t a = 0; a < members.size(); ++a) {
+        for (std::size_t b = a + 1; b < members.size(); ++b) {
           out.model.addConstraint(
-              {{out.varOfInterval[static_cast<std::size_t>(cs.intervals[a])],
-                1.0},
-               {out.varOfInterval[static_cast<std::size_t>(cs.intervals[b])],
-                1.0}},
+              {{out.varOfInterval[static_cast<std::size_t>(members[a])], 1.0},
+               {out.varOfInterval[static_cast<std::size_t>(members[b])], 1.0}},
               ilp::Sense::LessEqual, 1.0);
         }
       }
@@ -49,22 +50,32 @@ IlpBuild buildIlpModel(const Problem& p, bool pairwiseConflicts) {
   return out;
 }
 
-Assignment decodeIlpSolution(const Problem& p, const IlpBuild& build,
+IlpBuild buildIlpModel(const Problem& p, bool pairwiseConflicts) {
+  return buildIlpModel(PanelKernel::compile(Problem(p)), pairwiseConflicts);
+}
+
+Assignment decodeIlpSolution(const PanelKernel& k, const IlpBuild& build,
                              const std::vector<double>& x) {
   Assignment out;
-  out.intervalOfPin.assign(p.pins.size(), geom::kInvalidIndex);
-  for (std::size_t j = 0; j < p.pins.size(); ++j) {
-    for (Index i : p.pins[j].intervals) {
+  const std::size_t nPins = k.numPins();
+  out.intervalOfPin.assign(nPins, geom::kInvalidIndex);
+  for (std::size_t j = 0; j < nPins; ++j) {
+    for (const Index i : k.candidatesOf(static_cast<Index>(j))) {
       const auto var = static_cast<std::size_t>(
           build.varOfInterval[static_cast<std::size_t>(i)]);
       if (x[var] > 0.5) {
         out.intervalOfPin[j] = i;
-        out.objective += p.profit[static_cast<std::size_t>(i)];
+        out.objective += k.profitOf(i);
         break;
       }
     }
   }
   return out;
+}
+
+Assignment decodeIlpSolution(const Problem& p, const IlpBuild& build,
+                             const std::vector<double>& x) {
+  return decodeIlpSolution(PanelKernel::compile(Problem(p)), build, x);
 }
 
 }  // namespace cpr::core

@@ -4,7 +4,6 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
-#include <numeric>
 
 #include "obs/names.h"
 
@@ -12,21 +11,7 @@ namespace cpr::core {
 
 namespace {
 
-struct Selection {
-  std::vector<Index> sel;            ///< distinct selected interval ids
-  std::vector<Index> intervalOfPin;  ///< per-pin assignment
-};
-
-/// Sort key for maxGains: non-increasing gain, ties toward intervals
-/// covering more same-net pins (intra-panel connections are preferred,
-/// Section 3.1), then by index for determinism.
-struct Key {
-  double gain;
-  Index degree;
-  Index idx;
-};
-
-bool keyLess(const Key& a, const Key& b) {
+bool keyLess(const LrSortKey& a, const LrSortKey& b) {
   if (a.gain != b.gain) return a.gain > b.gain;
   if (a.degree != b.degree) return a.degree > b.degree;
   return a.idx < b.idx;
@@ -34,219 +19,228 @@ bool keyLess(const Key& a, const Key& b) {
 
 /// Algorithm 1, maxGains selection over a pre-sorted key order: select an
 /// interval when every covered pin is still free; leftover pins fall back to
-/// their minimum interval (always selectable — Theorem 1).
-Selection runMaxGainsOrdered(const Problem& p, const std::vector<Key>& keys) {
-  Selection out;
-  out.intervalOfPin.assign(p.pins.size(), geom::kInvalidIndex);
-  std::size_t unassigned = p.pins.size();
+/// their minimum interval (always selectable — Theorem 1). Writes the
+/// selected interval ids into `sel` and the per-pin assignment into
+/// `assign` (both fully reinitialized).
+void runMaxGainsOrdered(const PanelKernel& k,
+                        const std::vector<LrSortKey>& keys,
+                        std::vector<Index>& sel, std::vector<Index>& assign) {
+  sel.clear();
+  assign.assign(k.numPins(), geom::kInvalidIndex);
+  std::size_t unassigned = k.numPins();
   auto select = [&](Index i) {
-    out.sel.push_back(i);
-    for (Index q : p.intervals[static_cast<std::size_t>(i)].pins) {
-      if (out.intervalOfPin[static_cast<std::size_t>(q)] ==
-          geom::kInvalidIndex) {
-        out.intervalOfPin[static_cast<std::size_t>(q)] = i;
+    sel.push_back(i);
+    for (const Index q : k.pinsOf(i)) {
+      if (assign[static_cast<std::size_t>(q)] == geom::kInvalidIndex) {
+        assign[static_cast<std::size_t>(q)] = i;
         --unassigned;
       }
     }
   };
-  for (const Key& k : keys) {
+  for (const LrSortKey& key : keys) {
     if (unassigned == 0) break;  // every pin holds an interval already
-    const auto& pins = p.intervals[static_cast<std::size_t>(k.idx)].pins;
+    const std::span<const Index> pins = k.pinsOf(key.idx);
     const bool allFree = std::all_of(pins.begin(), pins.end(), [&](Index q) {
-      return out.intervalOfPin[static_cast<std::size_t>(q)] ==
-             geom::kInvalidIndex;
+      return assign[static_cast<std::size_t>(q)] == geom::kInvalidIndex;
     });
-    if (allFree && !pins.empty()) select(k.idx);
+    if (allFree && !pins.empty()) select(key.idx);
   }
   // Equality constraints (1b): every pin must hold exactly one interval.
-  for (std::size_t j = 0; j < p.pins.size(); ++j) {
-    if (out.intervalOfPin[j] != geom::kInvalidIndex) continue;
-    const Index mi = p.pins[j].minimalInterval;
+  for (std::size_t j = 0; j < k.numPins(); ++j) {
+    if (assign[j] != geom::kInvalidIndex) continue;
+    const Index mi = k.minimalIntervalOf(static_cast<Index>(j));
     if (mi == geom::kInvalidIndex) continue;  // inaccessible pin
-    out.sel.push_back(mi);
-    out.intervalOfPin[j] = mi;
+    sel.push_back(mi);
+    assign[j] = mi;
   }
-  return out;
 }
 
-int selectedCount(const ConflictSet& cs, const std::vector<char>& selFlag) {
+int selectedCount(const PanelKernel& k, Index m,
+                  const std::vector<char>& selFlag) {
   int count = 0;
-  for (Index i : cs.intervals)
+  for (const Index i : k.membersOf(m))
     count += selFlag[static_cast<std::size_t>(i)] ? 1 : 0;
   return count;
 }
 
-std::vector<char> flags(std::size_t n, const std::vector<Index>& sel) {
-  std::vector<char> f(n, 0);
-  for (Index i : sel) f[static_cast<std::size_t>(i)] = 1;
-  return f;
-}
-
 }  // namespace
 
-std::vector<Index> maxGains(const Problem& p, const std::vector<double>& gains) {
-  std::vector<Key> keys(p.intervals.size());
+std::size_t LrScratch::footprintBytes() const {
+  auto bytes = [](const auto& v) { return v.capacity() * sizeof(v[0]); };
+  return bytes(penalties) + bytes(lambda) + bytes(csCount) + bytes(touched) +
+         bytes(keys) + bytes(dirtyKeys) + bytes(mergeBuf) + bytes(dirtyFlag) +
+         bytes(dirtyList) + bytes(curSel) + bytes(curAssign) + bytes(bestSel) +
+         bytes(bestAssign) + bytes(selFlag) + bytes(usage) +
+         bytes(freedWithin);
+}
+
+std::vector<Index> maxGains(const Problem& p,
+                            const std::vector<double>& gains) {
+  const PanelKernel k = PanelKernel::compile(Problem(p));
+  std::vector<LrSortKey> keys(k.numIntervals());
   for (std::size_t i = 0; i < keys.size(); ++i)
-    keys[i] = Key{gains[i], static_cast<Index>(p.intervals[i].pins.size()),
-                  static_cast<Index>(i)};
+    keys[i] = LrSortKey{gains[i], k.degreeOf(static_cast<Index>(i)),
+                        static_cast<Index>(i)};
   std::sort(keys.begin(), keys.end(), keyLess);
-  return runMaxGainsOrdered(p, keys).sel;
+  std::vector<Index> sel, assign;
+  runMaxGainsOrdered(k, keys, sel, assign);
+  return sel;
 }
 
 Assignment solveLr(const Problem& p, const LrOptions& opts, LrStats* stats,
                    obs::Collector* obs) {
-  const std::size_t n = p.intervals.size();
-  std::vector<double> profits(n);
-  std::vector<Index> degree(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    profits[i] = p.weight(static_cast<Index>(i));
-    degree[i] = static_cast<Index>(p.intervals[i].pins.size());
-  }
+  return solveLr(PanelKernel::compile(Problem(p)), opts, stats, obs, nullptr);
+}
 
-  std::vector<double> penalties(n, 0.0);
-  std::vector<double> lambda(p.conflicts.size(), 0.0);
+Assignment solveLr(const PanelKernel& k, const LrOptions& opts, LrStats* stats,
+                   obs::Collector* obs, LrScratch* scratch) {
+  LrScratch local;
+  LrScratch& s = scratch ? *scratch : local;
+  const std::size_t n = k.numIntervals();
+  const std::size_t nPins = k.numPins();
+  const std::size_t nCs = k.numConflicts();
+
+  s.penalties.assign(n, 0.0);
+  s.lambda.assign(nCs, 0.0);
   double lambdaL1 = 0.0;  ///< Σ λ_m, maintained incrementally for the trace
 
-  Selection best;
   int bestVio = std::numeric_limits<int>::max();
+  bool haveBest = false;
   int stall = 0;
   int iterations = 0;
 
-  // Interval -> conflict sets containing it, for incremental violation
-  // counting.
-  std::vector<std::vector<Index>> csOf(n);
-  for (std::size_t m = 0; m < p.conflicts.size(); ++m) {
-    for (Index i : p.conflicts[m].intervals)
-      csOf[static_cast<std::size_t>(i)].push_back(static_cast<Index>(m));
-  }
-  std::vector<int> csCount(p.conflicts.size(), 0);
-  std::vector<Index> touched;
+  s.csCount.assign(nCs, 0);
+  s.touched.clear();
 
   // Sorted key order, maintained incrementally: only intervals whose
   // penalties changed are re-keyed and merged back (the full per-iteration
   // sort dominates LR runtime on large panels otherwise).
-  std::vector<Key> keys(n);
+  s.keys.resize(n);
   for (std::size_t i = 0; i < n; ++i)
-    keys[i] = Key{profits[i], degree[i], static_cast<Index>(i)};
-  std::sort(keys.begin(), keys.end(), keyLess);
-  std::vector<char> dirtyFlag(n, 0);
-  std::vector<Index> dirtyList;
-  std::vector<Key> dirtyKeys;
-  std::vector<Key> mergeBuf;
+    s.keys[i] = LrSortKey{k.weightOf(static_cast<Index>(i)),
+                          k.degreeOf(static_cast<Index>(i)),
+                          static_cast<Index>(i)};
+  std::sort(s.keys.begin(), s.keys.end(), keyLess);
+  s.dirtyFlag.assign(n, 0);
+  s.dirtyList.clear();
 
   auto markDirty = [&](Index i) {
-    if (!dirtyFlag[static_cast<std::size_t>(i)]) {
-      dirtyFlag[static_cast<std::size_t>(i)] = 1;
-      dirtyList.push_back(i);
+    if (!s.dirtyFlag[static_cast<std::size_t>(i)]) {
+      s.dirtyFlag[static_cast<std::size_t>(i)] = 1;
+      s.dirtyList.push_back(i);
     }
   };
 
   auto refreshKeys = [&] {
-    if (dirtyList.empty()) return;
-    if (dirtyList.size() > n / 3) {
+    if (s.dirtyList.empty()) return;
+    if (s.dirtyList.size() > n / 3) {
       for (std::size_t i = 0; i < n; ++i)
-        keys[i] = Key{profits[i] - penalties[i], degree[i],
-                      static_cast<Index>(i)};
-      std::sort(keys.begin(), keys.end(), keyLess);
+        s.keys[i] = LrSortKey{k.weightOf(static_cast<Index>(i)) -
+                                  s.penalties[i],
+                              k.degreeOf(static_cast<Index>(i)),
+                              static_cast<Index>(i)};
+      std::sort(s.keys.begin(), s.keys.end(), keyLess);
     } else {
-      dirtyKeys.clear();
-      for (Index i : dirtyList) {
-        dirtyKeys.push_back(Key{profits[static_cast<std::size_t>(i)] -
-                                    penalties[static_cast<std::size_t>(i)],
-                                degree[static_cast<std::size_t>(i)], i});
+      s.dirtyKeys.clear();
+      for (const Index i : s.dirtyList) {
+        s.dirtyKeys.push_back(
+            LrSortKey{k.weightOf(i) - s.penalties[static_cast<std::size_t>(i)],
+                      k.degreeOf(i), i});
       }
-      std::sort(dirtyKeys.begin(), dirtyKeys.end(), keyLess);
-      mergeBuf.clear();
-      mergeBuf.reserve(n);
+      std::sort(s.dirtyKeys.begin(), s.dirtyKeys.end(), keyLess);
+      s.mergeBuf.clear();
+      s.mergeBuf.reserve(n);
       // Drop stale entries, then merge the re-keyed ones back in.
-      auto clean = [&](const Key& k) {
-        return !dirtyFlag[static_cast<std::size_t>(k.idx)];
+      auto clean = [&](const LrSortKey& key) {
+        return !s.dirtyFlag[static_cast<std::size_t>(key.idx)];
       };
       std::size_t a = 0;
       std::size_t b = 0;
-      while (a < keys.size() || b < dirtyKeys.size()) {
-        while (a < keys.size() && !clean(keys[a])) ++a;
-        if (a == keys.size()) {
-          while (b < dirtyKeys.size()) mergeBuf.push_back(dirtyKeys[b++]);
+      while (a < s.keys.size() || b < s.dirtyKeys.size()) {
+        while (a < s.keys.size() && !clean(s.keys[a])) ++a;
+        if (a == s.keys.size()) {
+          while (b < s.dirtyKeys.size()) s.mergeBuf.push_back(s.dirtyKeys[b++]);
           break;
         }
-        if (b == dirtyKeys.size() || keyLess(keys[a], dirtyKeys[b])) {
-          mergeBuf.push_back(keys[a++]);
+        if (b == s.dirtyKeys.size() || keyLess(s.keys[a], s.dirtyKeys[b])) {
+          s.mergeBuf.push_back(s.keys[a++]);
         } else {
-          mergeBuf.push_back(dirtyKeys[b++]);
+          s.mergeBuf.push_back(s.dirtyKeys[b++]);
         }
       }
-      keys.swap(mergeBuf);
+      s.keys.swap(s.mergeBuf);
     }
-    for (Index i : dirtyList) dirtyFlag[static_cast<std::size_t>(i)] = 0;
-    dirtyList.clear();
+    for (const Index i : s.dirtyList)
+      s.dirtyFlag[static_cast<std::size_t>(i)] = 0;
+    s.dirtyList.clear();
   };
 
-  for (int k = 1; k <= opts.maxIterations; ++k) {
-    iterations = k;
+  for (int it = 1; it <= opts.maxIterations; ++it) {
+    iterations = it;
     refreshKeys();
-    Selection cur = runMaxGainsOrdered(p, keys);
+    runMaxGainsOrdered(k, s.keys, s.curSel, s.curAssign);
 
     // Per-set selected counts, touching only sets of selected intervals.
-    touched.clear();
-    for (Index i : cur.sel) {
-      for (Index m : csOf[static_cast<std::size_t>(i)]) {
-        if (csCount[static_cast<std::size_t>(m)]++ == 0) touched.push_back(m);
+    s.touched.clear();
+    for (const Index i : s.curSel) {
+      for (const Index m : k.conflictsOf(i)) {
+        if (s.csCount[static_cast<std::size_t>(m)]++ == 0)
+          s.touched.push_back(m);
       }
     }
 
     // Algorithm 1, penalize: subgradient multiplier update (Eq. 3) with
     // step t_k = L_m / k^alpha.
     int vio = 0;
-    const double step = 1.0 / std::pow(static_cast<double>(k), opts.alpha);
+    const double step = 1.0 / std::pow(static_cast<double>(it), opts.alpha);
     auto applyDelta = [&](Index m, double delta) {
-      lambda[static_cast<std::size_t>(m)] += delta;
+      s.lambda[static_cast<std::size_t>(m)] += delta;
       lambdaL1 += delta;  // multipliers stay >= 0, so Σλ is the L1 norm
-      for (Index i : p.conflicts[static_cast<std::size_t>(m)].intervals) {
-        penalties[static_cast<std::size_t>(i)] += delta;
+      for (const Index i : k.membersOf(m)) {
+        s.penalties[static_cast<std::size_t>(i)] += delta;
         markDirty(i);
       }
     };
-    for (Index m : touched) {
-      const int count = csCount[static_cast<std::size_t>(m)];
+    for (const Index m : s.touched) {
+      const int count = s.csCount[static_cast<std::size_t>(m)];
       if (count <= 1) continue;
       ++vio;
-      const double tk =
-          step * static_cast<double>(
-                     p.conflicts[static_cast<std::size_t>(m)].common.span());
+      const double tk = step * static_cast<double>(k.conflictSpanOf(m));
       applyDelta(m, tk * static_cast<double>(count - 1));
     }
     if (opts.bidirectionalMultipliers) {
       // Full subgradient: multipliers of unselected sets decay toward 0.
-      for (std::size_t m = 0; m < p.conflicts.size(); ++m) {
-        if (csCount[m] != 0 || lambda[m] == 0.0) continue;
+      for (std::size_t m = 0; m < nCs; ++m) {
+        if (s.csCount[m] != 0 || s.lambda[m] == 0.0) continue;
         const double tk =
-            step * static_cast<double>(p.conflicts[m].common.span());
+            step *
+            static_cast<double>(k.conflictSpanOf(static_cast<Index>(m)));
         applyDelta(static_cast<Index>(m),
-                   std::max(0.0, lambda[m] - tk) - lambda[m]);
+                   std::max(0.0, s.lambda[m] - tk) - s.lambda[m]);
       }
     }
-    for (Index m : touched) csCount[static_cast<std::size_t>(m)] = 0;
+    for (const Index m : s.touched) s.csCount[static_cast<std::size_t>(m)] = 0;
 
     const int newBest = std::min(bestVio, vio);
     if (obs) {
       // The extra O(pins) objective sum only runs when tracing is on.
       double curObjective = 0.0;
-      for (std::size_t j = 0; j < p.pins.size(); ++j) {
-        const Index i = cur.intervalOfPin[j];
-        if (i != geom::kInvalidIndex)
-          curObjective += p.profit[static_cast<std::size_t>(i)];
+      for (std::size_t j = 0; j < nPins; ++j) {
+        const Index i = s.curAssign[j];
+        if (i != geom::kInvalidIndex) curObjective += k.profitOf(i);
       }
       obs->row("lr.iter",
                {"iter", "violations", "best_violations", "lambda_norm",
                 "objective"},
-               {static_cast<double>(k), static_cast<double>(vio),
+               {static_cast<double>(it), static_cast<double>(vio),
                 static_cast<double>(newBest), lambdaL1, curObjective});
     }
 
     if (vio < bestVio) {
       bestVio = vio;
-      best = std::move(cur);
+      s.bestSel.swap(s.curSel);
+      s.bestAssign.swap(s.curAssign);
+      haveBest = true;
       stall = 0;
     } else if (opts.stallLimit > 0 && ++stall >= opts.stallLimit) {
       break;
@@ -261,11 +255,16 @@ Assignment solveLr(const Problem& p, const LrOptions& opts, LrStats* stats,
         bestVio == std::numeric_limits<int>::max() ? 0 : bestVio;
     stats->removalRounds = 0;
   }
+  if (!haveBest) {
+    s.bestSel.clear();
+    s.bestAssign.assign(nPins, geom::kInvalidIndex);
+  }
 
   // Greedy conflict removal (Algorithm 2, line 11): shrink conflicting
   // selections to minimum intervals until no conflict set holds more than
   // one selected interval.
-  std::vector<char> selFlag = flags(n, best.sel);
+  s.selFlag.assign(n, 0);
+  for (const Index i : s.bestSel) s.selFlag[static_cast<std::size_t>(i)] = 1;
   if (!opts.skipConflictRemoval && bestVio > 0) {
     // An interval is shrinkable when some pin assigned to it has a smaller
     // minimum interval to retreat to. Two unshrinkable members can never
@@ -274,54 +273,56 @@ Assignment solveLr(const Problem& p, const LrOptions& opts, LrStats* stats,
     // only when every member is shrinkable — terminates with at most one
     // selected interval per conflict set.
     auto shrinkable = [&](Index i) {
-      for (std::size_t q = 0; q < p.pins.size(); ++q) {
-        if (best.intervalOfPin[q] == i && p.pins[q].minimalInterval != i)
+      for (std::size_t q = 0; q < nPins; ++q) {
+        if (s.bestAssign[q] == i &&
+            k.minimalIntervalOf(static_cast<Index>(q)) != i)
           return true;
       }
       return false;
     };
     auto shrink = [&](Index i) {
-      selFlag[static_cast<std::size_t>(i)] = 0;
-      for (std::size_t q = 0; q < p.pins.size(); ++q) {
-        if (best.intervalOfPin[q] != i) continue;
-        const Index mi = p.pins[q].minimalInterval;
+      s.selFlag[static_cast<std::size_t>(i)] = 0;
+      for (std::size_t q = 0; q < nPins; ++q) {
+        if (s.bestAssign[q] != i) continue;
+        const Index mi = k.minimalIntervalOf(static_cast<Index>(q));
         assert(mi != geom::kInvalidIndex);
-        best.intervalOfPin[q] = mi;
-        selFlag[static_cast<std::size_t>(mi)] = 1;
+        s.bestAssign[q] = mi;
+        s.selFlag[static_cast<std::size_t>(mi)] = 1;
       }
     };
     bool changed = true;
     while (changed) {
       changed = false;
-      for (const ConflictSet& cs : p.conflicts) {
-        if (selectedCount(cs, selFlag) <= 1) continue;
+      for (std::size_t m = 0; m < nCs; ++m) {
+        if (selectedCount(k, static_cast<Index>(m), s.selFlag) <= 1) continue;
         std::vector<Index> members;
         bool anyUnshrinkable = false;
-        for (Index i : cs.intervals) {
-          if (!selFlag[static_cast<std::size_t>(i)]) continue;
+        for (const Index i : k.membersOf(static_cast<Index>(m))) {
+          if (!s.selFlag[static_cast<std::size_t>(i)]) continue;
           members.push_back(i);
           anyUnshrinkable |= !shrinkable(i);
         }
         Index keep = geom::kInvalidIndex;
         if (!anyUnshrinkable) {
-          for (Index i : members) {
-            if (keep == geom::kInvalidIndex || p.weight(i) > p.weight(keep))
+          for (const Index i : members) {
+            if (keep == geom::kInvalidIndex ||
+                k.weightOf(i) > k.weightOf(keep))
               keep = i;
           }
         }
-        for (Index i : members) {
+        for (const Index i : members) {
           if (i == keep || !shrinkable(i)) continue;
           shrink(i);
           changed = true;
         }
         // Ghost members (selected but assigned to no pin) just deselect.
-        for (Index i : members) {
+        for (const Index i : members) {
           if (i != keep && !shrinkable(i)) {
             bool assigned = false;
-            for (std::size_t q = 0; q < p.pins.size() && !assigned; ++q)
-              assigned = best.intervalOfPin[q] == i;
-            if (!assigned && selFlag[static_cast<std::size_t>(i)]) {
-              selFlag[static_cast<std::size_t>(i)] = 0;
+            for (std::size_t q = 0; q < nPins && !assigned; ++q)
+              assigned = s.bestAssign[q] == i;
+            if (!assigned && s.selFlag[static_cast<std::size_t>(i)]) {
+              s.selFlag[static_cast<std::size_t>(i)] = 0;
               changed = true;
             }
           }
@@ -339,55 +340,45 @@ Assignment solveLr(const Problem& p, const LrOptions& opts, LrStats* stats,
   // profitable candidate that keeps every conflict set at <= 1 selected
   // interval. Selecting interval i re-points all pins i covers, so shared
   // (intra-panel) intervals can be joined or formed during refinement.
-  if (opts.reexpandRounds > 0 && !p.pins.empty()) {
-    std::vector<int> usage(n, 0);
-    for (std::size_t j = 0; j < p.pins.size(); ++j) {
-      const Index cur = best.intervalOfPin[j];
-      if (cur != geom::kInvalidIndex) ++usage[static_cast<std::size_t>(cur)];
+  if (opts.reexpandRounds > 0 && nPins > 0) {
+    s.usage.assign(n, 0);
+    for (std::size_t j = 0; j < nPins; ++j) {
+      const Index cur = s.bestAssign[j];
+      if (cur != geom::kInvalidIndex) ++s.usage[static_cast<std::size_t>(cur)];
     }
-    // Candidates per pin, most profitable first.
-    std::vector<std::vector<Index>> sortedSj(p.pins.size());
-    for (std::size_t j = 0; j < p.pins.size(); ++j) {
-      sortedSj[j] = p.pins[j].intervals;
-      std::sort(sortedSj[j].begin(), sortedSj[j].end(), [&](Index a, Index b) {
-        const double pa = p.profit[static_cast<std::size_t>(a)];
-        const double pb = p.profit[static_cast<std::size_t>(b)];
-        return pa != pb ? pa > pb : a < b;
-      });
-    }
-    std::vector<int> freedWithin(n, 0);
+    s.freedWithin.assign(n, 0);
     for (int round = 0; round < opts.reexpandRounds; ++round) {
       bool improved = false;
-      for (std::size_t j = 0; j < p.pins.size(); ++j) {
-        const Index cur = best.intervalOfPin[j];
+      for (std::size_t j = 0; j < nPins; ++j) {
+        const Index cur = s.bestAssign[j];
         if (cur == geom::kInvalidIndex) continue;
-        for (Index i : sortedSj[j]) {
+        for (const Index i : k.sortedCandidatesOf(static_cast<Index>(j))) {
           const std::size_t ii = static_cast<std::size_t>(i);
-          if (p.profit[ii] <= p.profit[static_cast<std::size_t>(cur)]) break;
+          if (k.profitOf(i) <= k.profitOf(cur)) break;
           if (i == cur) continue;
-          const auto& covered = p.intervals[ii].pins;
+          const std::span<const Index> covered = k.pinsOf(i);
           // Total objective delta over every pin the candidate re-points.
           double gain = 0.0;
           bool feasiblePins = true;
-          for (Index q : covered) {
-            const Index old = best.intervalOfPin[static_cast<std::size_t>(q)];
+          for (const Index q : covered) {
+            const Index old = s.bestAssign[static_cast<std::size_t>(q)];
             if (old == geom::kInvalidIndex) {
               feasiblePins = false;  // inaccessible pin cannot be re-pointed
               break;
             }
-            gain += p.profit[ii] - p.profit[static_cast<std::size_t>(old)];
-            ++freedWithin[static_cast<std::size_t>(old)];
+            gain += k.profitOf(i) - k.profitOf(old);
+            ++s.freedWithin[static_cast<std::size_t>(old)];
           }
           bool ok = feasiblePins && gain > 1e-12;
           if (ok) {
             // Equality rows (1b): an interval that stays selected must not
             // cover a re-pointed pin, so every displaced interval has to be
             // fully freed by this move.
-            for (Index q : covered) {
+            for (const Index q : covered) {
               const std::size_t oo = static_cast<std::size_t>(
-                  best.intervalOfPin[static_cast<std::size_t>(q)]);
+                  s.bestAssign[static_cast<std::size_t>(q)]);
               if (static_cast<Index>(oo) != i &&
-                  freedWithin[oo] < usage[oo]) {
+                  s.freedWithin[oo] < s.usage[oo]) {
                 ok = false;
                 break;
               }
@@ -396,11 +387,11 @@ Assignment solveLr(const Problem& p, const LrOptions& opts, LrStats* stats,
           if (ok) {
             // Conflict sets of the candidate must hold no interval that
             // stays selected after the move.
-            for (Index m : csOf[ii]) {
-              for (Index s : p.conflicts[static_cast<std::size_t>(m)].intervals) {
-                const std::size_t ss = static_cast<std::size_t>(s);
-                if (s == i || usage[ss] == 0) continue;
-                if (freedWithin[ss] < usage[ss]) {
+            for (const Index m : k.conflictsOf(i)) {
+              for (const Index sel : k.membersOf(m)) {
+                const std::size_t ss = static_cast<std::size_t>(sel);
+                if (sel == i || s.usage[ss] == 0) continue;
+                if (s.freedWithin[ss] < s.usage[ss]) {
                   ok = false;
                   break;
                 }
@@ -408,17 +399,17 @@ Assignment solveLr(const Problem& p, const LrOptions& opts, LrStats* stats,
               if (!ok) break;
             }
           }
-          for (Index q : covered) {
-            const Index old = best.intervalOfPin[static_cast<std::size_t>(q)];
+          for (const Index q : covered) {
+            const Index old = s.bestAssign[static_cast<std::size_t>(q)];
             if (old != geom::kInvalidIndex)
-              freedWithin[static_cast<std::size_t>(old)] = 0;
+              s.freedWithin[static_cast<std::size_t>(old)] = 0;
           }
           if (!ok) continue;
-          for (Index q : covered) {
+          for (const Index q : covered) {
             const std::size_t qq = static_cast<std::size_t>(q);
-            --usage[static_cast<std::size_t>(best.intervalOfPin[qq])];
-            best.intervalOfPin[qq] = i;
-            ++usage[ii];
+            --s.usage[static_cast<std::size_t>(s.bestAssign[qq])];
+            s.bestAssign[qq] = i;
+            ++s.usage[ii];
           }
           improved = true;
           obs::add(obs, obs::names::kLrReexpandUpgrades);
@@ -430,20 +421,20 @@ Assignment solveLr(const Problem& p, const LrOptions& opts, LrStats* stats,
   }
 
   Assignment out;
-  out.intervalOfPin = std::move(best.intervalOfPin);
+  out.intervalOfPin = s.bestAssign;
   if (out.intervalOfPin.empty())
-    out.intervalOfPin.assign(p.pins.size(), geom::kInvalidIndex);
-  for (std::size_t j = 0; j < p.pins.size(); ++j) {
+    out.intervalOfPin.assign(nPins, geom::kInvalidIndex);
+  for (std::size_t j = 0; j < nPins; ++j) {
     const Index i = out.intervalOfPin[j];
-    if (i != geom::kInvalidIndex)
-      out.objective += p.profit[static_cast<std::size_t>(i)];
+    if (i != geom::kInvalidIndex) out.objective += k.profitOf(i);
   }
   // Final violation count over the (possibly repaired) selection.
-  selFlag.assign(n, 0);
-  for (Index i : out.intervalOfPin)
-    if (i != geom::kInvalidIndex) selFlag[static_cast<std::size_t>(i)] = 1;
-  for (const ConflictSet& cs : p.conflicts) {
-    if (selectedCount(cs, selFlag) > 1) ++out.violations;
+  s.selFlag.assign(n, 0);
+  for (const Index i : out.intervalOfPin)
+    if (i != geom::kInvalidIndex) s.selFlag[static_cast<std::size_t>(i)] = 1;
+  for (std::size_t m = 0; m < nCs; ++m) {
+    if (selectedCount(k, static_cast<Index>(m), s.selFlag) > 1)
+      ++out.violations;
   }
   return out;
 }

@@ -8,8 +8,15 @@
 /// intervals covering more same-net pins); the best-so-far solution (fewest
 /// violated conflict sets) is kept, and remaining conflicts are removed by
 /// shrinking intervals to their pins' minimum intervals.
+///
+/// The hot path consumes a compiled `PanelKernel` (flat CSR arrays) and an
+/// optional `LrScratch` arena of reusable buffers; the `Problem` overload is
+/// a convenience that compiles a kernel internally.
 #pragma once
 
+#include <vector>
+
+#include "core/panel_kernel.h"
 #include "core/problem.h"
 #include "obs/collector.h"
 
@@ -46,13 +53,53 @@ struct LrStats {
   int removalRounds = 0;     ///< greedy conflict removal sweeps
 };
 
-/// Solves `p` with Lagrangian relaxation. Requires `p.profit` filled and
-/// `p.conflicts` detected. The returned assignment is conflict-free
-/// (violations == 0) unless conflict removal was skipped.
+/// Sort key of the maxGains greedy: non-increasing gain, ties toward
+/// intervals covering more same-net pins, then by index for determinism.
+struct LrSortKey {
+  double gain;
+  Index degree;
+  Index idx;
+};
+
+/// Reusable per-worker buffers for `solveLr`. Every solve fully
+/// (re)initializes the entries it reads, so a scratch can serve panels of
+/// any size back to back; reuse only saves the allocations. Buffers keep
+/// their capacity across solves — `std::vector::assign`/`clear` never
+/// shrink — which is the entire point of the arena.
+struct LrScratch {
+  std::vector<double> penalties;
+  std::vector<double> lambda;
+  std::vector<int> csCount;
+  std::vector<Index> touched;
+  std::vector<LrSortKey> keys, dirtyKeys, mergeBuf;
+  std::vector<char> dirtyFlag;
+  std::vector<Index> dirtyList;
+  // maxGains selection double-buffer (current iterate and best-so-far).
+  std::vector<Index> curSel, curAssign, bestSel, bestAssign;
+  std::vector<char> selFlag;
+  // conflict-removal / re-expansion buffers
+  std::vector<int> usage, freedWithin;
+
+  /// Current capacity across all buffers, for the optimizer's arena gauge.
+  [[nodiscard]] std::size_t footprintBytes() const;
+};
+
+/// Solves the compiled instance `k` with Lagrangian relaxation. Requires
+/// profits and conflicts to have been filled before compilation. The
+/// returned assignment is conflict-free (violations == 0) unless conflict
+/// removal was skipped. `scratch` may be null (a local arena is used) or a
+/// reused per-worker arena.
 ///
 /// When `obs` is non-null the solver reports `lr.*` counters plus the
 /// per-iteration trace series `lr.iter` (violations, best violations, λ L1
 /// norm, and the current selection's objective per subgradient step).
+[[nodiscard]] Assignment solveLr(const PanelKernel& k,
+                                 const LrOptions& opts = {},
+                                 LrStats* stats = nullptr,
+                                 obs::Collector* obs = nullptr,
+                                 LrScratch* scratch = nullptr);
+
+/// Convenience overload: compiles `p` into a temporary kernel and solves.
 [[nodiscard]] Assignment solveLr(const Problem& p, const LrOptions& opts = {},
                                  LrStats* stats = nullptr,
                                  obs::Collector* obs = nullptr);

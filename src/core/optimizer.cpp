@@ -11,46 +11,58 @@ namespace cpr::core {
 
 namespace {
 
-/// Per-panel outcome, merged into the plan after the parallel phase.
+/// Per-panel outcome, merged into the plan after the parallel phase. Holds
+/// the compiled kernel (which owns the moved-in `Problem`) so the merge loop
+/// can read tracks/spans without keeping a second copy of the instance.
 struct PanelOutcome {
-  Problem problem;
+  PanelKernel kernel;
   Assignment assignment;
   obs::Collector stats;
 };
 
 PanelOutcome solvePanel(const db::Design& design, const db::Panel& panel,
                         const OptimizerOptions& opts, const Solver& solver,
-                        int panelIndex) {
+                        int panelIndex, PanelScratch& scratch) {
   PanelOutcome out;
   out.stats = obs::Collector(panelIndex);
   obs::Collector* obs = &out.stats;
+  Problem problem;
   {
     obs::ScopedTimer t(obs, "pao.gen");
-    out.problem = buildProblem(design, panel, opts.gen, obs);
+    problem = buildProblem(design, panel, opts.gen, obs);
     if (opts.profitModel != ProfitModel::SqrtSpan)
-      assignProfits(out.problem, opts.profitModel);
+      assignProfits(problem, opts.profitModel);
   }
   {
     obs::ScopedTimer t(obs, "pao.conflict");
-    detectConflicts(out.problem, obs);
+    detectConflicts(problem, obs);
   }
   obs->add(obs::names::kPaoIntervals,
-           static_cast<long>(out.problem.intervals.size()));
+           static_cast<long>(problem.intervals.size()));
   obs->add(obs::names::kPaoConflicts,
-           static_cast<long>(out.problem.conflicts.size()));
+           static_cast<long>(problem.conflicts.size()));
+  {
+    obs::ScopedTimer t(obs, "pao.compile");
+    out.kernel = PanelKernel::compile(std::move(problem));
+  }
+  obs->add(obs::names::kPaoKernelBytes,
+           static_cast<long>(out.kernel.footprintBytes()));
 
   {
     obs::ScopedTimer t(obs, "pao.solve");
-    out.assignment = solver.solve(out.problem, obs);
+    out.assignment = solver.solve(out.kernel, &scratch, obs);
   }
-  // Budget exhaustion without an incumbent (or a genuinely infeasible
-  // panel): fall back to the LR heuristic rather than dropping pins.
+  // Budget exhaustion — no incumbent at all, or an incumbent that still
+  // violates conflict rows — must not ship an illegal panel: fall back to
+  // the LR heuristic (always conflict-free) rather than dropping pins or
+  // emitting overlaps.
   const bool empty = std::all_of(
       out.assignment.intervalOfPin.begin(), out.assignment.intervalOfPin.end(),
       [](Index i) { return i == geom::kInvalidIndex; });
-  if (empty && !out.problem.pins.empty() && solver.name() != "lr") {
+  if ((empty || out.assignment.violations > 0) && out.kernel.numPins() > 0 &&
+      solver.name() != "lr") {
     obs::ScopedTimer t(obs, "pao.fallback");
-    out.assignment = LrSolver(opts.lr).solve(out.problem, obs);
+    out.assignment = LrSolver(opts.lr).solve(out.kernel, &scratch, obs);
     obs->add(obs::names::kPaoFallbacks);
   }
   return out;
@@ -78,6 +90,8 @@ PinAccessPlan optimizePinAccess(const db::Design& design,
   const int threads = std::clamp(
       opts.threads > 0 ? opts.threads : (hw > 0 ? hw : 1), 1,
       static_cast<int>(std::max<std::size_t>(1, work.size())));
+  // One arena per worker, reused across every panel that worker processes.
+  std::vector<PanelScratch> arenas(static_cast<std::size_t>(threads));
   {
     // Scoped so the span is closed before `plan` can be returned (the timer
     // must not outlive its collector's final resting place).
@@ -85,44 +99,49 @@ PinAccessPlan optimizePinAccess(const db::Design& design,
     if (threads <= 1) {
       for (std::size_t k = 0; k < work.size(); ++k)
         outcomes[k] = solvePanel(design, *work[k], opts, *solver,
-                                 static_cast<int>(k));
+                                 static_cast<int>(k), arenas[0]);
     } else {
       std::atomic<std::size_t> next{0};
-      auto worker = [&] {
+      auto worker = [&](PanelScratch& scratch) {
         for (std::size_t k = next.fetch_add(1); k < work.size();
              k = next.fetch_add(1)) {
           outcomes[k] = solvePanel(design, *work[k], opts, *solver,
-                                   static_cast<int>(k));
+                                   static_cast<int>(k), scratch);
         }
       };
       std::vector<std::thread> pool;
       pool.reserve(static_cast<std::size_t>(threads));
-      for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+      for (int t = 0; t < threads; ++t)
+        pool.emplace_back(worker, std::ref(arenas[static_cast<std::size_t>(t)]));
       for (std::thread& t : pool) t.join();
     }
   }
+  // Arena high-water mark. A gauge, not a counter: the value depends on how
+  // panels landed on workers, so it may vary with the thread count while
+  // counters and series must not.
+  std::size_t peak = 0;
+  for (const PanelScratch& a : arenas) peak = std::max(peak, a.footprintBytes());
+  plan.stats.gauge("pao.scratch.peak_bytes", static_cast<double>(peak));
 
   plan.stats.note("pao.solver", solver->name());
   plan.stats.add(obs::names::kPaoPanels, static_cast<long>(work.size()));
   // Merge in panel order: counters and series come out identical for any
   // thread count (only span wall-times differ run to run).
   for (const PanelOutcome& out : outcomes) {
-    const Problem& problem = out.problem;
+    const PanelKernel& kernel = out.kernel;
     const Assignment& a = out.assignment;
     plan.stats.merge(out.stats);
     plan.objective += a.objective;
 
-    for (std::size_t j = 0; j < problem.pins.size(); ++j) {
-      const Index designPin = problem.pins[j].designPin;
+    for (std::size_t j = 0; j < kernel.numPins(); ++j) {
+      const Index designPin = kernel.designPinOf(static_cast<Index>(j));
       const Index i = a.intervalOfPin[j];
       if (i == geom::kInvalidIndex) {
         plan.stats.add(obs::names::kPaoUnassigned);
         continue;
       }
-      const AccessInterval& iv =
-          problem.intervals[static_cast<std::size_t>(i)];
       plan.routes[static_cast<std::size_t>(designPin)] =
-          PinRoute{iv.track, iv.span};
+          PinRoute{kernel.trackOf(i), kernel.spanOf(i)};
     }
   }
   return plan;

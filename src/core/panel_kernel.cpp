@@ -1,0 +1,160 @@
+#include "core/panel_kernel.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cpr::core {
+
+namespace {
+
+/// Builds `off`/`data` from `n` rows whose contents `rowOf(r)` yields.
+template <typename RowOf>
+void flatten(std::size_t n, RowOf rowOf, std::vector<Index>& off,
+             std::vector<Index>& data) {
+  off.assign(n + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    total += rowOf(r).size();
+    off[r + 1] = static_cast<Index>(total);
+  }
+  data.clear();
+  data.reserve(total);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto& row = rowOf(r);
+    data.insert(data.end(), row.begin(), row.end());
+  }
+}
+
+}  // namespace
+
+PanelKernel PanelKernel::compile(Problem&& p) {
+  PanelKernel k;
+  k.problem_ = std::move(p);
+  const Problem& q = k.problem_;
+  const std::size_t nPins = q.pins.size();
+  const std::size_t nIv = q.intervals.size();
+  const std::size_t nCs = q.conflicts.size();
+
+  flatten(nPins, [&](std::size_t j) -> const std::vector<Index>& {
+    return q.pins[j].intervals;
+  }, k.pinCandOff_, k.pinCand_);
+  flatten(nIv, [&](std::size_t i) -> const std::vector<Index>& {
+    return q.intervals[i].pins;
+  }, k.ivPinOff_, k.ivPin_);
+  flatten(nCs, [&](std::size_t m) -> const std::vector<Index>& {
+    return q.conflicts[m].intervals;
+  }, k.confMemOff_, k.confMem_);
+
+  // Cross-index interval -> conflict sets by counting sort over the member
+  // lists; filling in ascending `m` keeps each interval's conflict list in
+  // the same order the nested `csOf` construction produced.
+  k.ivConfOff_.assign(nIv + 1, 0);
+  for (std::size_t m = 0; m < nCs; ++m) {
+    for (const Index i : q.conflicts[m].intervals)
+      ++k.ivConfOff_[static_cast<std::size_t>(i) + 1];
+  }
+  for (std::size_t i = 1; i <= nIv; ++i) k.ivConfOff_[i] += k.ivConfOff_[i - 1];
+  k.ivConf_.assign(static_cast<std::size_t>(k.ivConfOff_[nIv]), 0);
+  {
+    std::vector<Index> cursor(k.ivConfOff_.begin(), k.ivConfOff_.end() - 1);
+    for (std::size_t m = 0; m < nCs; ++m) {
+      for (const Index i : q.conflicts[m].intervals)
+        k.ivConf_[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(i)]++)] = static_cast<Index>(m);
+    }
+  }
+
+  // Per-pin candidate order for LR re-expansion: profit desc, id asc.
+  k.sortedCand_ = k.pinCand_;
+  for (std::size_t j = 0; j < nPins; ++j) {
+    const auto lo = static_cast<std::size_t>(k.pinCandOff_[j]);
+    const auto hi = static_cast<std::size_t>(k.pinCandOff_[j + 1]);
+    std::sort(k.sortedCand_.begin() + static_cast<std::ptrdiff_t>(lo),
+              k.sortedCand_.begin() + static_cast<std::ptrdiff_t>(hi),
+              [&](Index a, Index b) {
+                const double pa = q.profit[static_cast<std::size_t>(a)];
+                const double pb = q.profit[static_cast<std::size_t>(b)];
+                return pa != pb ? pa > pb : a < b;
+              });
+  }
+
+  k.track_.resize(nIv);
+  k.span_.resize(nIv);
+  k.net_.resize(nIv);
+  k.profit_.resize(nIv);
+  k.weight_.resize(nIv);
+  k.degree_.resize(nIv);
+  k.minimalBit_.resize(nIv);
+  for (std::size_t i = 0; i < nIv; ++i) {
+    const AccessInterval& iv = q.intervals[i];
+    k.track_[i] = iv.track;
+    k.span_[i] = iv.span;
+    k.net_[i] = iv.net;
+    k.profit_[i] = q.profit[i];
+    k.weight_[i] = q.weight(static_cast<Index>(i));
+    k.degree_[i] = static_cast<Index>(iv.pins.size());
+    k.minimalBit_[i] = iv.minimal ? 1 : 0;
+  }
+
+  k.minimalOf_.resize(nPins);
+  k.designPin_.resize(nPins);
+  for (std::size_t j = 0; j < nPins; ++j) {
+    k.minimalOf_[j] = q.pins[j].minimalInterval;
+    k.designPin_[j] = q.pins[j].designPin;
+  }
+
+  k.confTrack_.resize(nCs);
+  k.confLm_.resize(nCs);
+  for (std::size_t m = 0; m < nCs; ++m) {
+    k.confTrack_[m] = q.conflicts[m].track;
+    k.confLm_[m] = q.conflicts[m].common.span();
+  }
+  return k;
+}
+
+std::size_t PanelKernel::footprintBytes() const {
+  auto bytes = [](const auto& v) { return v.size() * sizeof(v[0]); };
+  return bytes(pinCandOff_) + bytes(pinCand_) + bytes(sortedCand_) +
+         bytes(ivPinOff_) +
+         bytes(ivPin_) + bytes(confMemOff_) + bytes(confMem_) +
+         bytes(ivConfOff_) + bytes(ivConf_) + bytes(track_) + bytes(span_) +
+         bytes(net_) + bytes(profit_) + bytes(weight_) + bytes(degree_) +
+         bytes(minimalBit_) + bytes(minimalOf_) + bytes(designPin_) +
+         bytes(confTrack_) + bytes(confLm_);
+}
+
+AssignmentAudit audit(const PanelKernel& k, const Assignment& a) {
+  AssignmentAudit out;
+  std::vector<Index> selected;
+  const std::size_t nPins = k.numPins();
+  for (std::size_t j = 0; j < nPins; ++j) {
+    const Index i = a.intervalOfPin[j];
+    if (i == geom::kInvalidIndex) {
+      ++out.unassignedPins;
+      continue;
+    }
+    out.objective += k.profitOf(i);
+    selected.push_back(i);
+    const std::span<const Index> cand = k.candidatesOf(static_cast<Index>(j));
+    if (std::find(cand.begin(), cand.end(), i) == cand.end())
+      out.eachPinCovered = false;
+  }
+  std::sort(selected.begin(), selected.end());
+  selected.erase(std::unique(selected.begin(), selected.end()),
+                 selected.end());
+
+  std::map<Coord, std::vector<Index>> byTrack;
+  for (const Index i : selected) byTrack[k.trackOf(i)].push_back(i);
+  for (const auto& [track, ids] : byTrack) {
+    for (std::size_t u = 0; u < ids.size(); ++u) {
+      for (std::size_t v = u + 1; v < ids.size(); ++v) {
+        if (k.netOf(ids[u]) != k.netOf(ids[v]) &&
+            k.spanOf(ids[u]).overlaps(k.spanOf(ids[v])))
+          ++out.overlapsBetweenNets;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cpr::core

@@ -1,0 +1,148 @@
+/// \file panel_kernel.h
+/// PanelKernel: a compiled, CSR-flattened view of a `Problem`.
+///
+/// The nested `Problem` (pin → candidate vector, interval → pin vector,
+/// conflict → member vector) is the natural output of interval generation,
+/// but it is a pointer-chasing structure: every solver iteration walks
+/// heap-scattered `std::vector`s and the per-panel cost on large designs is
+/// dominated by allocation and cache misses rather than by the subgradient
+/// math. `compile(Problem&&)` flattens the instance once into contiguous
+/// offset + data arrays (compressed sparse rows) plus packed per-interval /
+/// per-conflict columns; all three solvers, the ILP translation, and the
+/// flat `audit` then iterate spans over those arrays.
+///
+/// Ownership: the kernel takes the `Problem` by value (move it in) and
+/// borrows nothing — every flat array is an owned copy, and the moved-in
+/// problem is retained for cold-path consumers (`problem()`), so a compiled
+/// kernel is self-contained and safe to hand across threads by const
+/// reference.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/problem.h"
+
+namespace cpr::core {
+
+class PanelKernel {
+ public:
+  PanelKernel() = default;
+
+  /// Flattens `p` (profits filled, conflicts detected) into CSR form. All
+  /// flat arrays preserve the nested iteration order exactly, so solvers
+  /// running on the kernel produce bit-identical results to the nested
+  /// paths they replaced.
+  [[nodiscard]] static PanelKernel compile(Problem&& p);
+
+  /// The moved-in instance, for cold paths (reporting, tests, decode).
+  [[nodiscard]] const Problem& problem() const { return problem_; }
+
+  [[nodiscard]] std::size_t numPins() const { return pinCandOff_.empty() ? 0 : pinCandOff_.size() - 1; }
+  [[nodiscard]] std::size_t numIntervals() const { return track_.size(); }
+  [[nodiscard]] std::size_t numConflicts() const { return confTrack_.size(); }
+
+  // ---- per-pin ----
+  /// Sj: candidate interval ids of pin `j`.
+  [[nodiscard]] std::span<const Index> candidatesOf(Index j) const {
+    return csr(pinCandOff_, pinCand_, j);
+  }
+  /// Sj sorted by non-increasing profit (ties by id) — the LR re-expansion
+  /// order, precomputed at compile time since it only depends on the
+  /// instance.
+  [[nodiscard]] std::span<const Index> sortedCandidatesOf(Index j) const {
+    return csr(pinCandOff_, sortedCand_, j);
+  }
+  [[nodiscard]] Index minimalIntervalOf(Index j) const {
+    return minimalOf_[static_cast<std::size_t>(j)];
+  }
+  [[nodiscard]] Index designPinOf(Index j) const {
+    return designPin_[static_cast<std::size_t>(j)];
+  }
+
+  // ---- per-interval ----
+  /// Problem-local pins covered by interval `i`.
+  [[nodiscard]] std::span<const Index> pinsOf(Index i) const {
+    return csr(ivPinOff_, ivPin_, i);
+  }
+  /// Conflict sets containing interval `i` (the csOf cross-index).
+  [[nodiscard]] std::span<const Index> conflictsOf(Index i) const {
+    return csr(ivConfOff_, ivConf_, i);
+  }
+  [[nodiscard]] Coord trackOf(Index i) const {
+    return track_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] const geom::Interval& spanOf(Index i) const {
+    return span_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] Index netOf(Index i) const {
+    return net_[static_cast<std::size_t>(i)];
+  }
+  /// Base profit f(Ii).
+  [[nodiscard]] double profitOf(Index i) const {
+    return profit_[static_cast<std::size_t>(i)];
+  }
+  /// Objective weight degree(i) * profit(i) — precomputed.
+  [[nodiscard]] double weightOf(Index i) const {
+    return weight_[static_cast<std::size_t>(i)];
+  }
+  /// d_i: number of covered pins.
+  [[nodiscard]] Index degreeOf(Index i) const {
+    return degree_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] bool isMinimal(Index i) const {
+    return minimalBit_[static_cast<std::size_t>(i)] != 0;
+  }
+
+  // ---- per-conflict ----
+  /// Member interval ids of conflict set `m` (intervalsOfConflict).
+  [[nodiscard]] std::span<const Index> membersOf(Index m) const {
+    return csr(confMemOff_, confMem_, m);
+  }
+  [[nodiscard]] Coord conflictTrackOf(Index m) const {
+    return confTrack_[static_cast<std::size_t>(m)];
+  }
+  /// Lm: span of the common intersection (the subgradient step scale).
+  [[nodiscard]] Coord conflictSpanOf(Index m) const {
+    return confLm_[static_cast<std::size_t>(m)];
+  }
+
+  /// Bytes held by the flat arrays (size-based, so the value is
+  /// deterministic for a given instance regardless of allocator growth).
+  [[nodiscard]] std::size_t footprintBytes() const;
+
+ private:
+  [[nodiscard]] static std::span<const Index> csr(
+      const std::vector<Index>& off, const std::vector<Index>& data, Index k) {
+    const auto kk = static_cast<std::size_t>(k);
+    return {data.data() + off[kk],
+            static_cast<std::size_t>(off[kk + 1] - off[kk])};
+  }
+
+  Problem problem_;
+  // CSR adjacencies (offsets have size n+1; data is the flat concatenation).
+  std::vector<Index> pinCandOff_, pinCand_;  ///< pin -> candidate intervals
+  std::vector<Index> sortedCand_;  ///< pinCand_ rows sorted by profit desc
+  std::vector<Index> ivPinOff_, ivPin_;      ///< interval -> covered pins
+  std::vector<Index> confMemOff_, confMem_;  ///< conflict -> member intervals
+  std::vector<Index> ivConfOff_, ivConf_;    ///< interval -> conflict sets
+  // Packed per-interval columns.
+  std::vector<Coord> track_;
+  std::vector<geom::Interval> span_;
+  std::vector<Index> net_;
+  std::vector<double> profit_, weight_;
+  std::vector<Index> degree_;
+  std::vector<char> minimalBit_;
+  // Packed per-pin columns.
+  std::vector<Index> minimalOf_, designPin_;
+  // Packed per-conflict columns.
+  std::vector<Coord> confTrack_, confLm_;
+};
+
+/// Flat-path audit: same semantics as `audit(const Problem&, ...)` but
+/// iterating the kernel's CSR arrays. The two must agree exactly (enforced
+/// by the panel-kernel property test).
+[[nodiscard]] AssignmentAudit audit(const PanelKernel& k, const Assignment& a);
+
+}  // namespace cpr::core

@@ -5,16 +5,24 @@
 
 namespace cpr::core {
 
-Assignment LrSolver::solve(const Problem& p, obs::Collector* obs) const {
-  return solveLr(p, opts_, nullptr, obs);
+Assignment Solver::solve(const Problem& p, obs::Collector* obs) const {
+  return solve(PanelKernel::compile(Problem(p)), nullptr, obs);
 }
 
-Assignment ExactSolver::solve(const Problem& p, obs::Collector* obs) const {
-  return solveExact(p, opts_, nullptr, obs);
+Assignment LrSolver::solve(const PanelKernel& k, PanelScratch* scratch,
+                           obs::Collector* obs) const {
+  return solveLr(k, opts_, nullptr, obs, scratch ? &scratch->lr : nullptr);
 }
 
-Assignment IlpSolver::solve(const Problem& p, obs::Collector* obs) const {
-  const IlpBuild build = buildIlpModel(p);
+Assignment ExactSolver::solve(const PanelKernel& k, PanelScratch* scratch,
+                              obs::Collector* obs) const {
+  return solveExact(k, opts_, nullptr, obs,
+                    scratch ? &scratch->exact : nullptr);
+}
+
+Assignment IlpSolver::solve(const PanelKernel& k, PanelScratch* /*scratch*/,
+                            obs::Collector* obs) const {
+  const IlpBuild build = buildIlpModel(k);
   const ilp::IlpResult res = ilp::solveBinaryIlp(build.model, opts_);
   obs::add(obs, obs::names::kIlpNodes, res.nodesExplored);
   obs::add(obs, obs::names::kIlpPivots, res.lpPivots);
@@ -24,10 +32,10 @@ Assignment IlpSolver::solve(const Problem& p, obs::Collector* obs) const {
     // No incumbent within budget: report an empty (all-unassigned)
     // assignment rather than inventing one.
     Assignment out;
-    out.intervalOfPin.assign(p.pins.size(), geom::kInvalidIndex);
+    out.intervalOfPin.assign(k.numPins(), geom::kInvalidIndex);
     return out;
   }
-  Assignment out = decodeIlpSolution(p, build, res.x);
+  Assignment out = decodeIlpSolution(k, build, res.x);
   out.provedOptimal = res.status == ilp::IlpStatus::Optimal;
   return out;
 }

@@ -7,7 +7,12 @@
 /// through `ilp::Model` — implement the same `Solver` interface, so the
 /// design-level optimizer, the benches, and the CLI select a solver by value
 /// instead of switching on an enum at every call site. Solvers are stateless
-/// after construction and safe to share across panel-solving threads.
+/// after construction and safe to share across panel-solving threads; all
+/// mutable per-solve state lives in the caller-owned `PanelScratch` arena.
+///
+/// The primary entry point consumes a compiled `PanelKernel` (see
+/// panel_kernel.h) plus an optional scratch arena; the `Problem` overload is
+/// a convenience that compiles a kernel internally.
 ///
 /// Every `solve` accepts an optional `obs::Collector` into which the solver
 /// reports its canonical counters and per-iteration trace series (see
@@ -19,6 +24,7 @@
 
 #include "core/exact_solver.h"
 #include "core/lr_solver.h"
+#include "core/panel_kernel.h"
 #include "core/problem.h"
 #include "ilp/branch_and_bound.h"
 #include "obs/collector.h"
@@ -34,23 +40,45 @@ enum class Method {
   Ilp,   ///< generic ILP translation solved by ilp::solveBinaryIlp
 };
 
+/// Per-worker arena shared by every solver behind the interface. A worker
+/// thread owns one `PanelScratch` and reuses it across all panels it
+/// processes; each solve fully reinitializes what it reads, so reuse only
+/// saves allocations (see LrScratch / ExactScratch).
+struct PanelScratch {
+  LrScratch lr;
+  ExactScratch exact;
+
+  /// Current capacity across the arenas, for the optimizer's gauge.
+  [[nodiscard]] std::size_t footprintBytes() const {
+    return lr.footprintBytes() + exact.footprintBytes();
+  }
+};
+
 class Solver {
  public:
   virtual ~Solver() = default;
   [[nodiscard]] virtual std::string_view name() const = 0;
-  /// Solves `p` (profits and conflicts must be filled). Reports counters and
-  /// traces into `obs` when non-null.
-  [[nodiscard]] virtual Assignment solve(const Problem& p,
+  /// Solves the compiled instance `k` (profits and conflicts filled before
+  /// compilation). `scratch` may be null (solvers fall back to local
+  /// buffers) or a reused per-worker arena. Reports counters and traces
+  /// into `obs` when non-null.
+  [[nodiscard]] virtual Assignment solve(const PanelKernel& k,
+                                         PanelScratch* scratch = nullptr,
                                          obs::Collector* obs = nullptr)
       const = 0;
+  /// Convenience: compiles `p` into a temporary kernel and solves.
+  [[nodiscard]] Assignment solve(const Problem& p,
+                                 obs::Collector* obs = nullptr) const;
 };
 
 /// Algorithm 2 behind the interface; thin wrapper over `solveLr`.
 class LrSolver final : public Solver {
  public:
+  using Solver::solve;
   explicit LrSolver(LrOptions opts = {}) : opts_(opts) {}
   [[nodiscard]] std::string_view name() const override { return "lr"; }
-  [[nodiscard]] Assignment solve(const Problem& p,
+  [[nodiscard]] Assignment solve(const PanelKernel& k,
+                                 PanelScratch* scratch = nullptr,
                                  obs::Collector* obs = nullptr) const override;
   [[nodiscard]] const LrOptions& options() const { return opts_; }
 
@@ -62,9 +90,11 @@ class LrSolver final : public Solver {
 /// `solveExact`.
 class ExactSolver final : public Solver {
  public:
+  using Solver::solve;
   explicit ExactSolver(ExactOptions opts = {}) : opts_(opts) {}
   [[nodiscard]] std::string_view name() const override { return "exact"; }
-  [[nodiscard]] Assignment solve(const Problem& p,
+  [[nodiscard]] Assignment solve(const PanelKernel& k,
+                                 PanelScratch* scratch = nullptr,
                                  obs::Collector* obs = nullptr) const override;
   [[nodiscard]] const ExactOptions& options() const { return opts_; }
 
@@ -76,9 +106,11 @@ class ExactSolver final : public Solver {
 /// it with the generic LP-based branch & bound, and decodes the 0/1 solution.
 class IlpSolver final : public Solver {
  public:
+  using Solver::solve;
   explicit IlpSolver(ilp::IlpOptions opts = {}) : opts_(opts) {}
   [[nodiscard]] std::string_view name() const override { return "ilp"; }
-  [[nodiscard]] Assignment solve(const Problem& p,
+  [[nodiscard]] Assignment solve(const PanelKernel& k,
+                                 PanelScratch* scratch = nullptr,
                                  obs::Collector* obs = nullptr) const override;
   [[nodiscard]] const ilp::IlpOptions& options() const { return opts_; }
 

@@ -32,6 +32,9 @@ inline constexpr std::string_view kPaoIntervals = "pao.intervals.generated";
 inline constexpr std::string_view kPaoConflicts = "pao.conflicts.detected";
 inline constexpr std::string_view kPaoUnassigned = "pao.pins.unassigned";
 inline constexpr std::string_view kPaoFallbacks = "pao.solver.fallbacks";
+/// Bytes of the compiled CSR kernels, summed across panels. Size-based (not
+/// capacity-based), so the count is deterministic for a given design.
+inline constexpr std::string_view kPaoKernelBytes = "pao.kernel.bytes";
 // Routing.
 inline constexpr std::string_view kRouteRrrIterations = "route.rrr.iterations";
 inline constexpr std::string_view kRouteCongestedPreRrr =

@@ -1,0 +1,167 @@
+/// \file core_panel_kernel_test.cpp
+/// Property tests for the compiled CSR `PanelKernel`: for randomly generated
+/// panels the flat view must round-trip every adjacency of the nested
+/// `Problem` in the exact same order, the flat `audit` must agree with the
+/// nested ground truth, and scratch-arena reuse must not change any solver
+/// result.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/conflict.h"
+#include "core/interval_gen.h"
+#include "core/panel_kernel.h"
+#include "core/solver.h"
+#include "db/panel.h"
+#include "gen/generator.h"
+
+namespace cpr::core {
+namespace {
+
+db::Design randomDesign(std::uint64_t seed) {
+  gen::GenOptions o;
+  o.seed = seed;
+  o.width = 90;
+  o.numRows = 2;
+  o.pinDensity = 0.22;
+  o.minPinTracks = 2;
+  o.maxPinTracks = 4;
+  o.maxNetSpan = 30;
+  o.blockagesPerRow = 2;
+  return gen::generate(o);
+}
+
+Problem panelProblem(const db::Design& d, int panelIdx) {
+  Problem p = buildProblem(d, db::extractPanel(d, panelIdx));
+  detectConflicts(p);
+  return p;
+}
+
+template <typename T>
+std::vector<T> toVec(std::span<const T> s) {
+  return {s.begin(), s.end()};
+}
+
+class PanelKernelProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PanelKernelProperty, CompileRoundTripsEveryAdjacency) {
+  const db::Design d = randomDesign(GetParam());
+  for (int panel = 0; panel < 2; ++panel) {
+    const Problem p = panelProblem(d, panel);
+    const PanelKernel k = PanelKernel::compile(Problem(p));
+
+    ASSERT_EQ(k.numPins(), p.pins.size());
+    ASSERT_EQ(k.numIntervals(), p.intervals.size());
+    ASSERT_EQ(k.numConflicts(), p.conflicts.size());
+
+    for (std::size_t j = 0; j < p.pins.size(); ++j) {
+      const auto jj = static_cast<Index>(j);
+      EXPECT_EQ(toVec(k.candidatesOf(jj)), p.pins[j].intervals);
+      EXPECT_EQ(k.minimalIntervalOf(jj), p.pins[j].minimalInterval);
+      EXPECT_EQ(k.designPinOf(jj), p.pins[j].designPin);
+      // The profit-sorted view is a permutation of the candidate set in
+      // non-increasing profit order.
+      const std::vector<Index> sorted = toVec(k.sortedCandidatesOf(jj));
+      ASSERT_EQ(sorted.size(), p.pins[j].intervals.size());
+      for (std::size_t u = 1; u < sorted.size(); ++u) {
+        EXPECT_GE(k.profitOf(sorted[u - 1]), k.profitOf(sorted[u]));
+      }
+      std::vector<Index> a = sorted;
+      std::vector<Index> b = p.pins[j].intervals;
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      EXPECT_EQ(a, b);
+    }
+
+    for (std::size_t i = 0; i < p.intervals.size(); ++i) {
+      const auto ii = static_cast<Index>(i);
+      const AccessInterval& iv = p.intervals[i];
+      EXPECT_EQ(toVec(k.pinsOf(ii)), iv.pins);
+      EXPECT_EQ(k.trackOf(ii), iv.track);
+      EXPECT_EQ(k.spanOf(ii).lo, iv.span.lo);
+      EXPECT_EQ(k.spanOf(ii).hi, iv.span.hi);
+      EXPECT_EQ(k.netOf(ii), iv.net);
+      EXPECT_EQ(k.isMinimal(ii), iv.minimal);
+      EXPECT_EQ(k.profitOf(ii), p.profit[i]);
+      EXPECT_EQ(k.weightOf(ii), p.weight(ii));
+      EXPECT_EQ(k.degreeOf(ii), static_cast<Index>(iv.pins.size()));
+    }
+
+    // Conflict membership and the interval->conflicts cross-index, which
+    // must list each interval's sets in ascending id order (the order the
+    // nested csOf construction produced).
+    std::vector<std::vector<Index>> csOf(p.intervals.size());
+    for (std::size_t m = 0; m < p.conflicts.size(); ++m) {
+      const auto mm = static_cast<Index>(m);
+      EXPECT_EQ(toVec(k.membersOf(mm)), p.conflicts[m].intervals);
+      EXPECT_EQ(k.conflictTrackOf(mm), p.conflicts[m].track);
+      EXPECT_EQ(k.conflictSpanOf(mm), p.conflicts[m].common.span());
+      for (const Index i : p.conflicts[m].intervals)
+        csOf[static_cast<std::size_t>(i)].push_back(mm);
+    }
+    for (std::size_t i = 0; i < p.intervals.size(); ++i)
+      EXPECT_EQ(toVec(k.conflictsOf(static_cast<Index>(i))), csOf[i]);
+
+    EXPECT_GT(k.footprintBytes(), 0u);
+  }
+}
+
+TEST_P(PanelKernelProperty, FlatAuditMatchesNestedAudit) {
+  const db::Design d = randomDesign(GetParam());
+  const Problem p = panelProblem(d, 0);
+  const PanelKernel k = PanelKernel::compile(Problem(p));
+
+  // Audit both a legal assignment and randomly perturbed (possibly illegal,
+  // possibly partial) ones: the flat audit must agree on all of them.
+  std::mt19937_64 rng(GetParam() * 7919 + 1);
+  Assignment a = solveLr(k);
+  for (int round = 0; round < 6; ++round) {
+    const AssignmentAudit nested = audit(p, a);
+    const AssignmentAudit flat = audit(k, a);
+    EXPECT_EQ(flat.objective, nested.objective);
+    EXPECT_EQ(flat.unassignedPins, nested.unassignedPins);
+    EXPECT_EQ(flat.overlapsBetweenNets, nested.overlapsBetweenNets);
+    EXPECT_EQ(flat.eachPinCovered, nested.eachPinCovered);
+
+    if (a.intervalOfPin.empty()) break;
+    const std::size_t j = rng() % a.intervalOfPin.size();
+    const auto jj = static_cast<Index>(j);
+    if (rng() % 3 == 0) {
+      a.intervalOfPin[j] = geom::kInvalidIndex;
+    } else if (!k.candidatesOf(jj).empty()) {
+      const std::span<const Index> cand = k.candidatesOf(jj);
+      a.intervalOfPin[j] = cand[rng() % cand.size()];
+    }
+  }
+}
+
+TEST_P(PanelKernelProperty, ScratchReuseDoesNotChangeResults) {
+  const db::Design d = randomDesign(GetParam());
+  // One arena reused across panels of different sizes must reproduce the
+  // scratch-free results bit for bit, for both solvers behind the interface.
+  PanelScratch arena;
+  for (int panel = 0; panel < 2; ++panel) {
+    const Problem p = panelProblem(d, panel);
+    const PanelKernel k = PanelKernel::compile(Problem(p));
+    ExactOptions eo;
+    eo.timeLimitSeconds = 5.0;
+    for (const auto& solver :
+         {std::unique_ptr<Solver>(std::make_unique<LrSolver>()),
+          std::unique_ptr<Solver>(std::make_unique<ExactSolver>(eo))}) {
+      const Assignment fresh = solver->solve(k);
+      const Assignment reused = solver->solve(k, &arena);
+      EXPECT_EQ(fresh.intervalOfPin, reused.intervalOfPin) << solver->name();
+      EXPECT_EQ(fresh.objective, reused.objective) << solver->name();
+      EXPECT_EQ(fresh.violations, reused.violations) << solver->name();
+      EXPECT_EQ(fresh.provedOptimal, reused.provedOptimal) << solver->name();
+    }
+    EXPECT_GT(arena.footprintBytes(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PanelKernelProperty,
+                         ::testing::Range<std::uint64_t>(300, 310));
+
+}  // namespace
+}  // namespace cpr::core

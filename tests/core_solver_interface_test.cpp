@@ -143,6 +143,117 @@ TEST(SolverInterface, OptimizerHonorsCustomSolverOverride) {
   EXPECT_EQ(b.stats.notes().at("pao.solver"), "exact");
 }
 
+TEST(SolverInterface, KernelOverloadMatchesProblemOverload) {
+  // The kernel-first entry point and the Problem convenience overload must
+  // produce identical assignments for every solver behind the interface.
+  gen::GenOptions o;
+  o.seed = 23;
+  o.width = 48;
+  o.numRows = 1;
+  o.pinDensity = 0.15;
+  o.maxNetSpan = 20;
+  o.maxNetRowSpread = 0;
+  const db::Design d = gen::generate(o);
+  Problem p = buildProblem(d, db::extractPanel(d, 0), {});
+  detectConflicts(p);
+  const PanelKernel k = PanelKernel::compile(Problem(p));
+
+  ExactOptions eo;
+  eo.timeLimitSeconds = 10.0;
+  const std::unique_ptr<Solver> solvers[] = {
+      makeSolver(Method::Lr), makeSolver(Method::Exact, {}, eo),
+      makeSolver(Method::Ilp)};
+  for (const auto& s : solvers) {
+    const Assignment viaProblem = s->solve(p);
+    const Assignment viaKernel = s->solve(k);
+    expectSameAssignment(viaProblem, viaKernel);
+  }
+}
+
+// Golden objectives captured from the nested (pre-CSR) solver paths at
+// %.17g precision. The CSR kernel preserves iteration and floating-point
+// order exactly, so these must keep matching to the last bit.
+TEST(SolverInterface, GoldenObjectivesPinned) {
+  struct Golden {
+    std::uint64_t seed;
+    double objective;
+  };
+  const Golden goldens[] = {{17, 176.42178129662054},
+                            {19, 172.90642536321195},
+                            {29, 207.59023232254097}};
+  ExactOptions eo;
+  eo.timeLimitSeconds = 10.0;
+  for (const Golden& g : goldens) {
+    const Problem p = makeProblem(g.seed);
+    const Assignment lr = solveLr(p);
+    EXPECT_DOUBLE_EQ(lr.objective, g.objective) << "lr seed " << g.seed;
+    EXPECT_EQ(lr.violations, 0);
+    const Assignment exact = solveExact(p, eo);
+    EXPECT_DOUBLE_EQ(exact.objective, g.objective) << "exact seed " << g.seed;
+    EXPECT_TRUE(exact.provedOptimal);
+  }
+  // Tiny single-panel fixture where all three solvers agree exactly.
+  gen::GenOptions o;
+  o.seed = 23;
+  o.width = 48;
+  o.numRows = 1;
+  o.pinDensity = 0.15;
+  o.maxNetSpan = 20;
+  o.maxNetRowSpread = 0;
+  const db::Design d = gen::generate(o);
+  Problem tiny = buildProblem(d, db::extractPanel(d, 0), {});
+  detectConflicts(tiny);
+  constexpr double kTinyGolden = 18.481436464210109;
+  EXPECT_DOUBLE_EQ(LrSolver{{}}.solve(tiny).objective, kTinyGolden);
+  EXPECT_DOUBLE_EQ(ExactSolver{eo}.solve(tiny).objective, kTinyGolden);
+  EXPECT_DOUBLE_EQ(IlpSolver{{}}.solve(tiny).objective, kTinyGolden);
+}
+
+// Design-level plan goldens (LR method, pinned objective + FNV-1a route
+// digest): the full optimizer pipeline — generation, conflict detection,
+// kernel compile, solve, merge — must reproduce the pre-CSR plans bit for
+// bit, for every thread count.
+TEST(SolverInterface, GoldenPlansPinnedAcrossThreadCounts) {
+  struct Golden {
+    std::uint64_t seed;
+    double objective;
+    std::size_t digest;
+  };
+  const Golden goldens[] = {{4, 488.34571741026241, 0xa8b2e703118bdeb6ULL},
+                            {6, 486.15179977988981, 0x13af5ee8fbb07215ULL},
+                            {8, 502.71800242058799, 0xb67a13059d15da59ULL}};
+  for (const Golden& g : goldens) {
+    gen::GenOptions o;
+    o.seed = g.seed;
+    o.width = 120;
+    o.numRows = 4;
+    o.pinDensity = 0.2;
+    o.maxNetSpan = 40;
+    const db::Design d = gen::generate(o);
+    for (const int threads : {1, 4, 8}) {
+      OptimizerOptions opts;
+      opts.method = Method::Lr;
+      opts.threads = threads;
+      const PinAccessPlan plan = optimizePinAccess(d, opts);
+      EXPECT_DOUBLE_EQ(plan.objective, g.objective)
+          << "seed " << g.seed << " threads " << threads;
+      std::size_t h = 1469598103934665603ULL;
+      auto mix = [&](long v) {
+        h ^= static_cast<std::size_t>(v);
+        h *= 1099511628211ULL;
+      };
+      for (const PinRoute& r : plan.routes) {
+        mix(r.track);
+        mix(r.span.lo);
+        mix(r.span.hi);
+      }
+      EXPECT_EQ(h, g.digest) << "seed " << g.seed << " threads " << threads;
+      EXPECT_EQ(plan.unassignedPins(), 0);
+      EXPECT_GT(plan.stats.counter(obs::names::kPaoKernelBytes), 0);
+    }
+  }
+}
+
 TEST(SolverInterface, PlanCountersDeterministicAcrossThreadCounts) {
   gen::GenOptions o;
   o.seed = 37;

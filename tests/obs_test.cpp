@@ -187,7 +187,8 @@ TEST(Report, CanonicalNamesFollowConvention) {
       kLrIterations,   kLrRemovalRounds,   kLrReexpandUpgrades,
       kExactNodes,     kExactNotProved,    kIlpNodes,       kIlpPivots,
       kIlpNotProved,   kPaoPanels,         kPaoIntervals,   kPaoConflicts,
-      kPaoUnassigned,  kPaoFallbacks,      kRouteRrrIterations,
+      kPaoUnassigned,  kPaoFallbacks,      kPaoKernelBytes,
+      kRouteRrrIterations,
       kRouteCongestedPreRrr, kRouteRipups, kRouteRetries,   kRouteSearches,
       kRoutePops,      kRouteDroppedSharing, kDrcViolations, kDrcLineEnd,
       kDrcViaSpacing,  kDrcDirtyNets};
