@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
     const double lrSec = bench::seconds(t0, bench::Clock::now());
 
     core::ExactOptions eo;
-    eo.timeLimitSeconds = ilpCap;
+    eo.deadline = support::Deadline::after(ilpCap);
     const core::ExactSolver exactSolver{eo};
     t0 = bench::Clock::now();
     const core::Assignment ilp = exactSolver.solve(kernel, nullptr, &report);

@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
     route::CprOptions ilpOpts;
     ilpOpts.pinAccess.threads = h.threads();
     ilpOpts.pinAccess.method = core::Method::Exact;
-    ilpOpts.pinAccess.exact.timeLimitSeconds = perPanel;
+    ilpOpts.pinAccess.panelBudgetSeconds = perPanel;
     const route::CprResult ilp = route::routeCpr(d, ilpOpts);
     const eval::Metrics mIlp = eval::summarize(d, ilp.routing);
 

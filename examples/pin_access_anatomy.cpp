@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
               stats.counter(obs::names::kLrIterations));
 
   core::ExactOptions eo;
-  eo.timeLimitSeconds = 10.0;
+  eo.deadline = support::Deadline::after(10.0);
   const core::ExactSolver exactSolver{eo};
   const core::Assignment exact = exactSolver.solve(p, &stats);
   std::printf("%-5s (ILP B&B)   : objective %.3f, %ld nodes, %s\n",

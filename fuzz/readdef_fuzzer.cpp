@@ -1,0 +1,34 @@
+/// \file readdef_fuzzer.cpp
+/// libFuzzer target for the DEF-subset reader.
+///
+/// Contract under test: for ANY byte sequence, `readDef` either returns a
+/// design or throws `DefParseError` — it must never crash, hang, read out
+/// of bounds, or leak any other exception type. `validate()` is invoked on
+/// accepted designs so semantic checks get fuzzed too, and accepted designs
+/// are additionally round-tripped through the writer (write -> re-read must
+/// succeed: the writer may not emit text the reader rejects).
+///
+/// Build with -DCPR_BUILD_FUZZERS=ON (clang only); see fuzz/CMakeLists.txt.
+/// The regression corpus lives in tests/corpus/def.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "lefdef/def_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::istringstream is(
+      std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    const cpr::db::Design d = cpr::lefdef::readDef(is);
+    (void)d.validate();
+    std::stringstream round;
+    cpr::lefdef::writeDef(d, round);
+    (void)cpr::lefdef::readDef(round);
+  } catch (const cpr::lefdef::DefParseError&) {
+    // Expected outcome for malformed input.
+  }
+  return 0;
+}

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -12,7 +11,6 @@ namespace cpr::core {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 constexpr double kEps = 1e-9;
 
@@ -23,6 +21,7 @@ struct Search {
   const ExactOptions& opts;
   ExactScratch& s;
   obs::Collector* obs = nullptr;
+  support::Deadline deadline;
 
   double lambdaSum = 0.0;
 
@@ -33,7 +32,7 @@ struct Search {
   long epoch = 0;
   long nodes = 0;
   bool truncated = false;
-  Clock::time_point start = Clock::now();
+  bool timedOut = false;
 
   Search(const PanelKernel& kernel, const ExactOptions& o, ExactScratch& sc)
       : k(kernel), opts(o), s(sc) {
@@ -73,6 +72,10 @@ struct Search {
     int sinceImprove = 0;
 
     for (int it = 1; it <= std::max(1, opts.rootDualIterations); ++it) {
+      if (deadline.expired()) {
+        timedOut = true;
+        break;  // the best snapshot so far still yields a valid bound
+      }
       // Per-pin argmax under current multipliers.
       double bound = 0.0;
       for (const Index j : s.activePins) {
@@ -159,9 +162,8 @@ struct Search {
 
   [[nodiscard]] bool outOfBudget() {
     if (nodes >= opts.maxNodes) return true;
-    if ((nodes & 0x3ff) == 0 &&
-        std::chrono::duration<double>(Clock::now() - start).count() >
-            opts.timeLimitSeconds) {
+    if ((nodes & 0x3ff) == 0 && deadline.expired()) {
+      timedOut = true;
       return true;
     }
     return false;
@@ -370,11 +372,12 @@ Assignment solveExact(const Problem& p, const ExactOptions& opts,
 
 Assignment solveExact(const PanelKernel& k, const ExactOptions& opts,
                       ExactStats* stats, obs::Collector* obs,
-                      ExactScratch* scratch) {
+                      ExactScratch* scratch, support::Deadline deadline) {
   ExactScratch local;
   ExactScratch& sc = scratch ? *scratch : local;
   Search search(k, opts, sc);
   search.obs = obs;
+  search.deadline = support::Deadline::soonerOf(opts.deadline, deadline);
 
   // Root incumbent from the LR heuristic (always conflict-free); it also
   // anchors the Polyak steps of the root dual tuning.
@@ -429,6 +432,7 @@ Assignment solveExact(const PanelKernel& k, const ExactOptions& opts,
   }
   obs::add(obs, obs::names::kExactNodes, search.nodes);
   if (!out.provedOptimal) obs::add(obs, obs::names::kExactNotProved);
+  if (search.timedOut) obs::add(obs, obs::names::kExactTimeout);
   obs::row(obs, "exact.panel",
            {"nodes", "root_bound", "best_objective", "gap", "proved"},
            {static_cast<double>(search.nodes), rootBound, out.objective,

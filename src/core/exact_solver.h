@@ -31,12 +31,15 @@
 #include "core/panel_kernel.h"
 #include "core/problem.h"
 #include "obs/collector.h"
+#include "support/deadline.h"
 
 namespace cpr::core {
 
 struct ExactOptions {
   long maxNodes = 50'000'000;
-  double timeLimitSeconds = 1e9;
+  /// Wall-clock budget; unset (the default) never expires. Composes with the
+  /// per-call deadline passed to `solveExact` — the sooner of the two wins.
+  support::Deadline deadline;
   /// Root subgradient iterations used to tighten the dual bound.
   int rootDualIterations = 300;
   /// Subgradient step exponent (same schedule as the LR solver).
@@ -93,11 +96,15 @@ struct ExactScratch {
 /// When `obs` is non-null the solver reports `exact.*` counters, the root
 /// dual convergence series `exact.root` (bound per subgradient iteration),
 /// and one `exact.panel` summary row (nodes, root bound, incumbent, gap).
+/// `deadline` is an additional per-call budget (e.g. a panel sub-budget);
+/// when it fires the best incumbent so far is returned, `provedOptimal` is
+/// false, and `exact.timeout` is counted.
 [[nodiscard]] Assignment solveExact(const PanelKernel& k,
                                     const ExactOptions& opts = {},
                                     ExactStats* stats = nullptr,
                                     obs::Collector* obs = nullptr,
-                                    ExactScratch* scratch = nullptr);
+                                    ExactScratch* scratch = nullptr,
+                                    support::Deadline deadline = {});
 
 /// Convenience overload: compiles `p` into a temporary kernel and solves.
 [[nodiscard]] Assignment solveExact(const Problem& p,

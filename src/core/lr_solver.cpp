@@ -93,9 +93,12 @@ Assignment solveLr(const Problem& p, const LrOptions& opts, LrStats* stats,
 }
 
 Assignment solveLr(const PanelKernel& k, const LrOptions& opts, LrStats* stats,
-                   obs::Collector* obs, LrScratch* scratch) {
+                   obs::Collector* obs, LrScratch* scratch,
+                   support::Deadline deadline) {
   LrScratch local;
   LrScratch& s = scratch ? *scratch : local;
+  const support::Deadline budget =
+      support::Deadline::soonerOf(opts.deadline, deadline);
   const std::size_t n = k.numIntervals();
   const std::size_t nPins = k.numPins();
   const std::size_t nCs = k.numConflicts();
@@ -246,6 +249,12 @@ Assignment solveLr(const PanelKernel& k, const LrOptions& opts, LrStats* stats,
       break;
     }
     if (bestVio == 0) break;
+    // Deadline check last, so every solve completes at least one iteration
+    // and the repair below always has a best-so-far selection to work on.
+    if (budget.expired()) {
+      obs::add(obs, obs::names::kLrTimeout);
+      break;
+    }
   }
   obs::add(obs, obs::names::kLrIterations, iterations);
 

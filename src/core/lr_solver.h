@@ -19,12 +19,19 @@
 #include "core/panel_kernel.h"
 #include "core/problem.h"
 #include "obs/collector.h"
+#include "support/deadline.h"
 
 namespace cpr::core {
 
 struct LrOptions {
   /// Iteration upper bound (the paper's experiments use UB = 200).
   int maxIterations = 200;
+  /// Wall-clock budget; unset (the default) never expires. Composes with the
+  /// per-call deadline passed to `solveLr`. The subgradient loop checks it
+  /// after each iteration (at least one iteration always runs), and the
+  /// conflict-removal repair runs regardless, so a timed-out solve still
+  /// returns a legal assignment.
+  support::Deadline deadline;
   /// Engineering addition: stop early when the best violation count has not
   /// improved for this many iterations (0 disables; the paper always runs to
   /// UB or zero violations, but stalled panels only waste time — the best
@@ -97,7 +104,8 @@ struct LrScratch {
                                  const LrOptions& opts = {},
                                  LrStats* stats = nullptr,
                                  obs::Collector* obs = nullptr,
-                                 LrScratch* scratch = nullptr);
+                                 LrScratch* scratch = nullptr,
+                                 support::Deadline deadline = {});
 
 /// Convenience overload: compiles `p` into a temporary kernel and solves.
 [[nodiscard]] Assignment solveLr(const Problem& p, const LrOptions& opts = {},

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <numeric>
 #include <thread>
 
 #include "core/conflict.h"
 #include "db/panel.h"
+#include "support/status.h"
 
 namespace cpr::core {
 
@@ -20,50 +22,199 @@ struct PanelOutcome {
   obs::Collector stats;
 };
 
+/// A panel result is shippable when it is legal: no violated conflict rows,
+/// no geometric diff-net overlap (the independent audit, not the solver's
+/// own claim), and not everything-unassigned on a panel that has pins.
+bool usable(const PanelKernel& k, const Assignment& a) {
+  if (a.intervalOfPin.size() != k.numPins()) return false;
+  if (a.violations > 0) return false;
+  if (k.numPins() > 0) {
+    const bool empty = std::all_of(
+        a.intervalOfPin.begin(), a.intervalOfPin.end(),
+        [](Index i) { return i == geom::kInvalidIndex; });
+    if (empty) return false;
+  }
+  return audit(k, a).overlapsBetweenNets == 0;
+}
+
+/// Degradation rung 3: one pass over intervals in non-increasing objective
+/// weight, selecting an interval iff its covered pins are all unassigned and
+/// every conflict row it belongs to is still empty (constraint (1c) holds by
+/// construction). Leftover pins then try their minimal interval under the
+/// same guard. Deterministic and near-linear; legal by construction.
+Assignment greedyProfitOrder(const PanelKernel& k) {
+  Assignment a;
+  a.intervalOfPin.assign(k.numPins(), geom::kInvalidIndex);
+  std::vector<Index> order(k.numIntervals());
+  std::iota(order.begin(), order.end(), Index{0});
+  std::sort(order.begin(), order.end(), [&](Index x, Index y) {
+    const double wx = k.weightOf(x), wy = k.weightOf(y);
+    if (wx != wy) return wx > wy;
+    return x < y;
+  });
+  std::vector<char> rowUsed(k.numConflicts(), 0);
+  auto trySelect = [&](Index i) {
+    for (Index j : k.pinsOf(i))
+      if (a.intervalOfPin[static_cast<std::size_t>(j)] != geom::kInvalidIndex)
+        return;
+    for (Index m : k.conflictsOf(i))
+      if (rowUsed[static_cast<std::size_t>(m)]) return;
+    for (Index j : k.pinsOf(i))
+      a.intervalOfPin[static_cast<std::size_t>(j)] = i;
+    for (Index m : k.conflictsOf(i)) rowUsed[static_cast<std::size_t>(m)] = 1;
+  };
+  for (Index i : order) trySelect(i);
+  for (std::size_t j = 0; j < k.numPins(); ++j) {
+    if (a.intervalOfPin[j] != geom::kInvalidIndex) continue;
+    const Index mi = k.minimalIntervalOf(static_cast<Index>(j));
+    if (mi != geom::kInvalidIndex) trySelect(mi);
+  }
+  a.objective = audit(k, a).objective;
+  a.violations = 0;
+  return a;
+}
+
+/// Degradation rung 4 (terminal): every pin takes its minimal access
+/// interval, the assignment Theorem 1 guarantees to be selectable and
+/// mutually conflict-free given the spacing guard. The conflict-row guard is
+/// kept anyway so the rung stays legal even on instances that break the
+/// theorem's premise (a pin whose row is taken is left unassigned instead).
+Assignment minimalIntervalAssignment(const PanelKernel& k) {
+  Assignment a;
+  a.intervalOfPin.assign(k.numPins(), geom::kInvalidIndex);
+  std::vector<char> rowUsed(k.numConflicts(), 0);
+  for (std::size_t j = 0; j < k.numPins(); ++j) {
+    if (a.intervalOfPin[j] != geom::kInvalidIndex) continue;
+    const Index mi = k.minimalIntervalOf(static_cast<Index>(j));
+    if (mi == geom::kInvalidIndex) continue;
+    bool clash = false;
+    for (Index m : k.conflictsOf(mi))
+      if (rowUsed[static_cast<std::size_t>(m)]) { clash = true; break; }
+    if (clash) continue;
+    for (Index p : k.pinsOf(mi))
+      if (a.intervalOfPin[static_cast<std::size_t>(p)] == geom::kInvalidIndex)
+        a.intervalOfPin[static_cast<std::size_t>(p)] = mi;
+    for (Index m : k.conflictsOf(mi)) rowUsed[static_cast<std::size_t>(m)] = 1;
+  }
+  a.objective = audit(k, a).objective;
+  a.violations = 0;
+  return a;
+}
+
+/// Which rung of the degradation ladder produced the shipped assignment.
+enum class Rung { Primary, Lr, Greedy, Minimal };
+
 PanelOutcome solvePanel(const db::Design& design, const db::Panel& panel,
                         const OptimizerOptions& opts, const Solver& solver,
                         int panelIndex, PanelScratch& scratch) {
   PanelOutcome out;
   out.stats = obs::Collector(panelIndex);
   obs::Collector* obs = &out.stats;
-  Problem problem;
-  {
-    obs::ScopedTimer t(obs, "pao.gen");
-    problem = buildProblem(design, panel, opts.gen, obs);
-    if (opts.profitModel != ProfitModel::SqrtSpan)
-      assignProfits(problem, opts.profitModel);
-  }
-  {
-    obs::ScopedTimer t(obs, "pao.conflict");
-    detectConflicts(problem, obs);
-  }
-  obs->add(obs::names::kPaoIntervals,
-           static_cast<long>(problem.intervals.size()));
-  obs->add(obs::names::kPaoConflicts,
-           static_cast<long>(problem.conflicts.size()));
-  {
-    obs::ScopedTimer t(obs, "pao.compile");
-    out.kernel = PanelKernel::compile(std::move(problem));
-  }
-  obs->add(obs::names::kPaoKernelBytes,
-           static_cast<long>(out.kernel.footprintBytes()));
+  // Panel boundary: nothing may escape into the worker thread. `trySolve`
+  // isolates solver faults below; this outer net catches instance
+  // generation / compilation faults and ships an all-unassigned panel.
+  try {
+    Problem problem;
+    {
+      obs::ScopedTimer t(obs, "pao.gen");
+      problem = buildProblem(design, panel, opts.gen, obs);
+      if (opts.profitModel != ProfitModel::SqrtSpan)
+        assignProfits(problem, opts.profitModel);
+    }
+    {
+      obs::ScopedTimer t(obs, "pao.conflict");
+      detectConflicts(problem, obs);
+    }
+    obs->add(obs::names::kPaoIntervals,
+             static_cast<long>(problem.intervals.size()));
+    obs->add(obs::names::kPaoConflicts,
+             static_cast<long>(problem.conflicts.size()));
+    {
+      obs::ScopedTimer t(obs, "pao.compile");
+      out.kernel = PanelKernel::compile(std::move(problem));
+    }
+    obs->add(obs::names::kPaoKernelBytes,
+             static_cast<long>(out.kernel.footprintBytes()));
 
-  {
-    obs::ScopedTimer t(obs, "pao.solve");
-    out.assignment = solver.solve(out.kernel, &scratch, obs);
-  }
-  // Budget exhaustion — no incumbent at all, or an incumbent that still
-  // violates conflict rows — must not ship an illegal panel: fall back to
-  // the LR heuristic (always conflict-free) rather than dropping pins or
-  // emitting overlaps.
-  const bool empty = std::all_of(
-      out.assignment.intervalOfPin.begin(), out.assignment.intervalOfPin.end(),
-      [](Index i) { return i == geom::kInvalidIndex; });
-  if ((empty || out.assignment.violations > 0) && out.kernel.numPins() > 0 &&
-      solver.name() != "lr") {
-    obs::ScopedTimer t(obs, "pao.fallback");
-    out.assignment = LrSolver(opts.lr).solve(out.kernel, &scratch, obs);
-    obs->add(obs::names::kPaoFallbacks);
+    // Per-panel budget: a slice of the run deadline, never outliving it.
+    const support::Deadline panelDeadline =
+        opts.panelBudgetSeconds > 0.0 ? opts.deadline.sub(opts.panelBudgetSeconds)
+                                      : opts.deadline;
+    // A run deadline that fired before this panel started skips the solver
+    // (and the LR rung) entirely — only the fast rungs run, so the tail of a
+    // timed-out run finishes in microseconds per panel.
+    const bool runExpired = opts.deadline.expired();
+
+    support::Outcome<Assignment> primary{
+        support::Status::timedOut("run deadline expired before panel start"),
+        Assignment{}};
+    if (!runExpired) {
+      obs::ScopedTimer t(obs, "pao.solve");
+      primary = solver.trySolve(out.kernel, &scratch, obs, panelDeadline);
+    }
+
+    Rung rung = Rung::Primary;
+    bool chosen = false;
+    if (usable(out.kernel, primary.value())) {
+      out.assignment = primary.take();
+      chosen = true;
+    } else {
+      // Walk the degradation ladder. Every rung below the primary solver is
+      // cheaper and more reliable than the one above; the terminal rung
+      // cannot fail.
+      obs::ScopedTimer t(obs, "pao.fallback");
+      obs->add(obs::names::kPaoFallbacks);
+      if (!runExpired && solver.name() != "lr") {
+        support::Outcome<Assignment> lr =
+            LrSolver(opts.lr).trySolve(out.kernel, &scratch, obs, panelDeadline);
+        if (usable(out.kernel, lr.value())) {
+          out.assignment = lr.take();
+          rung = Rung::Lr;
+          chosen = true;
+        }
+      }
+      if (!chosen) {
+        Assignment g = greedyProfitOrder(out.kernel);
+        if (usable(out.kernel, g)) {
+          out.assignment = std::move(g);
+          rung = Rung::Greedy;
+          chosen = true;
+        }
+      }
+      if (!chosen) {
+        out.assignment = minimalIntervalAssignment(out.kernel);
+        rung = Rung::Minimal;
+      }
+    }
+
+    switch (rung) {
+      case Rung::Primary: obs->add(obs::names::kPaoRungPrimary); break;
+      case Rung::Lr: obs->add(obs::names::kPaoRungLr); break;
+      case Rung::Greedy: obs->add(obs::names::kPaoRungGreedy); break;
+      case Rung::Minimal: obs->add(obs::names::kPaoRungMinimal); break;
+    }
+    // Exactly one of failed/degraded per faulted panel: `failed` when the
+    // primary solver threw, `degraded` when it timed out, proved the panel
+    // infeasible, or returned an unusable/quality-compromised result.
+    if (rung != Rung::Primary || !primary.isOk()) {
+      if (primary.code() == support::StatusCode::Failed)
+        obs->add(obs::names::kPaoPanelFailed);
+      else
+        obs->add(obs::names::kPaoPanelDegraded);
+      obs->note("pao.panel.status", primary.status().toString());
+    }
+  } catch (const std::exception& e) {
+    out.stats.add(obs::names::kPaoPanelFailed);
+    out.stats.note("pao.panel.error", e.what());
+    out.assignment = Assignment{};
+    out.assignment.intervalOfPin.assign(out.kernel.numPins(),
+                                        geom::kInvalidIndex);
+  } catch (...) {
+    out.stats.add(obs::names::kPaoPanelFailed);
+    out.stats.note("pao.panel.error", "non-standard exception");
+    out.assignment = Assignment{};
+    out.assignment.intervalOfPin.assign(out.kernel.numPins(),
+                                        geom::kInvalidIndex);
   }
   return out;
 }

@@ -24,6 +24,7 @@
 #include "db/design.h"
 #include "obs/collector.h"
 #include "obs/names.h"
+#include "support/deadline.h"
 
 namespace cpr::core {
 
@@ -34,6 +35,16 @@ struct OptimizerOptions {
   ExactOptions exact;
   ilp::IlpOptions ilp;
   ProfitModel profitModel = ProfitModel::SqrtSpan;
+  /// Run-level wall-clock budget (unset = none). Panels that start after it
+  /// fires skip their solver and take the fast degradation rungs, so the
+  /// optimizer always terminates promptly with a legal (if modest) plan.
+  support::Deadline deadline;
+  /// Per-panel solve budget in seconds (0 = none). Each panel gets
+  /// `deadline.sub(panelBudgetSeconds)` — its own slice, never outliving the
+  /// run deadline. Replaces the former `exact.timeLimitSeconds` per-panel
+  /// convention. Timeouts are wall-clock events, so plans under an active
+  /// budget are NOT guaranteed identical across thread counts or runs.
+  double panelBudgetSeconds = 0.0;
   /// Worker threads for panel-level parallelism ("concurrent pin access
   /// optimization ... can also handle multiple panels simultaneously with
   /// scalable solutions", Section 3). Panels are independent and stats merge

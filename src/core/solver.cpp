@@ -1,5 +1,7 @@
 #include "core/solver.h"
 
+#include <algorithm>
+
 #include "core/ilp_builder.h"
 #include "obs/names.h"
 
@@ -9,25 +11,62 @@ Assignment Solver::solve(const Problem& p, obs::Collector* obs) const {
   return solve(PanelKernel::compile(Problem(p)), nullptr, obs);
 }
 
+support::Outcome<Assignment> Solver::trySolve(const PanelKernel& k,
+                                              PanelScratch* scratch,
+                                              obs::Collector* obs,
+                                              support::Deadline deadline) const {
+  Assignment a;
+  try {
+    a = solve(k, scratch, obs, deadline);
+  } catch (const std::exception& e) {
+    return support::Status::failed(std::string(name()) + ": " + e.what());
+  } catch (...) {
+    return support::Status::failed(std::string(name()) +
+                                   ": non-standard exception");
+  }
+  const bool empty = std::all_of(
+      a.intervalOfPin.begin(), a.intervalOfPin.end(),
+      [](Index i) { return i == geom::kInvalidIndex; });
+  if (a.violations > 0)
+    return {support::Status::degraded("conflict rows still violated"),
+            std::move(a)};
+  if (empty && k.numPins() > 0) {
+    if (deadline.expired())
+      return {support::Status::timedOut("no incumbent within budget"),
+              std::move(a)};
+    return {support::Status::infeasible("nothing assigned"), std::move(a)};
+  }
+  if (deadline.expired() && !a.provedOptimal)
+    return {support::Status::timedOut("budget fired; best incumbent returned"),
+            std::move(a)};
+  return {support::Status::ok(), std::move(a)};
+}
+
 Assignment LrSolver::solve(const PanelKernel& k, PanelScratch* scratch,
-                           obs::Collector* obs) const {
-  return solveLr(k, opts_, nullptr, obs, scratch ? &scratch->lr : nullptr);
+                           obs::Collector* obs,
+                           support::Deadline deadline) const {
+  return solveLr(k, opts_, nullptr, obs, scratch ? &scratch->lr : nullptr,
+                 deadline);
 }
 
 Assignment ExactSolver::solve(const PanelKernel& k, PanelScratch* scratch,
-                              obs::Collector* obs) const {
+                              obs::Collector* obs,
+                              support::Deadline deadline) const {
   return solveExact(k, opts_, nullptr, obs,
-                    scratch ? &scratch->exact : nullptr);
+                    scratch ? &scratch->exact : nullptr, deadline);
 }
 
 Assignment IlpSolver::solve(const PanelKernel& k, PanelScratch* /*scratch*/,
-                            obs::Collector* obs) const {
+                            obs::Collector* obs,
+                            support::Deadline deadline) const {
   const IlpBuild build = buildIlpModel(k);
-  const ilp::IlpResult res = ilp::solveBinaryIlp(build.model, opts_);
+  const ilp::IlpResult res = ilp::solveBinaryIlp(build.model, opts_, deadline);
   obs::add(obs, obs::names::kIlpNodes, res.nodesExplored);
   obs::add(obs, obs::names::kIlpPivots, res.lpPivots);
   if (res.status != ilp::IlpStatus::Optimal)
     obs::add(obs, obs::names::kIlpNotProved);
+  if (res.status == ilp::IlpStatus::TimeLimit)
+    obs::add(obs, obs::names::kIlpTimeout);
   if (res.x.empty()) {
     // No incumbent within budget: report an empty (all-unassigned)
     // assignment rather than inventing one.

@@ -28,6 +28,8 @@
 #include "core/problem.h"
 #include "ilp/branch_and_bound.h"
 #include "obs/collector.h"
+#include "support/deadline.h"
+#include "support/status.h"
 
 namespace cpr::core {
 
@@ -61,14 +63,32 @@ class Solver {
   /// Solves the compiled instance `k` (profits and conflicts filled before
   /// compilation). `scratch` may be null (solvers fall back to local
   /// buffers) or a reused per-worker arena. Reports counters and traces
-  /// into `obs` when non-null.
+  /// into `obs` when non-null. `deadline` is a per-call wall-clock budget
+  /// (unset = none); built-in solvers compose it with any deadline carried
+  /// in their options and return their best legal incumbent when it fires.
   [[nodiscard]] virtual Assignment solve(const PanelKernel& k,
                                          PanelScratch* scratch = nullptr,
-                                         obs::Collector* obs = nullptr)
+                                         obs::Collector* obs = nullptr,
+                                         support::Deadline deadline = {})
       const = 0;
   /// Convenience: compiles `p` into a temporary kernel and solves.
   [[nodiscard]] Assignment solve(const Problem& p,
                                  obs::Collector* obs = nullptr) const;
+
+  /// Fault-isolating entry point used at the panel boundary: never throws.
+  /// Catches every exception out of `solve` (mapped to StatusCode::Failed)
+  /// and classifies the result —
+  ///   Ok         legal assignment, solver finished on its own terms;
+  ///   Degraded   assignment still violates conflict rows (needs repair);
+  ///   TimedOut   `deadline` fired; the value is the best incumbent, which
+  ///              may be legal (usable) or empty;
+  ///   Infeasible nothing assigned although the instance has pins;
+  ///   Failed     `solve` threw; the value is unusable.
+  /// The caller decides whether a non-Ok value is good enough or whether to
+  /// walk further down the degradation ladder.
+  [[nodiscard]] support::Outcome<Assignment> trySolve(
+      const PanelKernel& k, PanelScratch* scratch = nullptr,
+      obs::Collector* obs = nullptr, support::Deadline deadline = {}) const;
 };
 
 /// Algorithm 2 behind the interface; thin wrapper over `solveLr`.
@@ -79,7 +99,8 @@ class LrSolver final : public Solver {
   [[nodiscard]] std::string_view name() const override { return "lr"; }
   [[nodiscard]] Assignment solve(const PanelKernel& k,
                                  PanelScratch* scratch = nullptr,
-                                 obs::Collector* obs = nullptr) const override;
+                                 obs::Collector* obs = nullptr,
+                                 support::Deadline deadline = {}) const override;
   [[nodiscard]] const LrOptions& options() const { return opts_; }
 
  private:
@@ -95,7 +116,8 @@ class ExactSolver final : public Solver {
   [[nodiscard]] std::string_view name() const override { return "exact"; }
   [[nodiscard]] Assignment solve(const PanelKernel& k,
                                  PanelScratch* scratch = nullptr,
-                                 obs::Collector* obs = nullptr) const override;
+                                 obs::Collector* obs = nullptr,
+                                 support::Deadline deadline = {}) const override;
   [[nodiscard]] const ExactOptions& options() const { return opts_; }
 
  private:
@@ -111,7 +133,8 @@ class IlpSolver final : public Solver {
   [[nodiscard]] std::string_view name() const override { return "ilp"; }
   [[nodiscard]] Assignment solve(const PanelKernel& k,
                                  PanelScratch* scratch = nullptr,
-                                 obs::Collector* obs = nullptr) const override;
+                                 obs::Collector* obs = nullptr,
+                                 support::Deadline deadline = {}) const override;
   [[nodiscard]] const ilp::IlpOptions& options() const { return opts_; }
 
  private:

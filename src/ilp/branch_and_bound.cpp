@@ -1,6 +1,5 @@
 #include "ilp/branch_and_bound.h"
 
-#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -8,14 +7,13 @@ namespace cpr::ilp {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
 struct Search {
-  Search(const Model& m, const IlpOptions& o) : model(m), opts(o) {}
+  Search(const Model& m, const IlpOptions& o, support::Deadline d)
+      : model(m), opts(o), deadline(d) {}
 
   const Model& model;
   const IlpOptions& opts;
-  Clock::time_point deadlineStart = Clock::now();
+  support::Deadline deadline;
   IlpResult result;
   bool haveIncumbent = false;
   bool truncated = false;
@@ -26,8 +24,7 @@ struct Search {
       truncated = true;
       return true;
     }
-    if (std::chrono::duration<double>(Clock::now() - deadlineStart).count() >
-        opts.timeLimitSeconds) {
+    if (deadline.expired()) {
       timedOut = true;
       return true;
     }
@@ -85,8 +82,9 @@ struct Search {
 
 }  // namespace
 
-IlpResult solveBinaryIlp(const Model& m, const IlpOptions& opts) {
-  Search search(m, opts);
+IlpResult solveBinaryIlp(const Model& m, const IlpOptions& opts,
+                         support::Deadline deadline) {
+  Search search(m, opts, support::Deadline::soonerOf(opts.deadline, deadline));
   Fixing fix(static_cast<std::size_t>(m.numVars()), -1);
   search.explore(fix);
 

@@ -12,6 +12,7 @@
 
 #include "ilp/model.h"
 #include "ilp/simplex.h"
+#include "support/deadline.h"
 
 namespace cpr::ilp {
 
@@ -32,12 +33,18 @@ struct IlpResult {
 
 struct IlpOptions {
   long maxNodes = 10'000'000;
-  double timeLimitSeconds = 1e9;
+  /// Wall-clock budget; the default-constructed Deadline is unset and never
+  /// expires (no more 1e9-seconds sentinel).
+  support::Deadline deadline;
   double integralityEps = 1e-6;
   LpOptions lp;
 };
 
+/// Solves the 0/1 model. `deadline` composes with `opts.deadline` (the
+/// sooner of the two wins); when either fires the best incumbent found so
+/// far is returned with IlpStatus::TimeLimit.
 [[nodiscard]] IlpResult solveBinaryIlp(const Model& m,
-                                       const IlpOptions& opts = {});
+                                       const IlpOptions& opts = {},
+                                       support::Deadline deadline = {});
 
 }  // namespace cpr::ilp

@@ -1,6 +1,9 @@
 #include "lefdef/def_io.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <ostream>
 #include <sstream>
@@ -62,14 +65,22 @@ class Tokenizer {
 
   Coord expectInt() {
     const std::string t = expectAny();
+    long long v = 0;
     try {
       std::size_t used = 0;
-      const long v = std::stol(t, &used);
+      v = std::stoll(t, &used);
       if (used != t.size()) throw std::invalid_argument(t);
-      return static_cast<Coord>(v);
+    } catch (const std::out_of_range&) {
+      throw DefParseError(line_, "integer out of range: '" + t + "'");
     } catch (const std::exception&) {
       throw DefParseError(line_, "expected integer, got '" + t + "'");
     }
+    // Coord is 32-bit: a syntactically valid token that does not fit must be
+    // rejected here, not silently truncated into a bogus coordinate.
+    if (v < std::numeric_limits<Coord>::min() ||
+        v > std::numeric_limits<Coord>::max())
+      throw DefParseError(line_, "integer out of range: '" + t + "'");
+    return static_cast<Coord>(v);
   }
 
   /// Reads "( x y )".
@@ -152,13 +163,19 @@ db::Design readDef(std::istream& is) {
   tok.expect(";");
   if (numRows <= 0 || tracksPerRow <= 0)
     throw DefParseError(tok.line(), "non-positive row geometry");
-  if (numRows * tracksPerRow != extent.y)
+  if (extent.x <= 0)
+    throw DefParseError(tok.line(), "non-positive die width");
+  // The product can overflow Coord (int32); compare in 64 bits.
+  if (static_cast<long long>(numRows) * tracksPerRow !=
+      static_cast<long long>(extent.y))
     throw DefParseError(tok.line(), "DIEAREA height disagrees with ROWS");
 
   db::Design design(name, extent.x, numRows, tracksPerRow);
 
   tok.expect("BLOCKAGES");
   const Coord nBlockages = tok.expectInt();
+  if (nBlockages < 0)
+    throw DefParseError(tok.line(), "negative BLOCKAGES count");
   tok.expect(";");
   for (Coord k = 0; k < nBlockages; ++k) {
     tok.expect("-");
@@ -175,6 +192,7 @@ db::Design readDef(std::istream& is) {
 
   tok.expect("NETS");
   const Coord nNets = tok.expectInt();
+  if (nNets < 0) throw DefParseError(tok.line(), "negative NETS count");
   tok.expect(";");
   for (Coord k = 0; k < nNets; ++k) {
     tok.expect("-");
@@ -203,16 +221,32 @@ db::Design readDef(std::istream& is) {
   return design;
 }
 
+namespace {
+
+/// "<verb>: <path>: <strerror>", with errno captured before it can be
+/// clobbered by further stream calls.
+std::string ioError(const std::string& verb, const std::string& path) {
+  const int err = errno;
+  std::string msg = verb + ": " + path;
+  if (err != 0) msg += std::string(": ") + std::strerror(err);
+  return msg;
+}
+
+}  // namespace
+
 void saveDef(const db::Design& design, const std::string& path) {
+  errno = 0;
   std::ofstream os(path);
-  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  if (!os) throw std::runtime_error(ioError("cannot open for writing", path));
   writeDef(design, os);
-  if (!os) throw std::runtime_error("write failed: " + path);
+  os.flush();
+  if (!os) throw std::runtime_error(ioError("write failed", path));
 }
 
 db::Design loadDef(const std::string& path) {
+  errno = 0;
   std::ifstream is(path);
-  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  if (!is) throw std::runtime_error(ioError("cannot open for reading", path));
   return readDef(is);
 }
 

@@ -19,19 +19,41 @@ inline constexpr std::string_view kConflictSets = "conflict.sets";
 inline constexpr std::string_view kLrIterations = "lr.iterations";
 inline constexpr std::string_view kLrRemovalRounds = "lr.removal.rounds";
 inline constexpr std::string_view kLrReexpandUpgrades = "lr.reexpand.upgrades";
+/// Subgradient loop stopped by a Deadline (the best-so-far solution is still
+/// repaired and returned, so the result stays legal).
+inline constexpr std::string_view kLrTimeout = "lr.timeout";
 // Specialized exact branch & bound (Section 3.3).
 inline constexpr std::string_view kExactNodes = "exact.nodes";
 inline constexpr std::string_view kExactNotProved = "exact.not_proved";
+/// Search truncated by a Deadline (as opposed to the node budget).
+inline constexpr std::string_view kExactTimeout = "exact.timeout";
 // Generic ILP translation path (Formula 1 via ilp::Model).
 inline constexpr std::string_view kIlpNodes = "ilp.nodes";
 inline constexpr std::string_view kIlpPivots = "ilp.lp.pivots";
 inline constexpr std::string_view kIlpNotProved = "ilp.not_proved";
+/// Generic B&B stopped by a Deadline (IlpStatus::TimeLimit).
+inline constexpr std::string_view kIlpTimeout = "ilp.timeout";
 // Design-level optimizer (panel fan-out).
 inline constexpr std::string_view kPaoPanels = "pao.panels";
 inline constexpr std::string_view kPaoIntervals = "pao.intervals.generated";
 inline constexpr std::string_view kPaoConflicts = "pao.conflicts.detected";
 inline constexpr std::string_view kPaoUnassigned = "pao.pins.unassigned";
 inline constexpr std::string_view kPaoFallbacks = "pao.solver.fallbacks";
+// Per-panel degradation ladder (see DESIGN.md "Failure model").
+/// The primary solver threw (or reported Failed); the panel was rescued by a
+/// lower rung of the ladder. The plan is still legal.
+inline constexpr std::string_view kPaoPanelFailed = "pao.panel.failed";
+/// The primary solver timed out, returned an illegal/empty incumbent, or the
+/// panel was solved by a fallback rung. Counted at most once per panel, and
+/// mutually exclusive with pao.panel.failed.
+inline constexpr std::string_view kPaoPanelDegraded = "pao.panel.degraded";
+/// Ladder rung that produced the shipped assignment, summed over panels:
+/// primary solves land in pao.panel.rung.primary, rescued panels in
+/// rung.lr / rung.greedy / rung.minimal.
+inline constexpr std::string_view kPaoRungPrimary = "pao.panel.rung.primary";
+inline constexpr std::string_view kPaoRungLr = "pao.panel.rung.lr";
+inline constexpr std::string_view kPaoRungGreedy = "pao.panel.rung.greedy";
+inline constexpr std::string_view kPaoRungMinimal = "pao.panel.rung.minimal";
 /// Bytes of the compiled CSR kernels, summed across panels. Size-based (not
 /// capacity-based), so the count is deterministic for a given design.
 inline constexpr std::string_view kPaoKernelBytes = "pao.kernel.bytes";
@@ -45,6 +67,8 @@ inline constexpr std::string_view kRouteSearches = "route.astar.searches";
 inline constexpr std::string_view kRoutePops = "route.astar.pops";
 inline constexpr std::string_view kRouteDroppedSharing =
     "route.dropped.sharing";
+/// A router loop (RRR, sequential queue, DRC repair) stopped by a Deadline.
+inline constexpr std::string_view kRouteTimeout = "route.timeout";
 // DRC signoff.
 inline constexpr std::string_view kDrcViolations = "drc.violations";
 inline constexpr std::string_view kDrcLineEnd = "drc.violations.line_end";

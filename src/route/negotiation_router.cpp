@@ -53,6 +53,10 @@ RoutingResult routeNegotiated(const db::Design& design,
   {
     obs::ScopedTimer t(obs, "route.rrr");
     for (int iter = 1; iter <= opts.maxRrrIterations; ++iter) {
+      if (opts.deadline.expired()) {
+        obs::add(obs, obs::names::kRouteTimeout);
+        break;
+      }
       const long congestion = grid.congestedNodeCount();
       if (congestion == 0) break;
       // Progress must be material (2%): a long tail of structurally shared
@@ -115,6 +119,10 @@ RoutingResult routeNegotiated(const db::Design& design,
   {
     obs::ScopedTimer t(obs, "route.drc_repair");
     for (int pass = 0; pass < opts.drcRepairPasses; ++pass) {
+      if (opts.deadline.expired()) {
+        obs::add(obs, obs::names::kRouteTimeout);
+        break;
+      }
       const auto nodes = engine.allNodes();
       const auto vias = engine.allVias();
       const DrcReport report = checkDesignRules(

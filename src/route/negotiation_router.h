@@ -20,6 +20,7 @@
 #include "route/drc.h"
 #include "route/maze.h"
 #include "route/result.h"
+#include "support/deadline.h"
 
 namespace cpr::route {
 
@@ -37,6 +38,12 @@ struct NegotiationOptions {
   /// Fill RoutingResult::geometry with each routed net's segments and vias
   /// (visualization / export); costs memory on big designs, off by default.
   bool keepGeometry = false;
+  /// Wall-clock budget (unset = none). Checked between rip-up & reroute
+  /// iterations and between DRC repair passes — the independent routing
+  /// stage and signoff always run, so an expired deadline still yields a
+  /// complete, consistently reported result (`route.timeout` counts the
+  /// loops cut short). Never checked mid-net, so nets are never half-routed.
+  support::Deadline deadline;
 };
 
 [[nodiscard]] RoutingResult routeNegotiated(const db::Design& design,

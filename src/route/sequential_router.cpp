@@ -62,6 +62,14 @@ RoutingResult routeSequential(const db::Design& design,
   int passes = 0;
 
   while (!queue.empty()) {
+    if (opts.deadline.expired()) {
+      // Budget fired: stop routing, mark everything still queued as failed
+      // (routed nets keep their geometry — nets are never half-routed).
+      obs::add(obs, obs::names::kRouteTimeout);
+      for (const Index n : queue) failed[static_cast<std::size_t>(n)] = 1;
+      queue.clear();
+      break;
+    }
     const Index net = queue.front();
     queue.pop_front();
     ++attempts[static_cast<std::size_t>(net)];
@@ -108,6 +116,10 @@ RoutingResult routeSequential(const db::Design& design,
 
   // ---- legalization: reroute DRC-dirty nets ----
   for (int pass = 0; pass < opts.legalizationPasses; ++pass) {
+    if (opts.deadline.expired()) {
+      obs::add(obs, obs::names::kRouteTimeout);
+      break;
+    }
     const auto nodes = engine.allNodes();
     const auto vias = engine.allVias();
     const DrcReport report = checkDesignRules(

@@ -15,6 +15,7 @@
 #include "route/drc.h"
 #include "route/maze.h"
 #include "route/result.h"
+#include "support/deadline.h"
 
 namespace cpr::route {
 
@@ -30,6 +31,10 @@ struct SequentialOptions {
   DrcRules drc;
   /// Fill RoutingResult::geometry (see NegotiationOptions::keepGeometry).
   bool keepGeometry = false;
+  /// Wall-clock budget (unset = none). Checked between queue pops and
+  /// between legalization passes; when it fires, still-queued nets are
+  /// marked failed (never half-routed) and `route.timeout` is counted.
+  support::Deadline deadline;
 };
 
 [[nodiscard]] RoutingResult routeSequential(const db::Design& design,

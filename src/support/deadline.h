@@ -1,0 +1,75 @@
+/// \file deadline.h
+/// Wall-clock budget type shared by every long-running stage.
+///
+/// A `Deadline` is a point on the steady clock; the default-constructed
+/// value is *unset* and never expires. Stages that accept a deadline poll
+/// `expired()` at their natural checkpoints (one subgradient iteration, one
+/// B&B node batch, one rip-up pass) and wind down gracefully — they return
+/// their best legal incumbent instead of throwing or blocking.
+///
+/// Deadlines compose: `soonerOf(a, b)` picks the tighter of two budgets and
+/// `sub(seconds)` carves a per-panel sub-budget out of a run-level deadline
+/// (the result never outlives the parent). This replaces the former ad-hoc
+/// `timeLimitSeconds = 1e9` sentinel doubles scattered through the solver
+/// option structs.
+#pragma once
+
+#include <chrono>
+#include <limits>
+
+namespace cpr::support {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unset: never expires.
+  constexpr Deadline() = default;
+
+  /// Expires `seconds` from now. Non-positive budgets produce a deadline
+  /// that is already expired (useful for "no budget left" propagation).
+  [[nodiscard]] static Deadline after(double seconds) {
+    return Deadline(Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(seconds)));
+  }
+
+  /// Expires at the given steady-clock instant.
+  [[nodiscard]] static Deadline at(Clock::time_point when) {
+    return Deadline(when);
+  }
+
+  [[nodiscard]] bool isSet() const { return set_; }
+
+  /// Seconds until expiry: +infinity when unset, <= 0 when expired.
+  [[nodiscard]] double remaining() const {
+    if (!set_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(when_ - Clock::now()).count();
+  }
+
+  [[nodiscard]] bool expired() const {
+    return set_ && Clock::now() >= when_;
+  }
+
+  /// The tighter of two deadlines; unset values never win.
+  [[nodiscard]] static Deadline soonerOf(Deadline a, Deadline b) {
+    if (!a.set_) return b;
+    if (!b.set_) return a;
+    return a.when_ <= b.when_ ? a : b;
+  }
+
+  /// A sub-budget of `seconds` carved out of this deadline: expires at
+  /// now + seconds, but never after the parent. Used by the optimizer to
+  /// hand each panel its own slice of the run budget.
+  [[nodiscard]] Deadline sub(double seconds) const {
+    return soonerOf(*this, after(seconds));
+  }
+
+ private:
+  explicit Deadline(Clock::time_point when) : when_(when), set_(true) {}
+
+  Clock::time_point when_{};
+  bool set_ = false;
+};
+
+}  // namespace cpr::support

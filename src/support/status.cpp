@@ -1,0 +1,26 @@
+#include "support/status.h"
+
+namespace cpr::support {
+
+std::string_view statusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::Ok: return "ok";
+    case StatusCode::Degraded: return "degraded";
+    case StatusCode::TimedOut: return "timed_out";
+    case StatusCode::Infeasible: return "infeasible";
+    case StatusCode::Failed: return "failed";
+  }
+  return "unknown";
+}
+
+std::string Status::toString() const {
+  std::string out(statusCodeName(code_));
+  if (!message_.empty()) {
+    out += " (";
+    out += message_;
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace cpr::support

@@ -1,0 +1,95 @@
+/// \file status.h
+/// Lightweight error channel for the fault-tolerant pipeline.
+///
+/// Panel solves and other degradable stages report a `Status` instead of
+/// throwing: exceptions are caught at the stage boundary (worker threads
+/// must never see one escape — that would call std::terminate) and folded
+/// into one of five codes. `Outcome<T>` carries a value *and* a status, so
+/// a timed-out solve can still hand back its best legal incumbent while
+/// flagging that the budget fired.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace cpr::support {
+
+enum class StatusCode {
+  Ok,          ///< completed normally; result is legal and final
+  Degraded,    ///< a legal result exists but quality was sacrificed
+  TimedOut,    ///< a Deadline fired; result is the best incumbent so far
+  Infeasible,  ///< no result exists (e.g. every candidate blocked)
+  Failed,      ///< an exception or internal error; result is unusable
+};
+
+[[nodiscard]] std::string_view statusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  // Ok
+
+  [[nodiscard]] static Status ok() { return Status(); }
+  [[nodiscard]] static Status degraded(std::string message = {}) {
+    return Status(StatusCode::Degraded, std::move(message));
+  }
+  [[nodiscard]] static Status timedOut(std::string message = {}) {
+    return Status(StatusCode::TimedOut, std::move(message));
+  }
+  [[nodiscard]] static Status infeasible(std::string message = {}) {
+    return Status(StatusCode::Infeasible, std::move(message));
+  }
+  [[nodiscard]] static Status failed(std::string message = {}) {
+    return Status(StatusCode::Failed, std::move(message));
+  }
+
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+  [[nodiscard]] bool isOk() const { return code_ == StatusCode::Ok; }
+  /// True for every code that still comes with a usable (legal) value:
+  /// Ok, Degraded, and TimedOut-with-incumbent all qualify; whether a value
+  /// is actually attached is the Outcome's business.
+  [[nodiscard]] bool isFailure() const {
+    return code_ == StatusCode::Failed || code_ == StatusCode::Infeasible;
+  }
+
+  /// "ok", "degraded (message)", ...
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_ = StatusCode::Ok;
+  std::string message_;
+};
+
+/// A value plus the status of the computation that produced it. Unlike
+/// `std::expected`, failure outcomes still hold a (default-constructed or
+/// partial) value, because degradable stages often have a best-effort
+/// result worth inspecting even when the status is not Ok.
+template <typename T>
+class Outcome {
+ public:
+  Outcome() = default;
+  /* implicit */ Outcome(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+  Outcome(Status status, T value)
+      : status_(std::move(status)), value_(std::move(value)) {}
+  /* implicit */ Outcome(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {}
+
+  [[nodiscard]] const Status& status() const { return status_; }
+  [[nodiscard]] StatusCode code() const { return status_.code(); }
+  [[nodiscard]] bool isOk() const { return status_.isOk(); }
+
+  [[nodiscard]] T& value() { return value_; }
+  [[nodiscard]] const T& value() const { return value_; }
+  [[nodiscard]] T&& take() { return std::move(value_); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace cpr::support

@@ -55,7 +55,7 @@ TEST(Optimizer, ExactPlanIsLegalAndDominatesLr) {
   const PinAccessPlan lr = optimizePinAccess(d, lrOpts);
   OptimizerOptions exOpts;
   exOpts.method = Method::Exact;
-  exOpts.exact.timeLimitSeconds = 5.0;
+  exOpts.exact.deadline = support::Deadline::after(5.0);
   const PinAccessPlan exact = optimizePinAccess(d, exOpts);
   checkPlan(d, exact);
   // The exact incumbent is seeded with the LR solution, so per-design it can

@@ -144,13 +144,15 @@ TEST_P(PanelKernelProperty, ScratchReuseDoesNotChangeResults) {
   for (int panel = 0; panel < 2; ++panel) {
     const Problem p = panelProblem(d, panel);
     const PanelKernel k = PanelKernel::compile(Problem(p));
-    ExactOptions eo;
-    eo.timeLimitSeconds = 5.0;
     for (const auto& solver :
          {std::unique_ptr<Solver>(std::make_unique<LrSolver>()),
-          std::unique_ptr<Solver>(std::make_unique<ExactSolver>(eo))}) {
-      const Assignment fresh = solver->solve(k);
-      const Assignment reused = solver->solve(k, &arena);
+          std::unique_ptr<Solver>(std::make_unique<ExactSolver>())}) {
+      // Each solve gets its own relative budget: a shared absolute deadline
+      // could fire between the two calls and break bit-identity.
+      const Assignment fresh = solver->solve(k, nullptr, nullptr,
+                                             support::Deadline::after(10.0));
+      const Assignment reused = solver->solve(k, &arena, nullptr,
+                                              support::Deadline::after(10.0));
       EXPECT_EQ(fresh.intervalOfPin, reused.intervalOfPin) << solver->name();
       EXPECT_EQ(fresh.objective, reused.objective) << solver->name();
       EXPECT_EQ(fresh.violations, reused.violations) << solver->name();

@@ -46,7 +46,7 @@ TEST(SolverInterface, LrMatchesFreeFunction) {
 TEST(SolverInterface, ExactMatchesFreeFunction) {
   const Problem p = makeProblem(19);
   ExactOptions eo;
-  eo.timeLimitSeconds = 10.0;
+  eo.deadline = support::Deadline::after(10.0);
   const Assignment direct = solveExact(p, eo);
   const Assignment viaIface = ExactSolver{eo}.solve(p);
   expectSameAssignment(direct, viaIface);
@@ -77,7 +77,7 @@ TEST(SolverInterface, AllThreeSolversAgreeOnObjective) {
   detectConflicts(p);
 
   ExactOptions eo;
-  eo.timeLimitSeconds = 10.0;
+  eo.deadline = support::Deadline::after(10.0);
   const Assignment lr = LrSolver{{}}.solve(p);
   const Assignment exact = ExactSolver{eo}.solve(p);
   const Assignment ilp = IlpSolver{{}}.solve(p);
@@ -96,7 +96,7 @@ TEST(SolverInterface, SolversEmitCanonicalCounters) {
 
   obs::Collector exObs;
   ExactOptions eo;
-  eo.timeLimitSeconds = 10.0;
+  eo.deadline = support::Deadline::after(10.0);
   (void)ExactSolver{eo}.solve(p, &exObs);
   EXPECT_GT(exObs.counter(obs::names::kExactNodes), 0);
 
@@ -126,7 +126,7 @@ TEST(SolverInterface, OptimizerHonorsCustomSolverOverride) {
 
   OptimizerOptions viaEnum;
   viaEnum.method = Method::Exact;
-  viaEnum.exact.timeLimitSeconds = 5.0;
+  viaEnum.exact.deadline = support::Deadline::after(5.0);
   const PinAccessPlan a = optimizePinAccess(d, viaEnum);
 
   OptimizerOptions viaOverride;  // method left at Lr: override must win
@@ -159,7 +159,7 @@ TEST(SolverInterface, KernelOverloadMatchesProblemOverload) {
   const PanelKernel k = PanelKernel::compile(Problem(p));
 
   ExactOptions eo;
-  eo.timeLimitSeconds = 10.0;
+  eo.deadline = support::Deadline::after(10.0);
   const std::unique_ptr<Solver> solvers[] = {
       makeSolver(Method::Lr), makeSolver(Method::Exact, {}, eo),
       makeSolver(Method::Ilp)};
@@ -182,7 +182,7 @@ TEST(SolverInterface, GoldenObjectivesPinned) {
                             {19, 172.90642536321195},
                             {29, 207.59023232254097}};
   ExactOptions eo;
-  eo.timeLimitSeconds = 10.0;
+  eo.deadline = support::Deadline::after(10.0);
   for (const Golden& g : goldens) {
     const Problem p = makeProblem(g.seed);
     const Assignment lr = solveLr(p);

@@ -98,7 +98,7 @@ TEST(BnbEdge, TimeLimitReturnsBestEffort) {
     m.addConstraint(std::move(terms), Sense::LessEqual, 2.0);
   }
   IlpOptions opts;
-  opts.timeLimitSeconds = 0.0;
+  opts.deadline = support::Deadline::after(0.0);
   const IlpResult r = solveBinaryIlp(m, opts);
   EXPECT_EQ(r.status, IlpStatus::TimeLimit);
 }

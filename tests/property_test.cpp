@@ -68,7 +68,7 @@ TEST_P(DesignProperty, SolversProduceLegalComparableSolutions) {
 
   const core::Assignment lr = core::solveLr(p);
   core::ExactOptions eo;
-  eo.timeLimitSeconds = 5.0;
+  eo.deadline = support::Deadline::after(5.0);
   const core::Assignment exact = core::solveExact(p, eo);
 
   for (const core::Assignment* a : {&lr, &exact}) {

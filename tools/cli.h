@@ -122,6 +122,9 @@ class Parser {
 
   [[nodiscard]] bool helpRequested() const { return help_; }
 
+  /// Free-form text printed after the option table (exit codes, examples).
+  void epilog(std::string text) { epilog_ = std::move(text); }
+
   void printUsage(std::FILE* out = stdout) const {
     std::fprintf(out, "%s — %s\n", program_.c_str(), summary_.c_str());
     for (const Option& o : opts_) {
@@ -129,6 +132,7 @@ class Parser {
       if (!o.valueName.empty()) left += " <" + o.valueName + ">";
       std::fprintf(out, "  %-34s %s\n", left.c_str(), o.help.c_str());
     }
+    if (!epilog_.empty()) std::fprintf(out, "\n%s", epilog_.c_str());
   }
 
  private:
@@ -160,6 +164,7 @@ class Parser {
 
   std::string program_;
   std::string summary_;
+  std::string epilog_;
   std::vector<Option> opts_;
   bool help_ = false;
 };

@@ -9,6 +9,11 @@
 ///   cpr_route --design ecc --pin-access ilp      # lr | ilp | generic
 ///   cpr_route --design ecc --threads 4 --report run.json --trace run.trace.json
 ///   cpr_route --design ecc --svg out.svg --routed-def out.def --seed 9
+///   cpr_route --def big.def --time-limit 30 --panel-budget 0.5
+///
+/// Exit codes (see --help): 0 success, 2 usage error, 3 bad input (DEF parse
+/// or design validation failure), 4 completed but degraded (some panels fell
+/// down the degradation ladder), 5 internal error.
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -17,9 +22,11 @@
 #include "eval/metrics.h"
 #include "gen/generator.h"
 #include "lefdef/def_io.h"
+#include "obs/names.h"
 #include "obs/report.h"
 #include "route/cpr.h"
 #include "route/sequential_router.h"
+#include "support/deadline.h"
 #include "viz/svg.h"
 
 namespace {
@@ -34,8 +41,20 @@ struct Args {
   std::string reportPath;
   std::string tracePath;
   std::uint64_t seed = 7;
-  int threads = 0;  ///< 0 = hardware concurrency
+  int threads = 0;         ///< 0 = hardware concurrency
+  double timeLimit = 0.0;  ///< run wall-clock budget, seconds (0 = none)
+  double panelBudget = 0.0;  ///< per-panel solve budget, seconds (0 = none)
 };
+
+constexpr char kExitCodeHelp[] =
+    "exit codes:\n"
+    "  0  success\n"
+    "  2  usage error (unknown flag, bad value, no design)\n"
+    "  3  bad input: DEF parse error (line number on stderr) or the design\n"
+    "     failed validation\n"
+    "  4  completed, but degraded: some panels lost their primary solver\n"
+    "     (see the pao.panel.failed / pao.panel.degraded counters)\n"
+    "  5  internal error, or an output file could not be written\n";
 
 }  // namespace
 
@@ -66,6 +85,14 @@ int main(int argc, char** argv) {
   parser.option("--routed-def", "path", "write routed DEF",
                 &args.routedDefPath);
   parser.option("--seed", "n", "generator seed (default 7)", &args.seed);
+  parser.option("--time-limit", "seconds",
+                "run wall-clock budget; when it fires, pin access panels "
+                "degrade gracefully and routing loops stop early (0 = none)",
+                &args.timeLimit);
+  parser.option("--panel-budget", "seconds",
+                "per-panel pin access solve budget (0 = none)",
+                &args.panelBudget);
+  parser.epilog(kExitCodeHelp);
   if (!parser.parse(argc, argv)) return 2;
   if (parser.helpRequested() ||
       (args.design.empty() && args.defPath.empty())) {
@@ -73,14 +100,27 @@ int main(int argc, char** argv) {
     return parser.helpRequested() ? 0 : 2;
   }
 
+  int exitCode = 0;
   try {
-    const db::Design d = !args.defPath.empty()
-                             ? lefdef::loadDef(args.defPath)
-                             : gen::makeSuiteDesign(gen::suiteSpec(args.design),
-                                                    args.seed);
+    const support::Deadline runDeadline =
+        args.timeLimit > 0.0 ? support::Deadline::after(args.timeLimit)
+                             : support::Deadline{};
+    const gen::SuiteSpec* spec = nullptr;
+    if (args.defPath.empty()) {
+      try {
+        spec = &gen::suiteSpec(args.design);
+      } catch (const std::invalid_argument&) {
+        std::fprintf(stderr,
+                     "unknown --design %s (want ecc|efc|ctl|alu|div|top)\n",
+                     args.design.c_str());
+        return 2;
+      }
+    }
+    const db::Design d = spec ? gen::makeSuiteDesign(*spec, args.seed)
+                              : lefdef::loadDef(args.defPath);
     if (const std::string report = d.validate(); !report.empty()) {
       std::fprintf(stderr, "design fails validation:\n%s", report.c_str());
-      return 1;
+      return 3;
     }
     std::printf("design %s: %zu nets, %zu pins, %d x %d grid\n",
                 d.name().c_str(), d.nets().size(), d.pins().size(), d.width(),
@@ -101,18 +141,24 @@ int main(int argc, char** argv) {
     if (args.scheme == "seq") {
       route::SequentialOptions opts;
       opts.keepGeometry = wantGeometry;
+      opts.deadline = runDeadline;
       result = route::routeSequential(d, opts);
     } else if (args.scheme == "nopao") {
       route::NegotiationOptions opts;
       opts.keepGeometry = wantGeometry;
+      opts.deadline = runDeadline;
       result = route::routeNegotiated(d, nullptr, opts);
     } else if (args.scheme == "cpr") {
       route::CprOptions opts;
       opts.routing.keepGeometry = wantGeometry;
+      opts.routing.deadline = runDeadline;
       opts.pinAccess.threads = args.threads;
+      opts.pinAccess.deadline = runDeadline;
+      opts.pinAccess.panelBudgetSeconds = args.panelBudget;
       if (args.pinAccess == "ilp") {
         opts.pinAccess.method = core::Method::Exact;
-        opts.pinAccess.exact.timeLimitSeconds = 1.0;  // per panel
+        if (args.panelBudget <= 0.0)
+          opts.pinAccess.panelBudgetSeconds = 1.0;  // per panel
       } else if (args.pinAccess == "generic") {
         opts.pinAccess.method = core::Method::Ilp;
       } else if (args.pinAccess != "lr") {
@@ -126,6 +172,20 @@ int main(int argc, char** argv) {
       plan = std::move(r.plan);
       extraSeconds = r.pinAccessSeconds;
       run.merge(plan.stats);
+      const long faulted =
+          plan.stats.counter(obs::names::kPaoPanelFailed) +
+          plan.stats.counter(obs::names::kPaoPanelDegraded) +
+          plan.stats.counter(obs::names::kPaoFallbacks);
+      if (faulted > 0) {
+        std::fprintf(stderr,
+                     "warning: %ld panel(s) degraded below the primary "
+                     "solver (failed=%ld degraded=%ld fallbacks=%ld)\n",
+                     faulted,
+                     plan.stats.counter(obs::names::kPaoPanelFailed),
+                     plan.stats.counter(obs::names::kPaoPanelDegraded),
+                     plan.stats.counter(obs::names::kPaoFallbacks));
+        exitCode = 4;  // completed, but degraded
+      }
     } else {
       std::fprintf(stderr, "unknown --scheme %s\n", args.scheme.c_str());
       return 2;
@@ -161,9 +221,13 @@ int main(int argc, char** argv) {
       lefdef::writeRoutedDef(d, result.geometry, os);
       std::printf("wrote %s\n", args.routedDefPath.c_str());
     }
+  } catch (const lefdef::DefParseError& e) {
+    // e.what() already carries "DEF parse error at line N: ...".
+    std::fprintf(stderr, "error: %s: %s\n", args.defPath.c_str(), e.what());
+    return 3;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return 5;
   }
-  return 0;
+  return exitCode;
 }
