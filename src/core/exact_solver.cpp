@@ -1,11 +1,11 @@
 #include "core/exact_solver.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 
 #include "obs/names.h"
+#include "support/contracts.h"
 
 namespace cpr::core {
 
@@ -97,7 +97,7 @@ struct Search {
       double lsum = 0.0;
       for (const double l : s.lambda) lsum += l;
       bound += lsum;
-      obs::row(obs, "exact.root", {"iter", "bound"},
+      obs::row(obs, obs::names::kExactRootSeries, {"iter", "bound"},
                {static_cast<double>(it), bound});
       if (bound < bestBound - 1e-12) {
         bestBound = bound;
@@ -176,14 +176,17 @@ struct Search {
       const ExactTrailOp op = s.trail.back();
       s.trail.pop_back();
       if (op.isStatus) {
+        CPR_DCHECK(static_cast<std::size_t>(op.idx) < s.status.size());
         s.status[static_cast<std::size_t>(op.idx)] = kFree;
       } else {
+        CPR_DCHECK(static_cast<std::size_t>(op.idx) < s.assignedTo.size());
         s.assignedTo[static_cast<std::size_t>(op.idx)] = geom::kInvalidIndex;
       }
     }
   }
 
   bool setZero(Index i) {
+    CPR_DCHECK(static_cast<std::size_t>(i) < s.status.size());
     std::uint8_t& st = s.status[static_cast<std::size_t>(i)];
     if (st == kOne) return false;
     if (st == kFree) {
@@ -195,6 +198,7 @@ struct Search {
 
   /// Forces x_i = 1 and propagates the equality (1b) and conflict (1c) rows.
   bool forceOne(Index i) {
+    CPR_DCHECK(static_cast<std::size_t>(i) < s.status.size());
     std::uint8_t& st = s.status[static_cast<std::size_t>(i)];
     if (st == kZero) return false;
     if (st == kFree) {
@@ -433,7 +437,7 @@ Assignment solveExact(const PanelKernel& k, const ExactOptions& opts,
   obs::add(obs, obs::names::kExactNodes, search.nodes);
   if (!out.provedOptimal) obs::add(obs, obs::names::kExactNotProved);
   if (search.timedOut) obs::add(obs, obs::names::kExactTimeout);
-  obs::row(obs, "exact.panel",
+  obs::row(obs, obs::names::kExactPanelSeries,
            {"nodes", "root_bound", "best_objective", "gap", "proved"},
            {static_cast<double>(search.nodes), rootBound, out.objective,
             rootBound - out.objective, out.provedOptimal ? 1.0 : 0.0});

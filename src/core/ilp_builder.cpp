@@ -3,6 +3,8 @@
 #include <cmath>
 #include <string>
 
+#include "support/contracts.h"
+
 namespace cpr::core {
 
 IlpBuild buildIlpModel(const PanelKernel& k, bool pairwiseConflicts) {
@@ -19,8 +21,10 @@ IlpBuild buildIlpModel(const PanelKernel& k, bool pairwiseConflicts) {
     if (cand.empty()) continue;
     std::vector<ilp::Term> terms;
     terms.reserve(cand.size());
-    for (const Index i : cand)
+    for (const Index i : cand) {
+      CPR_DCHECK(static_cast<std::size_t>(i) < out.varOfInterval.size());
       terms.push_back({out.varOfInterval[static_cast<std::size_t>(i)], 1.0});
+    }
     out.model.addConstraint(std::move(terms), ilp::Sense::Equal, 1.0);
   }
   if (!pairwiseConflicts) {
@@ -29,8 +33,10 @@ IlpBuild buildIlpModel(const PanelKernel& k, bool pairwiseConflicts) {
       const std::span<const Index> members = k.membersOf(static_cast<Index>(m));
       std::vector<ilp::Term> terms;
       terms.reserve(members.size());
-      for (const Index i : members)
+      for (const Index i : members) {
+        CPR_DCHECK(static_cast<std::size_t>(i) < out.varOfInterval.size());
         terms.push_back({out.varOfInterval[static_cast<std::size_t>(i)], 1.0});
+      }
       out.model.addConstraint(std::move(terms), ilp::Sense::LessEqual, 1.0);
     }
   } else {
@@ -58,11 +64,16 @@ Assignment decodeIlpSolution(const PanelKernel& k, const IlpBuild& build,
                              const std::vector<double>& x) {
   Assignment out;
   const std::size_t nPins = k.numPins();
+  // The solution vector must cover every variable the build created, and
+  // the build must map every interval of this kernel: a mismatched pair
+  // (kernel from one panel, build from another) would decode garbage.
+  CPR_CHECK(build.varOfInterval.size() == k.numIntervals());
   out.intervalOfPin.assign(nPins, geom::kInvalidIndex);
   for (std::size_t j = 0; j < nPins; ++j) {
     for (const Index i : k.candidatesOf(static_cast<Index>(j))) {
       const auto var = static_cast<std::size_t>(
           build.varOfInterval[static_cast<std::size_t>(i)]);
+      CPR_DCHECK(var < x.size());
       if (x[var] > 0.5) {
         out.intervalOfPin[j] = i;
         out.objective += k.profitOf(i);

@@ -1,11 +1,11 @@
 #include "core/lr_solver.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 
 #include "obs/names.h"
+#include "support/contracts.h"
 
 namespace cpr::core {
 
@@ -31,6 +31,7 @@ void runMaxGainsOrdered(const PanelKernel& k,
   auto select = [&](Index i) {
     sel.push_back(i);
     for (const Index q : k.pinsOf(i)) {
+      CPR_DCHECK(static_cast<std::size_t>(q) < assign.size());
       if (assign[static_cast<std::size_t>(q)] == geom::kInvalidIndex) {
         assign[static_cast<std::size_t>(q)] = i;
         --unassigned;
@@ -128,6 +129,7 @@ Assignment solveLr(const PanelKernel& k, const LrOptions& opts, LrStats* stats,
   s.dirtyList.clear();
 
   auto markDirty = [&](Index i) {
+    CPR_DCHECK(static_cast<std::size_t>(i) < s.dirtyFlag.size());
     if (!s.dirtyFlag[static_cast<std::size_t>(i)]) {
       s.dirtyFlag[static_cast<std::size_t>(i)] = 1;
       s.dirtyList.push_back(i);
@@ -171,6 +173,9 @@ Assignment solveLr(const PanelKernel& k, const LrOptions& opts, LrStats* stats,
           s.mergeBuf.push_back(s.dirtyKeys[b++]);
         }
       }
+      // The merge must be a permutation: same key count in as out, or the
+      // incremental order has dropped/duplicated an interval.
+      CPR_DCHECK(s.mergeBuf.size() == s.keys.size());
       s.keys.swap(s.mergeBuf);
     }
     for (const Index i : s.dirtyList)
@@ -197,6 +202,7 @@ Assignment solveLr(const PanelKernel& k, const LrOptions& opts, LrStats* stats,
     int vio = 0;
     const double step = 1.0 / std::pow(static_cast<double>(it), opts.alpha);
     auto applyDelta = [&](Index m, double delta) {
+      CPR_DCHECK(static_cast<std::size_t>(m) < s.lambda.size());
       s.lambda[static_cast<std::size_t>(m)] += delta;
       lambdaL1 += delta;  // multipliers stay >= 0, so Σλ is the L1 norm
       for (const Index i : k.membersOf(m)) {
@@ -232,7 +238,7 @@ Assignment solveLr(const PanelKernel& k, const LrOptions& opts, LrStats* stats,
         const Index i = s.curAssign[j];
         if (i != geom::kInvalidIndex) curObjective += k.profitOf(i);
       }
-      obs->row("lr.iter",
+      obs->row(obs::names::kLrIterSeries,
                {"iter", "violations", "best_violations", "lambda_norm",
                 "objective"},
                {static_cast<double>(it), static_cast<double>(vio),
@@ -294,7 +300,7 @@ Assignment solveLr(const PanelKernel& k, const LrOptions& opts, LrStats* stats,
       for (std::size_t q = 0; q < nPins; ++q) {
         if (s.bestAssign[q] != i) continue;
         const Index mi = k.minimalIntervalOf(static_cast<Index>(q));
-        assert(mi != geom::kInvalidIndex);
+        CPR_DCHECK(mi != geom::kInvalidIndex);
         s.bestAssign[q] = mi;
         s.selFlag[static_cast<std::size_t>(mi)] = 1;
       }
@@ -416,6 +422,7 @@ Assignment solveLr(const PanelKernel& k, const LrOptions& opts, LrStats* stats,
           if (!ok) continue;
           for (const Index q : covered) {
             const std::size_t qq = static_cast<std::size_t>(q);
+            CPR_DCHECK(s.bestAssign[qq] != geom::kInvalidIndex);
             --s.usage[static_cast<std::size_t>(s.bestAssign[qq])];
             s.bestAssign[qq] = i;
             ++s.usage[ii];

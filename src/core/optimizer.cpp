@@ -116,13 +116,13 @@ PanelOutcome solvePanel(const db::Design& design, const db::Panel& panel,
   try {
     Problem problem;
     {
-      obs::ScopedTimer t(obs, "pao.gen");
+      obs::ScopedTimer t(obs, obs::names::kPaoGenSpan);
       problem = buildProblem(design, panel, opts.gen, obs);
       if (opts.profitModel != ProfitModel::SqrtSpan)
         assignProfits(problem, opts.profitModel);
     }
     {
-      obs::ScopedTimer t(obs, "pao.conflict");
+      obs::ScopedTimer t(obs, obs::names::kPaoConflictSpan);
       detectConflicts(problem, obs);
     }
     obs->add(obs::names::kPaoIntervals,
@@ -130,7 +130,7 @@ PanelOutcome solvePanel(const db::Design& design, const db::Panel& panel,
     obs->add(obs::names::kPaoConflicts,
              static_cast<long>(problem.conflicts.size()));
     {
-      obs::ScopedTimer t(obs, "pao.compile");
+      obs::ScopedTimer t(obs, obs::names::kPaoCompileSpan);
       out.kernel = PanelKernel::compile(std::move(problem));
     }
     obs->add(obs::names::kPaoKernelBytes,
@@ -149,7 +149,7 @@ PanelOutcome solvePanel(const db::Design& design, const db::Panel& panel,
         support::Status::timedOut("run deadline expired before panel start"),
         Assignment{}};
     if (!runExpired) {
-      obs::ScopedTimer t(obs, "pao.solve");
+      obs::ScopedTimer t(obs, obs::names::kPaoSolveSpan);
       primary = solver.trySolve(out.kernel, &scratch, obs, panelDeadline);
     }
 
@@ -162,7 +162,7 @@ PanelOutcome solvePanel(const db::Design& design, const db::Panel& panel,
       // Walk the degradation ladder. Every rung below the primary solver is
       // cheaper and more reliable than the one above; the terminal rung
       // cannot fail.
-      obs::ScopedTimer t(obs, "pao.fallback");
+      obs::ScopedTimer t(obs, obs::names::kPaoFallbackSpan);
       obs->add(obs::names::kPaoFallbacks);
       if (!runExpired && solver.name() != "lr") {
         support::Outcome<Assignment> lr =
@@ -201,17 +201,17 @@ PanelOutcome solvePanel(const db::Design& design, const db::Panel& panel,
         obs->add(obs::names::kPaoPanelFailed);
       else
         obs->add(obs::names::kPaoPanelDegraded);
-      obs->note("pao.panel.status", primary.status().toString());
+      obs->note(obs::names::kPaoPanelStatusNote, primary.status().toString());
     }
   } catch (const std::exception& e) {
     out.stats.add(obs::names::kPaoPanelFailed);
-    out.stats.note("pao.panel.error", e.what());
+    out.stats.note(obs::names::kPaoPanelErrorNote, e.what());
     out.assignment = Assignment{};
     out.assignment.intervalOfPin.assign(out.kernel.numPins(),
                                         geom::kInvalidIndex);
   } catch (...) {
     out.stats.add(obs::names::kPaoPanelFailed);
-    out.stats.note("pao.panel.error", "non-standard exception");
+    out.stats.note(obs::names::kPaoPanelErrorNote, "non-standard exception");
     out.assignment = Assignment{};
     out.assignment.intervalOfPin.assign(out.kernel.numPins(),
                                         geom::kInvalidIndex);
@@ -246,7 +246,7 @@ PinAccessPlan optimizePinAccess(const db::Design& design,
   {
     // Scoped so the span is closed before `plan` can be returned (the timer
     // must not outlive its collector's final resting place).
-    obs::ScopedTimer total(&plan.stats, "pao.total");
+    obs::ScopedTimer total(&plan.stats, obs::names::kPaoTotalSpan);
     if (threads <= 1) {
       for (std::size_t k = 0; k < work.size(); ++k)
         outcomes[k] = solvePanel(design, *work[k], opts, *solver,
@@ -272,9 +272,9 @@ PinAccessPlan optimizePinAccess(const db::Design& design,
   // counters and series must not.
   std::size_t peak = 0;
   for (const PanelScratch& a : arenas) peak = std::max(peak, a.footprintBytes());
-  plan.stats.gauge("pao.scratch.peak_bytes", static_cast<double>(peak));
+  plan.stats.gauge(obs::names::kPaoScratchPeakBytes, static_cast<double>(peak));
 
-  plan.stats.note("pao.solver", solver->name());
+  plan.stats.note(obs::names::kPaoSolverNote, solver->name());
   plan.stats.add(obs::names::kPaoPanels, static_cast<long>(work.size()));
   // Merge in panel order: counters and series come out identical for any
   // thread count (only span wall-times differ run to run).

@@ -1,6 +1,7 @@
 #include "core/panel_kernel.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 
 namespace cpr::core {
@@ -15,6 +16,10 @@ void flatten(std::size_t n, RowOf rowOf, std::vector<Index>& off,
   std::size_t total = 0;
   for (std::size_t r = 0; r < n; ++r) {
     total += rowOf(r).size();
+    // Offsets are stored as Index; a panel whose flat adjacency no longer
+    // fits would silently wrap and corrupt every span handed out later.
+    CPR_CHECK(total <=
+              static_cast<std::size_t>(std::numeric_limits<Index>::max()));
     off[r + 1] = static_cast<Index>(total);
   }
   data.clear();
@@ -50,8 +55,12 @@ PanelKernel PanelKernel::compile(Problem&& p) {
   // the same order the nested `csOf` construction produced.
   k.ivConfOff_.assign(nIv + 1, 0);
   for (std::size_t m = 0; m < nCs; ++m) {
-    for (const Index i : q.conflicts[m].intervals)
+    for (const Index i : q.conflicts[m].intervals) {
+      // A conflict member outside the interval table would turn the
+      // counting sort below into an out-of-bounds histogram write.
+      CPR_DCHECK(static_cast<std::size_t>(i) < nIv);
       ++k.ivConfOff_[static_cast<std::size_t>(i) + 1];
+    }
   }
   for (std::size_t i = 1; i <= nIv; ++i) k.ivConfOff_[i] += k.ivConfOff_[i - 1];
   k.ivConf_.assign(static_cast<std::size_t>(k.ivConfOff_[nIv]), 0);
@@ -127,8 +136,11 @@ AssignmentAudit audit(const PanelKernel& k, const Assignment& a) {
   AssignmentAudit out;
   std::vector<Index> selected;
   const std::size_t nPins = k.numPins();
+  CPR_CHECK(a.intervalOfPin.size() == nPins);
   for (std::size_t j = 0; j < nPins; ++j) {
     const Index i = a.intervalOfPin[j];
+    CPR_DCHECK(i == geom::kInvalidIndex ||
+               static_cast<std::size_t>(i) < k.numIntervals());
     if (i == geom::kInvalidIndex) {
       ++out.unassignedPins;
       continue;

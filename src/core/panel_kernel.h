@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/problem.h"
+#include "support/contracts.h"
 
 namespace cpr::core {
 
@@ -116,6 +117,12 @@ class PanelKernel {
   [[nodiscard]] static std::span<const Index> csr(
       const std::vector<Index>& off, const std::vector<Index>& data, Index k) {
     const auto kk = static_cast<std::size_t>(k);
+    // Contract: `k` names a row of this CSR adjacency and the row's
+    // half-open offset range lies inside `data`. Debug builds fail loudly
+    // on an out-of-range row id instead of handing out a wild span.
+    CPR_DCHECK(kk + 1 < off.size());
+    CPR_DCHECK(off[kk] <= off[kk + 1]);
+    CPR_DCHECK(static_cast<std::size_t>(off[kk + 1]) <= data.size());
     return {data.data() + off[kk],
             static_cast<std::size_t>(off[kk + 1] - off[kk])};
   }

@@ -4,6 +4,7 @@
 
 #include "core/ilp_builder.h"
 #include "obs/names.h"
+#include "support/contracts.h"
 
 namespace cpr::core {
 
@@ -87,7 +88,7 @@ std::unique_ptr<Solver> makeSolver(Method method, const LrOptions& lr,
     case Method::Exact: return std::make_unique<ExactSolver>(exact);
     case Method::Ilp: return std::make_unique<IlpSolver>(ilp);
   }
-  return std::make_unique<LrSolver>(lr);  // unreachable
+  CPR_UNREACHABLE();
 }
 
 }  // namespace cpr::core

@@ -3,8 +3,15 @@
 /// accessors on result structs. Naming convention:
 /// `<layer>.<subject>[.<aspect>]`, dot-separated lower_snake_case segments.
 /// Layers: gen, conflict, lr, exact, ilp, pao, route, drc, cli, bench.
+///
+/// This header is the only place a metric-name literal may be spelled out:
+/// the `cpr_lint` rule OBS-LITERAL rejects inline `"pao.*"` / `"route.*"` /
+/// `"drc.*"` / `"ilp.*"` strings everywhere else, and every constant below
+/// must be mirrored in `kAll` (the duplicate/typo guard in obs_names_test
+/// checks uniqueness and the naming grammar over that registry).
 #pragma once
 
+#include <array>
 #include <string_view>
 
 namespace cpr::obs::names {
@@ -57,6 +64,27 @@ inline constexpr std::string_view kPaoRungMinimal = "pao.panel.rung.minimal";
 /// Bytes of the compiled CSR kernels, summed across panels. Size-based (not
 /// capacity-based), so the count is deterministic for a given design.
 inline constexpr std::string_view kPaoKernelBytes = "pao.kernel.bytes";
+/// Arena high-water mark across workers (a gauge: the value depends on how
+/// panels landed on workers, so it may vary with the thread count).
+inline constexpr std::string_view kPaoScratchPeakBytes =
+    "pao.scratch.peak_bytes";
+// Optimizer phase spans (ScopedTimer names) and run notes.
+inline constexpr std::string_view kPaoGenSpan = "pao.gen";
+inline constexpr std::string_view kPaoConflictSpan = "pao.conflict";
+inline constexpr std::string_view kPaoCompileSpan = "pao.compile";
+inline constexpr std::string_view kPaoSolveSpan = "pao.solve";
+inline constexpr std::string_view kPaoFallbackSpan = "pao.fallback";
+inline constexpr std::string_view kPaoTotalSpan = "pao.total";
+/// Note: name() of the primary solver that ran the panels.
+inline constexpr std::string_view kPaoSolverNote = "pao.solver";
+/// Note: status line of the last non-Ok primary solve (degradation ladder).
+inline constexpr std::string_view kPaoPanelStatusNote = "pao.panel.status";
+/// Note: what() of an exception caught at the panel boundary.
+inline constexpr std::string_view kPaoPanelErrorNote = "pao.panel.error";
+// Solver trace series (per-iteration rows).
+inline constexpr std::string_view kLrIterSeries = "lr.iter";
+inline constexpr std::string_view kExactRootSeries = "exact.root";
+inline constexpr std::string_view kExactPanelSeries = "exact.panel";
 // Routing.
 inline constexpr std::string_view kRouteRrrIterations = "route.rrr.iterations";
 inline constexpr std::string_view kRouteCongestedPreRrr =
@@ -69,11 +97,43 @@ inline constexpr std::string_view kRouteDroppedSharing =
     "route.dropped.sharing";
 /// A router loop (RRR, sequential queue, DRC repair) stopped by a Deadline.
 inline constexpr std::string_view kRouteTimeout = "route.timeout";
+// Negotiation-router phase spans.
+inline constexpr std::string_view kRouteIndependentSpan = "route.independent";
+inline constexpr std::string_view kRouteRrrSpan = "route.rrr";
+inline constexpr std::string_view kRouteDrcRepairSpan = "route.drc_repair";
+inline constexpr std::string_view kRouteSignoffSpan = "route.signoff";
 // DRC signoff.
 inline constexpr std::string_view kDrcViolations = "drc.violations";
 inline constexpr std::string_view kDrcLineEnd = "drc.violations.line_end";
 inline constexpr std::string_view kDrcViaSpacing =
     "drc.violations.via_spacing";
 inline constexpr std::string_view kDrcDirtyNets = "drc.nets.dirty";
+
+/// Registry of every canonical name above, in declaration order. New
+/// constants MUST be appended here too; obs_names_test asserts the entries
+/// are unique and follow the `^[a-z]+(\.[a-z_]+)+$` grammar, which is what
+/// catches a typo'd or duplicated metric name at test time rather than in a
+/// dashboard.
+inline constexpr std::array<std::string_view, 56> kAll = {
+    kGenIntervals,         kGenShared,           kGenBlockedPins,
+    kConflictSets,         kLrIterations,        kLrRemovalRounds,
+    kLrReexpandUpgrades,   kLrTimeout,           kExactNodes,
+    kExactNotProved,       kExactTimeout,        kIlpNodes,
+    kIlpPivots,            kIlpNotProved,        kIlpTimeout,
+    kPaoPanels,            kPaoIntervals,        kPaoConflicts,
+    kPaoUnassigned,        kPaoFallbacks,        kPaoPanelFailed,
+    kPaoPanelDegraded,     kPaoRungPrimary,      kPaoRungLr,
+    kPaoRungGreedy,        kPaoRungMinimal,      kPaoKernelBytes,
+    kPaoScratchPeakBytes,  kPaoGenSpan,          kPaoConflictSpan,
+    kPaoCompileSpan,       kPaoSolveSpan,        kPaoFallbackSpan,
+    kPaoTotalSpan,         kPaoSolverNote,       kPaoPanelStatusNote,
+    kPaoPanelErrorNote,    kLrIterSeries,        kExactRootSeries,
+    kExactPanelSeries,     kRouteRrrIterations,  kRouteCongestedPreRrr,
+    kRouteRipups,          kRouteRetries,        kRouteSearches,
+    kRoutePops,            kRouteDroppedSharing, kRouteTimeout,
+    kRouteIndependentSpan, kRouteRrrSpan,        kRouteDrcRepairSpan,
+    kRouteSignoffSpan,     kDrcViolations,       kDrcLineEnd,
+    kDrcViaSpacing,        kDrcDirtyNets,
+};
 
 }  // namespace cpr::obs::names

@@ -42,7 +42,7 @@ RoutingResult routeNegotiated(const db::Design& design,
   costs.present = 0.0F;
   costs.hardBlockOccupied = false;
   {
-    obs::ScopedTimer t(obs, "route.independent");
+    obs::ScopedTimer t(obs, obs::names::kRouteIndependentSpan);
     for (Index n = 0; n < numNets; ++n) routeWithRetry(engine, n, costs, obs);
   }
   obs->add(obs::names::kRouteCongestedPreRrr, grid.congestedNodeCount());
@@ -51,7 +51,7 @@ RoutingResult routeNegotiated(const db::Design& design,
   long bestCongestion = grid.congestedNodeCount();
   int congestionStall = 0;
   {
-    obs::ScopedTimer t(obs, "route.rrr");
+    obs::ScopedTimer t(obs, obs::names::kRouteRrrSpan);
     for (int iter = 1; iter <= opts.maxRrrIterations; ++iter) {
       if (opts.deadline.expired()) {
         obs::add(obs, obs::names::kRouteTimeout);
@@ -117,7 +117,7 @@ RoutingResult routeNegotiated(const db::Design& design,
   costs.present = opts.presentFactor * static_cast<float>(opts.maxRrrIterations);
   costs.adjacency = 0.5F * costs.present;
   {
-    obs::ScopedTimer t(obs, "route.drc_repair");
+    obs::ScopedTimer t(obs, obs::names::kRouteDrcRepairSpan);
     for (int pass = 0; pass < opts.drcRepairPasses; ++pass) {
       if (opts.deadline.expired()) {
         obs::add(obs, obs::names::kRouteTimeout);
@@ -152,7 +152,7 @@ RoutingResult routeNegotiated(const db::Design& design,
   {
     // Scoped so the span closes before `result` can be returned (a timer
     // must never outlive the collector it points into).
-    obs::ScopedTimer t(obs, "route.signoff");
+    obs::ScopedTimer t(obs, obs::names::kRouteSignoffSpan);
     const auto nodes = engine.allNodes();
     const auto vias = engine.allVias();
     const DrcReport report = checkDesignRules(

@@ -1,0 +1,22 @@
+#include "support/contracts.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cpr::support::detail {
+
+[[noreturn]] void contractFail(const char* macro, const char* expr,
+                               const char* file, int line) {
+  // The message is assembled before any I/O so both exits carry it intact.
+  std::string what = std::string(macro) + " failed: " + expr + " at " + file +
+                     ":" + std::to_string(line);
+#if defined(NDEBUG) && !defined(CPR_CONTRACTS_FATAL)
+  throw ContractViolation(what);
+#else
+  std::fprintf(stderr, "%s\n", what.c_str());
+  std::fflush(stderr);
+  std::abort();
+#endif
+}
+
+}  // namespace cpr::support::detail

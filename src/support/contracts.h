@@ -1,0 +1,74 @@
+/// \file contracts.h
+/// Project contract macros guarding index math on the hot paths.
+///
+/// Three macros, one failure funnel:
+///
+///   CPR_CHECK(cond)    always compiled in. The guard of record for cheap,
+///                      cold-path structural invariants (once per panel
+///                      compile, once per decode).
+///   CPR_DCHECK(cond)   compiled in when NDEBUG is not defined (Debug and
+///                      sanitizer builds); stripped to a type-checked no-op
+///                      in Release/RelWithDebInfo so the CSR hot loops keep
+///                      their measured throughput. The guard for per-element
+///                      bounds in kernel/scratch/ILP index math.
+///   CPR_UNREACHABLE()  marks a branch the surrounding invariants exclude.
+///                      Debug builds fail loudly; NDEBUG builds lower to
+///                      __builtin_unreachable().
+///
+/// Failure semantics (see DESIGN.md "Static analysis & contracts"): in
+/// builds without NDEBUG a violated contract prints the expression plus
+/// file:line to stderr and aborts — crisp for death tests and debuggers. In
+/// NDEBUG builds a violated CPR_CHECK throws `ContractViolation`
+/// (a std::logic_error), which the non-throwing `Solver::trySolve` panel
+/// boundary converts to StatusCode::Failed so the degradation ladder rescues
+/// the panel instead of the process dying — the contract becomes
+/// Status-returning exactly at the boundary that is specified never to
+/// throw.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cpr::support {
+
+/// Thrown by a violated always-on contract in NDEBUG builds. Inherits
+/// std::logic_error so the trySolve boundary (and any std::exception net)
+/// classifies it as a solver fault.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+namespace detail {
+
+/// Shared failure funnel for all three macros. Never returns: aborts in
+/// builds without NDEBUG, throws ContractViolation otherwise.
+[[noreturn]] void contractFail(const char* macro, const char* expr,
+                               const char* file, int line);
+
+}  // namespace detail
+}  // namespace cpr::support
+
+#define CPR_CHECK(cond)                                                 \
+  (static_cast<bool>(cond)                                              \
+       ? static_cast<void>(0)                                           \
+       : ::cpr::support::detail::contractFail("CPR_CHECK", #cond,       \
+                                              __FILE__, __LINE__))
+
+#if defined(NDEBUG) && !defined(CPR_ENABLE_DCHECKS)
+// Type-checked but never evaluated: sizeof keeps `cond` a real expression
+// (so stripped contracts cannot rot) without generating any code.
+#define CPR_DCHECK(cond) static_cast<void>(sizeof((cond) ? 1 : 1))
+#define CPR_UNREACHABLE() __builtin_unreachable()
+#else
+#define CPR_DCHECK(cond)                                                \
+  (static_cast<bool>(cond)                                              \
+       ? static_cast<void>(0)                                           \
+       : ::cpr::support::detail::contractFail("CPR_DCHECK", #cond,      \
+                                              __FILE__, __LINE__))
+#define CPR_UNREACHABLE()                                               \
+  ::cpr::support::detail::contractFail("CPR_UNREACHABLE",               \
+                                       "control reached", __FILE__,     \
+                                       __LINE__)
+#endif

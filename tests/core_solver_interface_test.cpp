@@ -139,8 +139,10 @@ TEST(SolverInterface, OptimizerHonorsCustomSolverOverride) {
     EXPECT_EQ(a.routes[j].span, b.routes[j].span);
   }
   EXPECT_DOUBLE_EQ(a.objective, b.objective);
-  EXPECT_EQ(a.stats.notes().at("pao.solver"), "exact");
-  EXPECT_EQ(b.stats.notes().at("pao.solver"), "exact");
+  EXPECT_EQ(a.stats.notes().at(std::string(cpr::obs::names::kPaoSolverNote)),
+            "exact");
+  EXPECT_EQ(b.stats.notes().at(std::string(cpr::obs::names::kPaoSolverNote)),
+            "exact");
 }
 
 TEST(SolverInterface, KernelOverloadMatchesProblemOverload) {

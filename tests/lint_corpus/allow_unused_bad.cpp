@@ -1,0 +1,6 @@
+// lint-as: src/viz/example.cpp
+// lint-expect: ALLOW-UNUSED@5
+#include <string>
+
+// cpr-lint: allow(BANNED-FN)
+std::string greet() { return "hello"; }

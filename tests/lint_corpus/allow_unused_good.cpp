@@ -1,0 +1,6 @@
+// lint-as: src/viz/example.cpp
+// lint-expect: none
+#include <cstdlib>
+
+// cpr-lint: allow(BANNED-FN)
+int parseLegacy(const char* s) { return atoi(s); }

@@ -1,0 +1,12 @@
+// lint-as: src/viz/example.cpp
+// lint-expect: BANNED-FN@8 BANNED-FN@9 BANNED-FN@10
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+int shout(const char* s, char* buf) {
+  const int v = atoi(s);
+  sprintf(buf, "%d", v);
+  std::cout << buf << std::endl;
+  return v;
+}

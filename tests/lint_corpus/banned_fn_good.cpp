@@ -1,0 +1,12 @@
+// lint-as: src/viz/example.cpp
+// lint-expect: none
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+int shout(const std::string& s, char* buf, std::size_t n) {
+  const int v = std::stoi(s);
+  std::snprintf(buf, n, "%d", v);
+  std::cout << buf << '\n';
+  return v;
+}

@@ -1,0 +1,12 @@
+// lint-as: src/core/panel_kernel.cpp
+// lint-expect: CONTRACT-COVERAGE@7 CONTRACT-COVERAGE@11
+#include <cstddef>
+#include <vector>
+
+const int* row(const std::vector<int>& off, const std::vector<int>& data, int k) {
+  return data.data() + off[k];
+}
+
+double punType(const unsigned char* bytes) {
+  return *reinterpret_cast<const double*>(bytes);
+}

@@ -1,0 +1,16 @@
+// lint-as: src/core/panel_kernel.cpp
+// lint-expect: none
+#include <cstddef>
+#include <vector>
+
+#include "support/contracts.h"
+
+const int* row(const std::vector<int>& off, const std::vector<int>& data, int k) {
+  CPR_DCHECK(static_cast<std::size_t>(k + 1) < off.size());
+  return data.data() + off[k];
+}
+
+double punType(const unsigned char* bytes) {
+  CPR_DCHECK(bytes != nullptr);
+  return *reinterpret_cast<const double*>(bytes);
+}

@@ -1,0 +1,11 @@
+// lint-as: src/core/my_solver.cpp
+// lint-expect: DEADLINE-RAW@6 DEADLINE-RAW@10
+#include <chrono>
+
+struct LegacyOptions {
+  double timeLimitSeconds = 1e9;
+};
+
+bool pollWallClock(std::chrono::steady_clock::time_point until) {
+  return std::chrono::steady_clock::now() >= until;
+}

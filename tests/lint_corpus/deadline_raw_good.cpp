@@ -1,0 +1,13 @@
+// lint-as: bench/timing.cpp
+// lint-expect: none
+#include <chrono>
+
+#include "support/deadline.h"
+
+// Measurement code outside src/core and src/ilp may read the steady clock.
+double elapsedSeconds(std::chrono::steady_clock::time_point t0) {
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+bool budgetFired(const cpr::support::Deadline& d) { return d.expired(); }

@@ -1,0 +1,7 @@
+// lint-as: src/core/example.h
+// lint-expect: HEADER-HYGIENE@1 HEADER-HYGIENE@5
+#include <vector>
+
+using namespace std;
+
+inline int twice(int v) { return 2 * v; }

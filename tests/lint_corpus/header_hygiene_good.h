@@ -1,0 +1,9 @@
+// lint-as: src/core/example.h
+// lint-expect: none
+#pragma once
+
+#include <vector>
+
+namespace cpr::core {
+inline int twice(int v) { return 2 * v; }
+}  // namespace cpr::core

@@ -1,0 +1,9 @@
+// lint-as: src/core/example.cpp
+// lint-expect: OBS-LITERAL@6 OBS-LITERAL@8
+#include "obs/collector.h"
+
+void record(cpr::obs::Collector* obs) {
+  cpr::obs::add(obs, "pao.panels");
+  // a commented-out "route.ripups" literal must NOT fire
+  cpr::obs::add(obs, "route.astar.pops", 3);
+}

@@ -1,0 +1,12 @@
+// lint-as: src/core/example.cpp
+// lint-expect: none
+#include "obs/collector.h"
+#include "obs/names.h"
+
+void record(cpr::obs::Collector* obs) {
+  cpr::obs::add(obs, cpr::obs::names::kPaoPanels);
+  // cpr-lint: allow(OBS-LITERAL)
+  cpr::obs::add(obs, "drc.violations");
+  cpr::obs::add(obs, "ilp.nodes", 2);  // cpr-lint: allow(OBS-LITERAL)
+  cpr::obs::add(obs, "not.a.reserved.prefix");
+}

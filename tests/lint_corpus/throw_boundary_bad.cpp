@@ -1,0 +1,11 @@
+// lint-as: src/core/panel_kernel.cpp
+// lint-expect: THROW-BOUNDARY@7 THROW-BOUNDARY@11
+#include <cstdlib>
+#include <stdexcept>
+
+int mustBePositive(int v) {
+  if (v < 0) throw std::invalid_argument("negative");
+  return v;
+}
+
+void hardStop() { std::abort(); }

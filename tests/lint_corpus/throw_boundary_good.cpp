@@ -1,0 +1,10 @@
+// lint-as: src/lefdef/parser_util.cpp
+// lint-expect: none
+#include <stdexcept>
+
+// Parsers outside the trySolve panel boundary may throw; the boundary
+// converts anything escaping a solver into a support::Status instead.
+int parsePositive(int v) {
+  if (v < 0) throw std::invalid_argument("negative");
+  return v;
+}

@@ -1,0 +1,211 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+
+namespace cpr::lint {
+
+namespace {
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool isIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// True when `ident` is one of the raw-string prefixes, so that an
+/// immediately following quote starts `R"delim(...)delim"` syntax.
+bool isRawPrefix(std::string_view ident) {
+  return ident == "R" || ident == "LR" || ident == "uR" || ident == "UR" ||
+         ident == "u8R";
+}
+
+/// Parses a suppression directive (the `cpr-lint:` marker with an
+/// allow-list) out of a comment body, if present.
+bool parseAllow(std::string_view comment, int line, Allow& out) {
+  const std::string_view key = "cpr-lint:";
+  const std::size_t at = comment.find(key);
+  if (at == std::string_view::npos) return false;
+  std::size_t i = at + key.size();
+  while (i < comment.size() && comment[i] == ' ') ++i;
+  const std::string_view word = "allow(";
+  if (comment.substr(i, word.size()) != word) return false;
+  i += word.size();
+  const std::size_t close = comment.find(')', i);
+  if (close == std::string_view::npos) return false;
+  out.line = line;
+  out.rules.clear();
+  std::string cur;
+  for (std::size_t p = i; p <= close; ++p) {
+    const char c = p < close ? comment[p] : ',';
+    if (c == ',' ) {
+      if (!cur.empty()) out.rules.push_back(cur);
+      cur.clear();
+    } else if (c != ' ') {
+      cur.push_back(c);
+    }
+  }
+  return !out.rules.empty();
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexResult run() {
+    while (pos_ < src_.size()) step();
+    return std::move(result_);
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  void emit(TokKind kind, std::string text, int line) {
+    result_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  /// Consumes a quoted literal after the opening quote, honouring escapes.
+  std::string quoted(char quote) {
+    std::string content;
+    while (pos_ < src_.size()) {
+      const char c = advance();
+      if (c == '\\' && pos_ < src_.size()) {
+        content.push_back(c);
+        content.push_back(advance());
+        continue;
+      }
+      if (c == quote) break;
+      content.push_back(c);
+    }
+    return content;
+  }
+
+  void rawString(int line) {
+    // R"delim( ... )delim"  — no escapes inside.
+    std::string delim;
+    while (pos_ < src_.size() && peek() != '(') delim.push_back(advance());
+    if (pos_ < src_.size()) advance();  // '('
+    const std::string closer = ")" + delim + "\"";
+    std::string content;
+    while (pos_ < src_.size()) {
+      if (src_.compare(pos_, closer.size(), closer) == 0) {
+        for (std::size_t i = 0; i < closer.size(); ++i) advance();
+        break;
+      }
+      content.push_back(advance());
+    }
+    emit(TokKind::String, std::move(content), line);
+  }
+
+  void lineComment(int line) {
+    std::string body;
+    while (pos_ < src_.size() && peek() != '\n') body.push_back(advance());
+    Allow allow;
+    if (parseAllow(body, line, allow)) result_.allows.push_back(allow);
+  }
+
+  void blockComment(int line) {
+    std::string body;
+    while (pos_ < src_.size()) {
+      if (peek() == '*' && peek(1) == '/') {
+        advance();
+        advance();
+        break;
+      }
+      body.push_back(advance());
+    }
+    Allow allow;
+    if (parseAllow(body, line, allow)) result_.allows.push_back(allow);
+  }
+
+  void number(int line) {
+    // pp-number: digits, letters, dots, digit separators, exponent signs.
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = peek();
+      if (isIdentCont(c) || c == '.' || c == '\'') {
+        text.push_back(advance());
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            (peek() == '+' || peek() == '-'))
+          text.push_back(advance());
+      } else {
+        break;
+      }
+    }
+    emit(TokKind::Number, std::move(text), line);
+  }
+
+  void step() {
+    const char c = peek();
+    const int line = line_;
+    if (c == '\\' && peek(1) == '\n') {  // line continuation
+      advance();
+      advance();
+      return;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      return;
+    }
+    if (c == '/' && peek(1) == '/') {
+      advance();
+      advance();
+      lineComment(line);
+      return;
+    }
+    if (c == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      blockComment(line);
+      return;
+    }
+    if (c == '"') {
+      advance();
+      emit(TokKind::String, quoted('"'), line);
+      return;
+    }
+    if (c == '\'') {
+      advance();
+      emit(TokKind::CharLit, quoted('\''), line);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      number(line);
+      return;
+    }
+    if (isIdentStart(c)) {
+      std::string ident;
+      while (pos_ < src_.size() && isIdentCont(peek()))
+        ident.push_back(advance());
+      if (peek() == '"' && isRawPrefix(ident)) {
+        advance();  // opening quote
+        rawString(line);
+        return;
+      }
+      emit(TokKind::Identifier, std::move(ident), line);
+      return;
+    }
+    emit(TokKind::Punct, std::string(1, advance()), line);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  LexResult result_;
+};
+
+}  // namespace
+
+LexResult lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace cpr::lint

@@ -1,0 +1,55 @@
+/// \file lexer.h
+/// Token-level C++ lexer for cpr_lint (tools/lint).
+///
+/// Deliberately not a parser: the project invariants the linter enforces
+/// (metric-name literals, clock polling, throw statements, banned
+/// identifiers, header directives) are all visible at the token level, and a
+/// token lexer is immune to the macro/template constructs that break
+/// regex-over-raw-text linters. The lexer's one hard job is to classify
+/// comments and string/character literals correctly — including raw strings,
+/// escapes, and line continuations — so rules never fire on commented-out
+/// code or on words inside unrelated strings.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cpr::lint {
+
+enum class TokKind {
+  Identifier,  ///< identifiers and keywords (no keyword table needed)
+  Number,      ///< pp-number: 123, 0x1f, 1e-12, 1'000'000
+  String,      ///< string literal; `text` is the content between the quotes
+  CharLit,     ///< character literal; `text` is the content between quotes
+  Punct,       ///< one punctuation character
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;  ///< 1-based line of the token's first character
+};
+
+/// One suppression directive: a comment holding the `cpr-lint:` marker
+/// followed by `allow(RULE-A, RULE-B)`. A directive applies to
+/// diagnostics on its own line and on the line directly below,
+/// so it can share the offending line or sit immediately above it. There is
+/// deliberately no file-level (blanket) form.
+struct Allow {
+  int line = 0;
+  std::vector<std::string> rules;
+  bool used = false;  ///< set by the engine when it suppresses a diagnostic
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Allow> allows;
+};
+
+/// Lexes a whole translation unit. Never fails: unterminated literals and
+/// comments are closed at end of input (the rules still see every token
+/// produced before the breakage).
+[[nodiscard]] LexResult lex(std::string_view source);
+
+}  // namespace cpr::lint

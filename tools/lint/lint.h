@@ -1,0 +1,54 @@
+/// \file lint.h
+/// cpr_lint rule engine: project-invariant checks over lexed C++ sources.
+///
+/// Each rule has a stable ID, fires file:line diagnostics, and can be
+/// silenced per line with an `allow(RULE-ID)` comment directive (prefixed
+/// by the `cpr-lint:` marker) on the offending line or the line directly
+/// above it. There is no blanket (file- or
+/// tree-level) suppression on purpose: the repo is expected to lint clean,
+/// and every exception must be visible at the exact line it excuses. The
+/// rule table lives in DESIGN.md ("Static analysis & contracts").
+///
+/// Scoping is path-based: `relPath` must be the repo-relative path with
+/// forward slashes (e.g. "src/core/panel_kernel.cpp"); several rules only
+/// apply under src/core, to panel_kernel translation units, or to headers.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cpr::lint {
+
+struct Diagnostic {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;
+};
+
+/// Stable rule registry, in severity-agnostic alphabetical order.
+[[nodiscard]] const std::vector<RuleInfo>& ruleTable();
+
+/// Lints one translation unit. Diagnostics come back sorted by line then
+/// rule ID; suppressed findings are dropped and stale `allow(...)`
+/// directives surface as ALLOW-UNUSED.
+[[nodiscard]] std::vector<Diagnostic> lintSource(const std::string& relPath,
+                                                 std::string_view source);
+
+/// Walks `subdirs` under `rootDir`, lints every C++ source file
+/// (.h/.hpp/.cpp/.cc/.cxx), and concatenates the per-file diagnostics in
+/// path-sorted order. Directories named build*, corpus, lint_corpus, or
+/// starting with '.' are skipped. When `scannedFiles` is non-null it
+/// receives the repo-relative path of every file visited.
+[[nodiscard]] std::vector<Diagnostic> lintTree(
+    const std::filesystem::path& rootDir, const std::vector<std::string>& subdirs,
+    std::vector<std::string>* scannedFiles = nullptr);
+
+}  // namespace cpr::lint

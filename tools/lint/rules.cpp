@@ -1,0 +1,317 @@
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+#include "lint/lint.h"
+
+namespace cpr::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool startsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool endsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool isHeaderPath(std::string_view rel) {
+  return endsWith(rel, ".h") || endsWith(rel, ".hpp");
+}
+
+/// Files implementing the `Solver::trySolve` panel boundary and its
+/// degradation-ladder rungs: the no-throw hot-path set of THROW-BOUNDARY.
+bool isTrySolveBoundary(std::string_view rel) {
+  if (rel.find("panel_kernel") != std::string_view::npos) return true;
+  constexpr std::array<std::string_view, 8> kFiles = {
+      "src/core/solver.cpp",       "src/core/solver.h",
+      "src/core/optimizer.cpp",    "src/core/optimizer.h",
+      "src/core/lr_solver.cpp",    "src/core/lr_solver.h",
+      "src/core/exact_solver.cpp", "src/core/exact_solver.h",
+  };
+  return std::find(kFiles.begin(), kFiles.end(), rel) != kFiles.end();
+}
+
+/// Solver-loop directories where argless wall-clock polling is banned
+/// (measurement code in obs/, route result timing, and benches keep their
+/// steady-clock reads; solver code must poll a composable Deadline).
+bool isSolverScope(std::string_view rel) {
+  return startsWith(rel, "src/core/") || startsWith(rel, "src/ilp/");
+}
+
+/// Canonical metric-name shape with one of the reserved first segments:
+/// `pao|route|drc|ilp` followed by >= 1 dot-separated [a-z0-9_] segments.
+bool isReservedMetricName(std::string_view text) {
+  const std::size_t dot = text.find('.');
+  if (dot == std::string_view::npos) return false;
+  const std::string_view head = text.substr(0, dot);
+  if (head != "pao" && head != "route" && head != "drc" && head != "ilp")
+    return false;
+  std::string_view rest = text.substr(dot + 1);
+  if (rest.empty()) return false;
+  std::size_t segLen = 0;
+  for (const char c : rest) {
+    if (c == '.') {
+      if (segLen == 0) return false;
+      segLen = 0;
+      continue;
+    }
+    const bool ok =
+        (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+    ++segLen;
+  }
+  return segLen > 0;
+}
+
+struct FileLint {
+  const std::string& rel;
+  const std::vector<Token>& toks;
+  std::vector<Diagnostic> raw;
+
+  void report(std::string_view rule, int line, std::string message) {
+    raw.push_back(Diagnostic{std::string(rule), rel, line, std::move(message)});
+  }
+
+  [[nodiscard]] bool tokIs(std::size_t i, std::string_view text) const {
+    return i < toks.size() && toks[i].text == text;
+  }
+
+  void obsLiteral() {
+    if (rel == "src/obs/names.h") return;  // the one legal home of literals
+    for (const Token& t : toks) {
+      if (t.kind != TokKind::String) continue;
+      if (!isReservedMetricName(t.text)) continue;
+      report("OBS-LITERAL", t.line,
+             "inline metric-name literal \"" + t.text +
+                 "\"; use the obs::names::k* constant (add it to "
+                 "src/obs/names.h and its kAll registry)");
+    }
+  }
+
+  void deadlineRaw() {
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::Identifier) continue;
+      if (t.text == "timeLimitSeconds") {
+        report("DEADLINE-RAW", t.line,
+               "raw wall-clock budget double; thread a support::Deadline "
+               "through the options instead");
+        continue;
+      }
+      if (t.text == "now" && isSolverScope(rel) && i >= 2 &&
+          tokIs(i - 1, ":") && tokIs(i - 2, ":") && tokIs(i + 1, "(") &&
+          tokIs(i + 2, ")")) {
+        report("DEADLINE-RAW", t.line,
+               "argless clock polling inside solver code; poll a composable "
+               "support::Deadline (expired()/remaining()) instead");
+      }
+    }
+  }
+
+  void throwBoundary() {
+    if (!isTrySolveBoundary(rel)) return;
+    for (const Token& t : toks) {
+      if (t.kind != TokKind::Identifier) continue;
+      if (t.text == "throw" || t.text == "abort") {
+        report("THROW-BOUNDARY", t.line,
+               "'" + t.text +
+                   "' inside the non-throwing trySolve panel boundary; fail "
+                   "through support/contracts.h or return a support::Status");
+      }
+    }
+  }
+
+  void bannedFn() {
+    constexpr std::array<std::string_view, 10> kBanned = {
+        "rand",  "srand",    "strtok", "atoi", "atol",
+        "atof",  "sprintf",  "vsprintf", "gets", "endl",
+    };
+    for (const Token& t : toks) {
+      if (t.kind != TokKind::Identifier) continue;
+      if (std::find(kBanned.begin(), kBanned.end(), t.text) == kBanned.end())
+        continue;
+      const std::string why =
+          t.text == "endl"
+              ? "flushes the stream every call; write '\\n'"
+              : t.text == "rand" || t.text == "srand"
+                    ? "non-deterministic across libcs; use <random> engines"
+                    : "unbounded/locale-dependent C function; use the "
+                      "checked C++ alternative";
+      report("BANNED-FN", t.line, "banned function '" + t.text + "': " + why);
+    }
+  }
+
+  void headerHygiene() {
+    if (!isHeaderPath(rel)) return;
+    bool pragmaOnce = false;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (tokIs(i, "#") && tokIs(i + 1, "pragma") && tokIs(i + 2, "once"))
+        pragmaOnce = true;
+      if (toks[i].kind == TokKind::Identifier && toks[i].text == "using" &&
+          tokIs(i + 1, "namespace")) {
+        report("HEADER-HYGIENE", toks[i].line,
+               "'using namespace' in a header leaks into every includer; "
+               "qualify names instead");
+      }
+    }
+    if (!pragmaOnce)
+      report("HEADER-HYGIENE", 1, "header is missing '#pragma once'");
+  }
+
+  void contractCoverage() {
+    if (rel.find("panel_kernel") == std::string::npos) return;
+    // Lines holding a contract macro; a raw access within the window below
+    // one of these counts as guarded.
+    std::vector<int> contractLines;
+    for (const Token& t : toks) {
+      if (t.kind == TokKind::Identifier &&
+          (t.text == "CPR_CHECK" || t.text == "CPR_DCHECK" ||
+           t.text == "CPR_UNREACHABLE"))
+        contractLines.push_back(t.line);
+    }
+    constexpr int kWindow = 8;
+    auto guarded = [&](int line) {
+      return std::any_of(contractLines.begin(), contractLines.end(),
+                         [&](int c) { return c <= line && line - c <= kWindow; });
+    };
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      int hit = 0;
+      if (t.kind == TokKind::Identifier && t.text == "reinterpret_cast")
+        hit = t.line;
+      if (t.kind == TokKind::Punct && t.text == "." && tokIs(i + 1, "data") &&
+          tokIs(i + 2, "(") && tokIs(i + 3, ")") && tokIs(i + 4, "+"))
+        hit = t.line;
+      if (hit != 0 && !guarded(hit)) {
+        report("CONTRACT-COVERAGE", hit,
+               "raw CSR pointer access without a CPR_DCHECK/CPR_CHECK bounds "
+               "contract in the preceding " +
+                   std::to_string(kWindow) + " lines");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const std::vector<RuleInfo>& ruleTable() {
+  static const std::vector<RuleInfo> kTable = {
+      {"ALLOW-UNUSED",
+       "a 'cpr-lint: allow(...)' directive that suppresses nothing"},
+      {"BANNED-FN",
+       "rand/srand/strtok/atoi/atol/atof/sprintf/vsprintf/gets/std::endl"},
+      {"CONTRACT-COVERAGE",
+       "raw CSR pointer access in panel_kernel.* must sit under a contract"},
+      {"DEADLINE-RAW",
+       "timeLimitSeconds doubles anywhere; argless ::now() polling in "
+       "src/core|src/ilp"},
+      {"HEADER-HYGIENE",
+       "headers need #pragma once and must not 'using namespace'"},
+      {"OBS-LITERAL",
+       "inline \"pao|route|drc|ilp.*\" metric literals outside obs/names.h"},
+      {"THROW-BOUNDARY",
+       "throw/abort in panel_kernel.* or trySolve-boundary files"},
+  };
+  return kTable;
+}
+
+std::vector<Diagnostic> lintSource(const std::string& relPath,
+                                   std::string_view source) {
+  LexResult lx = lex(source);
+  FileLint fl{relPath, lx.tokens, {}};
+  fl.obsLiteral();
+  fl.deadlineRaw();
+  fl.throwBoundary();
+  fl.bannedFn();
+  fl.headerHygiene();
+  fl.contractCoverage();
+
+  // Per-line suppression: an allow directive covers its own line and the
+  // line directly below it, for the named rules only.
+  std::vector<Diagnostic> kept;
+  for (Diagnostic& d : fl.raw) {
+    bool suppressed = false;
+    for (Allow& a : lx.allows) {
+      if (a.line != d.line && a.line + 1 != d.line) continue;
+      if (std::find(a.rules.begin(), a.rules.end(), d.rule) == a.rules.end())
+        continue;
+      a.used = true;
+      suppressed = true;
+    }
+    if (!suppressed) kept.push_back(std::move(d));
+  }
+  for (const Allow& a : lx.allows) {
+    if (a.used) continue;
+    kept.push_back(Diagnostic{
+        "ALLOW-UNUSED", relPath, a.line,
+        "suppression matches no diagnostic on this or the next line; "
+        "remove it"});
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+            });
+  return kept;
+}
+
+std::vector<Diagnostic> lintTree(const fs::path& rootDir,
+                                 const std::vector<std::string>& subdirs,
+                                 std::vector<std::string>* scannedFiles) {
+  auto skipDir = [](const std::string& name) {
+    return startsWith(name, "build") || startsWith(name, ".") ||
+           name == "corpus" || name == "lint_corpus" || name == "results";
+  };
+  auto lintable = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc" ||
+           ext == ".cxx";
+  };
+  std::vector<fs::path> files;
+  for (const std::string& sub : subdirs) {
+    const fs::path base = rootDir / sub;
+    std::error_code ec;
+    if (fs::is_regular_file(base, ec)) {
+      if (lintable(base)) files.push_back(base);
+      continue;
+    }
+    if (!fs::is_directory(base, ec)) continue;
+    fs::recursive_directory_iterator it(base, ec), end;
+    while (!ec && it != end) {
+      if (it->is_directory() && skipDir(it->path().filename().string())) {
+        it.disable_recursion_pending();
+      } else if (it->is_regular_file() && lintable(it->path())) {
+        files.push_back(it->path());
+      }
+      it.increment(ec);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Diagnostic> out;
+  for (const fs::path& f : files) {
+    std::error_code ec;
+    const fs::path relp = fs::relative(f, rootDir, ec);
+    const std::string rel = (ec ? f : relp).generic_string();
+    if (scannedFiles) scannedFiles->push_back(rel);
+    std::ifstream is(f, std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string source = buf.str();
+    std::vector<Diagnostic> diags = lintSource(rel, source);
+    out.insert(out.end(), std::make_move_iterator(diags.begin()),
+               std::make_move_iterator(diags.end()));
+  }
+  return out;
+}
+
+}  // namespace cpr::lint
