@@ -40,11 +40,10 @@ struct Search {
     const std::size_t nPins = k.numPins();
     s.activePins.clear();
     for (std::size_t j = 0; j < nPins; ++j) {
-      if (!k.candidatesOf(static_cast<Index>(j)).empty())
-        s.activePins.push_back(static_cast<Index>(j));
+      if (!k.candidatesOf(PinIdx{j}).empty()) s.activePins.push_back(PinIdx{j});
     }
     s.status.assign(n, kFree);
-    s.assignedTo.assign(nPins, geom::kInvalidIndex);
+    s.assignedTo.assign(nPins, CandIdx::invalid());
     s.trail.clear();
     s.chosenStamp.assign(n, -1);
     s.csStamp.assign(k.numConflicts(), -1);
@@ -66,7 +65,7 @@ struct Search {
     s.bestPenalty.assign(n, 0.0);
     double bestBound = std::numeric_limits<double>::infinity();
     double bestLambdaSum = 0.0;
-    s.rootChoice.assign(k.numPins(), geom::kInvalidIndex);
+    s.rootChoice.assign(k.numPins(), CandIdx::invalid());
     const bool polyak = incumbentValue > kNegInf;
     double theta = 1.0;  // Polyak relaxation factor, halved on stalls
     int sinceImprove = 0;
@@ -78,21 +77,20 @@ struct Search {
       }
       // Per-pin argmax under current multipliers.
       double bound = 0.0;
-      for (const Index j : s.activePins) {
+      for (const PinIdx j : s.activePins) {
         double best = kNegInf;
-        Index arg = geom::kInvalidIndex;
-        for (const Index i : k.candidatesOf(j)) {
-          const std::size_t ii = static_cast<std::size_t>(i);
+        CandIdx arg = CandIdx::invalid();
+        for (const CandIdx i : k.candidatesOf(j)) {
           const double t =
               k.profitOf(i) -
-              s.penalty[ii] / static_cast<double>(k.degreeOf(i));
+              s.penalty[i.idx()] / static_cast<double>(k.degreeOf(i));
           if (t > best) {
             best = t;
             arg = i;
           }
         }
         bound += best;
-        s.rootChoice[static_cast<std::size_t>(j)] = arg;
+        s.rootChoice[j.idx()] = arg;
       }
       double lsum = 0.0;
       for (const double l : s.lambda) lsum += l;
@@ -112,17 +110,16 @@ struct Search {
 
       // Subgradient step on every conflict set.
       ++epoch;
-      for (const Index j : s.activePins) {
-        const Index i = s.rootChoice[static_cast<std::size_t>(j)];
-        s.chosenStamp[static_cast<std::size_t>(i)] = epoch;
+      for (const PinIdx j : s.activePins) {
+        const CandIdx i = s.rootChoice[j.idx()];
+        s.chosenStamp[i.idx()] = epoch;
       }
       double gradNormSq = 0.0;
       if (polyak) {
         for (std::size_t m = 0; m < nCs; ++m) {
           int count = 0;
-          for (const Index i : k.membersOf(static_cast<Index>(m)))
-            count +=
-                s.chosenStamp[static_cast<std::size_t>(i)] == epoch ? 1 : 0;
+          for (const CandIdx i : k.membersOf(ConflictIdx{m}))
+            count += s.chosenStamp[i.idx()] == epoch ? 1 : 0;
           const double grad = static_cast<double>(count - 1);
           if (grad > 0.0 || (grad < 0.0 && s.lambda[m] > 0.0))
             gradNormSq += grad * grad;
@@ -136,27 +133,28 @@ struct Search {
                  : 0.0;
       for (std::size_t m = 0; m < nCs; ++m) {
         int count = 0;
-        for (const Index i : k.membersOf(static_cast<Index>(m)))
-          count += s.chosenStamp[static_cast<std::size_t>(i)] == epoch ? 1 : 0;
+        for (const CandIdx i : k.membersOf(ConflictIdx{m}))
+          count += s.chosenStamp[i.idx()] == epoch ? 1 : 0;
         const double grad = static_cast<double>(count - 1);
         if (grad == 0.0) continue;
         const double tk =
-            polyak ? polyakStep
-                   : schedule * static_cast<double>(
-                                    k.conflictSpanOf(static_cast<Index>(m)));
+            polyak
+                ? polyakStep
+                : schedule * static_cast<double>(k.conflictSpanOf(
+                                 ConflictIdx{m}));
         const double next = std::max(0.0, s.lambda[m] + tk * grad);
         const double delta = next - s.lambda[m];
         if (delta == 0.0) continue;
         s.lambda[m] = next;
-        for (const Index i : k.membersOf(static_cast<Index>(m)))
-          s.penalty[static_cast<std::size_t>(i)] += delta;
+        for (const CandIdx i : k.membersOf(ConflictIdx{m}))
+          s.penalty[i.idx()] += delta;
       }
     }
 
     for (std::size_t i = 0; i < n; ++i)
-      s.term[i] = k.profitOf(static_cast<Index>(i)) -
-                  s.bestPenalty[i] /
-                      static_cast<double>(k.degreeOf(static_cast<Index>(i)));
+      s.term[i] =
+          k.profitOf(CandIdx{i}) -
+          s.bestPenalty[i] / static_cast<double>(k.degreeOf(CandIdx{i}));
     lambdaSum = bestLambdaSum;
   }
 
@@ -176,50 +174,49 @@ struct Search {
       const ExactTrailOp op = s.trail.back();
       s.trail.pop_back();
       if (op.isStatus) {
-        CPR_DCHECK(static_cast<std::size_t>(op.idx) < s.status.size());
-        s.status[static_cast<std::size_t>(op.idx)] = kFree;
+        CPR_DCHECK(op.cand.idx() < s.status.size());
+        s.status[op.cand.idx()] = kFree;
       } else {
-        CPR_DCHECK(static_cast<std::size_t>(op.idx) < s.assignedTo.size());
-        s.assignedTo[static_cast<std::size_t>(op.idx)] = geom::kInvalidIndex;
+        CPR_DCHECK(op.pin.idx() < s.assignedTo.size());
+        s.assignedTo[op.pin.idx()] = CandIdx::invalid();
       }
     }
   }
 
-  bool setZero(Index i) {
-    CPR_DCHECK(static_cast<std::size_t>(i) < s.status.size());
-    std::uint8_t& st = s.status[static_cast<std::size_t>(i)];
+  bool setZero(CandIdx i) {
+    CPR_DCHECK(i.idx() < s.status.size());
+    std::uint8_t& st = s.status[i.idx()];
     if (st == kOne) return false;
     if (st == kFree) {
       st = kZero;
-      s.trail.push_back({true, i});
+      s.trail.push_back({true, i, PinIdx::invalid()});
     }
     return true;
   }
 
   /// Forces x_i = 1 and propagates the equality (1b) and conflict (1c) rows.
-  bool forceOne(Index i) {
-    CPR_DCHECK(static_cast<std::size_t>(i) < s.status.size());
-    std::uint8_t& st = s.status[static_cast<std::size_t>(i)];
+  bool forceOne(CandIdx i) {
+    CPR_DCHECK(i.idx() < s.status.size());
+    std::uint8_t& st = s.status[i.idx()];
     if (st == kZero) return false;
     if (st == kFree) {
       st = kOne;
-      s.trail.push_back({true, i});
+      s.trail.push_back({true, i, PinIdx::invalid()});
     }
-    for (const Index q : k.pinsOf(i)) {
-      const std::size_t qq = static_cast<std::size_t>(q);
-      if (s.assignedTo[qq] != geom::kInvalidIndex) {
-        if (s.assignedTo[qq] != i) return false;
+    for (const PinIdx q : k.pinsOf(i)) {
+      if (s.assignedTo[q.idx()].valid()) {
+        if (s.assignedTo[q.idx()] != i) return false;
       } else {
-        s.assignedTo[qq] = i;
-        s.trail.push_back({false, q});
+        s.assignedTo[q.idx()] = i;
+        s.trail.push_back({false, CandIdx::invalid(), q});
       }
-      for (const Index j : k.candidatesOf(q)) {
-        if (j != i && !setZero(j)) return false;
+      for (const CandIdx c : k.candidatesOf(q)) {
+        if (c != i && !setZero(c)) return false;
       }
     }
-    for (const Index m : k.conflictsOf(i)) {
-      for (const Index j : k.membersOf(m)) {
-        if (j != i && !setZero(j)) return false;
+    for (const ConflictIdx m : k.conflictsOf(i)) {
+      for (const CandIdx c : k.membersOf(m)) {
+        if (c != i && !setZero(c)) return false;
       }
     }
     return true;
@@ -235,27 +232,26 @@ struct Search {
     // Bound and per-pin choice under the current fixing. `nodeChoice` and
     // `nodeChosen` are shared across the recursion: a node never reads them
     // after recursing into a child, so one pool per worker suffices.
-    s.nodeChoice.assign(k.numPins(), geom::kInvalidIndex);
+    s.nodeChoice.assign(k.numPins(), CandIdx::invalid());
     double bound = lambdaSum;
-    for (const Index j : s.activePins) {
-      const std::size_t jj = static_cast<std::size_t>(j);
-      if (s.assignedTo[jj] != geom::kInvalidIndex) {
-        s.nodeChoice[jj] = s.assignedTo[jj];
-        bound += s.term[static_cast<std::size_t>(s.assignedTo[jj])];
+    for (const PinIdx j : s.activePins) {
+      if (s.assignedTo[j.idx()].valid()) {
+        s.nodeChoice[j.idx()] = s.assignedTo[j.idx()];
+        bound += s.term[s.assignedTo[j.idx()].idx()];
         continue;
       }
       double best = kNegInf;
-      Index arg = geom::kInvalidIndex;
-      for (const Index i : k.candidatesOf(j)) {
-        if (s.status[static_cast<std::size_t>(i)] == kZero) continue;
-        const double t = s.term[static_cast<std::size_t>(i)];
+      CandIdx arg = CandIdx::invalid();
+      for (const CandIdx i : k.candidatesOf(j)) {
+        if (s.status[i.idx()] == kZero) continue;
+        const double t = s.term[i.idx()];
         if (t > best) {
           best = t;
           arg = i;
         }
       }
-      if (arg == geom::kInvalidIndex) return;  // pin starved: infeasible node
-      s.nodeChoice[jj] = arg;
+      if (!arg.valid()) return;  // pin starved: infeasible node
+      s.nodeChoice[j.idx()] = arg;
       bound += best;
     }
     if (haveIncumbent && bound <= bestObj + kEps) return;
@@ -264,53 +260,51 @@ struct Search {
     // interval; both yield a free interval to branch on.
     ++epoch;
     s.nodeChosen.clear();
-    for (const Index j : s.activePins) {
-      const Index i = s.nodeChoice[static_cast<std::size_t>(j)];
-      long& st = s.chosenStamp[static_cast<std::size_t>(i)];
+    for (const PinIdx j : s.activePins) {
+      const CandIdx i = s.nodeChoice[j.idx()];
+      long& st = s.chosenStamp[i.idx()];
       if (st != epoch) {
         st = epoch;
         s.nodeChosen.push_back(i);
       }
     }
-    Index branchI = geom::kInvalidIndex;
+    CandIdx branchI = CandIdx::invalid();
     double branchScore = kNegInf;
-    for (const Index i : s.nodeChosen) {
-      for (const Index m : k.conflictsOf(i)) {
-        const std::size_t mm = static_cast<std::size_t>(m);
-        if (s.csStamp[mm] != epoch) {
-          s.csStamp[mm] = epoch;
-          s.csCount[mm] = 0;
+    for (const CandIdx i : s.nodeChosen) {
+      for (const ConflictIdx m : k.conflictsOf(i)) {
+        if (s.csStamp[m.idx()] != epoch) {
+          s.csStamp[m.idx()] = epoch;
+          s.csCount[m.idx()] = 0;
         }
-        if (++s.csCount[mm] >= 2) {
+        if (++s.csCount[m.idx()] >= 2) {
           // Conflict violated: branch on its free chosen member of max term.
-          for (const Index c : k.membersOf(m)) {
-            const std::size_t cc = static_cast<std::size_t>(c);
-            if (s.chosenStamp[cc] == epoch && s.status[cc] == kFree &&
-                s.term[cc] > branchScore) {
-              branchScore = s.term[cc];
+          for (const CandIdx c : k.membersOf(m)) {
+            if (s.chosenStamp[c.idx()] == epoch && s.status[c.idx()] == kFree &&
+                s.term[c.idx()] > branchScore) {
+              branchScore = s.term[c.idx()];
               branchI = c;
             }
           }
         }
       }
     }
-    if (branchI == geom::kInvalidIndex) {
-      for (const Index i : s.nodeChosen) {
-        for (const Index q : k.pinsOf(i)) {
-          if (s.nodeChoice[static_cast<std::size_t>(q)] != i) {
+    if (!branchI.valid()) {
+      for (const CandIdx i : s.nodeChosen) {
+        for (const PinIdx q : k.pinsOf(i)) {
+          if (s.nodeChoice[q.idx()] != i) {
             branchI = i;  // shared interval chosen by only some covered pins
             break;
           }
         }
-        if (branchI != geom::kInvalidIndex) break;
+        if (branchI.valid()) break;
       }
     }
 
-    if (branchI == geom::kInvalidIndex) {
+    if (!branchI.valid()) {
       // Consistent and conflict-free: a feasible ILP point.
       double value = 0.0;
-      for (const Index j : s.activePins)
-        value += k.profitOf(s.nodeChoice[static_cast<std::size_t>(j)]);
+      for (const PinIdx j : s.activePins)
+        value += k.profitOf(s.nodeChoice[j.idx()]);
       if (!haveIncumbent || value > bestObj) {
         bestObj = value;
         s.bestAssign = s.nodeChoice;
@@ -319,18 +313,17 @@ struct Search {
       if (bound <= value + kEps) return;  // bound met: subtree closed
       // Gap comes only from the penalty split; branch on the pin with the
       // widest top-two margin to shrink it.
-      Index pinToSplit = geom::kInvalidIndex;
+      PinIdx pinToSplit = PinIdx::invalid();
       double bestMargin = kNegInf;
-      for (const Index j : s.activePins) {
-        const std::size_t jj = static_cast<std::size_t>(j);
-        if (s.assignedTo[jj] != geom::kInvalidIndex) continue;
+      for (const PinIdx j : s.activePins) {
+        if (s.assignedTo[j.idx()].valid()) continue;
         int allowed = 0;
         double top1 = kNegInf;
         double top2 = kNegInf;
-        for (const Index i : k.candidatesOf(j)) {
-          if (s.status[static_cast<std::size_t>(i)] == kZero) continue;
+        for (const CandIdx i : k.candidatesOf(j)) {
+          if (s.status[i.idx()] == kZero) continue;
           ++allowed;
-          const double t = s.term[static_cast<std::size_t>(i)];
+          const double t = s.term[i.idx()];
           if (t > top1) {
             top2 = top1;
             top1 = t;
@@ -343,9 +336,9 @@ struct Search {
           pinToSplit = j;
         }
       }
-      if (pinToSplit == geom::kInvalidIndex) return;  // fixing is fully forced
-      branchI = s.nodeChoice[static_cast<std::size_t>(pinToSplit)];
-      if (s.status[static_cast<std::size_t>(branchI)] != kFree) return;
+      if (!pinToSplit.valid()) return;  // fixing is fully forced
+      branchI = s.nodeChoice[pinToSplit.idx()];
+      if (s.status[branchI.idx()] != kFree) return;
     }
 
     // Children: x = 1 first (finds strong incumbents early), then x = 0.
@@ -391,7 +384,9 @@ Assignment solveExact(const PanelKernel& k, const ExactOptions& opts,
     if (seed.violations == 0) {
       const AssignmentAudit a = audit(k, seed);
       if (a.overlapsBetweenNets == 0) {
-        sc.bestAssign = std::move(seed.intervalOfPin);
+        sc.bestAssign.assign(seed.intervalOfPin.size(), CandIdx::invalid());
+        for (std::size_t j = 0; j < seed.intervalOfPin.size(); ++j)
+          sc.bestAssign[j] = CandIdx{seed.intervalOfPin[j]};
         search.bestObj = seed.objective;
         search.haveIncumbent = true;
       }
@@ -400,10 +395,10 @@ Assignment solveExact(const PanelKernel& k, const ExactOptions& opts,
   search.tuneRootDual(search.haveIncumbent ? search.bestObj : kNegInf);
 
   double rootBound = search.lambdaSum;
-  for (const Index j : sc.activePins) {
+  for (const PinIdx j : sc.activePins) {
     double best = kNegInf;
-    for (const Index i : k.candidatesOf(j))
-      best = std::max(best, sc.term[static_cast<std::size_t>(i)]);
+    for (const CandIdx i : k.candidatesOf(j))
+      best = std::max(best, sc.term[i.idx()]);
     rootBound += best;
   }
   if (stats) stats->rootUpperBound = rootBound;
@@ -413,20 +408,24 @@ Assignment solveExact(const PanelKernel& k, const ExactOptions& opts,
   const std::size_t nPins = k.numPins();
   Assignment out;
   out.intervalOfPin.assign(nPins, geom::kInvalidIndex);
-  if (search.haveIncumbent) out.intervalOfPin = sc.bestAssign;
+  if (search.haveIncumbent) {
+    CPR_DCHECK(sc.bestAssign.size() == nPins);
+    for (std::size_t j = 0; j < nPins; ++j)
+      out.intervalOfPin[j] = sc.bestAssign[j].value();
+  }
   for (std::size_t j = 0; j < nPins; ++j) {
     const Index i = out.intervalOfPin[j];
-    if (i != geom::kInvalidIndex) out.objective += k.profitOf(i);
+    if (i != geom::kInvalidIndex) out.objective += k.profitOf(CandIdx{i});
   }
   out.provedOptimal = search.haveIncumbent && !search.truncated;
   // Violations of the final selection (0 expected).
   sc.selFlag.assign(k.numIntervals(), 0);
   for (const Index i : out.intervalOfPin)
-    if (i != geom::kInvalidIndex) sc.selFlag[static_cast<std::size_t>(i)] = 1;
+    if (i != geom::kInvalidIndex) sc.selFlag[CandIdx{i}.idx()] = 1;
   for (std::size_t m = 0; m < k.numConflicts(); ++m) {
     int count = 0;
-    for (const Index i : k.membersOf(static_cast<Index>(m)))
-      count += sc.selFlag[static_cast<std::size_t>(i)];
+    for (const CandIdx i : k.membersOf(ConflictIdx{m}))
+      count += sc.selFlag[i.idx()];
     if (count > 1) ++out.violations;
   }
   if (stats) {

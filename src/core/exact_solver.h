@@ -54,10 +54,12 @@ struct ExactStats {
 };
 
 /// One trail entry of the B&B undo stack: either an interval status change
-/// or a pin assignment.
+/// (`cand`) or a pin assignment (`pin`) — the strong types make the two
+/// undo targets impossible to transpose.
 struct ExactTrailOp {
   bool isStatus;
-  Index idx;
+  CandIdx cand;
+  PinIdx pin;
 };
 
 /// Reusable per-worker buffers for `solveExact`. Every solve fully
@@ -68,18 +70,18 @@ struct ExactTrailOp {
 struct ExactScratch {
   // Root dual tuning.
   std::vector<double> term, lambda, penalty, bestPenalty;
-  std::vector<Index> rootChoice;
+  std::vector<CandIdx> rootChoice;
   // Search state with trail-based undo.
   std::vector<std::uint8_t> status;
-  std::vector<Index> assignedTo;
+  std::vector<CandIdx> assignedTo;
   std::vector<ExactTrailOp> trail;
   std::vector<long> chosenStamp, csStamp;
   std::vector<int> csCount;
   // Node-local pools (safe to share across the recursion: no node reads
   // them after recursing into a child).
-  std::vector<Index> nodeChoice, nodeChosen;
-  std::vector<Index> activePins;
-  std::vector<Index> bestAssign;
+  std::vector<CandIdx> nodeChoice, nodeChosen;
+  std::vector<PinIdx> activePins;
+  std::vector<CandIdx> bestAssign;
   std::vector<char> selFlag;
   LrScratch lr;  ///< arena for the incumbent-seeding LR run
 

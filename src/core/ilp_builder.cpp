@@ -13,41 +13,41 @@ IlpBuild buildIlpModel(const PanelKernel& k, bool pairwiseConflicts) {
   out.varOfInterval.reserve(nIv);
   for (std::size_t i = 0; i < nIv; ++i) {
     out.varOfInterval.push_back(out.model.addBinary(
-        k.weightOf(static_cast<Index>(i)), "x" + std::to_string(i)));
+        k.weightOf(CandIdx{i}), "x" + std::to_string(i)));
   }
   // (1b): sum_{Ii in Sj} x_i = 1 for every accessible pin.
   for (std::size_t j = 0; j < k.numPins(); ++j) {
-    const std::span<const Index> cand = k.candidatesOf(static_cast<Index>(j));
+    const std::span<const CandIdx> cand = k.candidatesOf(PinIdx{j});
     if (cand.empty()) continue;
     std::vector<ilp::Term> terms;
     terms.reserve(cand.size());
-    for (const Index i : cand) {
-      CPR_DCHECK(static_cast<std::size_t>(i) < out.varOfInterval.size());
-      terms.push_back({out.varOfInterval[static_cast<std::size_t>(i)], 1.0});
+    for (const CandIdx i : cand) {
+      CPR_DCHECK(i.idx() < out.varOfInterval.size());
+      terms.push_back({out.varOfInterval[i.idx()], 1.0});
     }
     out.model.addConstraint(std::move(terms), ilp::Sense::Equal, 1.0);
   }
   if (!pairwiseConflicts) {
     // (1c): sum_{Ii in Cm} x_i <= 1 per conflict set.
     for (std::size_t m = 0; m < k.numConflicts(); ++m) {
-      const std::span<const Index> members = k.membersOf(static_cast<Index>(m));
+      const std::span<const CandIdx> members = k.membersOf(ConflictIdx{m});
       std::vector<ilp::Term> terms;
       terms.reserve(members.size());
-      for (const Index i : members) {
-        CPR_DCHECK(static_cast<std::size_t>(i) < out.varOfInterval.size());
-        terms.push_back({out.varOfInterval[static_cast<std::size_t>(i)], 1.0});
+      for (const CandIdx i : members) {
+        CPR_DCHECK(i.idx() < out.varOfInterval.size());
+        terms.push_back({out.varOfInterval[i.idx()], 1.0});
       }
       out.model.addConstraint(std::move(terms), ilp::Sense::LessEqual, 1.0);
     }
   } else {
     // Quadratic pairwise encoding for the ablation bench.
     for (std::size_t m = 0; m < k.numConflicts(); ++m) {
-      const std::span<const Index> members = k.membersOf(static_cast<Index>(m));
+      const std::span<const CandIdx> members = k.membersOf(ConflictIdx{m});
       for (std::size_t a = 0; a < members.size(); ++a) {
         for (std::size_t b = a + 1; b < members.size(); ++b) {
           out.model.addConstraint(
-              {{out.varOfInterval[static_cast<std::size_t>(members[a])], 1.0},
-               {out.varOfInterval[static_cast<std::size_t>(members[b])], 1.0}},
+              {{out.varOfInterval[members[a].idx()], 1.0},
+               {out.varOfInterval[members[b].idx()], 1.0}},
               ilp::Sense::LessEqual, 1.0);
         }
       }
@@ -70,12 +70,11 @@ Assignment decodeIlpSolution(const PanelKernel& k, const IlpBuild& build,
   CPR_CHECK(build.varOfInterval.size() == k.numIntervals());
   out.intervalOfPin.assign(nPins, geom::kInvalidIndex);
   for (std::size_t j = 0; j < nPins; ++j) {
-    for (const Index i : k.candidatesOf(static_cast<Index>(j))) {
-      const auto var = static_cast<std::size_t>(
-          build.varOfInterval[static_cast<std::size_t>(i)]);
+    for (const CandIdx i : k.candidatesOf(PinIdx{j})) {
+      const auto var = std::size_t(build.varOfInterval[i.idx()]);
       CPR_DCHECK(var < x.size());
       if (x[var] > 0.5) {
-        out.intervalOfPin[j] = i;
+        out.intervalOfPin[j] = i.value();
         out.objective += k.profitOf(i);
         break;
       }

@@ -5,6 +5,7 @@
 #include <map>
 #include <tuple>
 
+#include "core/ids.h"
 #include "obs/names.h"
 
 namespace cpr::core {
@@ -36,12 +37,12 @@ class Builder {
       out_.pins.push_back(std::move(pp));
     }
     // Per-track pin buckets.
-    const std::size_t nTracks = static_cast<std::size_t>(panel.tracks.span());
+    const std::size_t nTracks = std::size_t(panel.tracks.span());
     std::vector<std::vector<TrackPin>> byTrack(nTracks);
     for (std::size_t k = 0; k < panel.pins.size(); ++k) {
       const db::Pin& pin = design_.pin(panel.pins[k]);
       for (Coord t = pin.shape.y.lo; t <= pin.shape.y.hi; ++t) {
-        byTrack[static_cast<std::size_t>(t - panel.tracks.lo)].push_back(
+        byTrack[TrackIdx{t - panel.tracks.lo}.idx()].push_back(
             TrackPin{static_cast<Index>(firstLocal + k), pin.shape.x, pin.net});
       }
     }
@@ -62,8 +63,7 @@ class Builder {
                        const std::vector<TrackPin>& bucket, bool minimal) {
     const auto key = std::make_tuple(net, track, span.lo, span.hi);
     if (auto it = interned_.find(key); it != interned_.end()) {
-      AccessInterval& existing =
-          out_.intervals[static_cast<std::size_t>(it->second)];
+      AccessInterval& existing = out_.intervals[CandIdx{it->second}.idx()];
       if (minimal) existing.minimal = true;
       return it->second;
     }
@@ -83,7 +83,7 @@ class Builder {
     }
     const Index id = static_cast<Index>(out_.intervals.size());
     for (Index covered : iv.pins)
-      out_.pins[static_cast<std::size_t>(covered)].intervals.push_back(id);
+      out_.pins[PinIdx{covered}.idx()].intervals.push_back(id);
     out_.intervals.push_back(std::move(iv));
     interned_.emplace(key, id);
     return id;
@@ -92,7 +92,7 @@ class Builder {
   void generateForPin(const db::Panel& panel,
                       const std::vector<std::vector<TrackPin>>& byTrack,
                       Index local) {
-    ProblemPin& pp = out_.pins[static_cast<std::size_t>(local)];
+    ProblemPin& pp = out_.pins[PinIdx{local}.idx()];
     const db::Pin& pin = design_.pin(pp.designPin);
     Interval box = design_.netBox(pin.net).x;
     if (opts_.maxExtent > 0) {
@@ -108,8 +108,7 @@ class Builder {
       const Interval avail = geom::intersect(segment, box);
       if (!avail.contains(pin.shape.x)) continue;
 
-      const auto& bucket =
-          byTrack[static_cast<std::size_t>(t - panel.tracks.lo)];
+      const auto& bucket = byTrack[TrackIdx{t - panel.tracks.lo}.idx()];
       // Cut lines of diff-net pins on this track inside `avail`
       // (paper Fig. 3(a): candidate edges are the box edges plus the
       // vertical cutting line of each diff-net pin).

@@ -24,43 +24,43 @@ bool keyLess(const LrSortKey& a, const LrSortKey& b) {
 /// `assign` (both fully reinitialized).
 void runMaxGainsOrdered(const PanelKernel& k,
                         const std::vector<LrSortKey>& keys,
-                        std::vector<Index>& sel, std::vector<Index>& assign) {
+                        std::vector<CandIdx>& sel,
+                        std::vector<CandIdx>& assign) {
   sel.clear();
-  assign.assign(k.numPins(), geom::kInvalidIndex);
+  assign.assign(k.numPins(), CandIdx::invalid());
   std::size_t unassigned = k.numPins();
-  auto select = [&](Index i) {
+  auto select = [&](CandIdx i) {
     sel.push_back(i);
-    for (const Index q : k.pinsOf(i)) {
-      CPR_DCHECK(static_cast<std::size_t>(q) < assign.size());
-      if (assign[static_cast<std::size_t>(q)] == geom::kInvalidIndex) {
-        assign[static_cast<std::size_t>(q)] = i;
+    for (const PinIdx q : k.pinsOf(i)) {
+      CPR_DCHECK(q.idx() < assign.size());
+      if (!assign[q.idx()].valid()) {
+        assign[q.idx()] = i;
         --unassigned;
       }
     }
   };
   for (const LrSortKey& key : keys) {
     if (unassigned == 0) break;  // every pin holds an interval already
-    const std::span<const Index> pins = k.pinsOf(key.idx);
-    const bool allFree = std::all_of(pins.begin(), pins.end(), [&](Index q) {
-      return assign[static_cast<std::size_t>(q)] == geom::kInvalidIndex;
+    const std::span<const PinIdx> pins = k.pinsOf(key.idx);
+    const bool allFree = std::all_of(pins.begin(), pins.end(), [&](PinIdx q) {
+      return !assign[q.idx()].valid();
     });
     if (allFree && !pins.empty()) select(key.idx);
   }
   // Equality constraints (1b): every pin must hold exactly one interval.
   for (std::size_t j = 0; j < k.numPins(); ++j) {
-    if (assign[j] != geom::kInvalidIndex) continue;
-    const Index mi = k.minimalIntervalOf(static_cast<Index>(j));
-    if (mi == geom::kInvalidIndex) continue;  // inaccessible pin
+    if (assign[j].valid()) continue;
+    const CandIdx mi = k.minimalIntervalOf(PinIdx{j});
+    if (!mi.valid()) continue;  // inaccessible pin
     sel.push_back(mi);
     assign[j] = mi;
   }
 }
 
-int selectedCount(const PanelKernel& k, Index m,
+int selectedCount(const PanelKernel& k, ConflictIdx m,
                   const std::vector<char>& selFlag) {
   int count = 0;
-  for (const Index i : k.membersOf(m))
-    count += selFlag[static_cast<std::size_t>(i)] ? 1 : 0;
+  for (const CandIdx i : k.membersOf(m)) count += selFlag[i.idx()] ? 1 : 0;
   return count;
 }
 
@@ -80,12 +80,14 @@ std::vector<Index> maxGains(const Problem& p,
   const PanelKernel k = PanelKernel::compile(Problem(p));
   std::vector<LrSortKey> keys(k.numIntervals());
   for (std::size_t i = 0; i < keys.size(); ++i)
-    keys[i] = LrSortKey{gains[i], k.degreeOf(static_cast<Index>(i)),
-                        static_cast<Index>(i)};
+    keys[i] = LrSortKey{gains[i], k.degreeOf(CandIdx{i}), CandIdx{i}};
   std::sort(keys.begin(), keys.end(), keyLess);
-  std::vector<Index> sel, assign;
+  std::vector<CandIdx> sel, assign;
   runMaxGainsOrdered(k, keys, sel, assign);
-  return sel;
+  std::vector<Index> out;
+  out.reserve(sel.size());
+  for (const CandIdx i : sel) out.push_back(i.value());
+  return out;
 }
 
 Assignment solveLr(const Problem& p, const LrOptions& opts, LrStats* stats,
@@ -121,17 +123,16 @@ Assignment solveLr(const PanelKernel& k, const LrOptions& opts, LrStats* stats,
   // sort dominates LR runtime on large panels otherwise).
   s.keys.resize(n);
   for (std::size_t i = 0; i < n; ++i)
-    s.keys[i] = LrSortKey{k.weightOf(static_cast<Index>(i)),
-                          k.degreeOf(static_cast<Index>(i)),
-                          static_cast<Index>(i)};
+    s.keys[i] = LrSortKey{k.weightOf(CandIdx{i}), k.degreeOf(CandIdx{i}),
+                          CandIdx{i}};
   std::sort(s.keys.begin(), s.keys.end(), keyLess);
   s.dirtyFlag.assign(n, 0);
   s.dirtyList.clear();
 
-  auto markDirty = [&](Index i) {
-    CPR_DCHECK(static_cast<std::size_t>(i) < s.dirtyFlag.size());
-    if (!s.dirtyFlag[static_cast<std::size_t>(i)]) {
-      s.dirtyFlag[static_cast<std::size_t>(i)] = 1;
+  auto markDirty = [&](CandIdx i) {
+    CPR_DCHECK(i.idx() < s.dirtyFlag.size());
+    if (!s.dirtyFlag[i.idx()]) {
+      s.dirtyFlag[i.idx()] = 1;
       s.dirtyList.push_back(i);
     }
   };
@@ -140,24 +141,21 @@ Assignment solveLr(const PanelKernel& k, const LrOptions& opts, LrStats* stats,
     if (s.dirtyList.empty()) return;
     if (s.dirtyList.size() > n / 3) {
       for (std::size_t i = 0; i < n; ++i)
-        s.keys[i] = LrSortKey{k.weightOf(static_cast<Index>(i)) -
-                                  s.penalties[i],
-                              k.degreeOf(static_cast<Index>(i)),
-                              static_cast<Index>(i)};
+        s.keys[i] = LrSortKey{k.weightOf(CandIdx{i}) - s.penalties[i],
+                              k.degreeOf(CandIdx{i}), CandIdx{i}};
       std::sort(s.keys.begin(), s.keys.end(), keyLess);
     } else {
       s.dirtyKeys.clear();
-      for (const Index i : s.dirtyList) {
-        s.dirtyKeys.push_back(
-            LrSortKey{k.weightOf(i) - s.penalties[static_cast<std::size_t>(i)],
-                      k.degreeOf(i), i});
+      for (const CandIdx i : s.dirtyList) {
+        s.dirtyKeys.push_back(LrSortKey{k.weightOf(i) - s.penalties[i.idx()],
+                                        k.degreeOf(i), i});
       }
       std::sort(s.dirtyKeys.begin(), s.dirtyKeys.end(), keyLess);
       s.mergeBuf.clear();
       s.mergeBuf.reserve(n);
       // Drop stale entries, then merge the re-keyed ones back in.
       auto clean = [&](const LrSortKey& key) {
-        return !s.dirtyFlag[static_cast<std::size_t>(key.idx)];
+        return !s.dirtyFlag[key.idx.idx()];
       };
       std::size_t a = 0;
       std::size_t b = 0;
@@ -178,8 +176,7 @@ Assignment solveLr(const PanelKernel& k, const LrOptions& opts, LrStats* stats,
       CPR_DCHECK(s.mergeBuf.size() == s.keys.size());
       s.keys.swap(s.mergeBuf);
     }
-    for (const Index i : s.dirtyList)
-      s.dirtyFlag[static_cast<std::size_t>(i)] = 0;
+    for (const CandIdx i : s.dirtyList) s.dirtyFlag[i.idx()] = 0;
     s.dirtyList.clear();
   };
 
@@ -190,10 +187,9 @@ Assignment solveLr(const PanelKernel& k, const LrOptions& opts, LrStats* stats,
 
     // Per-set selected counts, touching only sets of selected intervals.
     s.touched.clear();
-    for (const Index i : s.curSel) {
-      for (const Index m : k.conflictsOf(i)) {
-        if (s.csCount[static_cast<std::size_t>(m)]++ == 0)
-          s.touched.push_back(m);
+    for (const CandIdx i : s.curSel) {
+      for (const ConflictIdx m : k.conflictsOf(i)) {
+        if (s.csCount[m.idx()]++ == 0) s.touched.push_back(m);
       }
     }
 
@@ -201,17 +197,17 @@ Assignment solveLr(const PanelKernel& k, const LrOptions& opts, LrStats* stats,
     // step t_k = L_m / k^alpha.
     int vio = 0;
     const double step = 1.0 / std::pow(static_cast<double>(it), opts.alpha);
-    auto applyDelta = [&](Index m, double delta) {
-      CPR_DCHECK(static_cast<std::size_t>(m) < s.lambda.size());
-      s.lambda[static_cast<std::size_t>(m)] += delta;
+    auto applyDelta = [&](ConflictIdx m, double delta) {
+      CPR_DCHECK(m.idx() < s.lambda.size());
+      s.lambda[m.idx()] += delta;
       lambdaL1 += delta;  // multipliers stay >= 0, so Σλ is the L1 norm
-      for (const Index i : k.membersOf(m)) {
-        s.penalties[static_cast<std::size_t>(i)] += delta;
+      for (const CandIdx i : k.membersOf(m)) {
+        s.penalties[i.idx()] += delta;
         markDirty(i);
       }
     };
-    for (const Index m : s.touched) {
-      const int count = s.csCount[static_cast<std::size_t>(m)];
+    for (const ConflictIdx m : s.touched) {
+      const int count = s.csCount[m.idx()];
       if (count <= 1) continue;
       ++vio;
       const double tk = step * static_cast<double>(k.conflictSpanOf(m));
@@ -222,21 +218,20 @@ Assignment solveLr(const PanelKernel& k, const LrOptions& opts, LrStats* stats,
       for (std::size_t m = 0; m < nCs; ++m) {
         if (s.csCount[m] != 0 || s.lambda[m] == 0.0) continue;
         const double tk =
-            step *
-            static_cast<double>(k.conflictSpanOf(static_cast<Index>(m)));
-        applyDelta(static_cast<Index>(m),
+            step * static_cast<double>(k.conflictSpanOf(ConflictIdx{m}));
+        applyDelta(ConflictIdx{m},
                    std::max(0.0, s.lambda[m] - tk) - s.lambda[m]);
       }
     }
-    for (const Index m : s.touched) s.csCount[static_cast<std::size_t>(m)] = 0;
+    for (const ConflictIdx m : s.touched) s.csCount[m.idx()] = 0;
 
     const int newBest = std::min(bestVio, vio);
     if (obs) {
       // The extra O(pins) objective sum only runs when tracing is on.
       double curObjective = 0.0;
       for (std::size_t j = 0; j < nPins; ++j) {
-        const Index i = s.curAssign[j];
-        if (i != geom::kInvalidIndex) curObjective += k.profitOf(i);
+        const CandIdx i = s.curAssign[j];
+        if (i.valid()) curObjective += k.profitOf(i);
       }
       obs->row(obs::names::kLrIterSeries,
                {"iter", "violations", "best_violations", "lambda_norm",
@@ -272,14 +267,14 @@ Assignment solveLr(const PanelKernel& k, const LrOptions& opts, LrStats* stats,
   }
   if (!haveBest) {
     s.bestSel.clear();
-    s.bestAssign.assign(nPins, geom::kInvalidIndex);
+    s.bestAssign.assign(nPins, CandIdx::invalid());
   }
 
   // Greedy conflict removal (Algorithm 2, line 11): shrink conflicting
   // selections to minimum intervals until no conflict set holds more than
   // one selected interval.
   s.selFlag.assign(n, 0);
-  for (const Index i : s.bestSel) s.selFlag[static_cast<std::size_t>(i)] = 1;
+  for (const CandIdx i : s.bestSel) s.selFlag[i.idx()] = 1;
   if (!opts.skipConflictRemoval && bestVio > 0) {
     // An interval is shrinkable when some pin assigned to it has a smaller
     // minimum interval to retreat to. Two unshrinkable members can never
@@ -287,57 +282,54 @@ Assignment solveLr(const PanelKernel& k, const LrOptions& opts, LrStats* stats,
     // so shrinking all shrinkable members — sparing the most valuable one
     // only when every member is shrinkable — terminates with at most one
     // selected interval per conflict set.
-    auto shrinkable = [&](Index i) {
+    auto shrinkable = [&](CandIdx i) {
       for (std::size_t q = 0; q < nPins; ++q) {
-        if (s.bestAssign[q] == i &&
-            k.minimalIntervalOf(static_cast<Index>(q)) != i)
+        if (s.bestAssign[q] == i && k.minimalIntervalOf(PinIdx{q}) != i)
           return true;
       }
       return false;
     };
-    auto shrink = [&](Index i) {
-      s.selFlag[static_cast<std::size_t>(i)] = 0;
+    auto shrink = [&](CandIdx i) {
+      s.selFlag[i.idx()] = 0;
       for (std::size_t q = 0; q < nPins; ++q) {
         if (s.bestAssign[q] != i) continue;
-        const Index mi = k.minimalIntervalOf(static_cast<Index>(q));
-        CPR_DCHECK(mi != geom::kInvalidIndex);
+        const CandIdx mi = k.minimalIntervalOf(PinIdx{q});
+        CPR_DCHECK(mi.valid());
         s.bestAssign[q] = mi;
-        s.selFlag[static_cast<std::size_t>(mi)] = 1;
+        s.selFlag[mi.idx()] = 1;
       }
     };
     bool changed = true;
     while (changed) {
       changed = false;
       for (std::size_t m = 0; m < nCs; ++m) {
-        if (selectedCount(k, static_cast<Index>(m), s.selFlag) <= 1) continue;
-        std::vector<Index> members;
+        if (selectedCount(k, ConflictIdx{m}, s.selFlag) <= 1) continue;
+        std::vector<CandIdx> members;
         bool anyUnshrinkable = false;
-        for (const Index i : k.membersOf(static_cast<Index>(m))) {
-          if (!s.selFlag[static_cast<std::size_t>(i)]) continue;
+        for (const CandIdx i : k.membersOf(ConflictIdx{m})) {
+          if (!s.selFlag[i.idx()]) continue;
           members.push_back(i);
           anyUnshrinkable |= !shrinkable(i);
         }
-        Index keep = geom::kInvalidIndex;
+        CandIdx keep = CandIdx::invalid();
         if (!anyUnshrinkable) {
-          for (const Index i : members) {
-            if (keep == geom::kInvalidIndex ||
-                k.weightOf(i) > k.weightOf(keep))
-              keep = i;
+          for (const CandIdx i : members) {
+            if (!keep.valid() || k.weightOf(i) > k.weightOf(keep)) keep = i;
           }
         }
-        for (const Index i : members) {
+        for (const CandIdx i : members) {
           if (i == keep || !shrinkable(i)) continue;
           shrink(i);
           changed = true;
         }
         // Ghost members (selected but assigned to no pin) just deselect.
-        for (const Index i : members) {
+        for (const CandIdx i : members) {
           if (i != keep && !shrinkable(i)) {
             bool assigned = false;
             for (std::size_t q = 0; q < nPins && !assigned; ++q)
               assigned = s.bestAssign[q] == i;
-            if (!assigned && s.selFlag[static_cast<std::size_t>(i)]) {
-              s.selFlag[static_cast<std::size_t>(i)] = 0;
+            if (!assigned && s.selFlag[i.idx()]) {
+              s.selFlag[i.idx()] = 0;
               changed = true;
             }
           }
@@ -358,42 +350,39 @@ Assignment solveLr(const PanelKernel& k, const LrOptions& opts, LrStats* stats,
   if (opts.reexpandRounds > 0 && nPins > 0) {
     s.usage.assign(n, 0);
     for (std::size_t j = 0; j < nPins; ++j) {
-      const Index cur = s.bestAssign[j];
-      if (cur != geom::kInvalidIndex) ++s.usage[static_cast<std::size_t>(cur)];
+      const CandIdx cur = s.bestAssign[j];
+      if (cur.valid()) ++s.usage[cur.idx()];
     }
     s.freedWithin.assign(n, 0);
     for (int round = 0; round < opts.reexpandRounds; ++round) {
       bool improved = false;
       for (std::size_t j = 0; j < nPins; ++j) {
-        const Index cur = s.bestAssign[j];
-        if (cur == geom::kInvalidIndex) continue;
-        for (const Index i : k.sortedCandidatesOf(static_cast<Index>(j))) {
-          const std::size_t ii = static_cast<std::size_t>(i);
+        const CandIdx cur = s.bestAssign[j];
+        if (!cur.valid()) continue;
+        for (const CandIdx i : k.sortedCandidatesOf(PinIdx{j})) {
           if (k.profitOf(i) <= k.profitOf(cur)) break;
           if (i == cur) continue;
-          const std::span<const Index> covered = k.pinsOf(i);
+          const std::span<const PinIdx> covered = k.pinsOf(i);
           // Total objective delta over every pin the candidate re-points.
           double gain = 0.0;
           bool feasiblePins = true;
-          for (const Index q : covered) {
-            const Index old = s.bestAssign[static_cast<std::size_t>(q)];
-            if (old == geom::kInvalidIndex) {
+          for (const PinIdx q : covered) {
+            const CandIdx old = s.bestAssign[q.idx()];
+            if (!old.valid()) {
               feasiblePins = false;  // inaccessible pin cannot be re-pointed
               break;
             }
             gain += k.profitOf(i) - k.profitOf(old);
-            ++s.freedWithin[static_cast<std::size_t>(old)];
+            ++s.freedWithin[old.idx()];
           }
           bool ok = feasiblePins && gain > 1e-12;
           if (ok) {
             // Equality rows (1b): an interval that stays selected must not
             // cover a re-pointed pin, so every displaced interval has to be
             // fully freed by this move.
-            for (const Index q : covered) {
-              const std::size_t oo = static_cast<std::size_t>(
-                  s.bestAssign[static_cast<std::size_t>(q)]);
-              if (static_cast<Index>(oo) != i &&
-                  s.freedWithin[oo] < s.usage[oo]) {
+            for (const PinIdx q : covered) {
+              const CandIdx old = s.bestAssign[q.idx()];
+              if (old != i && s.freedWithin[old.idx()] < s.usage[old.idx()]) {
                 ok = false;
                 break;
               }
@@ -402,11 +391,10 @@ Assignment solveLr(const PanelKernel& k, const LrOptions& opts, LrStats* stats,
           if (ok) {
             // Conflict sets of the candidate must hold no interval that
             // stays selected after the move.
-            for (const Index m : k.conflictsOf(i)) {
-              for (const Index sel : k.membersOf(m)) {
-                const std::size_t ss = static_cast<std::size_t>(sel);
-                if (sel == i || s.usage[ss] == 0) continue;
-                if (s.freedWithin[ss] < s.usage[ss]) {
+            for (const ConflictIdx m : k.conflictsOf(i)) {
+              for (const CandIdx sel : k.membersOf(m)) {
+                if (sel == i || s.usage[sel.idx()] == 0) continue;
+                if (s.freedWithin[sel.idx()] < s.usage[sel.idx()]) {
                   ok = false;
                   break;
                 }
@@ -414,18 +402,16 @@ Assignment solveLr(const PanelKernel& k, const LrOptions& opts, LrStats* stats,
               if (!ok) break;
             }
           }
-          for (const Index q : covered) {
-            const Index old = s.bestAssign[static_cast<std::size_t>(q)];
-            if (old != geom::kInvalidIndex)
-              s.freedWithin[static_cast<std::size_t>(old)] = 0;
+          for (const PinIdx q : covered) {
+            const CandIdx old = s.bestAssign[q.idx()];
+            if (old.valid()) s.freedWithin[old.idx()] = 0;
           }
           if (!ok) continue;
-          for (const Index q : covered) {
-            const std::size_t qq = static_cast<std::size_t>(q);
-            CPR_DCHECK(s.bestAssign[qq] != geom::kInvalidIndex);
-            --s.usage[static_cast<std::size_t>(s.bestAssign[qq])];
-            s.bestAssign[qq] = i;
-            ++s.usage[ii];
+          for (const PinIdx q : covered) {
+            CPR_DCHECK(s.bestAssign[q.idx()].valid());
+            --s.usage[s.bestAssign[q.idx()].idx()];
+            s.bestAssign[q.idx()] = i;
+            ++s.usage[i.idx()];
           }
           improved = true;
           obs::add(obs, obs::names::kLrReexpandUpgrades);
@@ -437,20 +423,19 @@ Assignment solveLr(const PanelKernel& k, const LrOptions& opts, LrStats* stats,
   }
 
   Assignment out;
-  out.intervalOfPin = s.bestAssign;
-  if (out.intervalOfPin.empty())
-    out.intervalOfPin.assign(nPins, geom::kInvalidIndex);
+  out.intervalOfPin.assign(nPins, geom::kInvalidIndex);
+  for (std::size_t j = 0; j < nPins && j < s.bestAssign.size(); ++j)
+    out.intervalOfPin[j] = s.bestAssign[j].value();
   for (std::size_t j = 0; j < nPins; ++j) {
     const Index i = out.intervalOfPin[j];
-    if (i != geom::kInvalidIndex) out.objective += k.profitOf(i);
+    if (i != geom::kInvalidIndex) out.objective += k.profitOf(CandIdx{i});
   }
   // Final violation count over the (possibly repaired) selection.
   s.selFlag.assign(n, 0);
   for (const Index i : out.intervalOfPin)
-    if (i != geom::kInvalidIndex) s.selFlag[static_cast<std::size_t>(i)] = 1;
+    if (i != geom::kInvalidIndex) s.selFlag[CandIdx{i}.idx()] = 1;
   for (std::size_t m = 0; m < nCs; ++m) {
-    if (selectedCount(k, static_cast<Index>(m), s.selFlag) > 1)
-      ++out.violations;
+    if (selectedCount(k, ConflictIdx{m}, s.selFlag) > 1) ++out.violations;
   }
   return out;
 }

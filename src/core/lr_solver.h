@@ -65,7 +65,7 @@ struct LrStats {
 struct LrSortKey {
   double gain;
   Index degree;
-  Index idx;
+  CandIdx idx;
 };
 
 /// Reusable per-worker buffers for `solveLr`. Every solve fully
@@ -77,12 +77,12 @@ struct LrScratch {
   std::vector<double> penalties;
   std::vector<double> lambda;
   std::vector<int> csCount;
-  std::vector<Index> touched;
+  std::vector<ConflictIdx> touched;
   std::vector<LrSortKey> keys, dirtyKeys, mergeBuf;
   std::vector<char> dirtyFlag;
-  std::vector<Index> dirtyList;
+  std::vector<CandIdx> dirtyList;
   // maxGains selection double-buffer (current iterate and best-so-far).
-  std::vector<Index> curSel, curAssign, bestSel, bestAssign;
+  std::vector<CandIdx> curSel, curAssign, bestSel, bestAssign;
   std::vector<char> selFlag;
   // conflict-removal / re-expansion buffers
   std::vector<int> usage, freedWithin;

@@ -45,29 +45,27 @@ bool usable(const PanelKernel& k, const Assignment& a) {
 Assignment greedyProfitOrder(const PanelKernel& k) {
   Assignment a;
   a.intervalOfPin.assign(k.numPins(), geom::kInvalidIndex);
-  std::vector<Index> order(k.numIntervals());
-  std::iota(order.begin(), order.end(), Index{0});
-  std::sort(order.begin(), order.end(), [&](Index x, Index y) {
+  std::vector<CandIdx> order(k.numIntervals());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = CandIdx{i};
+  std::sort(order.begin(), order.end(), [&](CandIdx x, CandIdx y) {
     const double wx = k.weightOf(x), wy = k.weightOf(y);
     if (wx != wy) return wx > wy;
     return x < y;
   });
   std::vector<char> rowUsed(k.numConflicts(), 0);
-  auto trySelect = [&](Index i) {
-    for (Index j : k.pinsOf(i))
-      if (a.intervalOfPin[static_cast<std::size_t>(j)] != geom::kInvalidIndex)
-        return;
-    for (Index m : k.conflictsOf(i))
-      if (rowUsed[static_cast<std::size_t>(m)]) return;
-    for (Index j : k.pinsOf(i))
-      a.intervalOfPin[static_cast<std::size_t>(j)] = i;
-    for (Index m : k.conflictsOf(i)) rowUsed[static_cast<std::size_t>(m)] = 1;
+  auto trySelect = [&](CandIdx i) {
+    for (PinIdx j : k.pinsOf(i))
+      if (a.intervalOfPin[j.idx()] != geom::kInvalidIndex) return;
+    for (ConflictIdx m : k.conflictsOf(i))
+      if (rowUsed[m.idx()]) return;
+    for (PinIdx j : k.pinsOf(i)) a.intervalOfPin[j.idx()] = i.value();
+    for (ConflictIdx m : k.conflictsOf(i)) rowUsed[m.idx()] = 1;
   };
-  for (Index i : order) trySelect(i);
+  for (CandIdx i : order) trySelect(i);
   for (std::size_t j = 0; j < k.numPins(); ++j) {
     if (a.intervalOfPin[j] != geom::kInvalidIndex) continue;
-    const Index mi = k.minimalIntervalOf(static_cast<Index>(j));
-    if (mi != geom::kInvalidIndex) trySelect(mi);
+    const CandIdx mi = k.minimalIntervalOf(PinIdx{j});
+    if (mi.valid()) trySelect(mi);
   }
   a.objective = audit(k, a).objective;
   a.violations = 0;
@@ -85,16 +83,16 @@ Assignment minimalIntervalAssignment(const PanelKernel& k) {
   std::vector<char> rowUsed(k.numConflicts(), 0);
   for (std::size_t j = 0; j < k.numPins(); ++j) {
     if (a.intervalOfPin[j] != geom::kInvalidIndex) continue;
-    const Index mi = k.minimalIntervalOf(static_cast<Index>(j));
-    if (mi == geom::kInvalidIndex) continue;
+    const CandIdx mi = k.minimalIntervalOf(PinIdx{j});
+    if (!mi.valid()) continue;
     bool clash = false;
-    for (Index m : k.conflictsOf(mi))
-      if (rowUsed[static_cast<std::size_t>(m)]) { clash = true; break; }
+    for (ConflictIdx m : k.conflictsOf(mi))
+      if (rowUsed[m.idx()]) { clash = true; break; }
     if (clash) continue;
-    for (Index p : k.pinsOf(mi))
-      if (a.intervalOfPin[static_cast<std::size_t>(p)] == geom::kInvalidIndex)
-        a.intervalOfPin[static_cast<std::size_t>(p)] = mi;
-    for (Index m : k.conflictsOf(mi)) rowUsed[static_cast<std::size_t>(m)] = 1;
+    for (PinIdx p : k.pinsOf(mi))
+      if (a.intervalOfPin[p.idx()] == geom::kInvalidIndex)
+        a.intervalOfPin[p.idx()] = mi.value();
+    for (ConflictIdx m : k.conflictsOf(mi)) rowUsed[m.idx()] = 1;
   }
   a.objective = audit(k, a).objective;
   a.violations = 0;
@@ -242,7 +240,8 @@ PinAccessPlan optimizePinAccess(const db::Design& design,
       opts.threads > 0 ? opts.threads : (hw > 0 ? hw : 1), 1,
       static_cast<int>(std::max<std::size_t>(1, work.size())));
   // One arena per worker, reused across every panel that worker processes.
-  std::vector<PanelScratch> arenas(static_cast<std::size_t>(threads));
+  const std::size_t numArenas = std::size_t(threads);
+  std::vector<PanelScratch> arenas(numArenas);
   {
     // Scoped so the span is closed before `plan` can be returned (the timer
     // must not outlive its collector's final resting place).
@@ -261,9 +260,9 @@ PinAccessPlan optimizePinAccess(const db::Design& design,
         }
       };
       std::vector<std::thread> pool;
-      pool.reserve(static_cast<std::size_t>(threads));
+      pool.reserve(std::size_t(threads));
       for (int t = 0; t < threads; ++t)
-        pool.emplace_back(worker, std::ref(arenas[static_cast<std::size_t>(t)]));
+        pool.emplace_back(worker, std::ref(arenas[std::size_t(t)]));
       for (std::thread& t : pool) t.join();
     }
   }
@@ -285,14 +284,14 @@ PinAccessPlan optimizePinAccess(const db::Design& design,
     plan.objective += a.objective;
 
     for (std::size_t j = 0; j < kernel.numPins(); ++j) {
-      const Index designPin = kernel.designPinOf(static_cast<Index>(j));
+      const Index designPin = kernel.designPinOf(PinIdx{j});
       const Index i = a.intervalOfPin[j];
       if (i == geom::kInvalidIndex) {
         plan.stats.add(obs::names::kPaoUnassigned);
         continue;
       }
-      plan.routes[static_cast<std::size_t>(designPin)] =
-          PinRoute{kernel.trackOf(i), kernel.spanOf(i)};
+      plan.routes[std::size_t(designPin)] =
+          PinRoute{kernel.trackOf(CandIdx{i}), kernel.spanOf(CandIdx{i})};
     }
   }
   return plan;

@@ -8,25 +8,25 @@ namespace cpr::core {
 
 namespace {
 
-/// Builds `off`/`data` from `n` rows whose contents `rowOf(r)` yields.
-template <typename RowOf>
+/// Builds `off`/`data` from `n` rows whose contents `rowOf(r)` yields. The
+/// rows carry raw `Index` ids (the `Problem` boundary); `T` is the strong
+/// id type of the destination space, wrapped element-by-element.
+template <typename T, typename RowOf>
 void flatten(std::size_t n, RowOf rowOf, std::vector<Index>& off,
-             std::vector<Index>& data) {
+             std::vector<T>& data) {
   off.assign(n + 1, 0);
   std::size_t total = 0;
   for (std::size_t r = 0; r < n; ++r) {
     total += rowOf(r).size();
     // Offsets are stored as Index; a panel whose flat adjacency no longer
     // fits would silently wrap and corrupt every span handed out later.
-    CPR_CHECK(total <=
-              static_cast<std::size_t>(std::numeric_limits<Index>::max()));
+    CPR_CHECK(total <= std::size_t{std::numeric_limits<Index>::max()});
     off[r + 1] = static_cast<Index>(total);
   }
   data.clear();
   data.reserve(total);
   for (std::size_t r = 0; r < n; ++r) {
-    const auto& row = rowOf(r);
-    data.insert(data.end(), row.begin(), row.end());
+    for (const Index v : rowOf(r)) data.push_back(T{v});
   }
 }
 
@@ -58,31 +58,28 @@ PanelKernel PanelKernel::compile(Problem&& p) {
     for (const Index i : q.conflicts[m].intervals) {
       // A conflict member outside the interval table would turn the
       // counting sort below into an out-of-bounds histogram write.
-      CPR_DCHECK(static_cast<std::size_t>(i) < nIv);
-      ++k.ivConfOff_[static_cast<std::size_t>(i) + 1];
+      CPR_DCHECK(CandIdx{i}.idx() < nIv);
+      ++k.ivConfOff_[CandIdx{i}.idx() + 1];
     }
   }
   for (std::size_t i = 1; i <= nIv; ++i) k.ivConfOff_[i] += k.ivConfOff_[i - 1];
-  k.ivConf_.assign(static_cast<std::size_t>(k.ivConfOff_[nIv]), 0);
+  k.ivConf_.assign(std::size_t(k.ivConfOff_[nIv]), ConflictIdx{});
   {
     std::vector<Index> cursor(k.ivConfOff_.begin(), k.ivConfOff_.end() - 1);
     for (std::size_t m = 0; m < nCs; ++m) {
       for (const Index i : q.conflicts[m].intervals)
-        k.ivConf_[static_cast<std::size_t>(
-            cursor[static_cast<std::size_t>(i)]++)] = static_cast<Index>(m);
+        k.ivConf_[std::size_t(cursor[CandIdx{i}.idx()]++)] = ConflictIdx{m};
     }
   }
 
   // Per-pin candidate order for LR re-expansion: profit desc, id asc.
   k.sortedCand_ = k.pinCand_;
   for (std::size_t j = 0; j < nPins; ++j) {
-    const auto lo = static_cast<std::size_t>(k.pinCandOff_[j]);
-    const auto hi = static_cast<std::size_t>(k.pinCandOff_[j + 1]);
-    std::sort(k.sortedCand_.begin() + static_cast<std::ptrdiff_t>(lo),
-              k.sortedCand_.begin() + static_cast<std::ptrdiff_t>(hi),
-              [&](Index a, Index b) {
-                const double pa = q.profit[static_cast<std::size_t>(a)];
-                const double pb = q.profit[static_cast<std::size_t>(b)];
+    std::sort(k.sortedCand_.begin() + k.pinCandOff_[j],
+              k.sortedCand_.begin() + k.pinCandOff_[j + 1],
+              [&](CandIdx a, CandIdx b) {
+                const double pa = q.profit[a.idx()];
+                const double pb = q.profit[b.idx()];
                 return pa != pb ? pa > pb : a < b;
               });
   }
@@ -108,7 +105,7 @@ PanelKernel PanelKernel::compile(Problem&& p) {
   k.minimalOf_.resize(nPins);
   k.designPin_.resize(nPins);
   for (std::size_t j = 0; j < nPins; ++j) {
-    k.minimalOf_[j] = q.pins[j].minimalInterval;
+    k.minimalOf_[j] = CandIdx{q.pins[j].minimalInterval};
     k.designPin_[j] = q.pins[j].designPin;
   }
 
@@ -134,20 +131,21 @@ std::size_t PanelKernel::footprintBytes() const {
 
 AssignmentAudit audit(const PanelKernel& k, const Assignment& a) {
   AssignmentAudit out;
-  std::vector<Index> selected;
+  std::vector<CandIdx> selected;
   const std::size_t nPins = k.numPins();
   CPR_CHECK(a.intervalOfPin.size() == nPins);
   for (std::size_t j = 0; j < nPins; ++j) {
-    const Index i = a.intervalOfPin[j];
-    CPR_DCHECK(i == geom::kInvalidIndex ||
-               static_cast<std::size_t>(i) < k.numIntervals());
-    if (i == geom::kInvalidIndex) {
+    const Index raw = a.intervalOfPin[j];
+    CPR_DCHECK(raw == geom::kInvalidIndex ||
+               CandIdx{raw}.idx() < k.numIntervals());
+    if (raw == geom::kInvalidIndex) {
       ++out.unassignedPins;
       continue;
     }
+    const CandIdx i{raw};
     out.objective += k.profitOf(i);
     selected.push_back(i);
-    const std::span<const Index> cand = k.candidatesOf(static_cast<Index>(j));
+    const std::span<const CandIdx> cand = k.candidatesOf(PinIdx{j});
     if (std::find(cand.begin(), cand.end(), i) == cand.end())
       out.eachPinCovered = false;
   }
@@ -155,8 +153,8 @@ AssignmentAudit audit(const PanelKernel& k, const Assignment& a) {
   selected.erase(std::unique(selected.begin(), selected.end()),
                  selected.end());
 
-  std::map<Coord, std::vector<Index>> byTrack;
-  for (const Index i : selected) byTrack[k.trackOf(i)].push_back(i);
+  std::map<Coord, std::vector<CandIdx>> byTrack;
+  for (const CandIdx i : selected) byTrack[k.trackOf(i)].push_back(i);
   for (const auto& [track, ids] : byTrack) {
     for (std::size_t u = 0; u < ids.size(); ++u) {
       for (std::size_t v = u + 1; v < ids.size(); ++v) {

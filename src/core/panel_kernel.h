@@ -11,6 +11,12 @@
 /// per-conflict columns; all three solvers, the ILP translation, and the
 /// flat `audit` then iterate spans over those arrays.
 ///
+/// The three CSR index spaces are distinct strong types (`PinIdx`,
+/// `CandIdx`, `ConflictIdx` — see core/ids.h): an accessor can only be
+/// subscripted with an id from its own space, and the spans hand back typed
+/// ids, so pin/interval/conflict mix-ups fail to compile instead of reading
+/// a wrong-but-in-bounds column.
+///
 /// Ownership: the kernel takes the `Problem` by value (move it in) and
 /// borrows nothing — every flat array is an owned copy, and the moved-in
 /// problem is retained for cold-path consumers (`problem()`), so a compiled
@@ -22,6 +28,7 @@
 #include <span>
 #include <vector>
 
+#include "core/ids.h"
 #include "core/problem.h"
 #include "support/contracts.h"
 
@@ -46,67 +53,57 @@ class PanelKernel {
 
   // ---- per-pin ----
   /// Sj: candidate interval ids of pin `j`.
-  [[nodiscard]] std::span<const Index> candidatesOf(Index j) const {
-    return csr(pinCandOff_, pinCand_, j);
+  [[nodiscard]] std::span<const CandIdx> candidatesOf(PinIdx j) const {
+    return rowSpan(pinCandOff_, pinCand_, j.idx());
   }
   /// Sj sorted by non-increasing profit (ties by id) — the LR re-expansion
   /// order, precomputed at compile time since it only depends on the
   /// instance.
-  [[nodiscard]] std::span<const Index> sortedCandidatesOf(Index j) const {
-    return csr(pinCandOff_, sortedCand_, j);
+  [[nodiscard]] std::span<const CandIdx> sortedCandidatesOf(PinIdx j) const {
+    return rowSpan(pinCandOff_, sortedCand_, j.idx());
   }
-  [[nodiscard]] Index minimalIntervalOf(Index j) const {
-    return minimalOf_[static_cast<std::size_t>(j)];
+  [[nodiscard]] CandIdx minimalIntervalOf(PinIdx j) const {
+    return minimalOf_[j.idx()];
   }
-  [[nodiscard]] Index designPinOf(Index j) const {
-    return designPin_[static_cast<std::size_t>(j)];
+  [[nodiscard]] Index designPinOf(PinIdx j) const {
+    return designPin_[j.idx()];
   }
 
   // ---- per-interval ----
   /// Problem-local pins covered by interval `i`.
-  [[nodiscard]] std::span<const Index> pinsOf(Index i) const {
-    return csr(ivPinOff_, ivPin_, i);
+  [[nodiscard]] std::span<const PinIdx> pinsOf(CandIdx i) const {
+    return rowSpan(ivPinOff_, ivPin_, i.idx());
   }
   /// Conflict sets containing interval `i` (the csOf cross-index).
-  [[nodiscard]] std::span<const Index> conflictsOf(Index i) const {
-    return csr(ivConfOff_, ivConf_, i);
+  [[nodiscard]] std::span<const ConflictIdx> conflictsOf(CandIdx i) const {
+    return rowSpan(ivConfOff_, ivConf_, i.idx());
   }
-  [[nodiscard]] Coord trackOf(Index i) const {
-    return track_[static_cast<std::size_t>(i)];
+  [[nodiscard]] Coord trackOf(CandIdx i) const { return track_[i.idx()]; }
+  [[nodiscard]] const geom::Interval& spanOf(CandIdx i) const {
+    return span_[i.idx()];
   }
-  [[nodiscard]] const geom::Interval& spanOf(Index i) const {
-    return span_[static_cast<std::size_t>(i)];
-  }
-  [[nodiscard]] Index netOf(Index i) const {
-    return net_[static_cast<std::size_t>(i)];
-  }
+  [[nodiscard]] Index netOf(CandIdx i) const { return net_[i.idx()]; }
   /// Base profit f(Ii).
-  [[nodiscard]] double profitOf(Index i) const {
-    return profit_[static_cast<std::size_t>(i)];
-  }
+  [[nodiscard]] double profitOf(CandIdx i) const { return profit_[i.idx()]; }
   /// Objective weight degree(i) * profit(i) — precomputed.
-  [[nodiscard]] double weightOf(Index i) const {
-    return weight_[static_cast<std::size_t>(i)];
-  }
+  [[nodiscard]] double weightOf(CandIdx i) const { return weight_[i.idx()]; }
   /// d_i: number of covered pins.
-  [[nodiscard]] Index degreeOf(Index i) const {
-    return degree_[static_cast<std::size_t>(i)];
-  }
-  [[nodiscard]] bool isMinimal(Index i) const {
-    return minimalBit_[static_cast<std::size_t>(i)] != 0;
+  [[nodiscard]] Index degreeOf(CandIdx i) const { return degree_[i.idx()]; }
+  [[nodiscard]] bool isMinimal(CandIdx i) const {
+    return minimalBit_[i.idx()] != 0;
   }
 
   // ---- per-conflict ----
   /// Member interval ids of conflict set `m` (intervalsOfConflict).
-  [[nodiscard]] std::span<const Index> membersOf(Index m) const {
-    return csr(confMemOff_, confMem_, m);
+  [[nodiscard]] std::span<const CandIdx> membersOf(ConflictIdx m) const {
+    return rowSpan(confMemOff_, confMem_, m.idx());
   }
-  [[nodiscard]] Coord conflictTrackOf(Index m) const {
-    return confTrack_[static_cast<std::size_t>(m)];
+  [[nodiscard]] Coord conflictTrackOf(ConflictIdx m) const {
+    return confTrack_[m.idx()];
   }
   /// Lm: span of the common intersection (the subgradient step scale).
-  [[nodiscard]] Coord conflictSpanOf(Index m) const {
-    return confLm_[static_cast<std::size_t>(m)];
+  [[nodiscard]] Coord conflictSpanOf(ConflictIdx m) const {
+    return confLm_[m.idx()];
   }
 
   /// Bytes held by the flat arrays (size-based, so the value is
@@ -114,26 +111,30 @@ class PanelKernel {
   [[nodiscard]] std::size_t footprintBytes() const;
 
  private:
-  [[nodiscard]] static std::span<const Index> csr(
-      const std::vector<Index>& off, const std::vector<Index>& data, Index k) {
-    const auto kk = static_cast<std::size_t>(k);
+  template <typename T>
+  [[nodiscard]] static std::span<const T> rowSpan(
+      const std::vector<Index>& off, const std::vector<T>& data,
+      std::size_t k) {
     // Contract: `k` names a row of this CSR adjacency and the row's
     // half-open offset range lies inside `data`. Debug builds fail loudly
     // on an out-of-range row id instead of handing out a wild span.
-    CPR_DCHECK(kk + 1 < off.size());
-    CPR_DCHECK(off[kk] <= off[kk + 1]);
-    CPR_DCHECK(static_cast<std::size_t>(off[kk + 1]) <= data.size());
-    return {data.data() + off[kk],
-            static_cast<std::size_t>(off[kk + 1] - off[kk])};
+    CPR_DCHECK(k + 1 < off.size());
+    CPR_DCHECK(off[k] <= off[k + 1]);
+    CPR_DCHECK(std::size_t(off[k + 1]) <= data.size());
+    return {data.begin() + off[k], data.begin() + off[k + 1]};
   }
 
   Problem problem_;
   // CSR adjacencies (offsets have size n+1; data is the flat concatenation).
-  std::vector<Index> pinCandOff_, pinCand_;  ///< pin -> candidate intervals
-  std::vector<Index> sortedCand_;  ///< pinCand_ rows sorted by profit desc
-  std::vector<Index> ivPinOff_, ivPin_;      ///< interval -> covered pins
-  std::vector<Index> confMemOff_, confMem_;  ///< conflict -> member intervals
-  std::vector<Index> ivConfOff_, ivConf_;    ///< interval -> conflict sets
+  std::vector<Index> pinCandOff_;
+  std::vector<CandIdx> pinCand_;   ///< pin -> candidate intervals
+  std::vector<CandIdx> sortedCand_;  ///< pinCand_ rows sorted by profit desc
+  std::vector<Index> ivPinOff_;
+  std::vector<PinIdx> ivPin_;  ///< interval -> covered pins
+  std::vector<Index> confMemOff_;
+  std::vector<CandIdx> confMem_;  ///< conflict -> member intervals
+  std::vector<Index> ivConfOff_;
+  std::vector<ConflictIdx> ivConf_;  ///< interval -> conflict sets
   // Packed per-interval columns.
   std::vector<Coord> track_;
   std::vector<geom::Interval> span_;
@@ -142,7 +143,8 @@ class PanelKernel {
   std::vector<Index> degree_;
   std::vector<char> minimalBit_;
   // Packed per-pin columns.
-  std::vector<Index> minimalOf_, designPin_;
+  std::vector<CandIdx> minimalOf_;
+  std::vector<Index> designPin_;
   // Packed per-conflict columns.
   std::vector<Coord> confTrack_, confLm_;
 };

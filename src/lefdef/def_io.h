@@ -58,19 +58,8 @@ void writeDef(const db::Design& design, std::ostream& os);
 void saveDef(const db::Design& design, const std::string& path);
 [[nodiscard]] db::Design loadDef(const std::string& path);
 
-}  // namespace cpr::lefdef
-
-#include "route/result.h"
-
-namespace cpr::lefdef {
-
-/// Writer-only extension: emits the design with per-net `+ ROUTED`
-/// statements (DEF 5.8 regular wiring syntax: one `LAYER ( x y ) ( x y )`
-/// polyline point pair per straight segment, plus `VIA` records). `geometry`
-/// is indexed like `Design::nets` (see
-/// `route::NegotiationOptions::keepGeometry`).
-void writeRoutedDef(const db::Design& design,
-                    const std::vector<route::NetGeometry>& geometry,
-                    std::ostream& os);
+// The routed-DEF writer (`+ ROUTED` wiring statements) lives in
+// route/def_export.h: it consumes router geometry, and the lefdef layer
+// sits below route in the architecture manifest (tools/lint/layers.txt).
 
 }  // namespace cpr::lefdef

@@ -2,7 +2,7 @@
 /// Canonical counter names shared between emitters and the backward-compat
 /// accessors on result structs. Naming convention:
 /// `<layer>.<subject>[.<aspect>]`, dot-separated lower_snake_case segments.
-/// Layers: gen, conflict, lr, exact, ilp, pao, route, drc, cli, bench.
+/// Layers: gen, conflict, lr, exact, ilp, pao, route, drc, lint.
 ///
 /// This header is the only place a metric-name literal may be spelled out:
 /// the `cpr_lint` rule OBS-LITERAL rejects inline `"pao.*"` / `"route.*"` /
@@ -108,13 +108,19 @@ inline constexpr std::string_view kDrcLineEnd = "drc.violations.line_end";
 inline constexpr std::string_view kDrcViaSpacing =
     "drc.violations.via_spacing";
 inline constexpr std::string_view kDrcDirtyNets = "drc.nets.dirty";
+// cpr_lint self-metrics (tools/lint --report; the CI lint job archives the
+// cpr.report.v1 JSON so linter cost is trackable like any other phase).
+inline constexpr std::string_view kLintFiles = "lint.files";
+inline constexpr std::string_view kLintDiagnostics = "lint.diagnostics";
+/// ScopedTimer span around the whole lintTree walk.
+inline constexpr std::string_view kLintRunSpan = "lint.run";
 
 /// Registry of every canonical name above, in declaration order. New
 /// constants MUST be appended here too; obs_names_test asserts the entries
 /// are unique and follow the `^[a-z]+(\.[a-z_]+)+$` grammar, which is what
 /// catches a typo'd or duplicated metric name at test time rather than in a
 /// dashboard.
-inline constexpr std::array<std::string_view, 56> kAll = {
+inline constexpr std::array<std::string_view, 59> kAll = {
     kGenIntervals,         kGenShared,           kGenBlockedPins,
     kConflictSets,         kLrIterations,        kLrRemovalRounds,
     kLrReexpandUpgrades,   kLrTimeout,           kExactNodes,
@@ -133,7 +139,8 @@ inline constexpr std::array<std::string_view, 56> kAll = {
     kRoutePops,            kRouteDroppedSharing, kRouteTimeout,
     kRouteIndependentSpan, kRouteRrrSpan,        kRouteDrcRepairSpan,
     kRouteSignoffSpan,     kDrcViolations,       kDrcLineEnd,
-    kDrcViaSpacing,        kDrcDirtyNets,
+    kDrcViaSpacing,        kDrcDirtyNets,        kLintFiles,
+    kLintDiagnostics,      kLintRunSpan,
 };
 
 }  // namespace cpr::obs::names

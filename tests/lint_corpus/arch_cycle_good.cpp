@@ -1,0 +1,23 @@
+// lint-tree
+// lint-expect: none
+// lint-file: src/route/base.h
+#pragma once
+struct Base {
+  int v = 0;
+};
+// lint-file: src/route/left.h
+#pragma once
+#include "route/base.h"
+struct Left {
+  Base b;
+};
+// lint-file: src/route/right.h
+#pragma once
+#include "route/base.h"
+struct Right {
+  Base b;
+};
+// lint-file: src/route/top.cpp
+#include "route/left.h"
+#include "route/right.h"
+int topV(const Left& l, const Right& r) { return l.b.v + r.b.v; }

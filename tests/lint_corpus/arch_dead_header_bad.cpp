@@ -1,0 +1,11 @@
+// lint-tree
+// lint-expect: DEAD-HEADER@4
+// lint-file: src/eval/unused.h
+#pragma once
+inline int twice(int x) { return 2 * x; }
+// lint-file: src/eval/metrics.h
+#pragma once
+inline int score(int x) { return x + 1; }
+// lint-file: src/eval/metrics.cpp
+#include "eval/metrics.h"
+int fullScore(int x) { return score(x); }

@@ -1,0 +1,8 @@
+// lint-tree
+// lint-expect: none
+// lint-file: src/viz/palette.h
+#pragma once
+inline int paletteSize() { return 16; }
+// lint-file: tests/palette_test.cpp
+#include "viz/palette.h"
+int paletteProbe() { return paletteSize(); }

@@ -1,0 +1,13 @@
+// lint-tree
+// lint-expect: LAYER-CYCLE@5
+// lint-file: src/db/a.h
+#pragma once
+#include "db/b.h"
+struct A;
+// lint-file: src/db/b.h
+#pragma once
+#include "db/a.h"
+struct B;
+// lint-file: src/db/use.cpp
+#include "db/a.h"
+static A* gA = nullptr;

@@ -1,0 +1,21 @@
+// lint-tree
+// lint-expect: LAYER-VIOLATION@10 LAYER-VIOLATION@16
+// lint-file: src/core/thing.h
+#pragma once
+struct Thing {
+  int id = 0;
+};
+// lint-file: src/geom/shape.h
+#pragma once
+#include "core/thing.h"
+struct Shape {
+  Thing t;
+};
+// lint-file: src/support/helper.h
+#pragma once
+#include "core/thing.h"
+inline int helperId(const Thing& t) { return t.id; }
+// lint-file: src/geom/shape.cpp
+#include "geom/shape.h"
+#include "support/helper.h"
+int shapeId(const Shape& s) { return helperId(s.t); }

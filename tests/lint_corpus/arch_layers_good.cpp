@@ -1,0 +1,21 @@
+// lint-tree
+// lint-expect: none
+// lint-file: src/geom/pt.h
+#pragma once
+struct Pt {
+  int x = 0;
+  int y = 0;
+};
+// lint-file: src/support/check2.h
+#pragma once
+inline bool ok(int v) { return v >= 0; }
+// lint-file: src/db/design2.h
+#pragma once
+#include "geom/pt.h"
+#include "support/check2.h"
+struct Design2 {
+  Pt origin;
+};
+// lint-file: src/db/design2.cpp
+#include "db/design2.h"
+bool designOk(const Design2& d) { return ok(d.origin.x); }

@@ -6,7 +6,7 @@
 #include "support/contracts.h"
 
 const int* row(const std::vector<int>& off, const std::vector<int>& data, int k) {
-  CPR_DCHECK(static_cast<std::size_t>(k + 1) < off.size());
+  CPR_DCHECK(std::size_t(k + 1) < off.size());
   return data.data() + off[k];
 }
 

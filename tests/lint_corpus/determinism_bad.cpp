@@ -1,0 +1,15 @@
+// lint-as: src/route/stats.cpp
+// lint-expect: DETERMINISM@9 DETERMINISM@14
+#include <iostream>
+#include <string>
+#include <unordered_map>
+struct Collector { void add(int v); };
+void dumpCounts(const std::unordered_map<std::string, int>& counts) {
+  std::ostream& os = std::cout;
+  for (const auto& entry : counts) {
+    os << entry.first << entry.second;
+  }
+}
+void addCounts(Collector* c, const std::unordered_map<std::string, int>& m) {
+  for (const auto& entry : m) c->add(entry.second);
+}

@@ -1,0 +1,16 @@
+// lint-as: src/route/stats.cpp
+// lint-expect: none
+#include <iostream>
+#include <map>
+#include <string>
+#include <unordered_map>
+// Iterating an unordered container is fine while the loop only accumulates;
+// emitting per-element output is fine from an ordered container.
+int totalCount(const std::unordered_map<std::string, int>& counts) {
+  int total = 0;
+  for (const auto& entry : counts) total += entry.second;
+  return total;
+}
+void dumpSorted(const std::map<std::string, int>& sorted) {
+  for (const auto& entry : sorted) std::cout << entry.first;
+}

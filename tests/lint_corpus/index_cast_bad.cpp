@@ -1,0 +1,9 @@
+// lint-as: src/core/lr_solver.cpp
+// lint-expect: INDEX-CAST@5 INDEX-CAST@6
+#include <cstddef>
+double profitAt(const double* p, int i, unsigned n) {
+  const std::size_t j = static_cast<std::size_t>(i);
+  const std::size_t k = static_cast<size_t>(i);
+  const std::size_t bound = std::size_t(n);  // functional cast: legal
+  return j < bound && k < bound ? p[j] + p[k] : 0.0;
+}

@@ -1,0 +1,8 @@
+// lint-as: src/eval/metrics.cpp
+// lint-expect: none
+#include <cstddef>
+// Outside the strong-index kernel/solver scope the spelled-out cast stays
+// legal; INDEX-CAST is a src/core kernel-file rule only.
+double meanAt(const double* p, int i) {
+  return p[static_cast<std::size_t>(i)];
+}

@@ -36,8 +36,8 @@ TEST(ObsNames, EntriesFollowTheNamingGrammar) {
 }
 
 TEST(ObsNames, EntriesUseKnownSubsystemHeads) {
-  constexpr std::array<std::string_view, 8> kHeads = {
-      "gen", "conflict", "lr", "exact", "ilp", "pao", "route", "drc"};
+  constexpr std::array<std::string_view, 9> kHeads = {
+      "gen", "conflict", "lr", "exact", "ilp", "pao", "route", "drc", "lint"};
   for (const std::string_view name : cpr::obs::names::kAll) {
     const std::string_view head = name.substr(0, name.find('.'));
     bool known = false;

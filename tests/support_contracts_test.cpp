@@ -82,7 +82,8 @@ TEST(ContractsDeathTest, KernelCsrIndexOutOfRangeIsCaughtInDebugBuilds) {
   const cpr::core::PanelKernel k =
       cpr::core::PanelKernel::compile(std::move(p));
   ASSERT_EQ(k.numPins(), 0u);
-  EXPECT_DEATH(static_cast<void>(k.candidatesOf(0)), "CPR_DCHECK failed");
+  EXPECT_DEATH(static_cast<void>(k.candidatesOf(cpr::core::PinIdx{0})),
+               "CPR_DCHECK failed");
 #endif
 }
 

@@ -1,15 +1,26 @@
 /// Drives tools/lint (cpr_lint) over the fixture corpus in
-/// tests/lint_corpus/. Each fixture is self-describing:
+/// tests/lint_corpus/. Two fixture shapes, both self-describing:
 ///
+/// Single-file fixtures:
 ///   line 1: `// lint-as: <virtual repo path>` — the path the file is linted
 ///           as, so path-scoped rules (THROW-BOUNDARY, DEADLINE-RAW,
-///           CONTRACT-COVERAGE, HEADER-HYGIENE) can be exercised without
-///           placing fixtures inside src/;
+///           CONTRACT-COVERAGE, HEADER-HYGIENE, INDEX-CAST) can be
+///           exercised without placing fixtures inside src/;
 ///   line 2: `// lint-expect: RULE@LINE ...` or `// lint-expect: none`.
+///
+/// Multi-file (tree) fixtures, for the architecture-graph rules
+/// (LAYER-VIOLATION / LAYER-CYCLE / DEAD-HEADER):
+///   line 1: `// lint-tree`
+///   line 2: `// lint-expect: ...` with LINE numbers counted on the
+///           *physical* fixture file, so expectations stay greppable;
+///   then repeated `// lint-file: <virtual path>` markers, each opening a
+///   virtual file whose content runs to the next marker. The whole set is
+///   linted together with the real repo manifest (CPR_LINT_LAYERS_FILE).
 ///
 /// The test asserts the linter reports exactly the expected rule IDs at the
 /// expected lines — no more, no fewer — and separately checks the
-/// suppression-directive semantics and the lexer's comment/string immunity.
+/// suppression-directive semantics, the lexer's comment/string immunity,
+/// the declaration-level IR, and the layer-manifest parser.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -21,6 +32,9 @@
 #include <utility>
 #include <vector>
 
+#include "lint/arch.h"
+#include "lint/ir.h"
+#include "lint/lexer.h"
 #include "lint/lint.h"
 
 namespace {
@@ -30,11 +44,31 @@ using cpr::lint::Diagnostic;
 
 struct Fixture {
   std::string name;    // file name inside the corpus directory
-  std::string lintAs;  // virtual repo-relative path the file is linted as
+  bool isTree = false;
+  std::string lintAs;  // single-file: virtual repo-relative path
   std::vector<std::pair<std::string, int>> expected;  // (rule, line)
-  std::string source;
+  std::string source;  // single-file: whole fixture text
+  // Tree fixtures: the virtual files plus each one's first physical line,
+  // for mapping diagnostics back onto the fixture file.
+  std::vector<cpr::lint::SourceFile> files;
+  std::vector<int> fileStartLine;
   bool parsed = false;
 };
+
+bool parseExpectations(const std::string& expectLine, Fixture& fx) {
+  const std::string kExpect = "// lint-expect: ";
+  if (expectLine.rfind(kExpect, 0) != 0) return false;
+  std::istringstream specs(expectLine.substr(kExpect.size()));
+  std::string spec;
+  while (specs >> spec) {
+    if (spec == "none") break;
+    const std::size_t at = spec.find('@');
+    if (at == std::string::npos) return false;
+    fx.expected.emplace_back(spec.substr(0, at),
+                             std::stoi(spec.substr(at + 1)));
+  }
+  return true;
+}
 
 Fixture loadFixture(const fs::path& path) {
   Fixture fx;
@@ -45,25 +79,35 @@ Fixture loadFixture(const fs::path& path) {
   fx.source = buf.str();
 
   std::istringstream lines(fx.source);
-  std::string asLine;
+  std::string firstLine;
   std::string expectLine;
-  std::getline(lines, asLine);
+  std::getline(lines, firstLine);
   std::getline(lines, expectLine);
-  const std::string kAs = "// lint-as: ";
-  const std::string kExpect = "// lint-expect: ";
-  if (asLine.rfind(kAs, 0) != 0 || expectLine.rfind(kExpect, 0) != 0)
-    return fx;  // parsed stays false; reported by the test body
-  fx.lintAs = asLine.substr(kAs.size());
 
-  std::istringstream specs(expectLine.substr(kExpect.size()));
-  std::string spec;
-  while (specs >> spec) {
-    if (spec == "none") break;
-    const std::size_t at = spec.find('@');
-    if (at == std::string::npos) return fx;
-    fx.expected.emplace_back(spec.substr(0, at),
-                             std::stoi(spec.substr(at + 1)));
+  if (firstLine == "// lint-tree") {
+    fx.isTree = true;
+    if (!parseExpectations(expectLine, fx)) return fx;
+    const std::string kFile = "// lint-file: ";
+    std::string line;
+    int lineNo = 2;
+    while (std::getline(lines, line)) {
+      ++lineNo;
+      if (line.rfind(kFile, 0) == 0) {
+        fx.files.push_back(
+            cpr::lint::SourceFile{line.substr(kFile.size()), {}});
+        fx.fileStartLine.push_back(lineNo + 1);
+      } else if (!fx.files.empty()) {
+        fx.files.back().source += line + "\n";
+      }
+    }
+    fx.parsed = !fx.files.empty();
+    return fx;
   }
+
+  const std::string kAs = "// lint-as: ";
+  if (firstLine.rfind(kAs, 0) != 0) return fx;
+  fx.lintAs = firstLine.substr(kAs.size());
+  if (!parseExpectations(expectLine, fx)) return fx;
   fx.parsed = true;
   return fx;
 }
@@ -79,11 +123,42 @@ std::vector<Fixture> loadCorpus() {
   return out;
 }
 
+const cpr::lint::LayerManifest& repoManifest() {
+  static const cpr::lint::LayerManifest m = [] {
+    cpr::lint::LayerManifest out;
+    std::string error;
+    if (!cpr::lint::loadLayerManifest(CPR_LINT_LAYERS_FILE, out, error)) {
+      ADD_FAILURE() << "cannot load layer manifest: " << error;
+    }
+    return out;
+  }();
+  return m;
+}
+
 std::vector<std::pair<std::string, int>> found(const std::string& lintAs,
                                                const std::string& source) {
   std::vector<std::pair<std::string, int>> out;
   for (const Diagnostic& d : cpr::lint::lintSource(lintAs, source))
     out.emplace_back(d.rule, d.line);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Tree fixture run: lints the virtual file set with the repo manifest and
+/// maps every diagnostic's line back to the physical fixture line.
+std::vector<std::pair<std::string, int>> foundTree(const Fixture& fx) {
+  std::vector<std::pair<std::string, int>> out;
+  for (const Diagnostic& d :
+       cpr::lint::lintFiles(fx.files, &repoManifest())) {
+    int phys = -1;
+    for (std::size_t i = 0; i < fx.files.size(); ++i) {
+      if (fx.files[i].relPath == d.file)
+        phys = fx.fileStartLine[i] + d.line - 1;
+    }
+    EXPECT_NE(phys, -1) << fx.name << ": diagnostic names unknown file "
+                        << d.file;
+    out.emplace_back(d.rule, phys);
+  }
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -100,13 +175,14 @@ TEST(ToolsLint, CorpusFixturesProduceExactlyTheExpectedDiagnostics) {
       << "no fixtures under " << CPR_LINT_CORPUS_DIR;
   for (const Fixture& fx : corpus) {
     ASSERT_TRUE(fx.parsed)
-        << fx.name << ": missing or malformed lint-as / lint-expect header";
+        << fx.name << ": missing or malformed fixture header";
     std::vector<std::pair<std::string, int>> expected = fx.expected;
     std::sort(expected.begin(), expected.end());
-    const auto actual = found(fx.lintAs, fx.source);
+    const auto actual =
+        fx.isTree ? foundTree(fx) : found(fx.lintAs, fx.source);
     EXPECT_EQ(actual, expected)
-        << fx.name << " (linted as " << fx.lintAs << ")\n  expected: "
-        << describe(expected) << "\n  actual:   " << describe(actual);
+        << fx.name << "\n  expected: " << describe(expected)
+        << "\n  actual:   " << describe(actual);
   }
 }
 
@@ -128,7 +204,7 @@ TEST(ToolsLint, CorpusCoversEveryRuleWithABadAndAGoodFixture) {
 
 TEST(ToolsLint, RuleTableIsSortedAndDocumented) {
   const auto& table = cpr::lint::ruleTable();
-  ASSERT_GE(table.size(), 6u);
+  ASSERT_GE(table.size(), 12u);
   for (std::size_t i = 0; i < table.size(); ++i) {
     EXPECT_FALSE(table[i].id.empty());
     EXPECT_FALSE(table[i].summary.empty()) << table[i].id;
@@ -173,6 +249,42 @@ TEST(ToolsLint, AllowDirectiveOnlySuppressesTheNamedRules) {
   EXPECT_EQ(actual, expected) << describe(actual);
 }
 
+// `//` and `/* */` directives must behave identically: a block-comment
+// directive anchors at the line holding the marker — not the line the
+// comment opened on — so a multi-line comment ending in a directive
+// covers the code directly below it, like a `//` directive would.
+TEST(ToolsLint, BlockCommentDirectiveAnchorsAtTheMarkerLine) {
+  const std::string src =
+      "#include <cstdlib>\n"                     // 1
+      "/* rationale for the odd call,\n"         // 2
+      "   spread over lines\n"                   // 3
+      "   cpr-lint: allow(BANNED-FN) */\n"       // 4: marker line
+      "int a = atoi(\"1\");\n";                  // 5: suppressed
+  EXPECT_TRUE(found("src/viz/example.cpp", src).empty())
+      << describe(found("src/viz/example.cpp", src));
+}
+
+TEST(ToolsLint, InlineBlockCommentDirectiveSuppressesItsOwnLine) {
+  const std::string src =
+      "#include <cstdlib>\n"
+      "int a = atoi(\"1\");  /* cpr-lint: allow(BANNED-FN) */\n";
+  EXPECT_TRUE(found("src/viz/example.cpp", src).empty());
+}
+
+// Regression: directive text inside a raw string literal is string content,
+// not a comment — it must neither suppress the diagnostic on the next line
+// nor surface as a stale ALLOW-UNUSED directive.
+TEST(ToolsLint, AllowDirectiveInsideARawStringIsInert) {
+  const std::string src =
+      "#include <cstdlib>\n"                                  // 1
+      "const char* s = R\"(cpr-lint: allow(BANNED-FN))\";\n"  // 2
+      "int a = atoi(s);\n";                                   // 3
+  const auto actual = found("src/viz/example.cpp", src);
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"BANNED-FN", 3}};
+  EXPECT_EQ(actual, expected) << describe(actual);
+}
+
 TEST(ToolsLint, CommentsStringsAndRawStringsNeverFire) {
   const std::string src =
       "// endl sprintf atoi in a line comment\n"
@@ -194,6 +306,145 @@ TEST(ToolsLint, LexerTracksLinesAcrossBlockCommentsAndRawStrings) {
   const std::vector<std::pair<std::string, int>> expected = {
       {"BANNED-FN", 6}};
   EXPECT_EQ(actual, expected) << describe(actual);
+}
+
+// ---------------------------------------------------------------- IR ----
+
+TEST(ToolsLintIr, BuildsIncludesNamespacesAndBodyExtents) {
+  const std::string src =
+      "#include \"core/ids.h\"\n"              // 1
+      "#include <vector>\n"                    // 2
+      "namespace cpr::core {\n"                // 3
+      "class Kernel {\n"                       // 4
+      " public:\n"                             // 5
+      "  int size() const { return n_; }\n"    // 6
+      " private:\n"                            // 7
+      "  int n_ = 0;\n"                        // 8
+      "};\n"                                   // 9
+      "int twice(int x) {\n"                   // 10
+      "  return\n"                             // 11
+      "      2 * x;\n"                         // 12
+      "}\n"                                    // 13
+      "}  // namespace cpr::core\n";           // 14
+  const cpr::lint::LexResult lx = cpr::lint::lex(src);
+  const cpr::lint::FileIr ir = cpr::lint::buildIr(lx.tokens);
+
+  ASSERT_EQ(ir.includes.size(), 2u);
+  EXPECT_EQ(ir.includes[0].path, "core/ids.h");
+  EXPECT_FALSE(ir.includes[0].angled);
+  EXPECT_EQ(ir.includes[0].line, 1);
+  EXPECT_EQ(ir.includes[1].path, "vector");
+  EXPECT_TRUE(ir.includes[1].angled);
+  EXPECT_EQ(ir.includes[1].line, 2);
+
+  ASSERT_EQ(ir.namespaces.size(), 1u);
+  EXPECT_EQ(ir.namespaces[0].name, "cpr::core");
+  EXPECT_EQ(ir.namespaces[0].bodyBegin, 3);
+  EXPECT_EQ(ir.namespaces[0].bodyEnd, 14);
+
+  ASSERT_EQ(ir.decls.size(), 3u);
+  EXPECT_EQ(ir.decls[0].kind, cpr::lint::DeclKind::Class);
+  EXPECT_EQ(ir.decls[0].name, "Kernel");
+  EXPECT_EQ(ir.decls[0].bodyBegin, 4);
+  EXPECT_EQ(ir.decls[0].bodyEnd, 9);
+  EXPECT_EQ(ir.decls[1].kind, cpr::lint::DeclKind::Function);
+  EXPECT_EQ(ir.decls[1].name, "size");
+  EXPECT_EQ(ir.decls[1].bodyBegin, 6);
+  EXPECT_EQ(ir.decls[1].bodyEnd, 6);
+  EXPECT_EQ(ir.decls[2].kind, cpr::lint::DeclKind::Function);
+  EXPECT_EQ(ir.decls[2].name, "twice");
+  EXPECT_EQ(ir.decls[2].line, 10);
+  EXPECT_EQ(ir.decls[2].bodyBegin, 10);
+  EXPECT_EQ(ir.decls[2].bodyEnd, 13);
+  // Token extents really bracket the body.
+  EXPECT_EQ(lx.tokens[ir.decls[2].tokBegin].text, "{");
+  EXPECT_EQ(lx.tokens[ir.decls[2].tokEnd].text, "}");
+}
+
+TEST(ToolsLintIr, AngledIncludePathsAreRejoined) {
+  const cpr::lint::LexResult lx =
+      cpr::lint::lex("#include <core/panel_kernel.h>\n");
+  const cpr::lint::FileIr ir = cpr::lint::buildIr(lx.tokens);
+  ASSERT_EQ(ir.includes.size(), 1u);
+  EXPECT_EQ(ir.includes[0].path, "core/panel_kernel.h");
+  EXPECT_TRUE(ir.includes[0].angled);
+}
+
+TEST(ToolsLintIr, EnumBodiesAreRecordedButNotDescendedInto) {
+  const std::string src =
+      "enum class Status {\n"      // 1
+      "  Ok,\n"                    // 2
+      "  Failed,\n"                // 3
+      "};\n"                       // 4
+      "int after() { return 0; }\n";  // 5
+  const cpr::lint::FileIr ir =
+      cpr::lint::buildIr(cpr::lint::lex(src).tokens);
+  ASSERT_EQ(ir.decls.size(), 2u);
+  EXPECT_EQ(ir.decls[0].kind, cpr::lint::DeclKind::Enum);
+  EXPECT_EQ(ir.decls[0].name, "Status");
+  EXPECT_EQ(ir.decls[0].bodyEnd, 4);
+  EXPECT_EQ(ir.decls[1].name, "after");
+}
+
+TEST(ToolsLintIr, VariableInitializersAreNotFunctions) {
+  const std::string src =
+      "int a = twice(2);\n"
+      "std::vector<int> v(8);\n"
+      "void real() { int inner = 1; (void)inner; }\n";
+  const cpr::lint::FileIr ir =
+      cpr::lint::buildIr(cpr::lint::lex(src).tokens);
+  ASSERT_EQ(ir.decls.size(), 1u);
+  EXPECT_EQ(ir.decls[0].name, "real");
+}
+
+// ------------------------------------------------------ layer manifest --
+
+TEST(ToolsLintArch, RepoManifestParsesAndOrdersTheLayers) {
+  const cpr::lint::LayerManifest& m = repoManifest();
+  EXPECT_EQ(m.everywhere.size(), 2u);
+  EXPECT_EQ(m.levelOf("support"), cpr::lint::LayerManifest::kEverywhere);
+  EXPECT_EQ(m.levelOf("obs"), cpr::lint::LayerManifest::kEverywhere);
+  EXPECT_LT(m.levelOf("geom"), m.levelOf("db"));
+  EXPECT_LT(m.levelOf("db"), m.levelOf("lefdef"));
+  EXPECT_EQ(m.levelOf("gen"), m.levelOf("ilp"));
+  EXPECT_LT(m.levelOf("lefdef"), m.levelOf("core"));
+  EXPECT_LT(m.levelOf("core"), m.levelOf("route"));
+  EXPECT_EQ(m.levelOf("route"), m.levelOf("viz"));
+  EXPECT_EQ(m.levelOf("nonesuch"), cpr::lint::LayerManifest::kUnknown);
+}
+
+TEST(ToolsLintArch, ManifestParserRejectsDuplicates) {
+  cpr::lint::LayerManifest m;
+  std::string error;
+  EXPECT_FALSE(cpr::lint::parseLayerManifest("geom\ngeom db\n", m, error));
+  EXPECT_NE(error.find("geom"), std::string::npos) << error;
+  EXPECT_FALSE(cpr::lint::parseLayerManifest("# only comments\n", m, error));
+}
+
+// Architecture findings must ignore allow directives: a layering exception
+// is a layers.txt change, never a per-line pragma. The stale directive
+// itself is then reported.
+TEST(ToolsLintArch, LayerViolationsAreNotSuppressible) {
+  std::vector<cpr::lint::SourceFile> files;
+  files.push_back(cpr::lint::SourceFile{
+      "src/core/only.h", "#pragma once\nstruct Only {};\n"});
+  files.push_back(cpr::lint::SourceFile{
+      "src/geom/user.h",
+      "#pragma once\n"
+      "// cpr-lint: allow(LAYER-VIOLATION)\n"
+      "#include \"core/only.h\"\n"
+      "struct User { Only o; };\n"});
+  files.push_back(cpr::lint::SourceFile{
+      "src/geom/user.cpp", "#include \"geom/user.h\"\nint u() { return 1; }\n"});
+  std::vector<std::pair<std::string, int>> got;
+  for (const Diagnostic& d : cpr::lint::lintFiles(files, &repoManifest()))
+    got.emplace_back(d.rule + "@" + d.file, d.line);
+  std::sort(got.begin(), got.end());
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"ALLOW-UNUSED@src/geom/user.h", 2},
+      {"LAYER-VIOLATION@src/geom/user.h", 3},
+  };
+  EXPECT_EQ(got, expected);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include "core/optimizer.h"
 #include "gen/generator.h"
 #include "lefdef/def_io.h"
+#include "route/def_export.h"
 #include "route/negotiation_router.h"
 #include "viz/ascii.h"
 #include "viz/svg.h"
@@ -98,7 +99,7 @@ TEST(RoutedDef, EmitsRoutedStatements) {
   opts.keepGeometry = true;
   const route::RoutingResult r = route::routeNegotiated(d, nullptr, opts);
   std::ostringstream os;
-  lefdef::writeRoutedDef(d, r.geometry, os);
+  route::writeRoutedDef(d, r.geometry, os);
   const std::string text = os.str();
   EXPECT_NE(text.find("+ ROUTED"), std::string::npos);
   EXPECT_NE(text.find("VIA V1"), std::string::npos);

@@ -22,6 +22,7 @@
 #include "eval/metrics.h"
 #include "gen/generator.h"
 #include "lefdef/def_io.h"
+#include "route/def_export.h"
 #include "obs/names.h"
 #include "obs/report.h"
 #include "route/cpr.h"
@@ -218,7 +219,7 @@ int main(int argc, char** argv) {
     if (!args.routedDefPath.empty()) {
       std::ofstream os(args.routedDefPath);
       if (!os) throw std::runtime_error("cannot write " + args.routedDefPath);
-      lefdef::writeRoutedDef(d, result.geometry, os);
+      route::writeRoutedDef(d, result.geometry, os);
       std::printf("wrote %s\n", args.routedDefPath.c_str());
     }
   } catch (const lefdef::DefParseError& e) {

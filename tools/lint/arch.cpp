@@ -1,0 +1,273 @@
+#include "lint/arch.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace cpr::lint {
+
+namespace {
+
+bool startsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool endsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// Module of a src file: the path segment after "src/" ("" when the file is
+/// not under src/ or sits directly in it).
+std::string moduleOf(std::string_view relPath) {
+  if (!startsWith(relPath, "src/")) return {};
+  const std::string_view rest = relPath.substr(4);
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return {};
+  return std::string(rest.substr(0, slash));
+}
+
+/// The include graph restricted to files under src/, with the edge lines
+/// needed for diagnostics. Node ids index `files`.
+struct Graph {
+  struct Edge {
+    std::size_t to;
+    int line;
+    std::string spelling;  ///< the include path as written
+  };
+  std::vector<std::vector<Edge>> adj;
+  std::map<std::string, std::size_t> byPath;  ///< "src/..." -> node
+};
+
+Graph buildGraph(const std::vector<ArchFile>& files) {
+  Graph g;
+  g.adj.resize(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i)
+    if (startsWith(files[i].relPath, "src/")) g.byPath[files[i].relPath] = i;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    for (const IncludeDecl& inc : files[i].includes) {
+      const auto it = g.byPath.find("src/" + inc.path);
+      if (it == g.byPath.end()) continue;  // system / non-src include
+      g.adj[i].push_back(Graph::Edge{it->second, inc.line, inc.path});
+    }
+  }
+  return g;
+}
+
+std::string levelName(int level) {
+  if (level == LayerManifest::kEverywhere) return "everywhere";
+  return "level " + std::to_string(level);
+}
+
+/// Cycle detection: iterative DFS with a recursion stack; each distinct
+/// cycle is reported once, anchored at its lexicographically-smallest file.
+void findCycles(const std::vector<ArchFile>& files, const Graph& g,
+                std::vector<Diagnostic>& out) {
+  enum class Color { White, Gray, Black };
+  std::vector<Color> color(files.size(), Color::White);
+  std::vector<std::size_t> stack;
+  std::set<std::string> reported;
+
+  // Depth-first over explicit frames so deep include chains cannot overflow
+  // the call stack.
+  struct Frame {
+    std::size_t node;
+    std::size_t nextEdge = 0;
+  };
+  for (std::size_t root = 0; root < files.size(); ++root) {
+    if (color[root] != Color::White) continue;
+    std::vector<Frame> frames{{root, 0}};
+    color[root] = Color::Gray;
+    stack.push_back(root);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.nextEdge < g.adj[f.node].size()) {
+        const Graph::Edge& e = g.adj[f.node][f.nextEdge++];
+        if (color[e.to] == Color::White) {
+          color[e.to] = Color::Gray;
+          stack.push_back(e.to);
+          frames.push_back(Frame{e.to, 0});
+        } else if (color[e.to] == Color::Gray) {
+          // Back edge: the cycle is the stack suffix from e.to onward.
+          const auto at =
+              std::find(stack.begin(), stack.end(), e.to) - stack.begin();
+          std::vector<std::size_t> cycle(stack.begin() + at, stack.end());
+          // Rotate so the smallest path leads; dedupe on the rotated chain.
+          const auto smallest = std::min_element(
+              cycle.begin(), cycle.end(), [&](std::size_t a, std::size_t b) {
+                return files[a].relPath < files[b].relPath;
+              });
+          std::rotate(cycle.begin(), smallest, cycle.end());
+          std::string chain;
+          for (const std::size_t n : cycle) chain += files[n].relPath + " -> ";
+          chain += files[cycle.front()].relPath;
+          if (reported.insert(chain).second) {
+            // Anchor at the lead file's edge into the cycle.
+            int line = 1;
+            const std::size_t next = cycle[1 % cycle.size()];
+            for (const Graph::Edge& le : g.adj[cycle.front()])
+              if (le.to == next) line = le.line;
+            out.push_back(Diagnostic{
+                "LAYER-CYCLE", files[cycle.front()].relPath, line,
+                "include cycle: " + chain +
+                    "; break the cycle with a forward declaration or by "
+                    "moving the shared type down a layer"});
+          }
+        }
+      } else {
+        color[f.node] = Color::Black;
+        stack.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int LayerManifest::levelOf(std::string_view module) const {
+  for (const std::string& m : everywhere)
+    if (m == module) return kEverywhere;
+  for (std::size_t l = 0; l < levels.size(); ++l)
+    for (const std::string& m : levels[l])
+      if (m == module) return static_cast<int>(l);
+  return kUnknown;
+}
+
+bool parseLayerManifest(std::string_view text, LayerManifest& out,
+                        std::string& error) {
+  out = LayerManifest{};
+  std::set<std::string> seen;
+  std::istringstream is{std::string(text)};
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream words(line);
+    std::string word;
+    std::vector<std::string>* dest = nullptr;
+    while (words >> word) {
+      if (!dest) {
+        if (word == "everywhere:") {
+          if (!out.everywhere.empty()) {
+            error = "layers.txt:" + std::to_string(lineNo) +
+                    ": duplicate 'everywhere:' line";
+            return false;
+          }
+          dest = &out.everywhere;
+          continue;
+        }
+        out.levels.emplace_back();
+        dest = &out.levels.back();
+      }
+      if (!seen.insert(word).second) {
+        error = "layers.txt:" + std::to_string(lineNo) +
+                ": module '" + word + "' named twice";
+        return false;
+      }
+      dest->push_back(word);
+    }
+  }
+  if (out.levels.empty()) {
+    error = "layers.txt names no layers";
+    return false;
+  }
+  return true;
+}
+
+bool loadLayerManifest(const std::string& path, LayerManifest& out,
+                       std::string& error) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    error = "cannot read layer manifest: " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parseLayerManifest(buf.str(), out, error);
+}
+
+std::vector<Diagnostic> checkArchitecture(const std::vector<ArchFile>& files,
+                                          const LayerManifest& manifest) {
+  std::vector<Diagnostic> out;
+  const Graph g = buildGraph(files);
+
+  // LAYER-VIOLATION: per-module placement, then per-edge direction.
+  std::set<std::string> flaggedUnknown;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const std::string& rel = files[i].relPath;
+    const std::string mod = moduleOf(rel);
+    if (mod.empty() && startsWith(rel, "src/")) continue;  // src/ top level
+    if (!startsWith(rel, "src/")) continue;
+    const int level = manifest.levelOf(mod);
+    if (level == LayerManifest::kUnknown) {
+      if (flaggedUnknown.insert(mod).second) {
+        out.push_back(Diagnostic{
+            "LAYER-VIOLATION", rel, 1,
+            "module 'src/" + mod +
+                "' is not named in the architecture manifest "
+                "(tools/lint/layers.txt); add it to a layer line"});
+      }
+      continue;
+    }
+    for (const Graph::Edge& e : g.adj[i]) {
+      const std::string toMod = moduleOf(files[e.to].relPath);
+      if (toMod == mod) continue;  // intra-module
+      const int toLevel = manifest.levelOf(toMod);
+      if (toLevel == LayerManifest::kEverywhere) continue;
+      const std::string chain =
+          "; chain: " + rel + " -> " + files[e.to].relPath;
+      if (level == LayerManifest::kEverywhere) {
+        out.push_back(Diagnostic{
+            "LAYER-VIOLATION", rel, e.line,
+            "module 'src/" + mod +
+                "' is importable everywhere and must itself depend only on "
+                "everywhere modules, but includes \"" +
+                e.spelling + "\" from layered module 'src/" + toMod + "'" +
+                chain});
+        continue;
+      }
+      if (toLevel == LayerManifest::kUnknown) continue;  // flagged above
+      if (toLevel > level) {
+        out.push_back(Diagnostic{
+            "LAYER-VIOLATION", rel, e.line,
+            "include of \"" + e.spelling + "\" pulls 'src/" + toMod + "' (" +
+                levelName(toLevel) + ") into 'src/" + mod + "' (" +
+                levelName(level) +
+                "); layers may only include sideways or down" + chain});
+      }
+    }
+  }
+
+  findCycles(files, g, out);
+
+  // DEAD-HEADER: src headers nothing includes. Every scanned file counts as
+  // a potential includer, so tools/tests/bench keep src headers alive.
+  std::set<std::size_t> included;
+  for (const std::vector<Graph::Edge>& edges : g.adj)
+    for (const Graph::Edge& e : edges) included.insert(e.to);
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const std::string& rel = files[i].relPath;
+    if (!startsWith(rel, "src/")) continue;
+    if (!endsWith(rel, ".h") && !endsWith(rel, ".hpp")) continue;
+    if (included.count(i)) continue;
+    out.push_back(Diagnostic{
+        "DEAD-HEADER", rel, 1,
+        "header is included by no scanned file; delete it or include it "
+        "from the code that is meant to use it"});
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+            });
+  return out;
+}
+
+}  // namespace cpr::lint

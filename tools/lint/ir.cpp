@@ -1,0 +1,238 @@
+#include "lint/ir.h"
+
+#include <array>
+#include <algorithm>
+
+namespace cpr::lint {
+
+namespace {
+
+bool isPunct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::Punct && t.text == text;
+}
+
+bool isIdent(const Token& t, std::string_view text) {
+  return t.kind == TokKind::Identifier && t.text == text;
+}
+
+/// Matching-delimiter scan for any open/close punct pair.
+std::size_t matchPair(const std::vector<Token>& toks, std::size_t open,
+                      std::string_view o, std::string_view c) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (isPunct(toks[i], o)) ++depth;
+    if (isPunct(toks[i], c) && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+/// Recursive-descent builder. Descends into namespace and class bodies
+/// (declaration scope continues there) and steps over function and enum
+/// bodies (only their extent matters to the IR).
+class IrBuilder {
+ public:
+  explicit IrBuilder(const std::vector<Token>& toks) : toks_(toks) {}
+
+  FileIr run() {
+    scan(0, toks_.size());
+    return std::move(ir_);
+  }
+
+ private:
+  [[nodiscard]] bool at(std::size_t i, std::string_view text) const {
+    return i < toks_.size() && toks_[i].text == text;
+  }
+
+  /// Consumes `#include <...>` / `#include "..."` starting at the `#`.
+  /// Returns the index just past the directive.
+  std::size_t include(std::size_t i) {
+    const int line = toks_[i].line;
+    std::size_t j = i + 2;  // past '#' 'include'
+    if (j >= toks_.size()) return j;
+    if (toks_[j].kind == TokKind::String) {
+      ir_.includes.push_back(IncludeDecl{toks_[j].text, false, line});
+      return j + 1;
+    }
+    if (isPunct(toks_[j], "<")) {
+      // Re-join the header-name tokens: `<core/ids.h>` lexes as several
+      // identifier/punct tokens. The directive cannot span lines.
+      std::string path;
+      ++j;
+      while (j < toks_.size() && toks_[j].line == line &&
+             !isPunct(toks_[j], ">")) {
+        path += toks_[j].text;
+        ++j;
+      }
+      if (j < toks_.size() && isPunct(toks_[j], ">")) ++j;
+      ir_.includes.push_back(IncludeDecl{std::move(path), true, line});
+    }
+    return j;
+  }
+
+  /// `namespace [a::b] {` — records the decl; the body stays in declaration
+  /// scope, so the caller keeps scanning right after the `{`.
+  std::size_t namespaceDecl(std::size_t i) {
+    const int line = toks_[i].line;
+    std::string name;
+    std::size_t j = i + 1;
+    while (j < toks_.size() &&
+           (toks_[j].kind == TokKind::Identifier || isPunct(toks_[j], ":"))) {
+      name += toks_[j].text;
+      ++j;
+    }
+    if (j >= toks_.size() || !isPunct(toks_[j], "{")) return i + 1;
+    const std::size_t close = matchBrace(toks_, j);
+    ir_.namespaces.push_back(NamespaceDecl{
+        std::move(name), line, toks_[j].line,
+        close < toks_.size() ? toks_[close].line : 0});
+    return j + 1;  // descend: namespace bodies hold declarations
+  }
+
+  /// `class|struct [attrs] Name [: bases] { ... }` — records the decl and
+  /// descends into the body (members are declarations). Forward
+  /// declarations (`class X;`) and elaborated uses produce no decl.
+  std::size_t classDecl(std::size_t i) {
+    std::size_t j = i + 1;
+    // Skip attributes / alignas / export-macro identifiers up to the name:
+    // the name is the last identifier before `{`, `;`, or `:` (base clause).
+    std::string name;
+    int nameLine = toks_[i].line;
+    while (j < toks_.size()) {
+      const Token& t = toks_[j];
+      if (isPunct(t, "[") || isPunct(t, "(")) {
+        j = matchPair(toks_, j, t.text, t.text == "[" ? "]" : ")") + 1;
+        continue;
+      }
+      if (t.kind == TokKind::Identifier) {
+        if (t.text != "final") {
+          name = t.text;
+          nameLine = t.line;
+        }
+        ++j;
+        continue;
+      }
+      break;
+    }
+    // Base clause: skip to the `{` (template args inside base lists have no
+    // top-level braces before the class body).
+    if (j < toks_.size() && isPunct(toks_[j], ":")) {
+      while (j < toks_.size() && !isPunct(toks_[j], "{") &&
+             !isPunct(toks_[j], ";"))
+        ++j;
+    }
+    if (j >= toks_.size() || !isPunct(toks_[j], "{") || name.empty())
+      return i + 1;  // forward decl, elaborated type, or anonymous
+    const std::size_t close = matchBrace(toks_, j);
+    ir_.decls.push_back(EntityDecl{
+        DeclKind::Class, std::move(name), nameLine, toks_[j].line,
+        close < toks_.size() ? toks_[close].line : 0, j, close});
+    return j + 1;  // descend: members are declarations
+  }
+
+  /// `enum [class|struct] Name ... { ... }` — records the decl and steps
+  /// over the body (enumerators are not declarations the IR tracks).
+  std::size_t enumDecl(std::size_t i) {
+    std::size_t j = i + 1;
+    if (j < toks_.size() &&
+        (isIdent(toks_[j], "class") || isIdent(toks_[j], "struct")))
+      ++j;
+    std::string name;
+    int nameLine = toks_[i].line;
+    if (j < toks_.size() && toks_[j].kind == TokKind::Identifier) {
+      name = toks_[j].text;
+      nameLine = toks_[j].line;
+      ++j;
+    }
+    while (j < toks_.size() && !isPunct(toks_[j], "{") &&
+           !isPunct(toks_[j], ";"))
+      ++j;
+    if (j >= toks_.size() || !isPunct(toks_[j], "{")) return i + 1;
+    const std::size_t close = matchBrace(toks_, j);
+    if (!name.empty()) {
+      ir_.decls.push_back(EntityDecl{
+          DeclKind::Enum, std::move(name), nameLine, toks_[j].line,
+          close < toks_.size() ? toks_[close].line : 0, j, close});
+    }
+    return close + 1;  // step over: no declarations inside
+  }
+
+  /// Tries to read a function *definition* whose name is the identifier at
+  /// `i` (immediately followed by `(`): matches the parameter parens, then
+  /// skips trailer tokens (cv/ref qualifiers, noexcept(...), trailing return
+  /// types, constructor init lists) up to the body `{`. Anything ending in
+  /// `;` or `=` is a plain declaration / variable and produces no decl.
+  /// Returns the index to resume at, or `i` when this is not a definition.
+  std::size_t functionDecl(std::size_t i) {
+    static constexpr std::array<std::string_view, 10> kNotAName = {
+        "if",     "for",    "while",    "switch",        "catch",
+        "return", "sizeof", "decltype", "static_assert", "noexcept",
+    };
+    if (std::find(kNotAName.begin(), kNotAName.end(), toks_[i].text) !=
+        kNotAName.end())
+      return i;
+    const std::size_t close = matchPair(toks_, i + 1, "(", ")");
+    if (close >= toks_.size()) return i;
+    std::size_t j = close + 1;
+    while (j < toks_.size()) {
+      const Token& t = toks_[j];
+      if (isPunct(t, "{")) {
+        const std::size_t end = matchBrace(toks_, j);
+        ir_.decls.push_back(EntityDecl{
+            DeclKind::Function, toks_[i].text, toks_[i].line, t.line,
+            end < toks_.size() ? toks_[end].line : 0, j, end});
+        return end + 1;  // step over the body
+      }
+      if (isPunct(t, ";") || isPunct(t, "=") || isPunct(t, "}")) return i;
+      if (isPunct(t, "(")) {  // noexcept(...), init-list member parens
+        j = matchPair(toks_, j, "(", ")") + 1;
+        continue;
+      }
+      ++j;
+    }
+    return i;
+  }
+
+  void scan(std::size_t begin, std::size_t end) {
+    std::size_t i = begin;
+    while (i < end && i < toks_.size()) {
+      const Token& t = toks_[i];
+      if (isPunct(t, "#") && at(i + 1, "include")) {
+        i = include(i);
+        continue;
+      }
+      if (isIdent(t, "namespace")) {
+        i = namespaceDecl(i);
+        continue;
+      }
+      if (isIdent(t, "class") || isIdent(t, "struct")) {
+        i = classDecl(i);
+        continue;
+      }
+      if (isIdent(t, "enum")) {
+        i = enumDecl(i);
+        continue;
+      }
+      if (t.kind == TokKind::Identifier && at(i + 1, "(")) {
+        const std::size_t next = functionDecl(i);
+        if (next != i) {
+          i = next;
+          continue;
+        }
+      }
+      ++i;
+    }
+  }
+
+  const std::vector<Token>& toks_;
+  FileIr ir_;
+};
+
+}  // namespace
+
+std::size_t matchBrace(const std::vector<Token>& toks, std::size_t open) {
+  return matchPair(toks, open, "{", "}");
+}
+
+FileIr buildIr(const std::vector<Token>& toks) { return IrBuilder(toks).run(); }
+
+}  // namespace cpr::lint

@@ -1,0 +1,74 @@
+/// \file ir.h
+/// Declaration-level IR for cpr_lint (tools/lint), built by recursive
+/// descent over the token stream of lexer.h.
+///
+/// The IR deliberately stops at the declaration level: rules that need more
+/// than tokens (architecture-graph analysis over `#include` edges, loop-body
+/// reachability for DETERMINISM) need to know *where declarations are* —
+/// which file a header edge points at, which token range is a function body
+/// — but never need expression semantics. Parsing that little keeps the
+/// linter dependency-free and immune to the template/macro constructs that
+/// break full parsers, while still being structurally honest: body extents
+/// come from real brace matching, not regex heuristics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace cpr::lint {
+
+/// One `#include` directive. `path` is the spelling between the delimiters
+/// (tokens are re-joined for angled includes, so `<core/ids.h>` yields
+/// "core/ids.h").
+struct IncludeDecl {
+  std::string path;
+  bool angled = false;  ///< `<...>` form (false: quoted `"..."` form)
+  int line = 0;
+};
+
+/// One `namespace N { ... }` (possibly qualified `a::b`; empty name for an
+/// anonymous namespace). `bodyBegin/bodyEnd` are the lines of the braces.
+struct NamespaceDecl {
+  std::string name;
+  int line = 0;
+  int bodyBegin = 0;
+  int bodyEnd = 0;
+};
+
+enum class DeclKind {
+  Function,  ///< free or member function *definition* (has a body)
+  Class,     ///< class/struct with a body
+  Enum,      ///< enum / enum class with a body
+};
+
+/// A named declaration with a brace-matched body extent. `tokBegin/tokEnd`
+/// index the `{` / matching `}` in the token stream handed to buildIr, so
+/// rules can scan exactly the body's tokens.
+struct EntityDecl {
+  DeclKind kind = DeclKind::Function;
+  std::string name;
+  int line = 0;       ///< line of the name token
+  int bodyBegin = 0;  ///< line of the opening brace
+  int bodyEnd = 0;    ///< line of the matching closing brace
+  std::size_t tokBegin = 0;
+  std::size_t tokEnd = 0;
+};
+
+struct FileIr {
+  std::vector<IncludeDecl> includes;
+  std::vector<NamespaceDecl> namespaces;
+  std::vector<EntityDecl> decls;
+};
+
+/// Index of the `}` matching the `{` at `open` (which must be a `{` Punct),
+/// or `toks.size()` when the stream ends unbalanced.
+[[nodiscard]] std::size_t matchBrace(const std::vector<Token>& toks,
+                                     std::size_t open);
+
+/// Builds the declaration-level IR for one translation unit's tokens.
+[[nodiscard]] FileIr buildIr(const std::vector<Token>& toks);
+
+}  // namespace cpr::lint

@@ -22,11 +22,17 @@ bool isRawPrefix(std::string_view ident) {
 }
 
 /// Parses a suppression directive (the `cpr-lint:` marker with an
-/// allow-list) out of a comment body, if present.
+/// allow-list) out of a comment body, if present. `line` is the line the
+/// comment *starts* on; the directive anchors at the marker's own line, so
+/// a multi-line block comment whose last line carries the marker behaves
+/// exactly like a `//` directive in the same position (`//`-vs-`/* */`
+/// parity).
 bool parseAllow(std::string_view comment, int line, Allow& out) {
   const std::string_view key = "cpr-lint:";
   const std::size_t at = comment.find(key);
   if (at == std::string_view::npos) return false;
+  for (const char c : comment.substr(0, at))
+    if (c == '\n') ++line;
   std::size_t i = at + key.size();
   while (i < comment.size() && comment[i] == ' ') ++i;
   const std::string_view word = "allow(";

@@ -21,6 +21,8 @@
 
 namespace cpr::lint {
 
+struct LayerManifest;  // arch.h
+
 struct Diagnostic {
   std::string rule;
   std::string file;
@@ -42,13 +44,32 @@ struct RuleInfo {
 [[nodiscard]] std::vector<Diagnostic> lintSource(const std::string& relPath,
                                                  std::string_view source);
 
+/// One in-memory file for lintFiles: the repo-relative path (forward
+/// slashes) plus its full source text.
+struct SourceFile {
+  std::string relPath;
+  std::string source;
+};
+
+/// Lints a whole file set: per-file rules on every file, then — when a
+/// `manifest` is supplied — the architecture-graph pass (LAYER-VIOLATION /
+/// LAYER-CYCLE / DEAD-HEADER, see arch.h) over the include graph of the
+/// set. Architecture diagnostics ignore allow directives by design.
+/// Diagnostics come back grouped per file in input order (architecture
+/// findings merged in), sorted by line then rule within a file.
+[[nodiscard]] std::vector<Diagnostic> lintFiles(
+    const std::vector<SourceFile>& files,
+    const LayerManifest* manifest = nullptr);
+
 /// Walks `subdirs` under `rootDir`, lints every C++ source file
 /// (.h/.hpp/.cpp/.cc/.cxx), and concatenates the per-file diagnostics in
 /// path-sorted order. Directories named build*, corpus, lint_corpus, or
 /// starting with '.' are skipped. When `scannedFiles` is non-null it
-/// receives the repo-relative path of every file visited.
+/// receives the repo-relative path of every file visited. When `manifest`
+/// is non-null the architecture-graph pass runs over the whole walked set.
 [[nodiscard]] std::vector<Diagnostic> lintTree(
     const std::filesystem::path& rootDir, const std::vector<std::string>& subdirs,
-    std::vector<std::string>* scannedFiles = nullptr);
+    std::vector<std::string>* scannedFiles = nullptr,
+    const LayerManifest* manifest = nullptr);
 
 }  // namespace cpr::lint

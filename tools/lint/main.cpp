@@ -2,38 +2,116 @@
 /// cpr_lint CLI: lints the project trees and exits non-zero on any
 /// diagnostic. Run as a ctest target (repo_lint) and as the CI lint job.
 ///
-///   cpr_lint [--root DIR] [--list-rules] [PATH...]
+///   cpr_lint [--root DIR] [--layers FILE] [--sarif FILE] [--report FILE]
+///            [--list-rules] [PATH...]
 ///
 /// PATHs are files or directories relative to --root (default: the current
 /// directory); with no PATH the standard project trees src tools tests
-/// bench are scanned. Exit codes: 0 clean, 1 diagnostics found, 2 usage.
+/// bench are scanned. The architecture-graph pass runs whenever the layer
+/// manifest is readable (default: <root>/tools/lint/layers.txt; override
+/// with --layers). `--sarif` writes the diagnostics as a SARIF 2.1.0 log
+/// for code-scanning upload; `--report` writes the run's own counters
+/// (lint.files / lint.diagnostics and the lint.run span) as a
+/// `cpr.report.v1` JSON. Exit codes: 0 clean, 1 diagnostics found, 2 usage
+/// or bad manifest.
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "lint/arch.h"
 #include "lint/lint.h"
+#include "obs/collector.h"
+#include "obs/names.h"
+#include "obs/report.h"
 
 namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--root DIR] [--list-rules] [PATH...]\n"
+               "usage: %s [--root DIR] [--layers FILE] [--sarif FILE]\n"
+               "       [--report FILE] [--list-rules] [PATH...]\n"
                "  --root DIR    repo root the PATHs are relative to\n"
+               "  --layers FILE layer manifest for the architecture pass\n"
+               "                (default: <root>/tools/lint/layers.txt)\n"
+               "  --sarif FILE  write diagnostics as SARIF 2.1.0\n"
+               "  --report FILE write run counters as cpr.report.v1 JSON\n"
                "  --list-rules  print the rule table and exit\n",
                argv0);
   return 2;
+}
+
+/// Minimal SARIF 2.1.0 log: one run, the rule table as the driver's rules,
+/// one result per diagnostic. Paths are emitted repo-relative with a
+/// SRCROOT base so code-scanning UIs anchor them to the checkout.
+void writeSarif(std::ostream& os,
+                const std::vector<cpr::lint::Diagnostic>& diags) {
+  const auto esc = [](std::string_view s) { return cpr::obs::jsonEscape(s); };
+  os << "{\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"runs\": [{\n"
+     << "    \"tool\": {\"driver\": {\n"
+     << "      \"name\": \"cpr_lint\",\n"
+     << "      \"rules\": [";
+  bool first = true;
+  for (const cpr::lint::RuleInfo& r : cpr::lint::ruleTable()) {
+    os << (first ? "\n" : ",\n") << "        {\"id\": \"" << esc(r.id)
+       << "\", \"shortDescription\": {\"text\": \"" << esc(r.summary)
+       << "\"}}";
+    first = false;
+  }
+  os << "\n      ]\n    }},\n"
+     << "    \"originalUriBaseIds\": {\"SRCROOT\": {\"uri\": "
+        "\"file:///\"}},\n"
+     << "    \"results\": [";
+  first = true;
+  for (const cpr::lint::Diagnostic& d : diags) {
+    os << (first ? "\n" : ",\n") << "      {\"ruleId\": \"" << esc(d.rule)
+       << "\", \"level\": \"error\", \"message\": {\"text\": \""
+       << esc(d.message) << "\"}, \"locations\": [{\"physicalLocation\": "
+       << "{\"artifactLocation\": {\"uri\": \"" << esc(d.file)
+       << "\", \"uriBaseId\": \"SRCROOT\"}, \"region\": {\"startLine\": "
+       << d.line << "}}}]}";
+    first = false;
+  }
+  os << "\n    ]\n  }]\n}\n";
+}
+
+bool saveSarif(const std::string& path,
+               const std::vector<cpr::lint::Diagnostic>& diags) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  writeSarif(os, diags);
+  return static_cast<bool>(os);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string layersPath;
+  std::string sarifPath;
+  std::string reportPath;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    const auto flagValue = [&](std::string& dest) {
+      if (i + 1 >= argc) return false;
+      dest = argv[++i];
+      return true;
+    };
     if (arg == "--root") {
-      if (i + 1 >= argc) return usage(argv[0]);
-      root = argv[++i];
+      if (!flagValue(root)) return usage(argv[0]);
+    } else if (arg == "--layers") {
+      if (!flagValue(layersPath)) return usage(argv[0]);
+    } else if (arg == "--sarif") {
+      if (!flagValue(sarifPath)) return usage(argv[0]);
+    } else if (arg == "--report") {
+      if (!flagValue(reportPath)) return usage(argv[0]);
     } else if (arg == "--list-rules") {
       for (const cpr::lint::RuleInfo& r : cpr::lint::ruleTable())
         std::printf("%-18s %s\n", std::string(r.id).c_str(),
@@ -51,13 +129,55 @@ int main(int argc, char** argv) {
   }
   if (paths.empty()) paths = {"src", "tools", "tests", "bench"};
 
+  // The architecture pass is on by default when the in-repo manifest
+  // exists; an explicit --layers that cannot be parsed is a hard error.
+  cpr::lint::LayerManifest manifest;
+  const cpr::lint::LayerManifest* manifestPtr = nullptr;
+  const bool layersExplicit = !layersPath.empty();
+  if (!layersExplicit)
+    layersPath = (std::filesystem::path(root) / "tools/lint/layers.txt")
+                     .generic_string();
+  std::string manifestError;
+  if (cpr::lint::loadLayerManifest(layersPath, manifest, manifestError)) {
+    manifestPtr = &manifest;
+  } else if (layersExplicit) {
+    std::fprintf(stderr, "cpr_lint: %s\n", manifestError.c_str());
+    return 2;
+  }
+
+  cpr::obs::Collector collector;
   std::vector<std::string> scanned;
-  const std::vector<cpr::lint::Diagnostic> diags =
-      cpr::lint::lintTree(root, paths, &scanned);
+  std::vector<cpr::lint::Diagnostic> diags;
+  {
+    const cpr::obs::ScopedTimer timer(&collector,
+                                      cpr::obs::names::kLintRunSpan);
+    diags = cpr::lint::lintTree(root, paths, &scanned, manifestPtr);
+  }
+  collector.add(cpr::obs::names::kLintFiles,
+                static_cast<long>(scanned.size()));
+  collector.add(cpr::obs::names::kLintDiagnostics,
+                static_cast<long>(diags.size()));
+
   for (const cpr::lint::Diagnostic& d : diags)
     std::printf("%s:%d: [%s] %s\n", d.file.c_str(), d.line, d.rule.c_str(),
                 d.message.c_str());
-  std::fprintf(stderr, "cpr_lint: %zu file(s) scanned, %zu diagnostic(s)\n",
-               scanned.size(), diags.size());
+  std::fprintf(stderr,
+               "cpr_lint: %zu file(s) scanned, %zu diagnostic(s)%s\n",
+               scanned.size(), diags.size(),
+               manifestPtr ? "" : " (no layer manifest; arch pass skipped)");
+
+  if (!sarifPath.empty() && !saveSarif(sarifPath, diags)) {
+    std::fprintf(stderr, "cpr_lint: cannot write SARIF to %s\n",
+                 sarifPath.c_str());
+    return 2;
+  }
+  if (!reportPath.empty()) {
+    try {
+      cpr::obs::saveReportJson(collector, reportPath);
+    } catch (const std::runtime_error& e) {
+      std::fprintf(stderr, "cpr_lint: %s\n", e.what());
+      return 2;
+    }
+  }
   return diags.empty() ? 0 : 1;
 }

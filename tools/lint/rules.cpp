@@ -1,10 +1,14 @@
 #include <algorithm>
 #include <array>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint/arch.h"
+#include "lint/ir.h"
 #include "lint/lexer.h"
 #include "lint/lint.h"
 
@@ -38,6 +42,24 @@ bool isTrySolveBoundary(std::string_view rel) {
       "src/core/exact_solver.cpp", "src/core/exact_solver.h",
   };
   return std::find(kFiles.begin(), kFiles.end(), rel) != kFiles.end();
+}
+
+/// Files swept onto the strong index types of src/core/ids.h
+/// (PinIdx/CandIdx/ConflictIdx/TrackIdx): the INDEX-CAST scope. ids.h
+/// itself is deliberately outside the scope — it is where the one sanctioned
+/// raw conversion (`idx()`) lives.
+bool isStrongIndexScope(std::string_view rel) {
+  constexpr std::array<std::string_view, 7> kStems = {
+      "src/core/panel_kernel", "src/core/lr_solver",
+      "src/core/exact_solver", "src/core/ilp_builder",
+      "src/core/solver",       "src/core/optimizer",
+      "src/core/interval_gen",
+  };
+  for (const std::string_view stem : kStems) {
+    if (rel == std::string(stem) + ".h" || rel == std::string(stem) + ".cpp")
+      return true;
+  }
+  return false;
 }
 
 /// Solver-loop directories where argless wall-clock polling is banned
@@ -167,6 +189,120 @@ struct FileLint {
       report("HEADER-HYGIENE", 1, "header is missing '#pragma once'");
   }
 
+  /// INDEX-CAST: in the strong-index kernel/solver files, the spelled-out
+  /// `static_cast<std::size_t>` (or `static_cast<size_t>`) is how index
+  /// confusion crept in before src/core/ids.h existed — every subscript
+  /// conversion must go through a typed `.idx()`. Functional
+  /// `std::size_t(x)` casts stay legal for true size (non-index) math.
+  void indexCast() {
+    if (!isStrongIndexScope(rel)) return;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::Identifier ||
+          toks[i].text != "static_cast" || !tokIs(i + 1, "<"))
+        continue;
+      std::size_t j = i + 2;
+      if (tokIs(j, "std") && tokIs(j + 1, ":") && tokIs(j + 2, ":")) j += 3;
+      if (tokIs(j, "size_t") && tokIs(j + 1, ">")) {
+        report("INDEX-CAST", toks[i].line,
+               "raw static_cast to size_t in strong-index code; subscript "
+               "through PinIdx/CandIdx/ConflictIdx/TrackIdx::idx() "
+               "(src/core/ids.h), or use a functional std::size_t(...) cast "
+               "at a genuine size boundary");
+      }
+    }
+  }
+
+  /// DETERMINISM: iterating an unordered container visits elements in a
+  /// hash-seed-dependent order, so a loop body that emits metrics or output
+  /// makes runs non-reproducible — the repo's reports and route digests are
+  /// compared bit-for-bit. Detection: range-for whose range expression
+  /// names an unordered container (by declared variable name or inline
+  /// type), with a body that reaches an obs call (`obs::`, `.add(`,
+  /// `.note(`) or stream/print output (`<<`, printf/fprintf, cout/cerr).
+  void determinism() {
+    constexpr std::array<std::string_view, 4> kUnordered = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    auto isUnorderedType = [&](std::size_t i) {
+      return toks[i].kind == TokKind::Identifier &&
+             std::find(kUnordered.begin(), kUnordered.end(), toks[i].text) !=
+                 kUnordered.end();
+    };
+    // Pass 1: names declared with an unordered type anywhere in the file.
+    std::set<std::string> unorderedNames;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!isUnorderedType(i) || !tokIs(i + 1, "<")) continue;
+      int depth = 0;
+      std::size_t j = i + 1;
+      for (; j < toks.size(); ++j) {
+        if (tokIs(j, "<")) ++depth;
+        if (tokIs(j, ">") && --depth == 0) break;
+      }
+      for (++j; j < toks.size(); ++j) {
+        if (tokIs(j, "&") || tokIs(j, "*")) continue;
+        if (toks[j].kind == TokKind::Identifier)
+          unorderedNames.insert(toks[j].text);
+        break;
+      }
+    }
+    // Pass 2: range-for loops over an unordered range, sink scan of the
+    // brace-matched (or single-statement) body.
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::Identifier || toks[i].text != "for" ||
+          !tokIs(i + 1, "(") )
+        continue;
+      int depth = 0;
+      std::size_t close = i + 1;
+      std::size_t colon = 0;
+      for (; close < toks.size(); ++close) {
+        if (tokIs(close, "(")) ++depth;
+        if (tokIs(close, ")") && --depth == 0) break;
+        if (depth == 1 && tokIs(close, ":") && !tokIs(close - 1, ":") &&
+            !tokIs(close + 1, ":") && colon == 0)
+          colon = close;
+      }
+      if (colon == 0 || close >= toks.size()) continue;  // not a range-for
+      bool unordered = false;
+      for (std::size_t k = colon + 1; k < close; ++k) {
+        if (isUnorderedType(k) ||
+            (toks[k].kind == TokKind::Identifier &&
+             unorderedNames.count(toks[k].text)))
+          unordered = true;
+      }
+      if (!unordered) continue;
+      std::size_t bodyBegin = close + 1;
+      std::size_t bodyEnd;
+      if (tokIs(bodyBegin, "{")) {
+        bodyEnd = matchBrace(toks, bodyBegin);
+        ++bodyBegin;
+      } else {
+        bodyEnd = bodyBegin;
+        while (bodyEnd < toks.size() && !tokIs(bodyEnd, ";")) ++bodyEnd;
+      }
+      for (std::size_t k = bodyBegin; k < bodyEnd && k < toks.size(); ++k) {
+        const Token& t = toks[k];
+        const bool obsCall =
+            t.kind == TokKind::Identifier &&
+            (t.text == "obs" ||
+             ((t.text == "add" || t.text == "note") && k > 0 &&
+              (tokIs(k - 1, ".") || tokIs(k - 1, ">")) && tokIs(k + 1, "(")));
+        const bool printCall =
+            t.kind == TokKind::Identifier &&
+            (t.text == "printf" || t.text == "fprintf" ||
+             t.text == "cout" || t.text == "cerr");
+        const bool streamOp = tokIs(k, "<") && tokIs(k + 1, "<");
+        if (obsCall || printCall || streamOp) {
+          report("DETERMINISM", toks[i].line,
+                 "loop iterates an unordered container and emits "
+                 "metrics/output; iteration order depends on the hash seed "
+                 "— iterate a sorted copy or switch to an ordered "
+                 "container");
+          break;
+        }
+      }
+    }
+  }
+
   void contractCoverage() {
     if (rel.find("panel_kernel") == std::string::npos) return;
     // Lines holding a contract macro; a raw access within the window below
@@ -211,11 +347,23 @@ const std::vector<RuleInfo>& ruleTable() {
        "rand/srand/strtok/atoi/atol/atof/sprintf/vsprintf/gets/std::endl"},
       {"CONTRACT-COVERAGE",
        "raw CSR pointer access in panel_kernel.* must sit under a contract"},
+      {"DEAD-HEADER",
+       "src/ header that no scanned file includes (architecture pass)"},
       {"DEADLINE-RAW",
        "timeLimitSeconds doubles anywhere; argless ::now() polling in "
        "src/core|src/ilp"},
+      {"DETERMINISM",
+       "range-for over an unordered container whose body emits "
+       "metrics/output"},
       {"HEADER-HYGIENE",
        "headers need #pragma once and must not 'using namespace'"},
+      {"INDEX-CAST",
+       "static_cast<std::size_t> in strong-index kernel/solver files; use "
+       "ids.h idx()"},
+      {"LAYER-CYCLE",
+       "cycle in the src/ include graph (architecture pass)"},
+      {"LAYER-VIOLATION",
+       "include edge pointing up the layer manifest tools/lint/layers.txt"},
       {"OBS-LITERAL",
        "inline \"pao|route|drc|ilp.*\" metric literals outside obs/names.h"},
       {"THROW-BOUNDARY",
@@ -234,6 +382,8 @@ std::vector<Diagnostic> lintSource(const std::string& relPath,
   fl.bannedFn();
   fl.headerHygiene();
   fl.contractCoverage();
+  fl.indexCast();
+  fl.determinism();
 
   // Per-line suppression: an allow directive covers its own line and the
   // line directly below it, for the named rules only.
@@ -263,9 +413,47 @@ std::vector<Diagnostic> lintSource(const std::string& relPath,
   return kept;
 }
 
+std::vector<Diagnostic> lintFiles(const std::vector<SourceFile>& files,
+                                  const LayerManifest* manifest) {
+  std::vector<Diagnostic> out;
+  for (const SourceFile& f : files) {
+    std::vector<Diagnostic> diags = lintSource(f.relPath, f.source);
+    out.insert(out.end(), std::make_move_iterator(diags.begin()),
+               std::make_move_iterator(diags.end()));
+  }
+  if (manifest) {
+    // Architecture pass over the whole set. These diagnostics bypass the
+    // allow-directive machinery on purpose (see arch.h).
+    std::vector<ArchFile> arch;
+    arch.reserve(files.size());
+    for (const SourceFile& f : files) {
+      const LexResult lx = lex(f.source);
+      arch.push_back(ArchFile{f.relPath, buildIr(lx.tokens).includes});
+    }
+    std::vector<Diagnostic> graph = checkArchitecture(arch, *manifest);
+    out.insert(out.end(), std::make_move_iterator(graph.begin()),
+               std::make_move_iterator(graph.end()));
+    // Re-establish the per-file grouping (input order) with line-then-rule
+    // order inside each file.
+    std::map<std::string, std::size_t> order;
+    for (std::size_t i = 0; i < files.size(); ++i)
+      order.emplace(files[i].relPath, i);
+    std::stable_sort(out.begin(), out.end(),
+                     [&](const Diagnostic& a, const Diagnostic& b) {
+                       const std::size_t fa = order.at(a.file);
+                       const std::size_t fb = order.at(b.file);
+                       if (fa != fb) return fa < fb;
+                       if (a.line != b.line) return a.line < b.line;
+                       return a.rule < b.rule;
+                     });
+  }
+  return out;
+}
+
 std::vector<Diagnostic> lintTree(const fs::path& rootDir,
                                  const std::vector<std::string>& subdirs,
-                                 std::vector<std::string>* scannedFiles) {
+                                 std::vector<std::string>* scannedFiles,
+                                 const LayerManifest* manifest) {
   auto skipDir = [](const std::string& name) {
     return startsWith(name, "build") || startsWith(name, ".") ||
            name == "corpus" || name == "lint_corpus" || name == "results";
@@ -297,7 +485,8 @@ std::vector<Diagnostic> lintTree(const fs::path& rootDir,
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  std::vector<Diagnostic> out;
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
   for (const fs::path& f : files) {
     std::error_code ec;
     const fs::path relp = fs::relative(f, rootDir, ec);
@@ -306,12 +495,9 @@ std::vector<Diagnostic> lintTree(const fs::path& rootDir,
     std::ifstream is(f, std::ios::binary);
     std::ostringstream buf;
     buf << is.rdbuf();
-    const std::string source = buf.str();
-    std::vector<Diagnostic> diags = lintSource(rel, source);
-    out.insert(out.end(), std::make_move_iterator(diags.begin()),
-               std::make_move_iterator(diags.end()));
+    sources.push_back(SourceFile{rel, buf.str()});
   }
-  return out;
+  return lintFiles(sources, manifest);
 }
 
 }  // namespace cpr::lint
