@@ -62,12 +62,12 @@ int main(int argc, char** argv) {
     opts.lp.implicitUnitBounds = true;
 
     auto t0 = bench::Clock::now();
-    const ilp::IlpResult a =
-        ilp::solveBinaryIlp(clique.model, opts, support::Deadline::after(cap));
+    opts.deadline = support::Deadline::after(cap);
+    const ilp::IlpResult a = ilp::solveBinaryIlp(clique.model, opts);
     const double cliqueSec = bench::seconds(t0, bench::Clock::now());
     t0 = bench::Clock::now();
-    const ilp::IlpResult b =
-        ilp::solveBinaryIlp(pair.model, opts, support::Deadline::after(cap));
+    opts.deadline = support::Deadline::after(cap);
+    const ilp::IlpResult b = ilp::solveBinaryIlp(pair.model, opts);
     const double pairSec = bench::seconds(t0, bench::Clock::now());
 
     std::printf("%5zu %9zu | %10d %10d | %10.3f%s %10.3f%s\n",

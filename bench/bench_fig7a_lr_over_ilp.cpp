@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
 
     route::CprOptions ilpOpts;
     ilpOpts.pinAccess.threads = h.threads();
-    ilpOpts.pinAccess.method = core::Method::Exact;
+    ilpOpts.pinAccess.solve.method = core::Method::Exact;
     ilpOpts.pinAccess.panelBudgetSeconds = perPanel;
     const route::CprResult ilp = route::routeCpr(d, ilpOpts);
     const eval::Metrics mIlp = eval::summarize(d, ilp.routing);

@@ -163,8 +163,8 @@ PanelOutcome solvePanel(const db::Design& design, const db::Panel& panel,
       obs::ScopedTimer t(obs, obs::names::kPaoFallbackSpan);
       obs->add(obs::names::kPaoFallbacks);
       if (!runExpired && solver.name() != "lr") {
-        support::Outcome<Assignment> lr =
-            LrSolver(opts.lr).trySolve(out.kernel, &scratch, obs, panelDeadline);
+        support::Outcome<Assignment> lr = LrSolver(opts.solve.lr)
+            .trySolve(out.kernel, &scratch, obs, panelDeadline);
         if (usable(out.kernel, lr.value())) {
           out.assignment = lr.take();
           rung = Rung::Lr;
@@ -225,8 +225,7 @@ PinAccessPlan optimizePinAccess(const db::Design& design,
   plan.routes.assign(design.pins().size(), PinRoute{});
 
   std::shared_ptr<const Solver> solver = opts.solver;
-  if (!solver)
-    solver = makeSolver(opts.method, opts.lr, opts.exact, opts.ilp);
+  if (!solver) solver = makeSolver(opts.solve);
 
   const std::vector<db::Panel> panels = db::extractPanels(design);
   std::vector<const db::Panel*> work;

@@ -29,11 +29,11 @@
 namespace cpr::core {
 
 struct OptimizerOptions {
-  Method method = Method::Lr;
   GenOptions gen;
-  LrOptions lr;
-  ExactOptions exact;
-  ilp::IlpOptions ilp;
+  /// Solver method + per-engine options, handed to `makeSolver` verbatim.
+  /// One nested bundle instead of flat method/lr/exact/ilp fields, so every
+  /// layer from the CLI down spells solver configuration the same way.
+  SolverOptions solve;
   ProfitModel profitModel = ProfitModel::SqrtSpan;
   /// Run-level wall-clock budget (unset = none). Panels that start after it
   /// fires skip their solver and take the fast degradation rungs, so the
@@ -51,9 +51,9 @@ struct OptimizerOptions {
   /// in panel order, so results are identical for any thread count; 0 = use
   /// the hardware concurrency.
   int threads = 0;
-  /// Overrides `method`/`lr`/`exact`/`ilp` when set: panels are solved by
-  /// this solver instance (it must be safe for concurrent `solve` calls, as
-  /// the built-in three are).
+  /// Overrides `solve` when set: panels are solved by this solver instance
+  /// (it must be safe for concurrent `solve` calls, as the built-in three
+  /// are).
   std::shared_ptr<const Solver> solver;
 };
 

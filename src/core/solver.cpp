@@ -61,9 +61,16 @@ Assignment IlpSolver::solve(const PanelKernel& k, PanelScratch* /*scratch*/,
                             obs::Collector* obs,
                             support::Deadline deadline) const {
   const IlpBuild build = buildIlpModel(k);
-  const ilp::IlpResult res = ilp::solveBinaryIlp(build.model, opts_, deadline);
+  // The one place the per-call budget meets the options budget: composed
+  // here, then carried by IlpOptions::deadline through every LP solve.
+  ilp::IlpOptions opts = opts_;
+  opts.deadline = support::Deadline::soonerOf(opts_.deadline, deadline);
+  const ilp::IlpResult res = ilp::solveBinaryIlp(build.model, opts);
   obs::add(obs, obs::names::kIlpNodes, res.nodesExplored);
   obs::add(obs, obs::names::kIlpPivots, res.lpPivots);
+  obs::add(obs, obs::names::kIlpWarmSolves, res.lpWarmSolves);
+  obs::add(obs, obs::names::kIlpColdSolves, res.lpColdSolves);
+  obs::note(obs, obs::names::kIlpBackendNote, res.backend);
   if (res.status != ilp::IlpStatus::Optimal)
     obs::add(obs, obs::names::kIlpNotProved);
   if (res.status == ilp::IlpStatus::TimeLimit)
@@ -80,13 +87,11 @@ Assignment IlpSolver::solve(const PanelKernel& k, PanelScratch* /*scratch*/,
   return out;
 }
 
-std::unique_ptr<Solver> makeSolver(Method method, const LrOptions& lr,
-                                   const ExactOptions& exact,
-                                   const ilp::IlpOptions& ilp) {
-  switch (method) {
-    case Method::Lr: return std::make_unique<LrSolver>(lr);
-    case Method::Exact: return std::make_unique<ExactSolver>(exact);
-    case Method::Ilp: return std::make_unique<IlpSolver>(ilp);
+std::unique_ptr<Solver> makeSolver(const SolverOptions& opts) {
+  switch (opts.method) {
+    case Method::Lr: return std::make_unique<LrSolver>(opts.lr);
+    case Method::Exact: return std::make_unique<ExactSolver>(opts.exact);
+    case Method::Ilp: return std::make_unique<IlpSolver>(opts.ilp);
   }
   CPR_UNREACHABLE();
 }

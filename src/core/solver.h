@@ -141,10 +141,19 @@ class IlpSolver final : public Solver {
   ilp::IlpOptions opts_;
 };
 
+/// Everything `makeSolver` needs, in one bundle: the method plus each
+/// engine's options. This is THE options path into the solver layer — the
+/// optimizer embeds one, the CLI and benches fill one, and per-engine knobs
+/// (including the ILP path's `ilp.lp.backend` LP-engine name) are reached
+/// through it instead of loose factory parameters.
+struct SolverOptions {
+  Method method = Method::Lr;
+  LrOptions lr;
+  ExactOptions exact;
+  ilp::IlpOptions ilp;
+};
+
 /// Factory used by the optimizer, benches, and CLI.
-[[nodiscard]] std::unique_ptr<Solver> makeSolver(Method method,
-                                                 const LrOptions& lr = {},
-                                                 const ExactOptions& exact = {},
-                                                 const ilp::IlpOptions& ilp = {});
+[[nodiscard]] std::unique_ptr<Solver> makeSolver(const SolverOptions& opts = {});
 
 }  // namespace cpr::core

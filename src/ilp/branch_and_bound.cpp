@@ -8,12 +8,15 @@ namespace cpr::ilp {
 namespace {
 
 struct Search {
-  Search(const Model& m, const IlpOptions& o, support::Deadline d)
-      : model(m), opts(o), deadline(d) {}
+  Search(const Model& m, const IlpOptions& o)
+      : model(m), opts(o), backend(makeLpBackend(o.lp.backend)) {
+    backend->bind(model, opts.lp);
+    result.backend = std::string(backend->name());
+  }
 
   const Model& model;
   const IlpOptions& opts;
-  support::Deadline deadline;
+  std::unique_ptr<LpBackend> backend;
   IlpResult result;
   bool haveIncumbent = false;
   bool truncated = false;
@@ -24,27 +27,40 @@ struct Search {
       truncated = true;
       return true;
     }
-    if (deadline.expired()) {
+    if (opts.deadline.expired()) {
       timedOut = true;
       return true;
     }
     return false;
   }
 
-  void explore(Fixing& fix) {
+  /// `parent` is the optimal basis of the parent node's relaxation (empty at
+  /// the root and under engines that cannot warm-start): the child re-solve
+  /// starts dual-feasible from it after the branching bound change.
+  void explore(Fixing& fix, const LpBasis& parent) {
     if (outOfBudget()) return;
     ++result.nodesExplored;
 
-    const LpResult lp = solveLp(model, opts.lp, &fix);
+    LpBasis basis;
+    const LpResult lp =
+        backend->solve(&fix, &parent, &basis, opts.deadline);
     result.lpPivots += lp.pivots;
+    if (lp.warmStarted) ++result.lpWarmSolves;
+    else ++result.lpColdSolves;
     if (lp.status == LpStatus::Infeasible) return;
+    if (lp.status == LpStatus::TimeLimit) {
+      timedOut = true;
+      return;
+    }
     if (lp.status != LpStatus::Optimal) {
       // Iteration-limited or unbounded relaxation: cannot certify this
       // subtree; treat the search as truncated rather than mispruning.
       truncated = true;
       return;
     }
-    if (haveIncumbent && lp.objective <= result.objective + 1e-9) return;
+    if (haveIncumbent &&
+        lp.objective <= result.objective + tol::kBoundImprovementEps)
+      return;
 
     // Find the most fractional variable.
     Index branchVar = -1;
@@ -73,20 +89,20 @@ struct Search {
     }
 
     fix[static_cast<std::size_t>(branchVar)] = 1;
-    explore(fix);
+    explore(fix, basis);
     fix[static_cast<std::size_t>(branchVar)] = 0;
-    explore(fix);
+    explore(fix, basis);
     fix[static_cast<std::size_t>(branchVar)] = -1;
   }
 };
 
 }  // namespace
 
-IlpResult solveBinaryIlp(const Model& m, const IlpOptions& opts,
-                         support::Deadline deadline) {
-  Search search(m, opts, support::Deadline::soonerOf(opts.deadline, deadline));
+IlpResult solveBinaryIlp(const Model& m, const IlpOptions& opts) {
+  Search search(m, opts);
   Fixing fix(static_cast<std::size_t>(m.numVars()), -1);
-  search.explore(fix);
+  const LpBasis root;  // empty: the root relaxation always cold-starts
+  search.explore(fix, root);
 
   IlpResult res = std::move(search.result);
   if (search.timedOut) {

@@ -1,17 +1,23 @@
 /// \file branch_and_bound.h
 /// Exact binary ILP solver: LP-relaxation branch & bound.
 ///
-/// Depth-first branch & bound over `ilp::Model` binaries using the two-phase
-/// simplex (`simplex.h`) for node bounds. Branches on the most fractional
-/// variable, exploring the x=1 child first (effective for the paper's
-/// set-partitioning structure, where fixing an interval to 1 rapidly
-/// propagates through the pin-equality rows).
+/// Depth-first branch & bound over `ilp::Model` binaries. Node bounds come
+/// from whichever LP engine `IlpOptions::lp.backend` names (lp_backend.h) —
+/// the engine is bound to the model once and re-solved per node with a
+/// tightened fixing, and engines that support it warm-start every child from
+/// its parent's optimal basis (a dual-simplex re-solve, typically a handful
+/// of pivots). Branches on the most fractional variable, exploring the x=1
+/// child first (effective for the paper's set-partitioning structure, where
+/// fixing an interval to 1 rapidly propagates through the pin-equality
+/// rows — and the child relaxation continues directly from the basis still
+/// loaded in the engine).
 #pragma once
 
+#include <string>
 #include <vector>
 
+#include "ilp/lp_backend.h"
 #include "ilp/model.h"
-#include "ilp/simplex.h"
 #include "support/deadline.h"
 
 namespace cpr::ilp {
@@ -29,22 +35,27 @@ struct IlpResult {
   std::vector<double> x;  ///< 0/1 values; empty when no incumbent found
   long nodesExplored = 0;
   long lpPivots = 0;  ///< total simplex pivots across all node relaxations
+  long lpWarmSolves = 0;  ///< node relaxations resumed from a parent basis
+  long lpColdSolves = 0;  ///< node relaxations solved from scratch
+  std::string backend;    ///< LP engine that produced the bounds
 };
 
 struct IlpOptions {
   long maxNodes = 10'000'000;
-  /// Wall-clock budget; the default-constructed Deadline is unset and never
-  /// expires (no more 1e9-seconds sentinel).
+  /// Wall-clock budget for the whole search, threaded into every LP solve.
+  /// The single deadline field on the options path: callers with their own
+  /// budget compose it in via `support::Deadline::soonerOf` before the call.
+  /// Default-constructed = unset = never expires.
   support::Deadline deadline;
-  double integralityEps = 1e-6;
+  double integralityEps = tol::kIntegralityEps;
   LpOptions lp;
 };
 
-/// Solves the 0/1 model. `deadline` composes with `opts.deadline` (the
-/// sooner of the two wins); when either fires the best incumbent found so
-/// far is returned with IlpStatus::TimeLimit.
+/// Solves the 0/1 model exactly. When `opts.deadline` fires the best
+/// incumbent found so far is returned with IlpStatus::TimeLimit.
+/// Throws std::invalid_argument if `opts.lp.backend` names no registered
+/// engine (see `lpBackendNames()`).
 [[nodiscard]] IlpResult solveBinaryIlp(const Model& m,
-                                       const IlpOptions& opts = {},
-                                       support::Deadline deadline = {});
+                                       const IlpOptions& opts = {});
 
 }  // namespace cpr::ilp

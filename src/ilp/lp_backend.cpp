@@ -1,0 +1,22 @@
+#include "ilp/lp_backend.h"
+
+#include <stdexcept>
+
+#include "ilp/revised_simplex.h"
+#include "ilp/simplex.h"
+
+namespace cpr::ilp {
+
+std::unique_ptr<LpBackend> makeLpBackend(std::string_view name) {
+  if (name == "revised") return std::make_unique<RevisedSimplexBackend>();
+  if (name == "dense") return std::make_unique<DenseSimplexBackend>();
+  throw std::invalid_argument("unknown LP backend '" + std::string(name) +
+                              "' (registered: revised, dense)");
+}
+
+const std::vector<std::string_view>& lpBackendNames() {
+  static const std::vector<std::string_view> kNames = {"revised", "dense"};
+  return kNames;
+}
+
+}  // namespace cpr::ilp

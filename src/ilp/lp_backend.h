@@ -1,0 +1,116 @@
+/// \file lp_backend.h
+/// The LP engine seam: every LP relaxation solve in the repository goes
+/// through the `LpBackend` virtual interface, so solver engines evolve
+/// without touching callers (`branch_and_bound`, `core::IlpSolver`, benches).
+///
+/// Two engines register with `makeLpBackend`:
+///   "dense"    the original two-phase dense-tableau primal simplex
+///              (simplex.h) — the reference oracle; ignores warm starts;
+///   "revised"  revised simplex on sparse columns with native variable
+///              bounds, Bland's-rule anti-cycling, bounded refactorization,
+///              and dual-simplex re-solves from a caller-supplied basis
+///              (revised_simplex.h) — the default engine.
+///
+/// Engine selection is by name through `LpOptions::backend` — callers never
+/// name a concrete type. A backend instance is *stateful*: `bind` compiles
+/// one model into the engine's internal form, after which `solve` may be
+/// called many times with different fixings (the branch & bound node loop),
+/// each optionally warm-started from the basis a previous solve returned.
+/// Instances are cheap, single-threaded, and owned by one search; concurrent
+/// panel solves each create their own.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ilp/model.h"
+#include "ilp/tolerances.h"
+#include "support/deadline.h"
+
+namespace cpr::ilp {
+
+enum class LpStatus {
+  Optimal,
+  Infeasible,
+  Unbounded,
+  IterationLimit,
+  TimeLimit,  ///< the per-solve Deadline fired mid-iteration
+};
+
+struct LpResult {
+  LpStatus status = LpStatus::IterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;  ///< structural variable values (size = model vars)
+  long pivots = 0;        ///< simplex pivots performed (all phases)
+  bool warmStarted = false;  ///< solve resumed from a caller-supplied basis
+};
+
+struct LpOptions {
+  /// Engine name for `makeLpBackend`; see `lpBackendNames()`.
+  std::string backend = "revised";
+  long maxIterations = tol::kDefaultLpIterationLimit;
+  double eps = tol::kPivotEps;
+  /// Dense engine only: skip the automatic `x_i <= 1` rows (valid when every
+  /// variable is covered by an equality row with unit coefficients, as in
+  /// the pin access set-partitioning model). The revised engine enforces
+  /// bounds natively and ignores this.
+  bool implicitUnitBounds = false;
+  /// Allow warm-started re-solves from a parent basis (branch & bound).
+  /// Disabled only by the cold-vs-warm benches and equivalence tests.
+  bool warmStart = true;
+};
+
+/// Variable fixing for branch & bound: -1 free, 0/1 fixed.
+using Fixing = std::vector<std::int8_t>;
+
+/// Snapshot of a simplex basis, the warm-start currency between solves.
+/// `basicOf[i]` is the column basic in row i of the engine's equality form
+/// (structural columns first, then one logical/slack column per row);
+/// `atUpper[j]` marks nonbasic columns sitting at their upper bound. Only
+/// meaningful for the engine (and bound model) that produced it; engines
+/// that cannot warm-start leave it empty.
+struct LpBasis {
+  std::vector<std::int32_t> basicOf;
+  std::vector<std::uint8_t> atUpper;
+
+  [[nodiscard]] bool empty() const { return basicOf.empty(); }
+};
+
+class LpBackend {
+ public:
+  virtual ~LpBackend() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Compiles `m` into the engine's internal form. Must be called before
+  /// `solve`; the model must outlive the binding. Re-binding replaces the
+  /// previous model and invalidates any basis snapshots taken from it.
+  virtual void bind(const Model& m, const LpOptions& opts) = 0;
+
+  /// Solves the bound model's LP relaxation.
+  ///   fix       per-variable fixing (nullptr = all free);
+  ///   warm      basis from a previous solve of the same bound model
+  ///             (typically the branch & bound parent node); engines unable
+  ///             to warm-start ignore it;
+  ///   basisOut  when non-null, receives the final basis of an Optimal
+  ///             solve so children can warm-start from it;
+  ///   deadline  per-solve wall-clock budget (unset = none) — the one
+  ///             Deadline threaded down from the optimizer, composed once
+  ///             by the caller, never re-derived here.
+  [[nodiscard]] virtual LpResult solve(const Fixing* fix = nullptr,
+                                       const LpBasis* warm = nullptr,
+                                       LpBasis* basisOut = nullptr,
+                                       support::Deadline deadline = {}) = 0;
+};
+
+/// Factory: engine instance by registered name ("dense", "revised").
+/// Throws std::invalid_argument for an unknown name.
+[[nodiscard]] std::unique_ptr<LpBackend> makeLpBackend(std::string_view name);
+
+/// Registered engine names, in preference order (first = default).
+[[nodiscard]] const std::vector<std::string_view>& lpBackendNames();
+
+}  // namespace cpr::ilp

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "ilp/tolerances.h"
+
 namespace cpr::ilp {
 
 namespace {
@@ -70,14 +72,17 @@ class Tableau {
   std::vector<char> banned_;
 };
 
-enum class PivotOutcome { Optimal, Unbounded, IterationLimit };
+enum class PivotOutcome { Optimal, Unbounded, IterationLimit, TimeLimit };
 
 /// Runs primal simplex iterations on a canonicalized tableau; every pivot
 /// performed is accumulated into `pivots`.
-PivotOutcome iterate(Tableau& t, long maxIters, double eps, long& pivots) {
+PivotOutcome iterate(Tableau& t, long maxIters, double eps, long& pivots,
+                     support::Deadline deadline) {
   long degenerateRun = 0;
   for (long it = 0; it < maxIters; ++it) {
-    const bool bland = degenerateRun > 64;  // anti-cycling fallback
+    if (it % tol::kDeadlineCheckStride == 0 && deadline.expired())
+      return PivotOutcome::TimeLimit;
+    const bool bland = degenerateRun > tol::kDegenerateRunLimit;
     // Entering column: positive reduced cost (maximization).
     std::size_t enter = t.cols();
     double best = eps;
@@ -116,7 +121,8 @@ PivotOutcome iterate(Tableau& t, long maxIters, double eps, long& pivots) {
 
 }  // namespace
 
-LpResult solveLp(const Model& m, const LpOptions& opts, const Fixing* fix) {
+LpResult solveLp(const Model& m, const LpOptions& opts, const Fixing* fix,
+                 support::Deadline deadline) {
   const std::size_t n = static_cast<std::size_t>(m.numVars());
   LpResult res;
   res.x.assign(n, 0.0);
@@ -228,13 +234,15 @@ LpResult solveLp(const Model& m, const LpOptions& opts, const Fixing* fix) {
     for (std::size_t j = artifBegin; j < nCols; ++j) phase1[j] = -1.0;
     t.priceObjective(phase1);
     const PivotOutcome out =
-        iterate(t, opts.maxIterations, opts.eps, res.pivots);
-    if (out == PivotOutcome::IterationLimit) {
-      res.status = LpStatus::IterationLimit;
+        iterate(t, opts.maxIterations, opts.eps, res.pivots, deadline);
+    if (out == PivotOutcome::IterationLimit ||
+        out == PivotOutcome::TimeLimit) {
+      res.status = out == PivotOutcome::TimeLimit ? LpStatus::TimeLimit
+                                                  : LpStatus::IterationLimit;
       return res;
     }
     const double z1 = -t.objRhs();
-    if (z1 < -1e-7) {
+    if (z1 < -tol::kPhase1Eps) {
       res.status = LpStatus::Infeasible;
       return res;
     }
@@ -260,11 +268,14 @@ LpResult solveLp(const Model& m, const LpOptions& opts, const Fixing* fix) {
     if (colOf[v] >= 0) phase2[static_cast<std::size_t>(colOf[v])] = m.objective()[v];
   }
   t.priceObjective(phase2);
-  switch (iterate(t, opts.maxIterations, opts.eps, res.pivots)) {
+  switch (iterate(t, opts.maxIterations, opts.eps, res.pivots, deadline)) {
     case PivotOutcome::Optimal: res.status = LpStatus::Optimal; break;
     case PivotOutcome::Unbounded: res.status = LpStatus::Unbounded; return res;
     case PivotOutcome::IterationLimit:
       res.status = LpStatus::IterationLimit;
+      return res;
+    case PivotOutcome::TimeLimit:
+      res.status = LpStatus::TimeLimit;
       return res;
   }
 
@@ -284,6 +295,15 @@ LpResult solveLp(const Model& m, const LpOptions& opts, const Fixing* fix) {
   }
   res.objective = m.evaluate(res.x);
   return res;
+}
+
+LpResult DenseSimplexBackend::solve(const Fixing* fix,
+                                    const LpBasis* /*warm*/,
+                                    LpBasis* basisOut,
+                                    support::Deadline deadline) {
+  assert(model_ != nullptr && "bind() must precede solve()");
+  if (basisOut) *basisOut = LpBasis{};  // dense cannot hand out a basis
+  return solveLp(*model_, opts_, fix, deadline);
 }
 
 }  // namespace cpr::ilp

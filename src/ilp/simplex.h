@@ -1,46 +1,47 @@
 /// \file simplex.h
-/// Dense two-phase primal simplex for the LP relaxation of `ilp::Model`.
+/// Dense two-phase primal simplex for the LP relaxation of `ilp::Model` —
+/// the "dense" engine behind the `LpBackend` seam and the reference oracle
+/// the revised engine is cross-checked against.
 ///
 /// Solves   max c·x   s.t.  Ax {<=,=,>=} b,  0 <= x <= 1
 /// where the unit upper bounds come from the binary declarations in the
-/// model. Intended for the moderate-size relaxations produced by the pin
-/// access ILP on a panel and for the branch-and-bound solver's node bounds;
-/// it is a textbook dense implementation (Dantzig pricing with a Bland's-rule
-/// anti-cycling fallback), not a sparse production LP code.
+/// model. A textbook dense implementation (Dantzig pricing with a
+/// Bland's-rule anti-cycling fallback), not a sparse production LP code:
+/// bounds are materialized as explicit `x_i <= 1` rows, so every pivot
+/// touches a (rows + vars) x columns tableau. It cannot warm-start; the
+/// backend wrapper solves every node from scratch.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
+#include "ilp/lp_backend.h"
 #include "ilp/model.h"
 
 namespace cpr::ilp {
 
-enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
-
-struct LpResult {
-  LpStatus status = LpStatus::IterationLimit;
-  double objective = 0.0;
-  std::vector<double> x;  ///< structural variable values (size = model vars)
-  long pivots = 0;        ///< simplex pivots performed (both phases)
-};
-
-struct LpOptions {
-  long maxIterations = 200000;
-  double eps = 1e-9;
-  /// Skip the automatic `x_i <= 1` rows (valid when every variable is
-  /// covered by an equality row with unit coefficients, as in the pin access
-  /// set-partitioning model).
-  bool implicitUnitBounds = false;
-};
-
-/// Variable fixing for branch & bound: -1 free, 0/1 fixed.
-using Fixing = std::vector<std::int8_t>;
-
-/// Solves the LP relaxation of `m`. When `fix` is non-null, fixed variables
-/// are substituted out before solving and reported back at their fixed
-/// values.
+/// Solves the LP relaxation of `m` with the dense engine. When `fix` is
+/// non-null, fixed variables are substituted out before solving and reported
+/// back at their fixed values. `deadline` bounds the pivot loop (polled
+/// every tol::kDeadlineCheckStride iterations).
 [[nodiscard]] LpResult solveLp(const Model& m, const LpOptions& opts = {},
-                               const Fixing* fix = nullptr);
+                               const Fixing* fix = nullptr,
+                               support::Deadline deadline = {});
+
+/// The dense engine as an `LpBackend`. Stateless beyond the bound model:
+/// `solve` ignores `warm` and leaves `basisOut` empty, so branch & bound
+/// children of a dense-backed search always cold-start.
+class DenseSimplexBackend final : public LpBackend {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "dense"; }
+  void bind(const Model& m, const LpOptions& opts) override {
+    model_ = &m;
+    opts_ = opts;
+  }
+  [[nodiscard]] LpResult solve(const Fixing* fix, const LpBasis* warm,
+                               LpBasis* basisOut,
+                               support::Deadline deadline) override;
+
+ private:
+  const Model* model_ = nullptr;
+  LpOptions opts_;
+};
 
 }  // namespace cpr::ilp

@@ -20,7 +20,7 @@ struct CprOptions {
     // instead of the full net bounding box — fewer candidates, same quality.
     pinAccess.gen.maxExtent = 32;
     // Panels that stall early are repaired by greedy conflict removal anyway.
-    pinAccess.lr.stallLimit = 12;
+    pinAccess.solve.lr.stallLimit = 12;
   }
 
   core::OptimizerOptions pinAccess;  ///< Method::Lr (paper default) or Exact

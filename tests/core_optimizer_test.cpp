@@ -54,8 +54,8 @@ TEST(Optimizer, ExactPlanIsLegalAndDominatesLr) {
   OptimizerOptions lrOpts;
   const PinAccessPlan lr = optimizePinAccess(d, lrOpts);
   OptimizerOptions exOpts;
-  exOpts.method = Method::Exact;
-  exOpts.exact.deadline = support::Deadline::after(5.0);
+  exOpts.solve.method = Method::Exact;
+  exOpts.solve.exact.deadline = support::Deadline::after(5.0);
   const PinAccessPlan exact = optimizePinAccess(d, exOpts);
   checkPlan(d, exact);
   // The exact incumbent is seeded with the LR solution, so per-design it can

@@ -57,9 +57,9 @@ TEST(SolverInterface, NamesAndFactory) {
   EXPECT_EQ(LrSolver{}.name(), "lr");
   EXPECT_EQ(ExactSolver{}.name(), "exact");
   EXPECT_EQ(IlpSolver{}.name(), "ilp");
-  EXPECT_EQ(makeSolver(Method::Lr)->name(), "lr");
-  EXPECT_EQ(makeSolver(Method::Exact)->name(), "exact");
-  EXPECT_EQ(makeSolver(Method::Ilp)->name(), "ilp");
+  EXPECT_EQ(makeSolver({.method = Method::Lr})->name(), "lr");
+  EXPECT_EQ(makeSolver({.method = Method::Exact})->name(), "exact");
+  EXPECT_EQ(makeSolver({.method = Method::Ilp})->name(), "ilp");
 }
 
 TEST(SolverInterface, AllThreeSolversAgreeOnObjective) {
@@ -125,12 +125,12 @@ TEST(SolverInterface, OptimizerHonorsCustomSolverOverride) {
   const db::Design d = gen::generate(o);
 
   OptimizerOptions viaEnum;
-  viaEnum.method = Method::Exact;
-  viaEnum.exact.deadline = support::Deadline::after(5.0);
+  viaEnum.solve.method = Method::Exact;
+  viaEnum.solve.exact.deadline = support::Deadline::after(5.0);
   const PinAccessPlan a = optimizePinAccess(d, viaEnum);
 
   OptimizerOptions viaOverride;  // method left at Lr: override must win
-  viaOverride.solver = std::make_shared<ExactSolver>(viaEnum.exact);
+  viaOverride.solver = std::make_shared<ExactSolver>(viaEnum.solve.exact);
   const PinAccessPlan b = optimizePinAccess(d, viaOverride);
 
   ASSERT_EQ(a.routes.size(), b.routes.size());
@@ -163,8 +163,9 @@ TEST(SolverInterface, KernelOverloadMatchesProblemOverload) {
   ExactOptions eo;
   eo.deadline = support::Deadline::after(10.0);
   const std::unique_ptr<Solver> solvers[] = {
-      makeSolver(Method::Lr), makeSolver(Method::Exact, {}, eo),
-      makeSolver(Method::Ilp)};
+      makeSolver({.method = Method::Lr}),
+      makeSolver({.method = Method::Exact, .exact = eo}),
+      makeSolver({.method = Method::Ilp})};
   for (const auto& s : solvers) {
     const Assignment viaProblem = s->solve(p);
     const Assignment viaKernel = s->solve(k);
@@ -234,7 +235,7 @@ TEST(SolverInterface, GoldenPlansPinnedAcrossThreadCounts) {
     const db::Design d = gen::generate(o);
     for (const int threads : {1, 4, 8}) {
       OptimizerOptions opts;
-      opts.method = Method::Lr;
+      opts.solve.method = Method::Lr;
       opts.threads = threads;
       const PinAccessPlan plan = optimizePinAccess(d, opts);
       EXPECT_DOUBLE_EQ(plan.objective, g.objective)

@@ -6,6 +6,7 @@
 #include <random>
 
 #include "ilp/branch_and_bound.h"
+#include "ilp/simplex.h"
 
 namespace cpr::ilp {
 namespace {

@@ -1,0 +1,8 @@
+// lint-tree
+// lint-expect: none
+// lint-file: src/ilp/seam.h
+#pragma once
+struct Seam {};
+// lint-file: src/core/user.cpp
+#include "ilp/seam.h"
+static Seam* gSeam = nullptr;

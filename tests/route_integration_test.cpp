@@ -94,8 +94,8 @@ TEST(Integration, ExactPinAccessAlsoRoutes) {
   o.maxNetSpan = 30;
   const db::Design d = gen::generate(o);
   CprOptions opts;
-  opts.pinAccess.method = core::Method::Exact;
-  opts.pinAccess.exact.maxNodes = 200000;
+  opts.pinAccess.solve.method = core::Method::Exact;
+  opts.pinAccess.solve.exact.maxNodes = 200000;
   const CprResult r = routeCpr(d, opts);
   checkInvariants(d, r.routing);
   EXPECT_GT(eval::summarize(d, r.routing).routability, 90.0);

@@ -421,6 +421,40 @@ TEST(ToolsLintArch, ManifestParserRejectsDuplicates) {
   EXPECT_FALSE(cpr::lint::parseLayerManifest("# only comments\n", m, error));
 }
 
+TEST(ToolsLintArch, ManifestForbidLinesParseAndValidate) {
+  cpr::lint::LayerManifest m;
+  std::string error;
+  ASSERT_TRUE(cpr::lint::parseLayerManifest(
+      "geom\ncore\nforbid: core geom/secret.h\n", m, error))
+      << error;
+  ASSERT_EQ(m.forbids.size(), 1u);
+  EXPECT_EQ(m.forbids[0].module, "core");
+  EXPECT_EQ(m.forbids[0].include, "geom/secret.h");
+  // Wrong arity and unknown modules are parse errors, not silent no-ops.
+  EXPECT_FALSE(
+      cpr::lint::parseLayerManifest("geom\nforbid: geom\n", m, error));
+  EXPECT_FALSE(cpr::lint::parseLayerManifest(
+      "geom\nforbid: nonesuch geom/a.h\n", m, error));
+  EXPECT_NE(error.find("nonesuch"), std::string::npos) << error;
+}
+
+// The LpBackend seam contract, pinned at the manifest level: src/core selects
+// LP engines by name through ilp/lp_backend.h and must never reach a
+// concrete engine header, even transitively.
+TEST(ToolsLintArch, RepoManifestForbidsConcreteLpEngineHeadersInCore) {
+  const cpr::lint::LayerManifest& m = repoManifest();
+  bool dense = false;
+  bool revised = false;
+  for (const cpr::lint::LayerManifest::Forbid& f : m.forbids) {
+    if (f.module != "core") continue;
+    dense = dense || f.include == "ilp/simplex.h";
+    revised = revised || f.include == "ilp/revised_simplex.h";
+  }
+  EXPECT_TRUE(dense) << "layers.txt lost 'forbid: core ilp/simplex.h'";
+  EXPECT_TRUE(revised)
+      << "layers.txt lost 'forbid: core ilp/revised_simplex.h'";
+}
+
 // Architecture findings must ignore allow directives: a layering exception
 // is a layers.txt change, never a per-line pragma. The stale directive
 // itself is then reported.

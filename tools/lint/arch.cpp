@@ -153,6 +153,17 @@ bool parseLayerManifest(std::string_view text, LayerManifest& out,
     std::vector<std::string>* dest = nullptr;
     while (words >> word) {
       if (!dest) {
+        if (word == "forbid:") {
+          LayerManifest::Forbid f;
+          std::string extra;
+          if (!(words >> f.module >> f.include) || (words >> extra)) {
+            error = "layers.txt:" + std::to_string(lineNo) +
+                    ": 'forbid:' wants exactly '<module> <include-path>'";
+            return false;
+          }
+          out.forbids.push_back(std::move(f));
+          break;
+        }
         if (word == "everywhere:") {
           if (!out.everywhere.empty()) {
             error = "layers.txt:" + std::to_string(lineNo) +
@@ -176,6 +187,13 @@ bool parseLayerManifest(std::string_view text, LayerManifest& out,
   if (out.levels.empty()) {
     error = "layers.txt names no layers";
     return false;
+  }
+  for (const LayerManifest::Forbid& f : out.forbids) {
+    if (out.levelOf(f.module) == LayerManifest::kUnknown) {
+      error = "layers.txt: 'forbid: " + f.module + " " + f.include +
+              "' names a module no layer line declares";
+      return false;
+    }
   }
   return true;
 }
@@ -241,6 +259,66 @@ std::vector<Diagnostic> checkArchitecture(const std::vector<ArchFile>& files,
                 levelName(level) +
                 "); layers may only include sideways or down" + chain});
       }
+    }
+  }
+
+  // LAYER-FORBIDDEN: `forbid:` manifest lines. Direct includes are reported
+  // at the offending line; otherwise a breadth-first walk of the src include
+  // graph catches the header arriving through any chain of intermediaries
+  // (the failure mode that re-opens an interface seam unnoticed).
+  for (const LayerManifest::Forbid& f : manifest.forbids) {
+    const std::string targetRel = "src/" + f.include;
+    const auto targetIt = g.byPath.find(targetRel);
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      const std::string& rel = files[i].relPath;
+      if (moduleOf(rel) != f.module || rel == targetRel) continue;
+      bool direct = false;
+      for (const IncludeDecl& inc : files[i].includes) {
+        if (inc.path != f.include) continue;
+        direct = true;
+        out.push_back(Diagnostic{
+            "LAYER-FORBIDDEN", rel, inc.line,
+            "include of \"" + f.include + "\" is forbidden for module 'src/" +
+                f.module +
+                "' by tools/lint/layers.txt; depend on the interface seam "
+                "instead of the concrete header"});
+      }
+      if (direct || targetIt == g.byPath.end()) continue;
+      const std::size_t target = targetIt->second;
+      constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+      std::vector<std::size_t> parent(files.size(), kUnvisited);
+      std::vector<std::size_t> queue{i};
+      parent[i] = i;
+      bool reached = false;
+      for (std::size_t qi = 0; qi < queue.size() && !reached; ++qi) {
+        for (const Graph::Edge& e : g.adj[queue[qi]]) {
+          if (parent[e.to] != kUnvisited) continue;
+          parent[e.to] = queue[qi];
+          if (e.to == target) {
+            reached = true;
+            break;
+          }
+          queue.push_back(e.to);
+        }
+      }
+      if (!reached) continue;
+      std::vector<std::size_t> path;
+      for (std::size_t n = target; n != i; n = parent[n]) path.push_back(n);
+      path.push_back(i);
+      std::reverse(path.begin(), path.end());
+      int line = 1;
+      for (const Graph::Edge& e : g.adj[i])
+        if (e.to == path[1]) line = e.line;
+      std::string chain;
+      for (const std::size_t n : path) {
+        if (!chain.empty()) chain += " -> ";
+        chain += files[n].relPath;
+      }
+      out.push_back(Diagnostic{
+          "LAYER-FORBIDDEN", rel, line,
+          "transitively pulls \"" + f.include + "\", forbidden for module "
+              "'src/" + f.module +
+              "' by tools/lint/layers.txt; chain: " + chain});
     }
   }
 

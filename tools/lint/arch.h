@@ -11,6 +11,9 @@
 ///   LAYER-VIOLATION  an include edge pointing at a higher layer, a module
 ///                    missing from the manifest, or an everywhere module
 ///                    reaching into the layered stack
+///   LAYER-FORBIDDEN  a module reaching a header its `forbid:` manifest line
+///                    bans, directly or through any include chain (used to
+///                    keep engine headers private behind an interface seam)
 ///   LAYER-CYCLE      a cycle in the file-level include graph
 ///   DEAD-HEADER      a header under src/ that no scanned file includes
 ///
@@ -37,12 +40,25 @@ namespace cpr::lint {
 ///   gen lefdef ilp               # same-level modules may include each other
 ///   core
 ///   route eval viz               # top
+///   forbid: core ilp/simplex.h   # module must not reach this header at all
+///
+/// A `forbid:` line names one module and one include path (as spelled in
+/// `#include` directives): no file of that module may include the header,
+/// directly or transitively. Layer direction alone cannot express this —
+/// `core` may include `ilp`, but only through the `lp_backend.h` seam, never
+/// a concrete engine header.
 struct LayerManifest {
   static constexpr int kEverywhere = -1;
   static constexpr int kUnknown = -2;
 
+  struct Forbid {
+    std::string module;   ///< manifest module the ban applies to
+    std::string include;  ///< include path, e.g. "ilp/simplex.h"
+  };
+
   std::vector<std::string> everywhere;
   std::vector<std::vector<std::string>> levels;  ///< bottom-up
+  std::vector<Forbid> forbids;
 
   /// Level index of `module` (0 = bottom), kEverywhere for everywhere
   /// modules, kUnknown for modules the manifest does not name.

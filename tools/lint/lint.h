@@ -53,7 +53,8 @@ struct SourceFile {
 
 /// Lints a whole file set: per-file rules on every file, then — when a
 /// `manifest` is supplied — the architecture-graph pass (LAYER-VIOLATION /
-/// LAYER-CYCLE / DEAD-HEADER, see arch.h) over the include graph of the
+/// LAYER-FORBIDDEN / LAYER-CYCLE / DEAD-HEADER, see arch.h) over the
+/// include graph of the
 /// set. Architecture diagnostics ignore allow directives by design.
 /// Diagnostics come back grouped per file in input order (architecture
 /// findings merged in), sorted by line then rule within a file.

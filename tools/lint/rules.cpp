@@ -362,6 +362,9 @@ const std::vector<RuleInfo>& ruleTable() {
        "ids.h idx()"},
       {"LAYER-CYCLE",
        "cycle in the src/ include graph (architecture pass)"},
+      {"LAYER-FORBIDDEN",
+       "module reaches a header banned by a 'forbid:' line in "
+       "tools/lint/layers.txt, directly or transitively"},
       {"LAYER-VIOLATION",
        "include edge pointing up the layer manifest tools/lint/layers.txt"},
       {"OBS-LITERAL",
