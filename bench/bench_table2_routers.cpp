@@ -4,12 +4,24 @@
 /// without pin access optimization [21], and CPR.
 ///
 /// Usage: bench_table2_routers [--designs ecc,efc,...] [--threads n]
-///        [--report out.json]   (default: all six designs)
+///        [--thread-sweep 1,2,4,8] [--report out.json]
+///        (default: all six designs)
+///
+/// `--thread-sweep` appends a routing-only scaling table: pin access runs
+/// once per design, then the negotiation router reruns at each listed thread
+/// count. Rows land in the `route.sweep` series of the report (columns:
+/// design index, threads, RRR span seconds, total route seconds, digest),
+/// which is where CI reads the speedup curve from. The digest column is an
+/// FNV-1a hash of every net's outcome and must be identical down the sweep —
+/// thread count is a pure throughput knob.
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "eval/metrics.h"
+#include "obs/names.h"
 #include "route/cpr.h"
 #include "route/sequential_router.h"
 
@@ -18,6 +30,49 @@ namespace {
 struct Row {
   cpr::eval::Metrics seq, nopao, cpr_;
 };
+
+/// Seconds spent in the named span, summed over occurrences.
+double spanSeconds(const cpr::obs::Collector& stats, std::string_view name) {
+  double total = 0.0;
+  for (const cpr::obs::Span& s : stats.spans()) {
+    if (s.name == name)
+      total += std::chrono::duration<double>(s.dur).count();
+  }
+  return total;
+}
+
+/// FNV-1a over every net's routed/clean/wirelength/via outcome: cheap
+/// thread-invariance witness for the sweep table.
+std::uint64_t resultDigest(const cpr::route::RoutingResult& r) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xFFU;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const cpr::route::NetResult& nr : r.nets) {
+    mix(static_cast<std::uint64_t>(nr.routed) |
+        (static_cast<std::uint64_t>(nr.clean) << 1));
+    mix(static_cast<std::uint64_t>(nr.wirelength));
+    mix(static_cast<std::uint64_t>(nr.vias));
+  }
+  return h;
+}
+
+std::vector<int> parseCounts(const std::string& arg) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < arg.size()) {
+    const std::size_t comma = arg.find(',', pos);
+    const std::string tok =
+        arg.substr(pos, comma == std::string::npos ? arg.npos : comma - pos);
+    out.push_back(std::stoi(tok));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
 
 void printRow(const cpr::gen::SuiteSpec& spec, const cpr::db::Design& d,
               const Row& r) {
@@ -40,6 +95,11 @@ int main(int argc, char** argv) {
   bench::Harness h("bench_table2_routers",
                    "Table 2: routing quality of sequential planning, "
                    "no-pin-access routing, and CPR");
+  std::string sweepArg;
+  h.parser().option("--thread-sweep", "1,2,4,8",
+                    "rerun the CPR routing stage at each thread count and "
+                    "report the route.sweep scaling series",
+                    &sweepArg);
   if (const int rc = h.parse(argc, argv); rc >= 0) return rc;
   const auto suite = h.suite();
   obs::Collector report;
@@ -69,6 +129,7 @@ int main(int argc, char** argv) {
 
     route::CprOptions copts;
     copts.pinAccess.threads = h.threads();
+    copts.routing.threads = h.threads();
     const route::CprResult c = route::routeCpr(d, copts);
     const eval::Metrics mCpr =
         eval::summarize(d, c.routing, c.pinAccessSeconds);
@@ -105,6 +166,42 @@ int main(int argc, char** argv) {
     std::printf("\n");
     std::printf("\nPaper ratios (vs CPR): [12] Rout 0.985 Via 1.238 WL 1.160 "
                 "cpu 12.69 | [21] Rout 0.962 Via 1.108 WL 0.998 cpu 3.26\n");
+  }
+  if (!sweepArg.empty()) {
+    const std::vector<int> counts = parseCounts(sweepArg);
+    std::printf("\nRouting scaling sweep (CPR scheme, pin access planned "
+                "once per design)\n");
+    std::printf("%-5s %8s %10s %10s %7s  %s\n", "Ckt", "threads", "rrr(s)",
+                "route(s)", "x1/xN", "digest");
+    bench::hr();
+    int designIdx = 0;
+    for (const gen::SuiteSpec& spec : suite) {
+      const db::Design d = gen::makeSuiteDesign(spec);
+      route::CprOptions copts;
+      copts.pinAccess.threads = h.threads();
+      const core::PinAccessPlan plan =
+          core::optimizePinAccess(d, copts.pinAccess);
+      double base = 0.0;
+      for (int n : counts) {
+        route::NegotiationOptions ropts = copts.routing;
+        ropts.threads = n;
+        const route::RoutingResult r = route::routeNegotiated(d, &plan, ropts);
+        const double rrr = spanSeconds(r.stats, obs::names::kRouteRrrSpan);
+        if (n == counts.front()) base = r.seconds;
+        const std::uint64_t digest = resultDigest(r);
+        std::printf("%-5s %8d %10.3f %10.3f %7.2f  %016llx\n",
+                    spec.name.c_str(), n, rrr, r.seconds,
+                    r.seconds > 0.0 ? base / r.seconds : 0.0,
+                    static_cast<unsigned long long>(digest));
+        report.row(obs::names::kRouteSweepSeries,
+                   {"design", "threads", "rrr_seconds", "route_seconds",
+                    "digest"},
+                   {static_cast<double>(designIdx), static_cast<double>(n),
+                    rrr, r.seconds, static_cast<double>(digest >> 12)});
+      }
+      ++designIdx;
+    }
+    bench::hr();
   }
   h.maybeWriteReport(report);
   return 0;

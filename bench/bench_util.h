@@ -5,8 +5,8 @@
 ///
 /// Every bench goes through `Harness`, so the flag surface is uniform and
 /// strict: unknown flags are rejected with a diagnostic instead of being
-/// silently ignored, `--threads <n>` selects the pin-access worker count
-/// where the bench routes designs, and `--report <out.json>` saves the
+/// silently ignored, `--threads <n>` selects the worker count for pin
+/// access panels and wave-parallel routing, and `--report <out.json>` saves the
 /// merged obs collector as a `cpr.report.v1` file (the same schema cpr_route
 /// emits). Bench-specific flags are registered on `parser()` before
 /// `parse()`.
@@ -51,7 +51,8 @@ class Harness {
                    "comma-separated suite subset (default: all six designs)",
                    &designs_);
     parser_.option("--threads", "n",
-                   "pin-access worker threads (0 = hardware concurrency)",
+                   "worker threads for pin-access panels and wave-parallel "
+                   "routing (0 = hardware concurrency)",
                    &threads_);
     parser_.option("--report", "out.json",
                    "save the merged obs report as cpr.report.v1 JSON",

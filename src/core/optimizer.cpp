@@ -1,13 +1,12 @@
 #include "core/optimizer.h"
 
 #include <algorithm>
-#include <atomic>
 #include <numeric>
-#include <thread>
 
 #include "core/conflict.h"
 #include "db/panel.h"
 #include "support/status.h"
+#include "support/thread_pool.h"
 
 namespace cpr::core {
 
@@ -234,36 +233,23 @@ PinAccessPlan optimizePinAccess(const db::Design& design,
   }
   std::vector<PanelOutcome> outcomes(work.size());
 
-  const int hw = static_cast<int>(std::thread::hardware_concurrency());
-  const int threads = std::clamp(
-      opts.threads > 0 ? opts.threads : (hw > 0 ? hw : 1), 1,
-      static_cast<int>(std::max<std::size_t>(1, work.size())));
+  const int threads =
+      std::clamp(support::ThreadPool::clampThreads(opts.threads), 1,
+                 static_cast<int>(std::max<std::size_t>(1, work.size())));
+  support::ThreadPool pool(threads);
   // One arena per worker, reused across every panel that worker processes.
-  const std::size_t numArenas = std::size_t(threads);
-  std::vector<PanelScratch> arenas(numArenas);
+  std::vector<PanelScratch> arenas(std::size_t(pool.size()));
   {
     // Scoped so the span is closed before `plan` can be returned (the timer
     // must not outlive its collector's final resting place).
     obs::ScopedTimer total(&plan.stats, obs::names::kPaoTotalSpan);
-    if (threads <= 1) {
-      for (std::size_t k = 0; k < work.size(); ++k)
-        outcomes[k] = solvePanel(design, *work[k], opts, *solver,
-                                 static_cast<int>(k), arenas[0]);
-    } else {
-      std::atomic<std::size_t> next{0};
-      auto worker = [&](PanelScratch& scratch) {
-        for (std::size_t k = next.fetch_add(1); k < work.size();
-             k = next.fetch_add(1)) {
-          outcomes[k] = solvePanel(design, *work[k], opts, *solver,
-                                   static_cast<int>(k), scratch);
-        }
-      };
-      std::vector<std::thread> pool;
-      pool.reserve(std::size_t(threads));
-      for (int t = 0; t < threads; ++t)
-        pool.emplace_back(worker, std::ref(arenas[std::size_t(t)]));
-      for (std::thread& t : pool) t.join();
-    }
+    // solvePanel catches everything at the panel boundary, so the bodies
+    // never throw back through the pool.
+    pool.parallelFor(work.size(), [&](int worker, std::size_t k) {
+      outcomes[k] = solvePanel(design, *work[k], opts, *solver,
+                               static_cast<int>(k),
+                               arenas[std::size_t(worker)]);
+    });
   }
   // Arena high-water mark. A gauge, not a counter: the value depends on how
   // panels landed on workers, so it may vary with the thread count while

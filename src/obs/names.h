@@ -104,6 +104,19 @@ inline constexpr std::string_view kRouteDroppedSharing =
     "route.dropped.sharing";
 /// A router loop (RRR, sequential queue, DRC repair) stopped by a Deadline.
 inline constexpr std::string_view kRouteTimeout = "route.timeout";
+// Wave-parallel batch routing (search/commit split).
+/// Waves launched by the batch router (every batched net loop contributes).
+inline constexpr std::string_view kRouteBatches = "route.batches";
+/// Nets deferred to a later wave because their influence box touched the
+/// current wave (scheduler conflicts, not routing failures).
+inline constexpr std::string_view kRouteBatchConflicts =
+    "route.batch.conflicts";
+/// Nets that shared their wave with at least one other net, i.e. were
+/// eligible to search concurrently. Thread-count independent by design.
+inline constexpr std::string_view kRouteParallelNets = "route.parallel_nets";
+/// Bench series: per-thread-count RRR wall-clock rows (bench_table2_routers
+/// --thread-sweep).
+inline constexpr std::string_view kRouteSweepSeries = "route.sweep";
 // Negotiation-router phase spans.
 inline constexpr std::string_view kRouteIndependentSpan = "route.independent";
 inline constexpr std::string_view kRouteRrrSpan = "route.rrr";
@@ -127,7 +140,7 @@ inline constexpr std::string_view kLintRunSpan = "lint.run";
 /// are unique and follow the `^[a-z]+(\.[a-z_]+)+$` grammar, which is what
 /// catches a typo'd or duplicated metric name at test time rather than in a
 /// dashboard.
-inline constexpr std::array<std::string_view, 62> kAll = {
+inline constexpr std::array<std::string_view, 66> kAll = {
     kGenIntervals,         kGenShared,           kGenBlockedPins,
     kConflictSets,         kLrIterations,        kLrRemovalRounds,
     kLrReexpandUpgrades,   kLrTimeout,           kExactNodes,
@@ -145,10 +158,11 @@ inline constexpr std::array<std::string_view, 62> kAll = {
     kExactPanelSeries,     kRouteRrrIterations,  kRouteCongestedPreRrr,
     kRouteRipups,          kRouteRetries,        kRouteSearches,
     kRoutePops,            kRouteDroppedSharing, kRouteTimeout,
-    kRouteIndependentSpan, kRouteRrrSpan,        kRouteDrcRepairSpan,
-    kRouteSignoffSpan,     kDrcViolations,       kDrcLineEnd,
-    kDrcViaSpacing,        kDrcDirtyNets,        kLintFiles,
-    kLintDiagnostics,      kLintRunSpan,
+    kRouteBatches,         kRouteBatchConflicts, kRouteParallelNets,
+    kRouteSweepSeries,     kRouteIndependentSpan, kRouteRrrSpan,
+    kRouteDrcRepairSpan,   kRouteSignoffSpan,    kDrcViolations,
+    kDrcLineEnd,           kDrcViaSpacing,       kDrcDirtyNets,
+    kLintFiles,            kLintDiagnostics,     kLintRunSpan,
 };
 
 }  // namespace cpr::obs::names

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "obs/names.h"
+#include "support/contracts.h"
 
 namespace cpr::route {
 
@@ -18,7 +19,7 @@ RouteEngine::RouteEngine(const db::Design& design,
       lineEndExtension_(lineEndExtension) {
   infos_.resize(design.nets().size());
   states_.resize(design.nets().size());
-  treeStamp_.assign(static_cast<std::size_t>(grid_.numNodes()), -1);
+  scratch_.bind(grid_.numNodes());
   for (std::size_t n = 0; n < design.nets().size(); ++n)
     buildNetInfo(static_cast<Index>(n), plan);
 }
@@ -49,7 +50,7 @@ void RouteEngine::buildNetInfo(Index net, const core::PinAccessPlan* plan) {
       if (rec < 0) {
         rec = static_cast<int>(info.recs.size());
         info.recs.push_back(IntervalRec{route->track, route->span,
-                                        pin.shape.x, {}});
+                                        pin.shape.x});
       } else {
         info.recs[static_cast<std::size_t>(rec)].needed =
             geom::hull(info.recs[static_cast<std::size_t>(rec)].needed,
@@ -79,15 +80,14 @@ void RouteEngine::buildNetInfo(Index net, const core::PinAccessPlan* plan) {
   info.window = window;
 }
 
-void RouteEngine::noteIntervalUse(NetInfo& info, int nodeId) {
+int RouteEngine::recOf(const NetInfo& info, int nodeId) const {
   const Node n = grid_.node(nodeId);
-  if (n.layer != RLayer::M2) return;
-  for (IntervalRec& rec : info.recs) {
-    if (rec.track == n.y && rec.span.contains(n.x)) {
-      rec.usedXs.push_back(n.x);
-      return;
-    }
+  if (n.layer != RLayer::M2) return -1;
+  for (std::size_t r = 0; r < info.recs.size(); ++r) {
+    if (info.recs[r].track == n.y && info.recs[r].span.contains(n.x))
+      return static_cast<int>(r);
   }
+  return -1;
 }
 
 void RouteEngine::ripNet(Index net) {
@@ -99,16 +99,15 @@ void RouteEngine::ripNet(Index net) {
   st.vias.clear();
   st.routed = false;
   st.wirelength = 0;
-  for (IntervalRec& rec : infos_[static_cast<std::size_t>(net)].recs)
-    rec.usedXs.clear();
 }
 
-bool RouteEngine::routeNet(Index net, const MazeCosts& costs,
-                           Coord extraMargin) {
-  ripNet(net);
-  NetInfo& info = infos_[static_cast<std::size_t>(net)];
-  NetState& st = states_[static_cast<std::size_t>(net)];
-  if (info.access.empty()) return false;
+NetPlan RouteEngine::searchNet(Index net, const MazeCosts& costs,
+                               Coord extraMargin, MazeScratch& scratch) const {
+  NetPlan plan;
+  const NetInfo& info = infos_[static_cast<std::size_t>(net)];
+  if (info.access.empty()) return plan;
+  scratch.bind(grid_.numNodes());
+  plan.recUsedXs.resize(info.recs.size());
 
   const Coord m = margin_ + extraMargin;
   geom::Rect window{
@@ -126,79 +125,100 @@ bool RouteEngine::routeNet(Index net, const MazeCosts& costs,
     return design_.pin(pa).shape.x.lo < design_.pin(pb).shape.x.lo;
   });
 
-  ++epoch_;
+  const long treeEpoch = ++scratch.treeEpoch;
   std::vector<int> tree;
   auto addTree = [&](int id) {
-    if (treeStamp_[static_cast<std::size_t>(id)] != epoch_) {
-      treeStamp_[static_cast<std::size_t>(id)] = epoch_;
+    if (scratch.treeStamp[static_cast<std::size_t>(id)] != treeEpoch) {
+      scratch.treeStamp[static_cast<std::size_t>(id)] = treeEpoch;
       tree.push_back(id);
     }
   };
+  auto noteIntervalUse = [&](int nodeId) {
+    const int rec = recOf(info, nodeId);
+    if (rec >= 0)
+      plan.recUsedXs[static_cast<std::size_t>(rec)].push_back(
+          grid_.node(nodeId).x);
+  };
 
-  std::vector<std::vector<int>> paths;
-  std::vector<ViaSite> vias;
+  // Projection-pin V1 sites are discovered at landing time; searches must
+  // not write them back into the (shared, const) net info, so they live in
+  // a local shadow of the access list.
+  std::vector<ViaSite> accVia(info.access.size());
+  for (std::size_t k = 0; k < info.access.size(); ++k)
+    accVia[k] = info.access[k].via;
 
   // Seed with the first pin.
   {
-    PinAccess& acc0 = info.access[order[0]];
+    const PinAccess& acc0 = info.access[order[0]];
     for (int id : acc0.targets) addTree(id);
-    if (acc0.rec >= 0) vias.push_back(acc0.via);
+    if (acc0.rec >= 0) plan.vias.push_back(accVia[order[0]]);
     // Projection pins get their V1 at the first path's source (or, for
     // single-pin nets, at the first target).
   }
 
   for (std::size_t k = 1; k < order.size(); ++k) {
-    PinAccess& acc = info.access[order[k]];
+    const PinAccess& acc = info.access[order[k]];
     std::optional<std::vector<int>> path =
-        maze_.findPath(tree, acc.targets, window, net, costs);
-    if (!path) return false;  // caller may retry with a larger margin
+        maze_.findPath(tree, acc.targets, window, net, costs, scratch);
+    if (!path) return plan;  // not found; caller may retry with a larger margin
     // Record V2 vias along the path and interval usage at both ends.
     for (std::size_t i = 0; i + 1 < path->size(); ++i) {
       const Node a = grid_.node((*path)[i]);
       const Node b = grid_.node((*path)[i + 1]);
       if (a.layer != b.layer)
-        vias.push_back(ViaSite{a.x, a.y, 2});
+        plan.vias.push_back(ViaSite{a.x, a.y, 2});
     }
-    noteIntervalUse(info, path->front());
-    noteIntervalUse(info, path->back());
+    noteIntervalUse(path->front());
+    noteIntervalUse(path->back());
     if (acc.rec >= 0) {
-      vias.push_back(acc.via);
+      plan.vias.push_back(accVia[order[k]]);
       for (int id : acc.targets) addTree(id);
     } else {
       const Node landing = grid_.node(path->back());
-      acc.via = ViaSite{landing.x, landing.y, 1};
-      vias.push_back(acc.via);
+      accVia[order[k]] = ViaSite{landing.x, landing.y, 1};
+      plan.vias.push_back(accVia[order[k]]);
     }
     // First pin's projection V1: source end of the first path.
     if (k == 1 && info.access[order[0]].rec < 0) {
       const Node src = grid_.node(path->front());
-      info.access[order[0]].via = ViaSite{src.x, src.y, 1};
-      vias.push_back(info.access[order[0]].via);
+      accVia[order[0]] = ViaSite{src.x, src.y, 1};
+      plan.vias.push_back(accVia[order[0]]);
     }
     for (int id : *path) addTree(id);
-    paths.push_back(std::move(*path));
+    plan.paths.push_back(std::move(*path));
   }
 
   if (order.size() == 1) {
     // Single-pin net: drop one via on the first access node.
-    PinAccess& acc0 = info.access[order[0]];
+    const PinAccess& acc0 = info.access[order[0]];
     if (acc0.rec < 0) {
       const Node n0 = grid_.node(acc0.targets.front());
-      acc0.via = ViaSite{n0.x, n0.y, 1};
-      vias.push_back(acc0.via);
-      paths.push_back({acc0.targets.front()});
+      accVia[order[0]] = ViaSite{n0.x, n0.y, 1};
+      plan.vias.push_back(accVia[order[0]]);
+      plan.paths.push_back({acc0.targets.front()});
     }
   }
 
-  // ---- commit ----
+  plan.found = true;
+  return plan;
+}
+
+void RouteEngine::commitPlan(Index net, const NetPlan& plan) {
+  CPR_DCHECK(plan.found);
+  const NetInfo& info = infos_[static_cast<std::size_t>(net)];
+  NetState& st = states_[static_cast<std::size_t>(net)];
+  CPR_DCHECK(!st.routed);
+
   std::vector<int> committed;
-  for (const auto& path : paths)
+  for (const auto& path : plan.paths)
     committed.insert(committed.end(), path.begin(), path.end());
   // Interval metal, trimmed to used extent but always covering its pins
   // (unused tails are not manufactured; Section 5's WL stays comparable).
-  for (const IntervalRec& rec : info.recs) {
+  for (std::size_t r = 0; r < info.recs.size(); ++r) {
+    const IntervalRec& rec = info.recs[r];
     geom::Interval trimmed = rec.needed;
-    for (Coord x : rec.usedXs) trimmed = geom::hull(trimmed, geom::Interval::point(x));
+    for (Coord x : plan.recUsedXs[r])
+      trimmed = geom::hull(trimmed, geom::Interval::point(x));
     trimmed = geom::intersect(trimmed, rec.span);
     for (Coord x = trimmed.lo; x <= trimmed.hi; ++x)
       committed.push_back(grid_.id(Node{RLayer::M2, x, rec.track}));
@@ -250,7 +270,7 @@ bool RouteEngine::routeNet(Index net, const MazeCosts& costs,
   }
 
   for (int id : committed) grid_.addOcc(id);
-  for (const ViaSite& v : vias) grid_.addVia(v.x, v.y, net);
+  for (const ViaSite& v : plan.vias) grid_.addVia(v.x, v.y, net);
 
   // Wirelength: same-layer adjacent committed pairs. Ids pack x
   // consecutively, so M2 adjacency is id+1 (same y) and M3 adjacency id+W.
@@ -273,15 +293,31 @@ bool RouteEngine::routeNet(Index net, const MazeCosts& costs,
   }
 
   st.nodes = std::move(committed);
-  st.vias = std::move(vias);
+  st.vias = plan.vias;
   st.wirelength = wl;
   st.routed = true;
+}
+
+void RouteEngine::flushSearchStats(MazeScratch& scratch) {
+  obs::add(obs_, obs::names::kRouteSearches, scratch.searches);
+  obs::add(obs_, obs::names::kRoutePops, scratch.pops);
+  scratch.searches = 0;
+  scratch.pops = 0;
+}
+
+bool RouteEngine::routeNet(Index net, const MazeCosts& costs,
+                           Coord extraMargin) {
+  ripNet(net);
+  NetPlan plan = searchNet(net, costs, extraMargin, scratch_);
+  flushSearchStats(scratch_);
+  if (!plan.found) return false;
+  commitPlan(net, plan);
   return true;
 }
 
 std::optional<std::vector<int>> RouteEngine::probePath(Index net,
                                                        float present) {
-  NetInfo& info = infos_[static_cast<std::size_t>(net)];
+  const NetInfo& info = infos_[static_cast<std::size_t>(net)];
   if (info.access.size() < 2) return std::nullopt;
   MazeCosts costs;
   costs.present = present;

@@ -4,10 +4,20 @@
 ///
 /// The engine owns the grid and the maze searcher, precomputes per-net pin
 /// access (either the optimized pin access intervals — treated as partial
-/// routes, Section 4 — or the raw M2 projection of each pin), and routes one
-/// net at a time: pins are connected to the growing tree by negotiated A*
-/// searches, V1/V2 vias are recorded, and on completion the interval metal
-/// is trimmed to its used extent before being committed to the grid.
+/// routes, Section 4 — or the raw M2 projection of each pin), and routes
+/// nets in two phases:
+///
+///   * **search** (`searchNet`, const): negotiated A* connects the net's
+///     pins into a tree over an immutable view of the grid; every mutable
+///     byte lives in the caller's `MazeScratch` arena, so many searches may
+///     run concurrently against one grid.
+///   * **commit** (`commitPlan`): the found paths, V1/V2 vias, trimmed
+///     interval metal, and line-end extensions are written into the grid's
+///     occupancy / via maps and the net's state. Commits mutate shared
+///     state and must be serialized by the caller.
+///
+/// `routeNet` is the sequential convenience that rips, searches through the
+/// engine's own scratch, and commits in one call.
 #pragma once
 
 #include <optional>
@@ -21,6 +31,18 @@
 #include "route/result.h"
 
 namespace cpr::route {
+
+/// Outcome of one net search: everything `commitPlan` needs, and nothing
+/// that aliases engine or grid state — a plan is immutable data produced by
+/// a const search, possibly on another thread.
+struct NetPlan {
+  bool found = false;
+  std::vector<std::vector<int>> paths;  ///< node-id paths, one per connection
+  std::vector<ViaSite> vias;            ///< V1 + V2 vias in discovery order
+  /// Interval connection points discovered while routing, parallel to the
+  /// net's interval records (commit trims each interval to needed+used).
+  std::vector<std::vector<Coord>> recUsedXs;
+};
 
 class RouteEngine {
  public:
@@ -44,9 +66,38 @@ class RouteEngine {
   }
   [[nodiscard]] std::size_t numNets() const { return states_.size(); }
 
-  /// Routes `net` under the given cost model. Any previous route of the net
-  /// is ripped first. `extraMargin` widens the search window (used by
-  /// retries). Returns success; on failure the net is left unrouted.
+  /// Hull of the net's pin shapes and assigned intervals — the box the
+  /// search window is grown from. Batch schedulers expand it by
+  /// `windowMargin()` (+ line-end / via slack) to test wave disjointness.
+  [[nodiscard]] const geom::Rect& windowOf(Index net) const {
+    return infos_[static_cast<std::size_t>(net)].window;
+  }
+  [[nodiscard]] Coord windowMargin() const { return margin_; }
+  [[nodiscard]] Coord lineEndExtension() const { return lineEndExtension_; }
+
+  /// Const search phase: finds paths for `net` under the given cost model
+  /// without touching the grid or the net's state. The caller must have
+  /// ripped any previous route of the net first (a committed self-route
+  /// would otherwise be priced as foreign sharing). `extraMargin` widens
+  /// the search window (used by retries). All search state and the
+  /// `route.astar.*` tallies land in `scratch`; flush them to the observer
+  /// with `flushSearchStats` outside any parallel region.
+  [[nodiscard]] NetPlan searchNet(Index net, const MazeCosts& costs,
+                                  Coord extraMargin,
+                                  MazeScratch& scratch) const;
+
+  /// Commit phase: writes a found plan's metal, vias, interval trims, and
+  /// line-end extensions into the grid and the net's state. Must be called
+  /// serially, and only with a plan produced against the current grid epoch
+  /// for an unrouted net.
+  void commitPlan(Index net, const NetPlan& plan);
+
+  /// Adds `scratch`'s pending searches/pops tallies to the engine observer
+  /// and zeroes them. Call from one thread only.
+  void flushSearchStats(MazeScratch& scratch);
+
+  /// Routes `net` under the given cost model: rip + search + commit in one
+  /// sequential call. Returns success; on failure the net is left unrouted.
   bool routeNet(Index net, const MazeCosts& costs, Coord extraMargin = 0);
 
   /// Removes the net's committed metal, occupancy and vias.
@@ -72,7 +123,6 @@ class RouteEngine {
     Coord track = 0;
     geom::Interval span;    ///< full assigned interval
     geom::Interval needed;  ///< hull of covered pin x-ranges (never trimmed away)
-    std::vector<Coord> usedXs;  ///< connection points discovered while routing
   };
   /// Per-pin access description.
   struct PinAccess {
@@ -87,8 +137,8 @@ class RouteEngine {
   };
 
   void buildNetInfo(Index net, const core::PinAccessPlan* plan);
-  /// Records a path endpoint landing on one of the net's intervals.
-  void noteIntervalUse(NetInfo& info, int nodeId);
+  /// Index of the interval record a path endpoint landed on (-1 if none).
+  [[nodiscard]] int recOf(const NetInfo& info, int nodeId) const;
 
   const db::Design& design_;
   RoutingGrid grid_;
@@ -98,9 +148,7 @@ class RouteEngine {
   Coord lineEndExtension_;
   std::vector<NetInfo> infos_;
   std::vector<NetState> states_;
-  // Scratch for tree membership during one routeNet call.
-  std::vector<long> treeStamp_;
-  long epoch_ = 0;
+  MazeScratch scratch_;  ///< scratch behind the sequential routeNet path
 };
 
 }  // namespace cpr::route

@@ -13,13 +13,26 @@ namespace {
 constexpr float kInf = std::numeric_limits<float>::infinity();
 }
 
-MazeRouter::MazeRouter(RoutingGrid& grid, obs::Collector* obs)
+void MazeScratch::bind(int numNodes) {
+  const std::size_t n = static_cast<std::size_t>(numNodes);
+  if (dist.size() == n) return;
+  dist.assign(n, kInf);
+  parent.assign(n, -1);
+  stamp.assign(n, -1);
+  targetStamp.assign(n, -1);
+  epoch = 0;
+  treeStamp.assign(n, -1);
+  treeEpoch = 0;
+}
+
+std::size_t MazeScratch::footprintBytes() const {
+  return dist.size() * sizeof(float) + parent.size() * sizeof(int) +
+         (stamp.size() + targetStamp.size() + treeStamp.size()) * sizeof(long);
+}
+
+MazeRouter::MazeRouter(const RoutingGrid& grid, obs::Collector* obs)
     : grid_(grid), obs_(obs) {
-  const std::size_t n = static_cast<std::size_t>(grid_.numNodes());
-  dist_.assign(n, kInf);
-  parent_.assign(n, -1);
-  stamp_.assign(n, -1);
-  targetStamp_.assign(n, -1);
+  own_.bind(grid_.numNodes());
 }
 
 float MazeRouter::nodeCost(int id, Index net, const MazeCosts& c) const {
@@ -53,17 +66,19 @@ float MazeRouter::nodeCost(int id, Index net, const MazeCosts& c) const {
 
 std::optional<std::vector<int>> MazeRouter::findPath(
     const std::vector<int>& sources, const std::vector<int>& targets,
-    const geom::Rect& window, Index net, const MazeCosts& costs) {
+    const geom::Rect& window, Index net, const MazeCosts& costs,
+    MazeScratch& scratch) const {
   if (sources.empty() || targets.empty()) return std::nullopt;
-  ++epoch_;
-  obs::add(obs_, obs::names::kRouteSearches);
-  long pops = 0;  // reported once per search to keep the hot loop branchless
+  scratch.bind(grid_.numNodes());
+  const long epoch = ++scratch.epoch;
+  ++scratch.searches;
+  long pops = 0;  // tallied once per search to keep the hot loop branchless
 
   // Target bbox for the admissible A* heuristic (min edge cost = metal).
   geom::Rect tbox;
   bool first = true;
   for (int t : targets) {
-    targetStamp_[static_cast<std::size_t>(t)] = epoch_;
+    scratch.targetStamp[static_cast<std::size_t>(t)] = epoch;
     const Node n = grid_.node(t);
     if (first) {
       tbox = geom::Rect::point({n.x, n.y});
@@ -87,10 +102,10 @@ std::optional<std::vector<int>> MazeRouter::findPath(
 
   auto relax = [&](int id, float g, int from) {
     std::size_t i = static_cast<std::size_t>(id);
-    if (stamp_[i] == epoch_ && dist_[i] <= g) return;
-    stamp_[i] = epoch_;
-    dist_[i] = g;
-    parent_[i] = from;
+    if (scratch.stamp[i] == epoch && scratch.dist[i] <= g) return;
+    scratch.stamp[i] = epoch;
+    scratch.dist[i] = g;
+    scratch.parent[i] = from;
     open.push({g + heuristic(grid_.node(id)), id});
   };
 
@@ -101,18 +116,19 @@ std::optional<std::vector<int>> MazeRouter::findPath(
     open.pop();
     ++pops;
     const std::size_t ui = static_cast<std::size_t>(u);
-    if (stamp_[ui] != epoch_ || f > dist_[ui] + heuristic(grid_.node(u)) + 1e-5F)
+    if (scratch.stamp[ui] != epoch ||
+        f > scratch.dist[ui] + heuristic(grid_.node(u)) + 1e-5F)
       continue;  // stale entry
-    if (targetStamp_[ui] == epoch_) {
+    if (scratch.targetStamp[ui] == epoch) {
       std::vector<int> path;
-      for (int v = u; v != -1; v = parent_[static_cast<std::size_t>(v)])
+      for (int v = u; v != -1; v = scratch.parent[static_cast<std::size_t>(v)])
         path.push_back(v);
       std::reverse(path.begin(), path.end());
-      obs::add(obs_, obs::names::kRoutePops, pops);
+      scratch.pops += pops;
       return path;
     }
     const Node n = grid_.node(u);
-    const float g = dist_[ui];
+    const float g = scratch.dist[ui];
 
     auto tryMove = [&](Coord x, Coord y, RLayer layer, bool viaMove) {
       if (!grid_.inside(x, y) || !window.contains(geom::Point{x, y})) return;
@@ -136,8 +152,19 @@ std::optional<std::vector<int>> MazeRouter::findPath(
       tryMove(n.x, n.y, RLayer::M2, true);  // V2 down
     }
   }
-  obs::add(obs_, obs::names::kRoutePops, pops);
+  scratch.pops += pops;
   return std::nullopt;
+}
+
+std::optional<std::vector<int>> MazeRouter::findPath(
+    const std::vector<int>& sources, const std::vector<int>& targets,
+    const geom::Rect& window, Index net, const MazeCosts& costs) {
+  auto path = findPath(sources, targets, window, net, costs, own_);
+  obs::add(obs_, obs::names::kRouteSearches, own_.searches);
+  obs::add(obs_, obs::names::kRoutePops, own_.pops);
+  own_.searches = 0;
+  own_.pops = 0;
+  return path;
 }
 
 }  // namespace cpr::route

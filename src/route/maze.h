@@ -8,6 +8,12 @@
 /// sharing penalty * occupancy + history (PathFinder negotiation [21,22]);
 /// via moves add the via base cost and the paper's forbidden grid cost (10)
 /// when a different net owns a via within one grid of the site.
+///
+/// Searches are const over the grid: all per-search mutable state (the A*
+/// wavefront arrays plus the engine's tree-membership stamps) lives in a
+/// `MazeScratch` arena, one per worker, mirroring `core::PanelScratch`.
+/// That is what lets the negotiation router search many nets concurrently
+/// against one shared grid and serialize only the commits.
 #pragma once
 
 #include <optional>
@@ -32,9 +38,31 @@ struct MazeCosts {
   bool hardBlockOccupied = false;  ///< sequential mode: occupied nodes are walls
 };
 
+/// Per-worker arena for everything one net search mutates: the A* distance/
+/// parent/stamp arrays, the engine's Steiner-tree membership stamps, and the
+/// `route.astar.*` tallies (flushed to the observer by whoever owns the
+/// collector, after the parallel region — the collector itself is not
+/// thread-safe). Reused across searches; epochs avoid per-search clears.
+struct MazeScratch {
+  std::vector<float> dist;
+  std::vector<int> parent;
+  std::vector<long> stamp;        ///< epoch per node for dist/parent
+  std::vector<long> targetStamp;  ///< epoch per node marking targets
+  long epoch = 0;
+  std::vector<long> treeStamp;    ///< epoch per node for tree membership
+  long treeEpoch = 0;
+  long searches = 0;  ///< route.astar.searches since the last flush
+  long pops = 0;      ///< route.astar.pops since the last flush
+
+  /// Sizes the arrays for a grid of `numNodes` nodes (no-op when already
+  /// bound to the same size).
+  void bind(int numNodes);
+  [[nodiscard]] std::size_t footprintBytes() const;
+};
+
 class MazeRouter {
  public:
-  explicit MazeRouter(RoutingGrid& grid, obs::Collector* obs = nullptr);
+  explicit MazeRouter(const RoutingGrid& grid, obs::Collector* obs = nullptr);
 
   /// Switches the instrumentation sink (the engine owns the router but the
   /// driver owns the collector).
@@ -43,8 +71,16 @@ class MazeRouter {
   /// Finds a min-cost path from any source to any target inside `window`
   /// (both layers). Returns the node-id path source→target inclusive, or
   /// nullopt when disconnected. Sources already in the target set return a
-  /// single-node path. Each call reports one `route.astar.searches` count
-  /// and its popped-node total (`route.astar.pops`) to the observer.
+  /// single-node path. Const over the grid; all mutable search state and the
+  /// searches/pops tallies land in `scratch`.
+  [[nodiscard]] std::optional<std::vector<int>> findPath(
+      const std::vector<int>& sources, const std::vector<int>& targets,
+      const geom::Rect& window, Index net, const MazeCosts& costs,
+      MazeScratch& scratch) const;
+
+  /// Single-threaded convenience: searches through the router's own scratch
+  /// and reports `route.astar.searches` / `route.astar.pops` to the observer
+  /// immediately.
   [[nodiscard]] std::optional<std::vector<int>> findPath(
       const std::vector<int>& sources, const std::vector<int>& targets,
       const geom::Rect& window, Index net, const MazeCosts& costs);
@@ -52,13 +88,9 @@ class MazeRouter {
  private:
   [[nodiscard]] float nodeCost(int id, Index net, const MazeCosts& c) const;
 
-  RoutingGrid& grid_;
+  const RoutingGrid& grid_;
   obs::Collector* obs_ = nullptr;
-  std::vector<float> dist_;
-  std::vector<int> parent_;
-  std::vector<long> stamp_;        ///< epoch per node for dist/parent
-  std::vector<long> targetStamp_;  ///< epoch per node marking targets
-  long epoch_ = 0;
+  MazeScratch own_;  ///< scratch behind the convenience overload
 };
 
 }  // namespace cpr::route

@@ -1,22 +1,106 @@
 #include "route/negotiation_router.h"
 
 #include <chrono>
+#include <cstddef>
+#include <vector>
 
 #include "obs/names.h"
 #include "route/engine.h"
+#include "route/wave_scheduler.h"
+#include "support/thread_pool.h"
 
 namespace cpr::route {
 
 namespace {
 using Clock = std::chrono::steady_clock;
 
-/// Routes one net, retrying once with a widened window.
-bool routeWithRetry(RouteEngine& engine, Index net, const MazeCosts& costs,
-                    obs::Collector* obs) {
-  if (engine.routeNet(net, costs)) return true;
-  obs::add(obs, obs::names::kRouteRetries);
-  return engine.routeNet(net, costs, /*extraMargin=*/24);
-}
+/// Routes every net loop of the negotiation through disjoint waves: rip the
+/// wave, search its nets concurrently against the then-immutable grid,
+/// commit the found plans serially in wave order, and retry the misses
+/// sequentially with a widened window once all waves have landed (a widened
+/// window escapes the disjointness boxes, so those retries cannot ride in a
+/// wave). The wave partition and every commit order depend only on the net
+/// list — never on the thread count — so results are bit-identical from
+/// `threads = 1` to `threads = N`.
+class BatchRouter {
+ public:
+  BatchRouter(RouteEngine& engine, support::ThreadPool& pool,
+              obs::Collector* obs)
+      : engine_(engine),
+        pool_(pool),
+        obs_(obs),
+        scheduler_(engine.grid().width(), engine.grid().height()),
+        // Influence halo around a net's window: the search window margin,
+        // plus the line-end extension a commit writes beyond its runs, plus
+        // one grid each for the adjacency and forbidden-via lookups that a
+        // search reads around the window.
+        halo_(engine.windowMargin() + engine.lineEndExtension() + 2),
+        scratches_(std::size_t(pool.size())) {}
+
+  /// Rips and reroutes `nets` under `costs`. Stops launching waves once
+  /// `deadline` expires (counting `route.timeout` once); already-searched
+  /// waves still commit, so no net is ever left half-routed.
+  void route(const std::vector<Index>& nets, const MazeCosts& costs,
+             const support::Deadline& deadline) {
+    if (nets.empty()) return;
+    std::vector<geom::Rect> boxes(nets.size());
+    for (std::size_t k = 0; k < nets.size(); ++k) {
+      geom::Rect box = engine_.windowOf(nets[k]);
+      if (!box.empty()) {
+        box.x = geom::Interval{box.x.lo - halo_, box.x.hi + halo_};
+        box.y = geom::Interval{box.y.lo - halo_, box.y.hi + halo_};
+      }
+      boxes[k] = box;
+    }
+    const auto waves = scheduler_.partition(nets, boxes);
+    obs::add(obs_, obs::names::kRouteBatches, static_cast<long>(waves.size()));
+    obs::add(obs_, obs::names::kRouteBatchConflicts, scheduler_.conflicts());
+
+    std::vector<Index> misses;
+    bool cut = false;
+    for (const auto& wave : waves) {
+      if (deadline.expired()) {
+        cut = true;
+        break;
+      }
+      if (wave.size() > 1)
+        obs::add(obs_, obs::names::kRouteParallelNets,
+                 static_cast<long>(wave.size()));
+      for (Index net : wave) engine_.ripNet(net);
+      std::vector<NetPlan> plans(wave.size());
+      pool_.parallelFor(wave.size(), [&](int worker, std::size_t k) {
+        plans[k] = engine_.searchNet(wave[k], costs, /*extraMargin=*/0,
+                                     scratches_[std::size_t(worker)]);
+      });
+      for (MazeScratch& s : scratches_) engine_.flushSearchStats(s);
+      for (std::size_t k = 0; k < wave.size(); ++k) {
+        if (plans[k].found)
+          engine_.commitPlan(wave[k], plans[k]);
+        else
+          misses.push_back(wave[k]);
+      }
+    }
+    if (!cut) {
+      for (Index net : misses) {
+        if (deadline.expired()) {
+          cut = true;
+          break;
+        }
+        obs::add(obs_, obs::names::kRouteRetries);
+        engine_.routeNet(net, costs, /*extraMargin=*/24);
+      }
+    }
+    if (cut) obs::add(obs_, obs::names::kRouteTimeout);
+  }
+
+ private:
+  RouteEngine& engine_;
+  support::ThreadPool& pool_;
+  obs::Collector* obs_;
+  WaveScheduler scheduler_;
+  Coord halo_;
+  std::vector<MazeScratch> scratches_;  ///< one search arena per worker
+};
 
 }  // namespace
 
@@ -37,19 +121,28 @@ RoutingResult routeNegotiated(const db::Design& design,
 
   result.nets.resize(static_cast<std::size_t>(numNets));
 
+  support::ThreadPool pool(
+      std::min(support::ThreadPool::clampThreads(opts.threads),
+               std::max(1, static_cast<int>(numNets))));
+  BatchRouter batch(engine, pool, obs);
+
+  std::vector<Index> todo;
+  todo.reserve(static_cast<std::size_t>(numNets));
+
   // ---- independent routing stage ----
   MazeCosts costs = opts.costs;
   costs.present = 0.0F;
   costs.hardBlockOccupied = false;
   {
     obs::ScopedTimer t(obs, obs::names::kRouteIndependentSpan);
-    for (Index n = 0; n < numNets; ++n) routeWithRetry(engine, n, costs, obs);
+    for (Index n = 0; n < numNets; ++n) todo.push_back(n);
+    batch.route(todo, costs, opts.deadline);
   }
   obs->add(obs::names::kRouteCongestedPreRrr, grid.congestedNodeCount());
 
   // ---- rip-up & reroute ----
-  long bestCongestion = grid.congestedNodeCount();
-  int congestionStall = 0;
+  RrrStallDetector stall(grid.congestedNodeCount(),
+                         opts.congestionStallIters);
   {
     obs::ScopedTimer t(obs, obs::names::kRouteRrrSpan);
     for (int iter = 1; iter <= opts.maxRrrIterations; ++iter) {
@@ -59,17 +152,8 @@ RoutingResult routeNegotiated(const db::Design& design,
       }
       const long congestion = grid.congestedNodeCount();
       if (congestion == 0) break;
-      // Progress must be material (2%): a long tail of structurally shared
-      // grids otherwise keeps the loop alive for no benefit.
-      if (congestion <
-          bestCongestion - std::max<long>(1, bestCongestion / 50)) {
-        bestCongestion = congestion;
-        congestionStall = 0;
-      } else if (opts.congestionStallIters > 0 &&
-                 ++congestionStall >= opts.congestionStallIters) {
-        break;  // negotiation has stopped making progress
-      }
-      bestCongestion = std::min(bestCongestion, congestion);
+      if (stall.shouldStop(congestion))
+        break;  // negotiation has stopped making material progress
       obs->add(obs::names::kRouteRrrIterations);
       obs->row("rrr.iter", {"iter", "congested"},
                {static_cast<double>(iter), static_cast<double>(congestion)});
@@ -79,20 +163,25 @@ RoutingResult routeNegotiated(const db::Design& design,
       }
       costs.present = opts.presentFactor * static_cast<float>(iter);
       costs.adjacency = 0.5F * costs.present;
+      // Snapshot this iteration's reroute set — unrouted nets plus nets
+      // sharing a grid — then rip & reroute it as one batch. (The legacy
+      // sequential loop re-tested sharing net by net as earlier reroutes
+      // landed; the snapshot is the wave-order equivalent and is what the
+      // determinism policy pins.)
+      todo.clear();
       for (Index n = 0; n < numNets; ++n) {
         if (!engine.state(n).routed) {
-          routeWithRetry(engine, n, costs, obs);  // keep retrying failed nets
+          todo.push_back(n);  // keep retrying failed nets
           continue;
         }
-        bool shares = false;
         for (int id : engine.state(n).nodes) {
           if (grid.occupancy(id) > 1) {
-            shares = true;
+            todo.push_back(n);
             break;
           }
         }
-        if (shares) routeWithRetry(engine, n, costs, obs);
       }
+      batch.route(todo, costs, opts.deadline);
     }
   }
 
@@ -127,13 +216,12 @@ RoutingResult routeNegotiated(const db::Design& design,
       const auto vias = engine.allVias();
       const DrcReport report = checkDesignRules(
           DrcInput{nodes, vias, grid.width(), grid.height()}, signoff);
-      bool any = false;
+      todo.clear();
       for (Index n = 0; n < numNets; ++n) {
-        if (!report.dirty[static_cast<std::size_t>(n)]) continue;
-        any = true;
-        routeWithRetry(engine, n, costs, obs);
+        if (report.dirty[static_cast<std::size_t>(n)]) todo.push_back(n);
       }
-      if (!any) break;
+      if (todo.empty()) break;
+      batch.route(todo, costs, opts.deadline);
       // Rerouting may reintroduce sharing; drop offenders once more.
       for (Index n = 0; n < numNets; ++n) {
         if (!engine.state(n).routed) continue;

@@ -83,7 +83,9 @@ int main(int argc, char** argv) {
                 "dense (two-phase tableau reference)",
                 &args.lpBackend);
   parser.option("--threads", "n",
-                "pin access worker threads (default: hardware)",
+                "worker threads for pin access panels and wave-parallel "
+                "routing (default: hardware; results are thread-count "
+                "invariant)",
                 &args.threads);
   parser.option("--report", "path", "write a cpr.report.v1 JSON run report",
                 &args.reportPath);
@@ -156,11 +158,13 @@ int main(int argc, char** argv) {
       route::NegotiationOptions opts;
       opts.keepGeometry = wantGeometry;
       opts.deadline = runDeadline;
+      opts.threads = args.threads;
       result = route::routeNegotiated(d, nullptr, opts);
     } else if (args.scheme == "cpr") {
       route::CprOptions opts;
       opts.routing.keepGeometry = wantGeometry;
       opts.routing.deadline = runDeadline;
+      opts.routing.threads = args.threads;
       opts.pinAccess.threads = args.threads;
       opts.pinAccess.deadline = runDeadline;
       opts.pinAccess.panelBudgetSeconds = args.panelBudget;
