@@ -41,25 +41,6 @@ double spanSeconds(const cpr::obs::Collector& stats, std::string_view name) {
   return total;
 }
 
-/// FNV-1a over every net's routed/clean/wirelength/via outcome: cheap
-/// thread-invariance witness for the sweep table.
-std::uint64_t resultDigest(const cpr::route::RoutingResult& r) {
-  std::uint64_t h = 1469598103934665603ULL;
-  auto mix = [&h](std::uint64_t v) {
-    for (int b = 0; b < 8; ++b) {
-      h ^= (v >> (8 * b)) & 0xFFU;
-      h *= 1099511628211ULL;
-    }
-  };
-  for (const cpr::route::NetResult& nr : r.nets) {
-    mix(static_cast<std::uint64_t>(nr.routed) |
-        (static_cast<std::uint64_t>(nr.clean) << 1));
-    mix(static_cast<std::uint64_t>(nr.wirelength));
-    mix(static_cast<std::uint64_t>(nr.vias));
-  }
-  return h;
-}
-
 std::vector<int> parseCounts(const std::string& arg) {
   std::vector<int> out;
   std::size_t pos = 0;

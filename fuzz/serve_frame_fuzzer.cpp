@@ -1,0 +1,63 @@
+/// \file serve_frame_fuzzer.cpp
+/// libFuzzer target for the routing-service wire codec.
+///
+/// The codec is the daemon's trust boundary (serve/protocol.h): for ANY
+/// byte sequence, `decodeRequest` and `decodeReply` must return either a
+/// structured frame or an Invalid frame with a diagnostic — never crash,
+/// hang, recurse on attacker-controlled depth, or leak an exception.
+///
+/// Frames that decode as valid are additionally pushed through an
+/// encode/decode round trip. One decode may quantize a value (the seed
+/// travels as a JSON number), so the check is for a fixed point: after one
+/// stabilizing pass, re-encoding must reproduce the frame byte for byte.
+///
+/// Build with -DCPR_BUILD_FUZZERS=ON (clang only); see fuzz/CMakeLists.txt.
+/// The regression corpus lives in tests/corpus/serve.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/protocol.h"
+
+namespace {
+
+void checkRequestRoundTrip(const cpr::serve::RouteRequest& route) {
+  using cpr::serve::Request;
+  const std::string f1 = cpr::serve::encodeRouteRequest(route);
+  const Request r2 = cpr::serve::decodeRequest(f1);
+  if (r2.kind != Request::Kind::Route) __builtin_trap();
+  const std::string f2 = cpr::serve::encodeRouteRequest(r2.route);
+  const Request r3 = cpr::serve::decodeRequest(f2);
+  if (r3.kind != Request::Kind::Route) __builtin_trap();
+  if (cpr::serve::encodeRouteRequest(r3.route) != f2) __builtin_trap();
+}
+
+void checkResultRoundTrip(const cpr::serve::JobResult& result) {
+  using cpr::serve::Reply;
+  const std::string f1 = cpr::serve::encodeResult(result);
+  const Reply r2 = cpr::serve::decodeReply(f1);
+  if (r2.kind != Reply::Kind::Result) __builtin_trap();
+  const std::string f2 = cpr::serve::encodeResult(r2.result);
+  const Reply r3 = cpr::serve::decodeReply(f2);
+  if (r3.kind != Reply::Kind::Result) __builtin_trap();
+  if (cpr::serve::encodeResult(r3.result) != f2) __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view line(reinterpret_cast<const char*>(data), size);
+
+  const cpr::serve::Request req = cpr::serve::decodeRequest(line);
+  if (req.kind == cpr::serve::Request::Kind::Route)
+    checkRequestRoundTrip(req.route);
+  if (req.kind == cpr::serve::Request::Kind::Invalid && req.error.empty())
+    __builtin_trap();  // an Invalid frame must carry its diagnostic
+
+  const cpr::serve::Reply reply = cpr::serve::decodeReply(line);
+  if (reply.kind == cpr::serve::Reply::Kind::Result)
+    checkResultRoundTrip(reply.result);
+  return 0;
+}

@@ -134,13 +134,49 @@ inline constexpr std::string_view kLintFiles = "lint.files";
 inline constexpr std::string_view kLintDiagnostics = "lint.diagnostics";
 /// ScopedTimer span around the whole lintTree walk.
 inline constexpr std::string_view kLintRunSpan = "lint.run";
+// Routing service (src/serve, DESIGN.md "Service failure model"). The
+// kServeEv* constants double as the protocol's job-lifecycle event names —
+// the wire format and the counters deliberately share one vocabulary.
+/// Client connections accepted by the daemon, lifetime total.
+inline constexpr std::string_view kServeConnections = "serve.connections";
+/// Protocol frames that failed to decode (malformed JSON, missing fields).
+/// The connection survives: the daemon replies with an error frame.
+inline constexpr std::string_view kServeFramesBad = "serve.frames.bad";
+/// Jobs admitted into the bounded queue.
+inline constexpr std::string_view kServeJobsAccepted = "serve.jobs.accepted";
+/// Jobs refused at admission (queue full): terminal `cancelled` status.
+inline constexpr std::string_view kServeJobsRejected = "serve.jobs.rejected";
+/// Jobs that reached a terminal completed result (ok/degraded/timed_out).
+inline constexpr std::string_view kServeJobsCompleted =
+    "serve.jobs.completed";
+/// Jobs that reached a terminal failed result (bad input or a contained
+/// exception at the job boundary); the daemon itself never dies with them.
+inline constexpr std::string_view kServeJobsFailed = "serve.jobs.failed";
+/// Retry attempts scheduled after a transient (deadline-expired) outcome.
+inline constexpr std::string_view kServeJobsRetried = "serve.jobs.retried";
+/// Jobs drained from the queue at shutdown without running (terminal
+/// `cancelled`, like an admission rejection).
+inline constexpr std::string_view kServeJobsCancelled =
+    "serve.jobs.cancelled";
+/// Gauge: high-water mark of the queue depth (both lanes).
+inline constexpr std::string_view kServeQueuePeakDepth =
+    "serve.queue.peak_depth";
+/// ScopedTimer span around one job attempt (load + pipeline + digest).
+inline constexpr std::string_view kServeJobSpan = "serve.job";
+// Protocol job-lifecycle event names (serve/protocol.h frames).
+inline constexpr std::string_view kServeEvAccepted = "serve.job.accepted";
+inline constexpr std::string_view kServeEvStarted = "serve.job.started";
+inline constexpr std::string_view kServeEvRetrying = "serve.job.retrying";
+inline constexpr std::string_view kServeEvCompleted = "serve.job.completed";
+inline constexpr std::string_view kServeEvFailed = "serve.job.failed";
+inline constexpr std::string_view kServeEvRejected = "serve.job.rejected";
 
 /// Registry of every canonical name above, in declaration order. New
 /// constants MUST be appended here too; obs_names_test asserts the entries
 /// are unique and follow the `^[a-z]+(\.[a-z_]+)+$` grammar, which is what
 /// catches a typo'd or duplicated metric name at test time rather than in a
 /// dashboard.
-inline constexpr std::array<std::string_view, 66> kAll = {
+inline constexpr std::array<std::string_view, 82> kAll = {
     kGenIntervals,         kGenShared,           kGenBlockedPins,
     kConflictSets,         kLrIterations,        kLrRemovalRounds,
     kLrReexpandUpgrades,   kLrTimeout,           kExactNodes,
@@ -163,6 +199,12 @@ inline constexpr std::array<std::string_view, 66> kAll = {
     kRouteDrcRepairSpan,   kRouteSignoffSpan,    kDrcViolations,
     kDrcLineEnd,           kDrcViaSpacing,       kDrcDirtyNets,
     kLintFiles,            kLintDiagnostics,     kLintRunSpan,
+    kServeConnections,     kServeFramesBad,      kServeJobsAccepted,
+    kServeJobsRejected,    kServeJobsCompleted,  kServeJobsFailed,
+    kServeJobsRetried,     kServeJobsCancelled,  kServeQueuePeakDepth,
+    kServeJobSpan,         kServeEvAccepted,     kServeEvStarted,
+    kServeEvRetrying,      kServeEvCompleted,    kServeEvFailed,
+    kServeEvRejected,
 };
 
 }  // namespace cpr::obs::names

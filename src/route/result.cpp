@@ -1,0 +1,22 @@
+#include "route/result.h"
+
+namespace cpr::route {
+
+std::uint64_t resultDigest(const RoutingResult& r) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xFFU;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const NetResult& nr : r.nets) {
+    mix(static_cast<std::uint64_t>(nr.routed) |
+        (static_cast<std::uint64_t>(nr.clean) << 1));
+    mix(static_cast<std::uint64_t>(nr.wirelength));
+    mix(static_cast<std::uint64_t>(nr.vias));
+  }
+  return h;
+}
+
+}  // namespace cpr::route

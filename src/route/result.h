@@ -76,4 +76,10 @@ struct RoutingResult {
   }
 };
 
+/// FNV-1a over every net's routed/clean/wirelength/via outcome: the cheap
+/// determinism witness shared by the thread-sweep bench, the routing
+/// service, and the chaos tests. Two results digest equal iff every net
+/// reached the same outcome — geometry need not be kept.
+[[nodiscard]] std::uint64_t resultDigest(const RoutingResult& r);
+
 }  // namespace cpr::route

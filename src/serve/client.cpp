@@ -1,0 +1,89 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace cpr::serve {
+
+Client::~Client() { close(); }
+
+support::Status Client::connect(const std::string& socketPath) {
+  sockaddr_un addr{};
+  if (socketPath.empty() || socketPath.size() >= sizeof addr.sun_path)
+    return support::Status::failed("socket path empty or too long");
+  close();
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) return support::Status::failed("socket() failed");
+  addr.sun_family = AF_UNIX;
+  socketPath.copy(addr.sun_path, sizeof addr.sun_path - 1);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return support::Status::failed("cannot connect to " + socketPath +
+                                   " — is cpr_served running?");
+  }
+  return support::Status::ok();
+}
+
+bool Client::sendLine(const std::string& frame) {
+  if (fd_ < 0) return false;
+  std::string line = frame;
+  line.push_back('\n');
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n =
+        ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Client::readLine(std::string& out) {
+  while (true) {
+    const std::size_t nl = pending_.find('\n');
+    if (nl != std::string::npos) {
+      out.assign(pending_, 0, nl);
+      pending_.erase(0, nl + 1);
+      return true;
+    }
+    if (fd_ < 0) return false;
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    pending_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  pending_.clear();
+}
+
+support::Outcome<JobResult> runJob(Client& client, const RouteRequest& request,
+                                   std::vector<Reply>* events) {
+  if (!client.sendLine(encodeRouteRequest(request)))
+    return support::Status::failed("connection lost while sending the job");
+  std::string line;
+  while (client.readLine(line)) {
+    Reply rep = decodeReply(line);
+    if (rep.kind == Reply::Kind::Result && rep.id == request.id)
+      return rep.result;
+    if (events) events->push_back(std::move(rep));
+  }
+  return support::Status::failed(
+      "connection closed before the job's terminal frame");
+}
+
+}  // namespace cpr::serve

@@ -1,0 +1,48 @@
+/// \file client.h
+/// Client side of the routing service protocol: a buffered line-framed
+/// connection plus a synchronous run-one-job helper.
+///
+/// `Client` is deliberately thin — connect, send a line, read a line. The
+/// chaos harness drives it directly to pipeline many jobs down one
+/// connection and demultiplex replies by id; `runJob` is the one-at-a-time
+/// convenience used by the `cpr_client` tool.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "support/status.h"
+
+namespace cpr::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  [[nodiscard]] support::Status connect(const std::string& socketPath);
+  /// Appends '\n' and writes the whole frame; false when the peer is gone.
+  bool sendLine(const std::string& frame);
+  /// Next '\n'-terminated line (without the newline); false on EOF/error.
+  bool readLine(std::string& out);
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string pending_;
+};
+
+/// Sends one route request and reads frames until this job's terminal
+/// frame. Progress frames (and any frames for other ids) are appended to
+/// `events` when given. The outer Status reports transport problems
+/// (connection lost mid-job); the job's own outcome is in the JobResult.
+[[nodiscard]] support::Outcome<JobResult> runJob(
+    Client& client, const RouteRequest& request,
+    std::vector<Reply>* events = nullptr);
+
+}  // namespace cpr::serve

@@ -1,0 +1,98 @@
+#include "serve/queue.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+namespace cpr::serve {
+
+bool BoundedJobQueue::tryPush(Job job,
+                              const std::function<void(std::size_t)>& onAdmit) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return false;
+  std::deque<Job>& lane = lanes_[laneOf(job)];
+  if (lane.size() >= laneCapacity_) return false;
+  lane.push_back(std::move(job));
+  const std::size_t total = lanes_[0].size() + lanes_[1].size();
+  peak_ = std::max(peak_, total);
+  if (onAdmit) onAdmit(total);
+  // Notify while still holding the lock: a worker woken here blocks on mu_
+  // until we return, so onAdmit's "accepted" frame wins the race with the
+  // worker's "started" frame by construction.
+  ready_.notify_one();
+  return true;
+}
+
+bool BoundedJobQueue::pushRetry(Job job) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return false;
+  lanes_[laneOf(job)].push_back(std::move(job));
+  const std::size_t total = lanes_[0].size() + lanes_[1].size();
+  peak_ = std::max(peak_, total);
+  // notify_all, not notify_one: the job may not be eligible yet (backoff
+  // readyAt), and the one woken worker could go back to sleep on a wait
+  // computed before this push existed.
+  ready_.notify_all();
+  return true;
+}
+
+std::optional<Job> BoundedJobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (closed_) return std::nullopt;
+    // Earliest eligible job, interactive lane first. The scan is O(depth),
+    // and depth is bounded by admission control — this is a service queue,
+    // not a data structure contest.
+    double soonestWait = std::numeric_limits<double>::infinity();
+    for (std::deque<Job>& lane : lanes_) {
+      for (auto it = lane.begin(); it != lane.end(); ++it) {
+        if (!it->readyAt.isSet() || it->readyAt.expired()) {
+          Job job = std::move(*it);
+          lane.erase(it);
+          return job;
+        }
+        soonestWait = std::min(soonestWait, it->readyAt.remaining());
+      }
+    }
+    if (soonestWait == std::numeric_limits<double>::infinity()) {
+      ready_.wait(lock);
+    } else {
+      // Only backoff-gated jobs remain: sleep until the soonest becomes
+      // eligible (or a push/close wakes us earlier).
+      ready_.wait_for(lock, std::chrono::duration<double>(
+                                std::max(soonestWait, 1e-4)));
+    }
+  }
+}
+
+void BoundedJobQueue::close() {
+  std::unique_lock<std::mutex> lock(mu_);
+  closed_ = true;
+  ready_.notify_all();
+}
+
+std::vector<Job> BoundedJobQueue::drainRemaining() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<Job> out;
+  for (std::deque<Job>& lane : lanes_) {
+    for (Job& job : lane) out.push_back(std::move(job));
+    lane.clear();
+  }
+  // Restore admission order across lanes for deterministic shutdown
+  // reporting: serial is the global admission counter.
+  std::sort(out.begin(), out.end(),
+            [](const Job& a, const Job& b) { return a.serial < b.serial; });
+  return out;
+}
+
+std::size_t BoundedJobQueue::depth() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return lanes_[0].size() + lanes_[1].size();
+}
+
+std::size_t BoundedJobQueue::peakDepth() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return peak_;
+}
+
+}  // namespace cpr::serve

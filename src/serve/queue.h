@@ -1,0 +1,106 @@
+/// \file queue.h
+/// Bounded two-lane job queue: the admission-control core of the service.
+///
+/// Admission is `tryPush` — it never blocks and never grows past the lane
+/// capacity. A full lane means the caller gets `false` back immediately and
+/// reports the job rejected (`StatusCode::Cancelled`); the accept loop is
+/// never the place where backpressure queues up, because a blocked accept
+/// loop is indistinguishable from a dead daemon to every other client.
+///
+/// Two lanes (`Priority::Interactive` ahead of `Priority::Batch`) with
+/// independent capacities: a flood of bulk work fills the batch lane and
+/// starts bouncing, while interactive jobs still admit and still pop first.
+///
+/// Retries re-enter through `pushRetry`, which is exempt from the capacity
+/// check — a retry slot was already paid for at original admission, and
+/// bouncing a retry for lack of space would convert a transient timeout
+/// into a spurious cancellation. Retries are bounded by the server's
+/// max-retries policy, so the overshoot is at most one job per worker.
+/// A retry's `readyAt` deadline holds it invisible to `pop` until its
+/// backoff delay has elapsed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include <condition_variable>
+
+#include "serve/protocol.h"
+#include "support/deadline.h"
+
+namespace cpr::serve {
+
+/// One queued route job. `session` is an opaque handle to the connection
+/// that submitted it (the queue sits below the server and never looks
+/// inside); holding it keeps the reply channel alive until the terminal
+/// frame is sent, even if the reader side already saw EOF.
+struct Job {
+  RouteRequest request;
+  std::shared_ptr<void> session;
+  int attempt = 1;
+  /// Job wall-clock budget, composed at admission from the request budget
+  /// and the server watchdog (`Deadline::soonerOf`). Queue wait spends it.
+  support::Deadline deadline;
+  /// Backoff gate for retries: unset for fresh jobs; a retry is not
+  /// eligible to pop until this deadline has expired.
+  support::Deadline readyAt;
+  std::uint64_t serial = 0;  ///< admission order, for deterministic noise
+};
+
+class BoundedJobQueue {
+ public:
+  /// `laneCapacity` bounds each lane independently (so worst-case memory is
+  /// 2 * laneCapacity jobs plus in-flight retries).
+  explicit BoundedJobQueue(std::size_t laneCapacity)
+      : laneCapacity_(laneCapacity) {}
+
+  /// Admission control: false when the job's lane is full or the queue is
+  /// closed — the caller must report the rejection, nothing was queued.
+  /// On admission, `onAdmit(depth)` (if given) runs under the queue lock
+  /// with the post-push total depth: a worker cannot pop the job until
+  /// `onAdmit` returns, which is how the server orders the "accepted"
+  /// frame strictly before any "started" frame for the same job.
+  bool tryPush(Job job, const std::function<void(std::size_t)>& onAdmit = {});
+
+  /// Re-queues a retry, bypassing the capacity check (see file comment).
+  /// Returns false only when the queue is already closed.
+  bool pushRetry(Job job);
+
+  /// Blocks until a job is eligible (interactive lane first; within a lane,
+  /// admission order among jobs whose `readyAt` has passed). Returns
+  /// nullopt once the queue is closed — immediately, even if jobs remain;
+  /// shutdown hands leftovers to `drainRemaining`, not to workers.
+  std::optional<Job> pop();
+
+  /// Closes the queue: pending and future pops return nullopt, pushes fail.
+  void close();
+
+  /// Removes and returns everything still queued (both lanes, admission
+  /// order). Call after `close()`; the server reports each drained job as
+  /// Cancelled.
+  [[nodiscard]] std::vector<Job> drainRemaining();
+
+  [[nodiscard]] std::size_t depth() const;
+  /// High-water mark of total depth, for the serve.queue.peak_depth gauge.
+  [[nodiscard]] std::size_t peakDepth() const;
+
+ private:
+  /// Index into `lanes_` for a job's priority.
+  [[nodiscard]] static std::size_t laneOf(const Job& job) {
+    return job.request.priority == Priority::Interactive ? 0 : 1;
+  }
+
+  const std::size_t laneCapacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<Job> lanes_[2];  ///< [0] interactive, [1] batch
+  std::size_t peak_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace cpr::serve

@@ -1,0 +1,461 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "eval/metrics.h"
+#include "gen/generator.h"
+#include "lefdef/def_io.h"
+#include "obs/names.h"
+#include "route/cpr.h"
+#include "route/result.h"
+#include "route/sequential_router.h"
+#include "support/deadline.h"
+
+namespace cpr::serve {
+
+namespace {
+
+/// A reader that accumulates this much without a newline is not speaking
+/// the protocol (or is trying to exhaust memory); the connection is dropped.
+constexpr std::size_t kMaxFrameBytes = 16U << 20U;
+
+[[nodiscard]] std::string hex16(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xFU];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+/// One client connection. The fd is owned here and closed exactly once, by
+/// the destructor — queued jobs hold the shared_ptr, so the reply channel
+/// outlives both the reader thread and the reader-side EOF.
+struct Server::Connection {
+  explicit Connection(int f) : fd(f) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd = -1;
+  std::mutex writeMu;  ///< frames are lines; interleaved writes would tear
+};
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)), queue_(opts_.laneCapacity) {}
+
+Server::~Server() { stop(); }
+
+support::Status Server::start() {
+  sockaddr_un addr{};
+  if (opts_.socketPath.empty() ||
+      opts_.socketPath.size() >= sizeof addr.sun_path) {
+    return support::Status::failed("socket path empty or too long");
+  }
+  listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listenFd_ < 0) return support::Status::failed("socket() failed");
+  ::unlink(opts_.socketPath.c_str());
+  addr.sun_family = AF_UNIX;
+  opts_.socketPath.copy(addr.sun_path, sizeof addr.sun_path - 1);
+  if (::bind(listenFd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listenFd_, 64) != 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+    return support::Status::failed("cannot bind/listen on " +
+                                   opts_.socketPath);
+  }
+  {
+    std::unique_lock<std::mutex> lock(lifecycleMu_);
+    running_ = true;
+  }
+  acceptThread_ = std::thread([this] { acceptLoop(); });
+  // Workers are long-lived tasks on the shared pool seam. Pool size is
+  // workers + 1 because the constructing thread counts as worker 0 and
+  // posted tasks only run on the spawned workers.
+  const int workers = std::max(1, opts_.workers);
+  workerPool_ = std::make_unique<support::ThreadPool>(workers + 1);
+  for (int i = 0; i < workers; ++i)
+    workerPool_->post([this] { workerLoop(); });
+  return support::Status::ok();
+}
+
+void Server::stop() {
+  {
+    std::unique_lock<std::mutex> lock(lifecycleMu_);
+    if (!running_) return;
+    running_ = false;
+    shutdownCv_.notify_all();
+  }
+  // Stop admitting: wake the accept loop, then close the queue so workers
+  // exit after their in-flight job. Leftover queue entries become Cancelled
+  // terminals — every admitted job reaches a terminal frame, even now.
+  ::shutdown(listenFd_, SHUT_RDWR);
+  queue_.close();
+  if (workerPool_) {
+    workerPool_->drain();  // closed queue -> every workerLoop task returns
+    workerPool_.reset();
+  }
+  for (Job& job : queue_.drainRemaining()) {
+    JobResult r;
+    r.id = job.request.id;
+    r.event = obs::names::kServeEvRejected;
+    r.status = support::statusCodeName(support::StatusCode::Cancelled);
+    r.detail = "server shutting down before the job could run";
+    r.attempts = job.attempt;
+    bump(obs::names::kServeJobsCancelled);
+    if (auto conn = std::static_pointer_cast<Connection>(job.session))
+      sendToConn(*conn, encodeResult(r));
+  }
+  // Workers are gone, terminals are sent: now unblock and join readers.
+  // The accept thread is joined FIRST — a connection landing between the
+  // listen-socket shutdown and the accept loop noticing would otherwise be
+  // added after this pass and leave its reader blocked forever.
+  if (acceptThread_.joinable()) acceptThread_.join();
+  {
+    std::unique_lock<std::mutex> lock(connMu_);
+    for (const std::shared_ptr<Connection>& c : conns_)
+      ::shutdown(c->fd, SHUT_RDWR);
+  }
+  for (std::thread& r : readers_) r.join();
+  readers_.clear();
+  {
+    std::unique_lock<std::mutex> lock(connMu_);
+    conns_.clear();  // destructors close the fds
+  }
+  ::close(listenFd_);
+  listenFd_ = -1;
+  ::unlink(opts_.socketPath.c_str());
+}
+
+void Server::waitForShutdownRequest() {
+  std::unique_lock<std::mutex> lock(lifecycleMu_);
+  shutdownCv_.wait(lock, [this] { return shutdownRequested_ || !running_; });
+}
+
+obs::Collector Server::statsSnapshot() const {
+  // Read the queue's mark before taking statsMu_: the admission callback
+  // runs under the queue lock and bumps counters (queue -> stats order), so
+  // taking the locks here in the opposite order would be an ABBA deadlock.
+  const auto peak = static_cast<double>(queue_.peakDepth());
+  std::unique_lock<std::mutex> lock(statsMu_);
+  obs::Collector copy = stats_;
+  copy.gauge(obs::names::kServeQueuePeakDepth, peak);
+  return copy;
+}
+
+void Server::bump(std::string_view counter, long delta) {
+  std::unique_lock<std::mutex> lock(statsMu_);
+  stats_.add(counter, delta);
+}
+
+void Server::acceptLoop() {
+  while (true) {
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket shut down (stop()) or fatally broken
+    }
+    bump(obs::names::kServeConnections);
+    auto conn = std::make_shared<Connection>(fd);
+    std::unique_lock<std::mutex> lock(connMu_);
+    conns_.push_back(conn);
+    readers_.emplace_back([this, conn] { readerLoop(conn); });
+  }
+}
+
+void Server::readerLoop(const std::shared_ptr<Connection>& conn) {
+  std::string pending;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // EOF or error; queued jobs still hold the reply channel
+    }
+    pending.append(buf, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = pending.find('\n', start);
+         nl != std::string::npos; nl = pending.find('\n', start)) {
+      const std::string_view line(pending.data() + start, nl - start);
+      if (!line.empty()) handleRequest(conn, decodeRequest(line));
+      start = nl + 1;
+    }
+    pending.erase(0, start);
+    if (pending.size() > kMaxFrameBytes) {
+      bump(obs::names::kServeFramesBad);
+      sendToConn(*conn, encodeError("frame exceeds the 16 MiB line limit"));
+      ::shutdown(conn->fd, SHUT_RDWR);
+      return;
+    }
+  }
+}
+
+void Server::handleRequest(const std::shared_ptr<Connection>& conn,
+                           const Request& req) {
+  switch (req.kind) {
+    case Request::Kind::Invalid:
+      bump(obs::names::kServeFramesBad);
+      sendToConn(*conn, encodeError("bad frame: " + req.error));
+      return;
+    case Request::Kind::Ping:
+      sendToConn(*conn, encodePong());
+      return;
+    case Request::Kind::Stats:
+      sendToConn(*conn, encodeStatsReply(statsSnapshot().counters()));
+      return;
+    case Request::Kind::Shutdown: {
+      if (!opts_.allowRemoteShutdown) {
+        sendToConn(*conn, encodeError("shutdown is not enabled"));
+        return;
+      }
+      std::unique_lock<std::mutex> lock(lifecycleMu_);
+      shutdownRequested_ = true;
+      shutdownCv_.notify_all();
+      return;
+    }
+    case Request::Kind::Route:
+      break;
+  }
+
+  Job job;
+  job.request = req.route;
+  job.session = conn;
+  // Admission composes the budget: the client's ask, capped by the
+  // server-wide watchdog. Queue wait spends this budget — a job that
+  // starves in the queue times out and retries with a fresh slice rather
+  // than occupying a worker with nothing left to spend.
+  const double budget = job.request.budgetSeconds > 0.0
+                            ? job.request.budgetSeconds
+                            : opts_.defaultBudgetSeconds;
+  job.deadline =
+      support::Deadline::soonerOf(support::Deadline::after(budget),
+                                  support::Deadline::after(opts_.maxJobSeconds));
+  {
+    std::unique_lock<std::mutex> lock(serialMu_);
+    job.serial = nextSerial_++;
+  }
+  const std::string id = job.request.id;
+  const bool admitted =
+      queue_.tryPush(std::move(job), [&](std::size_t depth) {
+        // Runs under the queue lock: the worker that will pop this job is
+        // blocked on the same mutex, so "accepted" is on the wire before
+        // any "started" frame can race it.
+        bump(obs::names::kServeJobsAccepted);
+        sendToConn(*conn, encodeEvent(id, obs::names::kServeEvAccepted, 0,
+                                      static_cast<double>(depth)));
+      });
+  if (!admitted) {
+    bump(obs::names::kServeJobsRejected);
+    JobResult r;
+    r.id = id;
+    r.event = obs::names::kServeEvRejected;
+    r.status = support::statusCodeName(support::StatusCode::Cancelled);
+    r.detail = std::string("queue full: ") +
+               std::string(priorityName(req.route.priority)) +
+               " lane at capacity";
+    sendToConn(*conn, encodeResult(r));
+  }
+}
+
+void Server::workerLoop() {
+  while (true) {
+    std::optional<Job> job = queue_.pop();
+    if (!job) return;
+    runJob(std::move(*job));
+  }
+}
+
+void Server::runJob(Job job) {
+  auto conn = std::static_pointer_cast<Connection>(job.session);
+  sendToConn(*conn, encodeEvent(job.request.id, obs::names::kServeEvStarted,
+                                job.attempt, 0.0));
+  obs::Collector jobStats;
+  JobResult result;
+  bool failed = false;
+  {
+    obs::ScopedTimer timer(&jobStats, obs::names::kServeJobSpan);
+    try {
+      result = executeAttempt(job);
+    } catch (const lefdef::DefParseError& e) {
+      failed = true;
+      result.status =
+          support::statusCodeName(support::StatusCode::Infeasible);
+      result.detail = e.what();
+    } catch (const std::invalid_argument& e) {
+      failed = true;
+      result.status =
+          support::statusCodeName(support::StatusCode::Infeasible);
+      result.detail = e.what();
+    } catch (const std::exception& e) {
+      failed = true;
+      result.status = support::statusCodeName(support::StatusCode::Failed);
+      result.detail = e.what();
+    } catch (...) {
+      failed = true;
+      result.status = support::statusCodeName(support::StatusCode::Failed);
+      result.detail = "unknown exception in the routing pipeline";
+    }
+  }
+  result.id = job.request.id;
+  result.attempts = job.attempt;
+  if (failed) {
+    result.event = obs::names::kServeEvFailed;
+    bump(obs::names::kServeJobsFailed);
+  } else if (result.status ==
+                 support::statusCodeName(support::StatusCode::TimedOut) &&
+             job.attempt <= opts_.maxRetries) {
+    // One more try, cheaper and with a fresh budget slice: the common cause
+    // of a first-attempt timeout is queue wait or an expensive pin access
+    // method, and both are fixable without bothering the client.
+    const double delay = opts_.backoff.delaySeconds(
+        job.attempt, opts_.seed ^ job.serial);
+    sendToConn(*conn,
+               encodeEvent(job.request.id, obs::names::kServeEvRetrying,
+                           job.attempt + 1, 0.0,
+                           "budget expired; retrying at lower fidelity"));
+    bump(obs::names::kServeJobsRetried);
+    Job retry = std::move(job);
+    retry.attempt += 1;
+    retry.request.pinAccess = "lr";  // drop to the cheap method
+    const double fresh =
+        std::max(opts_.minRetryBudgetSeconds,
+                 retry.request.budgetSeconds > 0.0
+                     ? retry.request.budgetSeconds
+                     : opts_.defaultBudgetSeconds);
+    retry.deadline = support::Deadline::soonerOf(
+        support::Deadline::after(fresh),
+        support::Deadline::after(opts_.maxJobSeconds));
+    retry.readyAt = support::Deadline::after(delay);
+    {
+      std::unique_lock<std::mutex> lock(statsMu_);
+      stats_.merge(jobStats);
+    }
+    if (queue_.pushRetry(std::move(retry))) return;
+    // Queue closed under us: fall through to a terminal frame so the
+    // client is not left waiting across shutdown.
+    result.event = obs::names::kServeEvCompleted;
+    bump(obs::names::kServeJobsCompleted);
+    sendToConn(*conn, encodeResult(result));
+    return;
+  } else {
+    result.event = obs::names::kServeEvCompleted;
+    bump(obs::names::kServeJobsCompleted);
+  }
+  sendToConn(*conn, encodeResult(result));
+  const auto peak = static_cast<double>(queue_.peakDepth());
+  {
+    std::unique_lock<std::mutex> lock(statsMu_);
+    stats_.merge(jobStats);
+    stats_.gauge(obs::names::kServeQueuePeakDepth, peak);
+  }
+}
+
+JobResult Server::executeAttempt(const Job& job) {
+  const RouteRequest& req = job.request;
+  if (opts_.preRouteHook) opts_.preRouteHook(req, job.attempt);
+
+  db::Design design = [&] {
+    if (!req.defText.empty()) {
+      std::istringstream is(req.defText);
+      return lefdef::readDef(is);
+    }
+    // Throws std::invalid_argument for an unknown name -> Infeasible.
+    return gen::makeSuiteDesign(gen::suiteSpec(req.design), req.seed);
+  }();
+  if (const std::string report = design.validate(); !report.empty())
+    throw std::invalid_argument("design fails validation: " + report);
+
+  route::RoutingResult routed;
+  double extraSeconds = 0.0;
+  long degradedPanels = 0;
+  if (req.scheme == "seq") {
+    route::SequentialOptions o;
+    o.deadline = job.deadline;
+    routed = route::routeSequential(design, o);
+  } else if (req.scheme == "nopao") {
+    route::NegotiationOptions o;
+    o.deadline = job.deadline;
+    o.threads = opts_.jobThreads;
+    routed = route::routeNegotiated(design, nullptr, o);
+  } else {
+    route::CprOptions o;
+    o.routing.deadline = job.deadline;
+    o.routing.threads = opts_.jobThreads;
+    o.pinAccess.threads = opts_.jobThreads;
+    o.pinAccess.deadline = job.deadline;
+    o.pinAccess.solver = opts_.solverHook;
+    if (req.pinAccess == "ilp") {
+      o.pinAccess.solve.method = core::Method::Exact;
+      o.pinAccess.panelBudgetSeconds = 1.0;
+    } else if (req.pinAccess == "generic") {
+      o.pinAccess.solve.method = core::Method::Ilp;
+    }
+    if (job.attempt > 1) {
+      // Lower-fidelity retry: fewer negotiation rounds, faster convergence
+      // to *a* result inside the fresh (smaller) budget.
+      o.routing.maxRrrIterations =
+          std::min(o.routing.maxRrrIterations, 6);
+    }
+    route::CprResult c = route::routeCpr(design, o);
+    degradedPanels =
+        c.plan.stats.counter(obs::names::kPaoPanelFailed) +
+        c.plan.stats.counter(obs::names::kPaoPanelDegraded) +
+        c.plan.stats.counter(obs::names::kPaoFallbacks);
+    routed = std::move(c.routing);
+    extraSeconds = c.pinAccessSeconds;
+  }
+
+  const eval::Metrics m = eval::summarize(design, routed, extraSeconds);
+  JobResult out;
+  out.event = obs::names::kServeEvCompleted;
+  out.routability = m.routability;
+  out.vias = m.vias;
+  out.wirelength = m.wirelength;
+  out.seconds = m.seconds;
+  out.digest = hex16(route::resultDigest(routed));
+  // The deadline is checked between pipeline stages, never mid-net, so an
+  // expired budget still produced a complete (if modest) result — report it
+  // as the incumbent with TimedOut rather than discarding work.
+  const support::StatusCode code =
+      job.deadline.expired() ? support::StatusCode::TimedOut
+      : degradedPanels > 0  ? support::StatusCode::Degraded
+                            : support::StatusCode::Ok;
+  out.status = support::statusCodeName(code);
+  if (code == support::StatusCode::Degraded)
+    out.detail = std::to_string(degradedPanels) +
+                 " pin access panel(s) fell below the primary solver";
+  return out;
+}
+
+void Server::sendToConn(Connection& conn, const std::string& frame) {
+  std::unique_lock<std::mutex> lock(conn.writeMu);
+  if (conn.fd < 0) return;
+  std::string line = frame;
+  line.push_back('\n');
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::send(conn.fd, line.data() + off, line.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // peer gone; the job's outcome still lands in the stats
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace cpr::serve

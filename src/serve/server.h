@@ -1,0 +1,157 @@
+/// \file server.h
+/// The routing service: a long-lived daemon around the compile→solve→route
+/// pipeline. DESIGN.md §14 ("Service failure model") is the contract this
+/// header implements.
+///
+/// Topology: one accept thread, one reader thread per connection, and a
+/// fixed set of job workers — long-running `support::ThreadPool` tasks
+/// (the repo's single worker-pool seam) — pulling from a
+/// `BoundedJobQueue`. Readers do
+/// only cheap work (frame decode, admission); every expensive or fallible
+/// stage — DEF parse, validation, pin access, routing — runs on a worker,
+/// inside a catch-all boundary. The failure containment ladder:
+///
+///   - malformed frame        -> error frame, connection stays up
+///   - queue lane full        -> serve.job.rejected (Cancelled), accept
+///                               loop never blocks
+///   - bad DEF / invalid design -> serve.job.failed (Infeasible)
+///   - job deadline fired     -> one retry at lower fidelity with
+///                               exponential-backoff + jitter delay, then
+///                               serve.job.completed (TimedOut) with the
+///                               incumbent result
+///   - anything thrown        -> serve.job.failed (Failed); the daemon and
+///                               the connection survive — a poisoned job is
+///                               one terminal frame, never a crash
+///   - shutdown               -> queue drains to Cancelled terminals, every
+///                               in-flight job finishes, then sockets close
+///
+/// Every job's budget is composed at admission via `Deadline::soonerOf`
+/// from the client's requested budget and the server-wide watchdog cap, so
+/// no request can hold a worker longer than `maxJobSeconds`.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/solver.h"
+#include "obs/collector.h"
+#include "serve/protocol.h"
+#include "serve/queue.h"
+#include "support/backoff.h"
+#include "support/status.h"
+#include "support/thread_pool.h"
+
+namespace cpr::serve {
+
+struct ServerOptions {
+  std::string socketPath;  ///< AF_UNIX path; unlinked on bind and on stop
+  int workers = 2;         ///< job worker threads
+  std::size_t laneCapacity = 8;  ///< admission bound per priority lane
+  /// Budget for jobs that do not request one.
+  double defaultBudgetSeconds = 10.0;
+  /// Server-wide watchdog: no job runs longer than this, whatever it asked
+  /// for. Composed with the per-job budget via Deadline::soonerOf.
+  double maxJobSeconds = 60.0;
+  /// A retry whose leftover budget is below this gets topped up to it —
+  /// re-running with an already-expired deadline would fail tautologically.
+  double minRetryBudgetSeconds = 0.5;
+  int maxRetries = 1;  ///< extra attempts after a TimedOut first run
+  support::BackoffPolicy backoff;
+  std::uint64_t seed = 0x5eedU;  ///< jitter noise base
+  /// Threads each job's pipeline may use (route digests are thread-count
+  /// invariant, so this is purely a throughput/fairness knob).
+  int jobThreads = 1;
+  /// Whether a client `shutdown` op is honoured (the daemon enables this;
+  /// embedded test servers usually keep it off).
+  bool allowRemoteShutdown = false;
+
+  // ---- fault-injection seams (chaos harness; unset in production) ----
+  /// Overrides the pin access solver for every job, exactly like
+  /// core::OptimizerOptions::solver. Lets the chaos tests inject throwing /
+  /// lying solvers through the public seam instead of a test backdoor.
+  std::shared_ptr<const core::Solver> solverHook;
+  /// Runs on the worker thread before each attempt's pipeline; may throw.
+  std::function<void(const RouteRequest&, int attempt)> preRouteHook;
+};
+
+/// See file comment. Lifecycle: construct -> start() -> (serve) -> stop();
+/// the destructor calls stop() if the caller did not.
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and spawns the accept loop and workers. Fails (with
+  /// Status::failed) if the socket cannot be bound; the server is then
+  /// inert and stop() is a no-op.
+  [[nodiscard]] support::Status start();
+
+  /// Graceful shutdown, idempotent: stop admitting, drain the queue to
+  /// Cancelled terminals, finish in-flight jobs, close every connection,
+  /// join every thread, unlink the socket.
+  void stop();
+
+  /// Blocks until a client sends `shutdown` (when allowRemoteShutdown) or
+  /// stop() is called from another thread.
+  void waitForShutdownRequest();
+
+  /// Point-in-time copy of the server's counters/gauges (thread-safe).
+  [[nodiscard]] obs::Collector statsSnapshot() const;
+
+  [[nodiscard]] const std::string& socketPath() const {
+    return opts_.socketPath;
+  }
+
+ private:
+  struct Connection;
+
+  void acceptLoop();
+  void readerLoop(const std::shared_ptr<Connection>& conn);
+  void workerLoop();
+
+  /// Handles one decoded frame from `conn` (reader thread).
+  void handleRequest(const std::shared_ptr<Connection>& conn,
+                     const Request& req);
+  /// Runs one attempt of `job` on this worker thread and emits either a
+  /// retry re-queue or the terminal frame. Never throws.
+  void runJob(Job job);
+  /// The fallible pipeline body: parse/synthesize, validate, route.
+  /// Everything it throws is folded into the JobResult by runJob.
+  [[nodiscard]] JobResult executeAttempt(const Job& job);
+
+  void sendToConn(Connection& conn, const std::string& frame);
+  void bump(std::string_view counter, long delta = 1);
+
+  ServerOptions opts_;
+  int listenFd_ = -1;
+  BoundedJobQueue queue_;
+  std::uint64_t nextSerial_ = 0;  ///< guarded by serialMu_
+  std::mutex serialMu_;
+
+  mutable std::mutex statsMu_;
+  obs::Collector stats_;
+
+  std::mutex lifecycleMu_;
+  std::condition_variable shutdownCv_;
+  bool shutdownRequested_ = false;
+  bool running_ = false;
+
+  std::thread acceptThread_;
+  /// Job workers run as long-lived posted tasks on the shared pool seam;
+  /// stop() closes the queue (tasks return) and then drains the pool.
+  std::unique_ptr<support::ThreadPool> workerPool_;
+  std::mutex connMu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> readers_;
+};
+
+}  // namespace cpr::serve

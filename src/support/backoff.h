@@ -1,0 +1,46 @@
+/// \file backoff.h
+/// Exponential backoff with deterministic jitter, for retry schedulers.
+///
+/// A `BackoffPolicy` maps a retry attempt number to a delay: the base delay
+/// doubles (by default) per attempt, saturates at a cap, and is then
+/// perturbed by +/- `jitterFraction` so that a burst of jobs failing at the
+/// same instant does not retry in lockstep and re-create the very overload
+/// that failed them. The jitter is a pure function of `(seed, attempt)` —
+/// splitmix64, the same finalizer the chaos tests use — so a given job's
+/// retry schedule is reproducible, which keeps the serve chaos harness
+/// deterministic enough to assert on.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace cpr::support {
+
+struct BackoffPolicy {
+  double baseSeconds = 0.05;   ///< delay before the first retry
+  double multiplier = 2.0;     ///< growth per further attempt
+  double maxSeconds = 2.0;     ///< saturation cap (pre-jitter)
+  double jitterFraction = 0.2; ///< delay is scaled by 1 +/- this
+
+  /// Delay before retry `attempt` (1 = first retry). `noise` seeds the
+  /// jitter; pass something job-specific (an id hash) so concurrent
+  /// retries spread out. Non-positive attempts are treated as 1.
+  [[nodiscard]] double delaySeconds(int attempt, std::uint64_t noise) const {
+    double d = baseSeconds;
+    for (int a = 1; a < attempt && d < maxSeconds; ++a) d *= multiplier;
+    d = std::min(d, maxSeconds);
+    if (jitterFraction <= 0.0) return d;
+    // splitmix64 finalizer over (noise, attempt): deterministic jitter.
+    std::uint64_t x = noise + 0x9e3779b97f4a7c15ULL *
+                                  static_cast<std::uint64_t>(std::max(attempt, 1));
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    // Map to [-1, 1] then scale into the jitter band.
+    const double unit =
+        (static_cast<double>(x >> 11) / 9007199254740992.0) * 2.0 - 1.0;
+    return d * (1.0 + jitterFraction * unit);
+  }
+};
+
+}  // namespace cpr::support

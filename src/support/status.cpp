@@ -9,8 +9,18 @@ std::string_view statusCodeName(StatusCode code) {
     case StatusCode::TimedOut: return "timed_out";
     case StatusCode::Infeasible: return "infeasible";
     case StatusCode::Failed: return "failed";
+    case StatusCode::Cancelled: return "cancelled";
   }
   return "unknown";
+}
+
+StatusCode statusCodeFromName(std::string_view name) {
+  if (name == "ok") return StatusCode::Ok;
+  if (name == "degraded") return StatusCode::Degraded;
+  if (name == "timed_out") return StatusCode::TimedOut;
+  if (name == "infeasible") return StatusCode::Infeasible;
+  if (name == "cancelled") return StatusCode::Cancelled;
+  return StatusCode::Failed;
 }
 
 std::string Status::toString() const {

@@ -21,9 +21,19 @@ enum class StatusCode {
   TimedOut,    ///< a Deadline fired; result is the best incumbent so far
   Infeasible,  ///< no result exists (e.g. every candidate blocked)
   Failed,      ///< an exception or internal error; result is unusable
+  /// The work was never attempted: admission control rejected it, load
+  /// shedding dropped it, or shutdown drained it from a queue. Distinct
+  /// from TimedOut (which ran and kept its incumbent) — a cancelled job
+  /// carries no result at all.
+  Cancelled,
 };
 
 [[nodiscard]] std::string_view statusCodeName(StatusCode code);
+
+/// Inverse of `statusCodeName`, for wire formats that carry the name (the
+/// serve protocol's "status" field). Unknown names map to Failed — the
+/// conservative reading of a status this build does not know.
+[[nodiscard]] StatusCode statusCodeFromName(std::string_view name);
 
 class Status {
  public:
@@ -42,6 +52,9 @@ class Status {
   [[nodiscard]] static Status failed(std::string message = {}) {
     return Status(StatusCode::Failed, std::move(message));
   }
+  [[nodiscard]] static Status cancelled(std::string message = {}) {
+    return Status(StatusCode::Cancelled, std::move(message));
+  }
 
   [[nodiscard]] StatusCode code() const { return code_; }
   [[nodiscard]] const std::string& message() const { return message_; }
@@ -50,7 +63,8 @@ class Status {
   /// Ok, Degraded, and TimedOut-with-incumbent all qualify; whether a value
   /// is actually attached is the Outcome's business.
   [[nodiscard]] bool isFailure() const {
-    return code_ == StatusCode::Failed || code_ == StatusCode::Infeasible;
+    return code_ == StatusCode::Failed || code_ == StatusCode::Infeasible ||
+           code_ == StatusCode::Cancelled;
   }
 
   /// "ok", "degraded (message)", ...

@@ -22,7 +22,33 @@
 #include <string_view>
 #include <vector>
 
+#include "support/status.h"
+
 namespace cpr::cli {
+
+/// Canonical mapping from a pipeline `Status` to a tool exit code, shared
+/// by cpr_route, cpr_served, and cpr_client so scripts can branch on one
+/// table:
+///
+///   0  Ok          success
+///   2  —           usage error (reserved for the option parser)
+///   3  Infeasible  bad input: DEF parse failure, validation failure
+///   4  Degraded /  completed with quality sacrificed, or a budget fired
+///      TimedOut    and the best incumbent was kept
+///   5  Failed      internal error; result unusable
+///   6  Cancelled   never ran: admission control rejected it, load was
+///                  shed, or shutdown drained it from the queue
+[[nodiscard]] inline int exitCodeFor(support::StatusCode code) {
+  switch (code) {
+    case support::StatusCode::Ok: return 0;
+    case support::StatusCode::Infeasible: return 3;
+    case support::StatusCode::Degraded:
+    case support::StatusCode::TimedOut: return 4;
+    case support::StatusCode::Failed: return 5;
+    case support::StatusCode::Cancelled: return 6;
+  }
+  return 5;  // unreachable; new codes must be added to the table
+}
 
 class Parser {
  public:

@@ -48,6 +48,7 @@ struct Args {
   int threads = 0;         ///< 0 = hardware concurrency
   double timeLimit = 0.0;  ///< run wall-clock budget, seconds (0 = none)
   double panelBudget = 0.0;  ///< per-panel solve budget, seconds (0 = none)
+  bool digest = false;       ///< print the result digest line
 };
 
 constexpr char kExitCodeHelp[] =
@@ -58,7 +59,10 @@ constexpr char kExitCodeHelp[] =
     "     failed validation\n"
     "  4  completed, but degraded: some panels lost their primary solver\n"
     "     (see the pao.panel.failed / pao.panel.degraded counters)\n"
-    "  5  internal error, or an output file could not be written\n";
+    "  5  internal error, or an output file could not be written\n"
+    "  6  (reserved: cancelled — used by cpr_client/cpr_served for jobs\n"
+    "     rejected by admission control; cpr_route itself never cancels)\n"
+    "The table is cli::exitCodeFor, shared with cpr_served and cpr_client.\n";
 
 }  // namespace
 
@@ -103,6 +107,11 @@ int main(int argc, char** argv) {
   parser.option("--panel-budget", "seconds",
                 "per-panel pin access solve budget (0 = none)",
                 &args.panelBudget);
+  parser.flag("--digest",
+              "print the FNV-1a result digest (route::resultDigest) — the "
+              "same value cpr_served reports, for cross-checking service "
+              "results against a direct run",
+              &args.digest);
   parser.epilog(kExitCodeHelp);
   if (!parser.parse(argc, argv)) return 2;
   if (parser.helpRequested() ||
@@ -222,6 +231,11 @@ int main(int argc, char** argv) {
     std::printf("congested grids before RRR: %ld, DRC violations at signoff: "
                 "%ld\n",
                 m.congestedGridsBeforeRrr, m.drcViolations);
+    if (args.digest) {
+      std::printf("route digest: %016llx\n",
+                  static_cast<unsigned long long>(
+                      route::resultDigest(result)));
+    }
 
     if (!args.reportPath.empty()) {
       obs::saveReportJson(run, args.reportPath);

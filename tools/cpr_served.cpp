@@ -1,0 +1,109 @@
+/// \file cpr_served.cpp
+/// The routing daemon: a long-lived `serve::Server` on a local socket.
+///
+///   cpr_served --socket /tmp/cpr.sock
+///   cpr_served --socket /tmp/cpr.sock --workers 4 --lane-capacity 16
+///   cpr_served --socket /tmp/cpr.sock --default-budget 5 --max-retries 1
+///
+/// The daemon runs until SIGINT/SIGTERM or a client `shutdown` request
+/// (always honoured here; embedded test servers opt in separately). On the
+/// way out it drains the queue to Cancelled terminals, finishes in-flight
+/// jobs, and optionally writes its lifetime counters as a cpr.report.v1
+/// JSON file (--stats-report).
+///
+/// Exit codes follow the shared cli::exitCodeFor table; the daemon itself
+/// only uses 0 (clean shutdown), 2 (usage), and 5 (could not bind).
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "cli.h"
+#include "obs/names.h"
+#include "obs/report.h"
+#include "serve/server.h"
+
+int main(int argc, char** argv) {
+  using namespace cpr;
+  serve::ServerOptions opts;
+  opts.allowRemoteShutdown = true;
+  std::string statsReportPath;
+  long laneCapacity = static_cast<long>(opts.laneCapacity);
+
+  cli::Parser parser("cpr_served", "long-lived routing service daemon");
+  parser.option("--socket", "path", "AF_UNIX socket path to listen on",
+                &opts.socketPath);
+  parser.option("--workers", "n", "job worker threads (default 2)",
+                &opts.workers);
+  parser.option("--lane-capacity", "n",
+                "admission bound per priority lane (default 8); a full lane "
+                "rejects jobs with status cancelled instead of queueing",
+                &laneCapacity);
+  parser.option("--default-budget", "seconds",
+                "budget for jobs that do not request one (default 10)",
+                &opts.defaultBudgetSeconds);
+  parser.option("--max-job-seconds", "seconds",
+                "server-wide watchdog: no job runs longer than this "
+                "(default 60)",
+                &opts.maxJobSeconds);
+  parser.option("--max-retries", "n",
+                "extra attempts after a timed-out first run (default 1)",
+                &opts.maxRetries);
+  parser.option("--job-threads", "n",
+                "threads each job's pipeline may use (default 1)",
+                &opts.jobThreads);
+  parser.option("--seed", "n", "retry-jitter noise seed", &opts.seed);
+  parser.option("--stats-report", "path",
+                "write lifetime counters as cpr.report.v1 JSON on shutdown",
+                &statsReportPath);
+  parser.epilog(
+      "exit codes: 0 clean shutdown, 2 usage error, 5 cannot bind socket.\n"
+      "Job outcomes are per-frame, not process-wide; see cpr_client for the\n"
+      "full status table (including 6 = cancelled by admission control).\n");
+  if (!parser.parse(argc, argv)) return 2;
+  if (parser.helpRequested() || opts.socketPath.empty()) {
+    parser.printUsage(parser.helpRequested() ? stdout : stderr);
+    return parser.helpRequested() ? 0 : 2;
+  }
+  opts.laneCapacity = static_cast<std::size_t>(std::max(1L, laneCapacity));
+
+  // Block the termination signals before any thread exists so every thread
+  // inherits the mask; a dedicated sigwait thread turns them into a
+  // graceful stop() instead of killing a worker mid-route.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  serve::Server server(opts);
+  if (const support::Status st = server.start(); !st.isOk()) {
+    std::fprintf(stderr, "cpr_served: %s\n", st.toString().c_str());
+    return cli::exitCodeFor(st.code());
+  }
+  std::printf("cpr_served: listening on %s (%d workers, lane capacity %zu)\n",
+              opts.socketPath.c_str(), std::max(1, opts.workers),
+              opts.laneCapacity);
+  std::fflush(stdout);
+
+  std::thread([&server, sigs]() mutable {
+    int sig = 0;
+    sigwait(&sigs, &sig);
+    server.stop();
+  }).detach();
+
+  server.waitForShutdownRequest();
+  const obs::Collector stats = server.statsSnapshot();
+  server.stop();
+
+  if (!statsReportPath.empty()) {
+    obs::saveReportJson(stats, statsReportPath);
+    std::printf("cpr_served: wrote %s\n", statsReportPath.c_str());
+  }
+  std::printf("cpr_served: served %ld job(s), rejected %ld, retried %ld\n",
+              stats.counter(obs::names::kServeJobsCompleted) +
+                  stats.counter(obs::names::kServeJobsFailed),
+              stats.counter(obs::names::kServeJobsRejected),
+              stats.counter(obs::names::kServeJobsRetried));
+  return 0;
+}

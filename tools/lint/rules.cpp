@@ -70,12 +70,14 @@ bool isSolverScope(std::string_view rel) {
 }
 
 /// Canonical metric-name shape with one of the reserved first segments:
-/// `pao|route|drc|ilp` followed by >= 1 dot-separated [a-z0-9_] segments.
+/// `pao|route|drc|ilp|serve` followed by >= 1 dot-separated [a-z0-9_]
+/// segments.
 bool isReservedMetricName(std::string_view text) {
   const std::size_t dot = text.find('.');
   if (dot == std::string_view::npos) return false;
   const std::string_view head = text.substr(0, dot);
-  if (head != "pao" && head != "route" && head != "drc" && head != "ilp")
+  if (head != "pao" && head != "route" && head != "drc" && head != "ilp" &&
+      head != "serve")
     return false;
   std::string_view rest = text.substr(dot + 1);
   if (rest.empty()) return false;
@@ -368,7 +370,8 @@ const std::vector<RuleInfo>& ruleTable() {
       {"LAYER-VIOLATION",
        "include edge pointing up the layer manifest tools/lint/layers.txt"},
       {"OBS-LITERAL",
-       "inline \"pao|route|drc|ilp.*\" metric literals outside obs/names.h"},
+       "inline \"pao|route|drc|ilp|serve.*\" metric literals outside "
+       "obs/names.h"},
       {"THROW-BOUNDARY",
        "throw/abort in panel_kernel.* or trySolve-boundary files"},
   };
