@@ -142,6 +142,11 @@ inline constexpr std::string_view kServeConnections = "serve.connections";
 /// Protocol frames that failed to decode (malformed JSON, missing fields).
 /// The connection survives: the daemon replies with an error frame.
 inline constexpr std::string_view kServeFramesBad = "serve.frames.bad";
+/// accept() retries after a transient failure (aborted handshake, fd or
+/// buffer exhaustion). The accept loop backs off and lives on; a sustained
+/// nonzero rate means the daemon is at its fd limit.
+inline constexpr std::string_view kServeAcceptRetried =
+    "serve.accept.retried";
 /// Jobs admitted into the bounded queue.
 inline constexpr std::string_view kServeJobsAccepted = "serve.jobs.accepted";
 /// Jobs refused at admission (queue full): terminal `cancelled` status.
@@ -176,7 +181,7 @@ inline constexpr std::string_view kServeEvRejected = "serve.job.rejected";
 /// are unique and follow the `^[a-z]+(\.[a-z_]+)+$` grammar, which is what
 /// catches a typo'd or duplicated metric name at test time rather than in a
 /// dashboard.
-inline constexpr std::array<std::string_view, 82> kAll = {
+inline constexpr std::array<std::string_view, 83> kAll = {
     kGenIntervals,         kGenShared,           kGenBlockedPins,
     kConflictSets,         kLrIterations,        kLrRemovalRounds,
     kLrReexpandUpgrades,   kLrTimeout,           kExactNodes,
@@ -199,12 +204,12 @@ inline constexpr std::array<std::string_view, 82> kAll = {
     kRouteDrcRepairSpan,   kRouteSignoffSpan,    kDrcViolations,
     kDrcLineEnd,           kDrcViaSpacing,       kDrcDirtyNets,
     kLintFiles,            kLintDiagnostics,     kLintRunSpan,
-    kServeConnections,     kServeFramesBad,      kServeJobsAccepted,
-    kServeJobsRejected,    kServeJobsCompleted,  kServeJobsFailed,
-    kServeJobsRetried,     kServeJobsCancelled,  kServeQueuePeakDepth,
-    kServeJobSpan,         kServeEvAccepted,     kServeEvStarted,
-    kServeEvRetrying,      kServeEvCompleted,    kServeEvFailed,
-    kServeEvRejected,
+    kServeConnections,     kServeFramesBad,      kServeAcceptRetried,
+    kServeJobsAccepted,    kServeJobsRejected,   kServeJobsCompleted,
+    kServeJobsFailed,      kServeJobsRetried,    kServeJobsCancelled,
+    kServeQueuePeakDepth,  kServeJobSpan,        kServeEvAccepted,
+    kServeEvStarted,       kServeEvRetrying,     kServeEvCompleted,
+    kServeEvFailed,        kServeEvRejected,
 };
 
 }  // namespace cpr::obs::names

@@ -186,6 +186,24 @@ bool parseFlatObject(std::string_view line, FlatObject& out,
   }
   std::string key;
   std::string sval;
+  // The three typed maps are one logical namespace: storing a key evicts
+  // it from the other two, so a duplicate key keeps the LAST value even
+  // when the occurrences differ in type ({"id":"a","id":1} -> number).
+  const auto putString = [&out](const std::string& k, const std::string& v) {
+    out.numbers.erase(k);
+    out.raw.erase(k);
+    out.strings[k] = v;
+  };
+  const auto putNumber = [&out](const std::string& k, double v) {
+    out.strings.erase(k);
+    out.raw.erase(k);
+    out.numbers[k] = v;
+  };
+  const auto putRaw = [&out](const std::string& k, const std::string& v) {
+    out.strings.erase(k);
+    out.numbers.erase(k);
+    out.raw[k] = v;
+  };
   while (true) {
     c.skipWs();
     if (!parseString(c, key)) {
@@ -208,32 +226,32 @@ bool parseFlatObject(std::string_view line, FlatObject& out,
         error = "bad string value for key \"" + key + "\"";
         return false;
       }
-      out.strings[key] = sval;
+      putString(key, sval);
     } else if (first == '{' || first == '[') {
       if (!captureBalanced(c, sval)) {
         error = "unbalanced value for key \"" + key + "\"";
         return false;
       }
-      out.raw[key] = sval;
+      putRaw(key, sval);
     } else if (line.compare(static_cast<std::size_t>(c.p - line.data()), 4,
                             "true") == 0) {
       c.p += 4;
-      out.numbers[key] = 1.0;
+      putNumber(key, 1.0);
     } else if (line.compare(static_cast<std::size_t>(c.p - line.data()), 5,
                             "false") == 0) {
       c.p += 5;
-      out.numbers[key] = 0.0;
+      putNumber(key, 0.0);
     } else if (line.compare(static_cast<std::size_t>(c.p - line.data()), 4,
                             "null") == 0) {
       c.p += 4;
-      out.strings[key] = "";
+      putString(key, "");
     } else {
       double num = 0.0;
       if (!parseNumber(c, num)) {
         error = "bad value for key \"" + key + "\"";
         return false;
       }
-      out.numbers[key] = num;
+      putNumber(key, num);
     }
     c.skipWs();
     if (c.eat(',')) continue;

@@ -15,10 +15,7 @@ bool BoundedJobQueue::tryPush(Job job,
   lane.push_back(std::move(job));
   const std::size_t total = lanes_[0].size() + lanes_[1].size();
   peak_ = std::max(peak_, total);
-  if (onAdmit) onAdmit(total);
-  // Notify while still holding the lock: a worker woken here blocks on mu_
-  // until we return, so onAdmit's "accepted" frame wins the race with the
-  // worker's "started" frame by construction.
+  if (onAdmit) onAdmit(total);  // cheap bookkeeping only — see queue.h
   ready_.notify_one();
   return true;
 }

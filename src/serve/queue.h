@@ -62,9 +62,11 @@ class BoundedJobQueue {
   /// Admission control: false when the job's lane is full or the queue is
   /// closed — the caller must report the rejection, nothing was queued.
   /// On admission, `onAdmit(depth)` (if given) runs under the queue lock
-  /// with the post-push total depth: a worker cannot pop the job until
-  /// `onAdmit` returns, which is how the server orders the "accepted"
-  /// frame strictly before any "started" frame for the same job.
+  /// with the post-push total depth. It must therefore be cheap and
+  /// non-blocking — bookkeeping only, never I/O: anything that can stall
+  /// here stalls every push, every pop, and close(). (The server orders
+  /// its "accepted" frame before "started" with the per-connection write
+  /// lock, not with this one.)
   bool tryPush(Job job, const std::function<void(std::size_t)>& onAdmit = {});
 
   /// Re-queues a retry, bypassing the capacity check (see file comment).

@@ -1,13 +1,16 @@
 #include "serve/server.h"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "eval/metrics.h"
@@ -52,6 +55,10 @@ struct Server::Connection {
 
   int fd = -1;
   std::mutex writeMu;  ///< frames are lines; interleaved writes would tear
+  /// Set (under writeMu) when a send fails or times out: the peer is gone
+  /// or not reading. Later frames for this connection return immediately
+  /// instead of re-blocking a worker on a dead socket.
+  bool broken = false;
 };
 
 Server::Server(ServerOptions opts)
@@ -80,7 +87,7 @@ support::Status Server::start() {
   }
   {
     std::unique_lock<std::mutex> lock(lifecycleMu_);
-    running_ = true;
+    phase_ = Phase::kRunning;
   }
   acceptThread_ = std::thread([this] { acceptLoop(); });
   // Workers are long-lived tasks on the shared pool seam. Pool size is
@@ -96,9 +103,16 @@ support::Status Server::start() {
 void Server::stop() {
   {
     std::unique_lock<std::mutex> lock(lifecycleMu_);
-    if (!running_) return;
-    running_ = false;
-    shutdownCv_.notify_all();
+    if (phase_ != Phase::kRunning) {
+      // Never started (nothing to do), or another thread is already tearing
+      // down. In the latter case, WAIT for it: returning early would let
+      // our caller destroy the server while that thread still uses the
+      // queue, the pool, and the connection registry.
+      shutdownCv_.wait(lock, [this] { return phase_ != Phase::kStopping; });
+      return;
+    }
+    phase_ = Phase::kStopping;
+    shutdownCv_.notify_all();  // wake waitForShutdownRequest()
   }
   // Stop admitting: wake the accept loop, then close the queue so workers
   // exit after their in-flight job. Leftover queue entries become Cancelled
@@ -130,8 +144,21 @@ void Server::stop() {
     for (const std::shared_ptr<Connection>& c : conns_)
       ::shutdown(c->fd, SHUT_RDWR);
   }
-  for (std::thread& r : readers_) r.join();
-  readers_.clear();
+  // Join live readers one at a time, moving each handle out under the lock
+  // and joining outside it — a reader's exit path takes connMu_ itself, so
+  // joining under the lock would deadlock.
+  while (true) {
+    std::thread reader;
+    {
+      std::unique_lock<std::mutex> lock(connMu_);
+      if (readers_.empty()) break;
+      auto it = readers_.begin();
+      reader = std::move(it->second);
+      readers_.erase(it);
+    }
+    if (reader.joinable()) reader.join();
+  }
+  reapFinishedReaders();  // readers that exited on their own since the scan
   {
     std::unique_lock<std::mutex> lock(connMu_);
     conns_.clear();  // destructors close the fds
@@ -139,11 +166,23 @@ void Server::stop() {
   ::close(listenFd_);
   listenFd_ = -1;
   ::unlink(opts_.socketPath.c_str());
+  {
+    std::unique_lock<std::mutex> lock(lifecycleMu_);
+    phase_ = Phase::kStopped;
+    shutdownCv_.notify_all();  // release any concurrent stop() callers
+  }
+}
+
+void Server::requestShutdown() {
+  std::unique_lock<std::mutex> lock(lifecycleMu_);
+  shutdownRequested_ = true;
+  shutdownCv_.notify_all();
 }
 
 void Server::waitForShutdownRequest() {
   std::unique_lock<std::mutex> lock(lifecycleMu_);
-  shutdownCv_.wait(lock, [this] { return shutdownRequested_ || !running_; });
+  shutdownCv_.wait(
+      lock, [this] { return shutdownRequested_ || phase_ != Phase::kRunning; });
 }
 
 obs::Collector Server::statsSnapshot() const {
@@ -164,17 +203,72 @@ void Server::bump(std::string_view counter, long delta) {
 
 void Server::acceptLoop() {
   while (true) {
+    reapFinishedReaders();
     const int fd = ::accept(listenFd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // listen socket shut down (stop()) or fatally broken
+      const int err = errno;
+      if (err == EINTR) continue;
+      {
+        std::unique_lock<std::mutex> lock(lifecycleMu_);
+        if (phase_ != Phase::kRunning) return;  // stop() shut the socket down
+      }
+      // A long-lived daemon's front door must survive transient accept
+      // failures: a handshake the peer already aborted, or a momentary
+      // fd / buffer shortage (which WILL happen under flood). Only a
+      // genuinely broken listen socket ends the loop.
+      if (err == ECONNABORTED || err == EPROTO) continue;
+      if (err == EMFILE || err == ENFILE || err == ENOBUFS ||
+          err == ENOMEM) {
+        bump(obs::names::kServeAcceptRetried);
+        // Back off so the retry is not a busy spin while every fd is in
+        // use; reaping above frees fds as readers finish.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      return;  // EBADF/EINVAL etc.: the listen socket itself is gone
+    }
+    if (opts_.sendTimeoutSeconds > 0.0) {
+      timeval tv{};
+      tv.tv_sec = static_cast<time_t>(opts_.sendTimeoutSeconds);
+      tv.tv_usec = static_cast<suseconds_t>(
+          (opts_.sendTimeoutSeconds - static_cast<double>(tv.tv_sec)) * 1e6);
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
     }
     bump(obs::names::kServeConnections);
     auto conn = std::make_shared<Connection>(fd);
     std::unique_lock<std::mutex> lock(connMu_);
     conns_.push_back(conn);
-    readers_.emplace_back([this, conn] { readerLoop(conn); });
+    // Registered under connMu_ BEFORE the thread can deregister itself:
+    // readerMain's exit path takes the same lock.
+    readers_.emplace(conn.get(),
+                     std::thread([this, conn] { readerMain(conn); }));
   }
+}
+
+void Server::readerMain(std::shared_ptr<Connection> conn) {
+  readerLoop(conn);
+  // Deregister: drop the registry's ref (queued jobs keep theirs, so the
+  // fd closes once the last terminal frame is sent) and park the thread
+  // handle where the accept loop or stop() will join it.
+  std::unique_lock<std::mutex> lock(connMu_);
+  conns_.erase(std::remove(conns_.begin(), conns_.end(), conn), conns_.end());
+  const auto it = readers_.find(conn.get());
+  if (it != readers_.end()) {
+    doneReaders_.push_back(std::move(it->second));
+    readers_.erase(it);
+  }
+}
+
+void Server::reapFinishedReaders() {
+  std::vector<std::thread> done;
+  {
+    std::unique_lock<std::mutex> lock(connMu_);
+    done.swap(doneReaders_);
+  }
+  // These threads have exited (or are in readerMain's last lines); the
+  // joins are immediate. Never under connMu_ — see readerMain.
+  for (std::thread& t : done)
+    if (t.joinable()) t.join();
 }
 
 void Server::readerLoop(const std::shared_ptr<Connection>& conn) {
@@ -222,9 +316,7 @@ void Server::handleRequest(const std::shared_ptr<Connection>& conn,
         sendToConn(*conn, encodeError("shutdown is not enabled"));
         return;
       }
-      std::unique_lock<std::mutex> lock(lifecycleMu_);
-      shutdownRequested_ = true;
-      shutdownCv_.notify_all();
+      requestShutdown();
       return;
     }
     case Request::Kind::Route:
@@ -249,15 +341,26 @@ void Server::handleRequest(const std::shared_ptr<Connection>& conn,
     job.serial = nextSerial_++;
   }
   const std::string id = job.request.id;
-  const bool admitted =
-      queue_.tryPush(std::move(job), [&](std::size_t depth) {
-        // Runs under the queue lock: the worker that will pop this job is
-        // blocked on the same mutex, so "accepted" is on the wire before
-        // any "started" frame can race it.
-        bump(obs::names::kServeJobsAccepted);
-        sendToConn(*conn, encodeEvent(id, obs::names::kServeEvAccepted, 0,
-                                      static_cast<double>(depth)));
-      });
+  bool admitted = false;
+  {
+    // Hold the connection's WRITE lock (not the queue lock) across
+    // admission: the worker that pops this job must take the same lock to
+    // emit "started", so the "accepted" frame below is on the wire first.
+    // The blocking send happens outside the queue mutex — a client that
+    // stops reading can wedge only its own connection, never admissions
+    // from other connections, the workers' pop(), or stop().
+    std::unique_lock<std::mutex> wlock(conn->writeMu);
+    std::size_t depthAfter = 0;
+    admitted = queue_.tryPush(std::move(job), [&](std::size_t depth) {
+      // Under the queue lock: cheap bookkeeping only (stats after queue is
+      // the lock order statsSnapshot() relies on).
+      bump(obs::names::kServeJobsAccepted);
+      depthAfter = depth;
+    });
+    if (admitted)
+      sendLocked(*conn, encodeEvent(id, obs::names::kServeEvAccepted, 0,
+                                    static_cast<double>(depthAfter)));
+  }
   if (!admitted) {
     bump(obs::names::kServeJobsRejected);
     JobResult r;
@@ -443,7 +546,11 @@ JobResult Server::executeAttempt(const Job& job) {
 
 void Server::sendToConn(Connection& conn, const std::string& frame) {
   std::unique_lock<std::mutex> lock(conn.writeMu);
-  if (conn.fd < 0) return;
+  sendLocked(conn, frame);
+}
+
+void Server::sendLocked(Connection& conn, const std::string& frame) {
+  if (conn.fd < 0 || conn.broken) return;
   std::string line = frame;
   line.push_back('\n');
   std::size_t off = 0;
@@ -452,7 +559,14 @@ void Server::sendToConn(Connection& conn, const std::string& frame) {
                              MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return;  // peer gone; the job's outcome still lands in the stats
+      // Peer gone (EPIPE/ECONNRESET) or not reading (SO_SNDTIMEO fired:
+      // EAGAIN on a full buffer). Either way this connection is dead to
+      // us: mark it so later frames return immediately instead of
+      // re-blocking a worker, and shut it down so its reader unblocks.
+      // The job's outcome still lands in the stats.
+      conn.broken = true;
+      ::shutdown(conn.fd, SHUT_RDWR);
+      return;
     }
     off += static_cast<std::size_t>(n);
   }

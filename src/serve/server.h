@@ -37,6 +37,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/solver.h"
@@ -62,6 +63,11 @@ struct ServerOptions {
   /// re-running with an already-expired deadline would fail tautologically.
   double minRetryBudgetSeconds = 0.5;
   int maxRetries = 1;  ///< extra attempts after a TimedOut first run
+  /// SO_SNDTIMEO on every accepted connection: a client that stops reading
+  /// while its socket buffer is full stalls a write for at most this long,
+  /// then the connection is dropped — a worker is never wedged forever on
+  /// a dead peer. 0 disables the timeout.
+  double sendTimeoutSeconds = 30.0;
   support::BackoffPolicy backoff;
   std::uint64_t seed = 0x5eedU;  ///< jitter noise base
   /// Threads each job's pipeline may use (route digests are thread-count
@@ -95,13 +101,21 @@ class Server {
   /// inert and stop() is a no-op.
   [[nodiscard]] support::Status start();
 
-  /// Graceful shutdown, idempotent: stop admitting, drain the queue to
-  /// Cancelled terminals, finish in-flight jobs, close every connection,
-  /// join every thread, unlink the socket.
+  /// Graceful shutdown, idempotent AND safe for concurrent callers: stop
+  /// admitting, drain the queue to Cancelled terminals, finish in-flight
+  /// jobs, close every connection, join every thread, unlink the socket.
+  /// A second caller that arrives while teardown is in progress blocks
+  /// until the teardown completes — when any stop() returns, no server
+  /// thread touches the object again, so the caller may destroy it.
   void stop();
 
-  /// Blocks until a client sends `shutdown` (when allowRemoteShutdown) or
-  /// stop() is called from another thread.
+  /// Asks the serving loop to shut down without doing any teardown here:
+  /// wakes waitForShutdownRequest(). Safe from any thread (e.g. a signal
+  /// thread); the thread that owns the server then calls stop().
+  void requestShutdown();
+
+  /// Blocks until a client sends `shutdown` (when allowRemoteShutdown),
+  /// requestShutdown() is called, or stop() begins on another thread.
   void waitForShutdownRequest();
 
   /// Point-in-time copy of the server's counters/gauges (thread-safe).
@@ -115,6 +129,9 @@ class Server {
   struct Connection;
 
   void acceptLoop();
+  /// Reader thread body: runs readerLoop, then deregisters the connection
+  /// and parks its own thread handle on doneReaders_ for reaping.
+  void readerMain(std::shared_ptr<Connection> conn);
   void readerLoop(const std::shared_ptr<Connection>& conn);
   void workerLoop();
 
@@ -129,6 +146,12 @@ class Server {
   [[nodiscard]] JobResult executeAttempt(const Job& job);
 
   void sendToConn(Connection& conn, const std::string& frame);
+  /// Body of sendToConn; the caller already holds conn.writeMu.
+  void sendLocked(Connection& conn, const std::string& frame);
+  /// Joins reader threads whose loops have exited (they parked themselves
+  /// on doneReaders_). Called from the accept loop and from stop(); must
+  /// NOT be called while holding connMu_.
+  void reapFinishedReaders();
   void bump(std::string_view counter, long delta = 1);
 
   ServerOptions opts_;
@@ -140,18 +163,33 @@ class Server {
   mutable std::mutex statsMu_;
   obs::Collector stats_;
 
+  /// Lifecycle: Idle until start(), Running while serving, Stopping while
+  /// one thread runs stop()'s teardown, Stopped after. The phase makes
+  /// stop() safe for concurrent callers: the first caller claims the
+  /// Running→Stopping edge and tears down; later callers wait on
+  /// shutdownCv_ for Stopped instead of returning into a destructor while
+  /// the teardown still uses the members.
+  enum class Phase { kIdle, kRunning, kStopping, kStopped };
   std::mutex lifecycleMu_;
   std::condition_variable shutdownCv_;
   bool shutdownRequested_ = false;
-  bool running_ = false;
+  Phase phase_ = Phase::kIdle;
 
   std::thread acceptThread_;
   /// Job workers run as long-lived posted tasks on the shared pool seam;
   /// stop() closes the queue (tasks return) and then drains the pool.
   std::unique_ptr<support::ThreadPool> workerPool_;
+  /// Connection registry, guarded by connMu_. `conns_` holds connections
+  /// whose reader is still running (queued jobs keep their own refs);
+  /// `readers_` maps each live connection to its reader thread. A reader
+  /// that exits erases its connection, moves its own std::thread handle to
+  /// `doneReaders_`, and the accept loop (or stop()) joins it from there —
+  /// a long-lived daemon does not accumulate one fd and one thread per
+  /// closed connection.
   std::mutex connMu_;
   std::vector<std::shared_ptr<Connection>> conns_;
-  std::vector<std::thread> readers_;
+  std::unordered_map<const Connection*, std::thread> readers_;
+  std::vector<std::thread> doneReaders_;
 };
 
 }  // namespace cpr::serve

@@ -13,6 +13,7 @@
 ///
 /// The flood size defaults to 200 jobs; CI's chaos job can raise it with
 /// CPR_SERVE_CHAOS_JOBS.
+#include <dirent.h>
 #include <gtest/gtest.h>
 #include <unistd.h>
 
@@ -403,6 +404,131 @@ TEST(ServeChaos, StopDrainsQueuedJobsToCancelledTerminals) {
   // In-flight work finished; everything still queued was cancelled.
   EXPECT_GE(completed, 1);
   EXPECT_GE(cancelled, 1);
+}
+
+/// Open fds of this process, via /proc/self/fd (the tree is Linux-only).
+int countOpenFds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  int n = 0;
+  while (::readdir(dir) != nullptr) ++n;
+  ::closedir(dir);
+  return n;
+}
+
+TEST(ServeChaos, ClosedConnectionsAreReapedNotLeaked) {
+  ServerOptions so;
+  so.socketPath = uniqueSocketPath("reap");
+  so.workers = 1;
+  Server server(std::move(so));
+  ASSERT_TRUE(server.start().isOk());
+
+  // Warm up one connect/disconnect cycle so anything allocated lazily on
+  // the first connection is part of the baseline.
+  {
+    Client c;
+    ASSERT_TRUE(c.connect(server.socketPath()).isOk());
+    ASSERT_TRUE(c.sendLine(encodePing()));
+    std::string line;
+    ASSERT_TRUE(c.readLine(line));
+  }
+  const int before = countOpenFds();
+  ASSERT_GT(before, 0);
+
+  // A long-lived daemon serves many short-lived connections: each cycle
+  // must not leave behind the server-side fd (or its reader thread).
+  constexpr int kCycles = 40;
+  for (int k = 0; k < kCycles; ++k) {
+    Client c;
+    ASSERT_TRUE(c.connect(server.socketPath()).isOk());
+    ASSERT_TRUE(c.sendLine(encodePing()));
+    std::string line;
+    ASSERT_TRUE(c.readLine(line));
+  }
+  // Readers notice EOF asynchronously; poll briefly for the fds to drain.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  int after = countOpenFds();
+  while (after > before + 4 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    after = countOpenFds();
+  }
+  EXPECT_LE(after, before + 4)
+      << "closed connections leaked fds (before=" << before << ")";
+  server.stop();
+}
+
+TEST(ServeChaos, ClientVanishingMidJobDoesNotWedgeTheWorkers) {
+  ServerOptions so;
+  so.socketPath = uniqueSocketPath("vanish");
+  so.workers = 1;
+  so.sendTimeoutSeconds = 2.0;
+  so.preRouteHook = [](const RouteRequest&, int) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  };
+  Server server(std::move(so));
+  ASSERT_TRUE(server.start().isOk());
+
+  const std::string def = tinyDefText();
+  {
+    Client goner;
+    ASSERT_TRUE(goner.connect(server.socketPath()).isOk());
+    ASSERT_TRUE(goner.sendLine(encodeRouteRequest(defJob("goner", def))));
+  }  // gone before its frames come back: every send hits a dead socket
+
+  // The single worker must shrug that off and serve a live client.
+  Client alive;
+  ASSERT_TRUE(alive.connect(server.socketPath()).isOk());
+  const auto out = runJob(alive, defJob("alive", def));
+  ASSERT_TRUE(out.isOk()) << out.status().message();
+  EXPECT_EQ(out.value().event, obs::names::kServeEvCompleted);
+  server.stop();
+}
+
+TEST(ServeChaos, ConcurrentStopDoesNotRaceDestruction) {
+  // The daemon's shutdown shape: a signal thread initiates stop() while
+  // the owning thread wakes, calls stop() itself, and then DESTROYS the
+  // server the moment its call returns. The owner's stop() must therefore
+  // block until the signal thread's teardown is completely done — under
+  // ASan, a stop() that returns early here is a use-after-free.
+  for (int round = 0; round < 3; ++round) {
+    ServerOptions so;
+    so.socketPath = uniqueSocketPath("cstop");
+    so.workers = 2;
+    so.preRouteHook = [](const RouteRequest&, int) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    };
+    auto server = std::make_unique<Server>(std::move(so));
+    ASSERT_TRUE(server->start().isOk());
+
+    Client c;
+    ASSERT_TRUE(c.connect(server->socketPath()).isOk());
+    const std::string def = tinyDefText();
+    for (int k = 0; k < 3; ++k)
+      ASSERT_TRUE(c.sendLine(
+          encodeRouteRequest(defJob("cs" + std::to_string(k), def))));
+
+    std::thread sig([&server] { server->stop(); });
+    server->waitForShutdownRequest();  // wakes once sig's stop() begins
+    server->stop();                    // must block until teardown is done
+    server.reset();                    // safe exactly because it blocked
+    sig.join();
+  }
+}
+
+TEST(ServeChaos, RequestShutdownWakesTheOwningThread) {
+  ServerOptions so;
+  so.socketPath = uniqueSocketPath("reqstop");
+  so.workers = 1;
+  Server server(std::move(so));
+  ASSERT_TRUE(server.start().isOk());
+  std::thread sig([&server] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    server.requestShutdown();  // what the daemon's sigwait thread does
+  });
+  server.waitForShutdownRequest();
+  server.stop();
+  sig.join();
 }
 
 TEST(ServeChaos, TimedOutJobRetriesOnceAtLowerFidelity) {

@@ -148,6 +148,37 @@ TEST(ServeCodec, UnknownKeysAndNestedValuesAreTolerated) {
   EXPECT_EQ(req.kind, Request::Kind::Route) << req.error;
 }
 
+TEST(ServeCodec, DuplicateKeysKeepTheLastValueAcrossTypes) {
+  // Same type: last wins (always worked).
+  const Request sameType = decodeRequest(
+      "{\"v\":\"cpr.serve.v1\",\"op\":\"stats\",\"op\":\"ping\"}");
+  EXPECT_EQ(sameType.kind, Request::Kind::Ping);
+  // String then number: the number must EVICT the stale string — a stale
+  // "ping" here would silently turn a malformed frame into a valid op.
+  const Request strThenNum = decodeRequest(
+      "{\"v\":\"cpr.serve.v1\",\"op\":\"ping\",\"op\":5}");
+  EXPECT_EQ(strThenNum.kind, Request::Kind::Invalid);
+  EXPECT_NE(strThenNum.error.find("missing \"op\""), std::string::npos)
+      << strThenNum.error;
+  // Number then string: the string occurrence is the one that counts.
+  const Request numThenStr = decodeRequest(
+      "{\"v\":\"cpr.serve.v1\",\"op\":5,\"op\":\"ping\"}");
+  EXPECT_EQ(numThenStr.kind, Request::Kind::Ping) << numThenStr.error;
+  // Number fields shadowed by a later string are gone, not stale: the
+  // budget falls back to "unset", it does not read the first occurrence.
+  const Request budget = decodeRequest(
+      "{\"v\":\"cpr.serve.v1\",\"op\":\"route\",\"id\":\"x\","
+      "\"design\":\"ecc\",\"budget_seconds\":4.5,\"budget_seconds\":\"x\"}");
+  ASSERT_EQ(budget.kind, Request::Kind::Route) << budget.error;
+  EXPECT_DOUBLE_EQ(budget.route.budgetSeconds, 0.0);
+  // Raw (nested) values participate in the same namespace.
+  const Reply stats = decodeReply(
+      "{\"v\":\"cpr.serve.v1\",\"event\":\"stats\","
+      "\"counters\":{\"a\":1},\"counters\":\"gone\"}");
+  ASSERT_EQ(stats.kind, Reply::Kind::Stats);
+  EXPECT_TRUE(stats.countersRaw.empty()) << stats.countersRaw;
+}
+
 // ---------------------------------------------------------------- queue --
 
 Job makeJob(std::string id, Priority prio, std::uint64_t serial) {

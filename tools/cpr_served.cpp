@@ -13,8 +13,10 @@
 ///
 /// Exit codes follow the shared cli::exitCodeFor table; the daemon itself
 /// only uses 0 (clean shutdown), 2 (usage), and 5 (could not bind).
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
-#include <csignal>
 #include <cstdio>
 #include <thread>
 
@@ -69,7 +71,7 @@ int main(int argc, char** argv) {
 
   // Block the termination signals before any thread exists so every thread
   // inherits the mask; a dedicated sigwait thread turns them into a
-  // graceful stop() instead of killing a worker mid-route.
+  // graceful shutdown request instead of killing a worker mid-route.
   sigset_t sigs;
   sigemptyset(&sigs);
   sigaddset(&sigs, SIGINT);
@@ -86,15 +88,25 @@ int main(int argc, char** argv) {
               opts.laneCapacity);
   std::fflush(stdout);
 
-  std::thread([&server, sigs]() mutable {
+  // The signal thread only *requests* shutdown; main owns the teardown and
+  // the server's lifetime. (A detached thread calling stop() itself would
+  // race main's stop()/destructor over the server's members.)
+  std::thread sigThread([&server, sigs]() mutable {
     int sig = 0;
     sigwait(&sigs, &sig);
-    server.stop();
-  }).detach();
+    server.requestShutdown();
+  });
 
   server.waitForShutdownRequest();
-  const obs::Collector stats = server.statsSnapshot();
   server.stop();
+  // Counters are final only after stop(): the queue drain records its
+  // Cancelled terminals on the way down.
+  const obs::Collector stats = server.statsSnapshot();
+  // Client-requested shutdown never delivers a signal: send ourselves a
+  // process-directed SIGTERM (every thread blocks it, so it stays pending
+  // until sigwait fetches it) to unblock the signal thread, then join it.
+  ::kill(::getpid(), SIGTERM);
+  sigThread.join();
 
   if (!statsReportPath.empty()) {
     obs::saveReportJson(stats, statsReportPath);
