@@ -8,7 +8,7 @@ namespace cpr::serve {
 
 bool BoundedJobQueue::tryPush(Job job,
                               const std::function<void(std::size_t)>& onAdmit) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   if (closed_) return false;
   std::deque<Job>& lane = lanes_[laneOf(job)];
   if (lane.size() >= laneCapacity_) return false;
@@ -21,7 +21,7 @@ bool BoundedJobQueue::tryPush(Job job,
 }
 
 bool BoundedJobQueue::pushRetry(Job job) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   if (closed_) return false;
   lanes_[laneOf(job)].push_back(std::move(job));
   const std::size_t total = lanes_[0].size() + lanes_[1].size();
@@ -63,13 +63,13 @@ std::optional<Job> BoundedJobQueue::pop() {
 }
 
 void BoundedJobQueue::close() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   closed_ = true;
   ready_.notify_all();
 }
 
 std::vector<Job> BoundedJobQueue::drainRemaining() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<Job> out;
   for (std::deque<Job>& lane : lanes_) {
     for (Job& job : lane) out.push_back(std::move(job));
@@ -83,12 +83,12 @@ std::vector<Job> BoundedJobQueue::drainRemaining() {
 }
 
 std::size_t BoundedJobQueue::depth() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   return lanes_[0].size() + lanes_[1].size();
 }
 
 std::size_t BoundedJobQueue::peakDepth() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   return peak_;
 }
 

@@ -32,6 +32,7 @@
 
 #include "serve/protocol.h"
 #include "support/deadline.h"
+#include "support/thread_annotations.h"
 
 namespace cpr::serve {
 
@@ -67,29 +68,30 @@ class BoundedJobQueue {
   /// here stalls every push, every pop, and close(). (The server orders
   /// its "accepted" frame before "started" with the per-connection write
   /// lock, not with this one.)
-  bool tryPush(Job job, const std::function<void(std::size_t)>& onAdmit = {});
+  bool tryPush(Job job, const std::function<void(std::size_t)>& onAdmit = {})
+      CPR_EXCLUDES(mu_);
 
   /// Re-queues a retry, bypassing the capacity check (see file comment).
   /// Returns false only when the queue is already closed.
-  bool pushRetry(Job job);
+  bool pushRetry(Job job) CPR_EXCLUDES(mu_);
 
   /// Blocks until a job is eligible (interactive lane first; within a lane,
   /// admission order among jobs whose `readyAt` has passed). Returns
   /// nullopt once the queue is closed — immediately, even if jobs remain;
   /// shutdown hands leftovers to `drainRemaining`, not to workers.
-  std::optional<Job> pop();
+  std::optional<Job> pop() CPR_EXCLUDES(mu_) CPR_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Closes the queue: pending and future pops return nullopt, pushes fail.
-  void close();
+  void close() CPR_EXCLUDES(mu_);
 
   /// Removes and returns everything still queued (both lanes, admission
   /// order). Call after `close()`; the server reports each drained job as
   /// Cancelled.
-  [[nodiscard]] std::vector<Job> drainRemaining();
+  [[nodiscard]] std::vector<Job> drainRemaining() CPR_EXCLUDES(mu_);
 
-  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t depth() const CPR_EXCLUDES(mu_);
   /// High-water mark of total depth, for the serve.queue.peak_depth gauge.
-  [[nodiscard]] std::size_t peakDepth() const;
+  [[nodiscard]] std::size_t peakDepth() const CPR_EXCLUDES(mu_);
 
  private:
   /// Index into `lanes_` for a job's priority.
@@ -100,9 +102,9 @@ class BoundedJobQueue {
   const std::size_t laneCapacity_;
   mutable std::mutex mu_;
   std::condition_variable ready_;
-  std::deque<Job> lanes_[2];  ///< [0] interactive, [1] batch
-  std::size_t peak_ = 0;
-  bool closed_ = false;
+  std::deque<Job> lanes_[2] CPR_GUARDED_BY(mu_);  ///< [0] interactive, [1] batch
+  std::size_t peak_ CPR_GUARDED_BY(mu_) = 0;
+  bool closed_ CPR_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cpr::serve

@@ -54,11 +54,15 @@ struct Server::Connection {
   Connection& operator=(const Connection&) = delete;
 
   int fd = -1;
-  std::mutex writeMu;  ///< frames are lines; interleaved writes would tear
+  /// Frames are lines; interleaved writes would tear. CPR_MAY_BLOCK: this
+  /// mutex exists to serialize socket writes, so the blocking ::send under
+  /// it is the point, not a bug — a stalled peer wedges only its own
+  /// connection (and only until SO_SNDTIMEO fires).
+  std::mutex writeMu CPR_MAY_BLOCK;
   /// Set (under writeMu) when a send fails or times out: the peer is gone
   /// or not reading. Later frames for this connection return immediately
   /// instead of re-blocking a worker on a dead socket.
-  bool broken = false;
+  bool broken CPR_GUARDED_BY(writeMu) = false;
 };
 
 Server::Server(ServerOptions opts)
@@ -86,7 +90,7 @@ support::Status Server::start() {
                                    opts_.socketPath);
   }
   {
-    std::unique_lock<std::mutex> lock(lifecycleMu_);
+    std::lock_guard<std::mutex> lock(lifecycleMu_);
     phase_ = Phase::kRunning;
   }
   acceptThread_ = std::thread([this] { acceptLoop(); });
@@ -140,7 +144,7 @@ void Server::stop() {
   // added after this pass and leave its reader blocked forever.
   if (acceptThread_.joinable()) acceptThread_.join();
   {
-    std::unique_lock<std::mutex> lock(connMu_);
+    std::lock_guard<std::mutex> lock(connMu_);
     for (const std::shared_ptr<Connection>& c : conns_)
       ::shutdown(c->fd, SHUT_RDWR);
   }
@@ -150,7 +154,7 @@ void Server::stop() {
   while (true) {
     std::thread reader;
     {
-      std::unique_lock<std::mutex> lock(connMu_);
+      std::lock_guard<std::mutex> lock(connMu_);
       if (readers_.empty()) break;
       auto it = readers_.begin();
       reader = std::move(it->second);
@@ -160,21 +164,21 @@ void Server::stop() {
   }
   reapFinishedReaders();  // readers that exited on their own since the scan
   {
-    std::unique_lock<std::mutex> lock(connMu_);
+    std::lock_guard<std::mutex> lock(connMu_);
     conns_.clear();  // destructors close the fds
   }
   ::close(listenFd_);
   listenFd_ = -1;
   ::unlink(opts_.socketPath.c_str());
   {
-    std::unique_lock<std::mutex> lock(lifecycleMu_);
+    std::lock_guard<std::mutex> lock(lifecycleMu_);
     phase_ = Phase::kStopped;
     shutdownCv_.notify_all();  // release any concurrent stop() callers
   }
 }
 
 void Server::requestShutdown() {
-  std::unique_lock<std::mutex> lock(lifecycleMu_);
+  std::lock_guard<std::mutex> lock(lifecycleMu_);
   shutdownRequested_ = true;
   shutdownCv_.notify_all();
 }
@@ -190,14 +194,14 @@ obs::Collector Server::statsSnapshot() const {
   // runs under the queue lock and bumps counters (queue -> stats order), so
   // taking the locks here in the opposite order would be an ABBA deadlock.
   const auto peak = static_cast<double>(queue_.peakDepth());
-  std::unique_lock<std::mutex> lock(statsMu_);
+  std::lock_guard<std::mutex> lock(statsMu_);
   obs::Collector copy = stats_;
   copy.gauge(obs::names::kServeQueuePeakDepth, peak);
   return copy;
 }
 
 void Server::bump(std::string_view counter, long delta) {
-  std::unique_lock<std::mutex> lock(statsMu_);
+  std::lock_guard<std::mutex> lock(statsMu_);
   stats_.add(counter, delta);
 }
 
@@ -209,7 +213,7 @@ void Server::acceptLoop() {
       const int err = errno;
       if (err == EINTR) continue;
       {
-        std::unique_lock<std::mutex> lock(lifecycleMu_);
+        std::lock_guard<std::mutex> lock(lifecycleMu_);
         if (phase_ != Phase::kRunning) return;  // stop() shut the socket down
       }
       // A long-lived daemon's front door must survive transient accept
@@ -236,7 +240,7 @@ void Server::acceptLoop() {
     }
     bump(obs::names::kServeConnections);
     auto conn = std::make_shared<Connection>(fd);
-    std::unique_lock<std::mutex> lock(connMu_);
+    std::lock_guard<std::mutex> lock(connMu_);
     conns_.push_back(conn);
     // Registered under connMu_ BEFORE the thread can deregister itself:
     // readerMain's exit path takes the same lock.
@@ -250,7 +254,7 @@ void Server::readerMain(std::shared_ptr<Connection> conn) {
   // Deregister: drop the registry's ref (queued jobs keep theirs, so the
   // fd closes once the last terminal frame is sent) and park the thread
   // handle where the accept loop or stop() will join it.
-  std::unique_lock<std::mutex> lock(connMu_);
+  std::lock_guard<std::mutex> lock(connMu_);
   conns_.erase(std::remove(conns_.begin(), conns_.end(), conn), conns_.end());
   const auto it = readers_.find(conn.get());
   if (it != readers_.end()) {
@@ -262,7 +266,7 @@ void Server::readerMain(std::shared_ptr<Connection> conn) {
 void Server::reapFinishedReaders() {
   std::vector<std::thread> done;
   {
-    std::unique_lock<std::mutex> lock(connMu_);
+    std::lock_guard<std::mutex> lock(connMu_);
     done.swap(doneReaders_);
   }
   // These threads have exited (or are in readerMain's last lines); the
@@ -337,7 +341,7 @@ void Server::handleRequest(const std::shared_ptr<Connection>& conn,
       support::Deadline::soonerOf(support::Deadline::after(budget),
                                   support::Deadline::after(opts_.maxJobSeconds));
   {
-    std::unique_lock<std::mutex> lock(serialMu_);
+    std::lock_guard<std::mutex> lock(serialMu_);
     job.serial = nextSerial_++;
   }
   const std::string id = job.request.id;
@@ -349,7 +353,7 @@ void Server::handleRequest(const std::shared_ptr<Connection>& conn,
     // The blocking send happens outside the queue mutex — a client that
     // stops reading can wedge only its own connection, never admissions
     // from other connections, the workers' pop(), or stop().
-    std::unique_lock<std::mutex> wlock(conn->writeMu);
+    std::lock_guard<std::mutex> wlock(conn->writeMu);
     std::size_t depthAfter = 0;
     admitted = queue_.tryPush(std::move(job), [&](std::size_t depth) {
       // Under the queue lock: cheap bookkeeping only (stats after queue is
@@ -444,7 +448,7 @@ void Server::runJob(Job job) {
         support::Deadline::after(opts_.maxJobSeconds));
     retry.readyAt = support::Deadline::after(delay);
     {
-      std::unique_lock<std::mutex> lock(statsMu_);
+      std::lock_guard<std::mutex> lock(statsMu_);
       stats_.merge(jobStats);
     }
     if (queue_.pushRetry(std::move(retry))) return;
@@ -461,7 +465,7 @@ void Server::runJob(Job job) {
   sendToConn(*conn, encodeResult(result));
   const auto peak = static_cast<double>(queue_.peakDepth());
   {
-    std::unique_lock<std::mutex> lock(statsMu_);
+    std::lock_guard<std::mutex> lock(statsMu_);
     stats_.merge(jobStats);
     stats_.gauge(obs::names::kServeQueuePeakDepth, peak);
   }
@@ -545,7 +549,7 @@ JobResult Server::executeAttempt(const Job& job) {
 }
 
 void Server::sendToConn(Connection& conn, const std::string& frame) {
-  std::unique_lock<std::mutex> lock(conn.writeMu);
+  std::lock_guard<std::mutex> lock(conn.writeMu);
   sendLocked(conn, frame);
 }
 

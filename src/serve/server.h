@@ -46,6 +46,7 @@
 #include "serve/queue.h"
 #include "support/backoff.h"
 #include "support/status.h"
+#include "support/thread_annotations.h"
 #include "support/thread_pool.h"
 
 namespace cpr::serve {
@@ -107,7 +108,7 @@ class Server {
   /// A second caller that arrives while teardown is in progress blocks
   /// until the teardown completes — when any stop() returns, no server
   /// thread touches the object again, so the caller may destroy it.
-  void stop();
+  void stop() CPR_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Asks the serving loop to shut down without doing any teardown here:
   /// wakes waitForShutdownRequest(). Safe from any thread (e.g. a signal
@@ -116,7 +117,7 @@ class Server {
 
   /// Blocks until a client sends `shutdown` (when allowRemoteShutdown),
   /// requestShutdown() is called, or stop() begins on another thread.
-  void waitForShutdownRequest();
+  void waitForShutdownRequest() CPR_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Point-in-time copy of the server's counters/gauges (thread-safe).
   [[nodiscard]] obs::Collector statsSnapshot() const;
@@ -145,23 +146,25 @@ class Server {
   /// Everything it throws is folded into the JobResult by runJob.
   [[nodiscard]] JobResult executeAttempt(const Job& job);
 
-  void sendToConn(Connection& conn, const std::string& frame);
+  void sendToConn(Connection& conn, const std::string& frame)
+      CPR_EXCLUDES(conn.writeMu);
   /// Body of sendToConn; the caller already holds conn.writeMu.
-  void sendLocked(Connection& conn, const std::string& frame);
+  void sendLocked(Connection& conn, const std::string& frame)
+      CPR_REQUIRES(conn.writeMu);
   /// Joins reader threads whose loops have exited (they parked themselves
   /// on doneReaders_). Called from the accept loop and from stop(); must
   /// NOT be called while holding connMu_.
-  void reapFinishedReaders();
-  void bump(std::string_view counter, long delta = 1);
+  void reapFinishedReaders() CPR_EXCLUDES(connMu_);
+  void bump(std::string_view counter, long delta = 1) CPR_EXCLUDES(statsMu_);
 
   ServerOptions opts_;
   int listenFd_ = -1;
   BoundedJobQueue queue_;
-  std::uint64_t nextSerial_ = 0;  ///< guarded by serialMu_
   std::mutex serialMu_;
+  std::uint64_t nextSerial_ CPR_GUARDED_BY(serialMu_) = 0;
 
   mutable std::mutex statsMu_;
-  obs::Collector stats_;
+  obs::Collector stats_ CPR_GUARDED_BY(statsMu_);
 
   /// Lifecycle: Idle until start(), Running while serving, Stopping while
   /// one thread runs stop()'s teardown, Stopped after. The phase makes
@@ -172,10 +175,11 @@ class Server {
   enum class Phase { kIdle, kRunning, kStopping, kStopped };
   std::mutex lifecycleMu_;
   std::condition_variable shutdownCv_;
-  bool shutdownRequested_ = false;
-  Phase phase_ = Phase::kIdle;
+  bool shutdownRequested_ CPR_GUARDED_BY(lifecycleMu_) = false;
+  Phase phase_ CPR_GUARDED_BY(lifecycleMu_) = Phase::kIdle;
 
-  std::thread acceptThread_;
+  /// Joined by stop() (the only teardown path).
+  std::thread acceptThread_ CPR_THREAD_REAPER;
   /// Job workers run as long-lived posted tasks on the shared pool seam;
   /// stop() closes the queue (tasks return) and then drains the pool.
   std::unique_ptr<support::ThreadPool> workerPool_;
@@ -187,9 +191,11 @@ class Server {
   /// a long-lived daemon does not accumulate one fd and one thread per
   /// closed connection.
   std::mutex connMu_;
-  std::vector<std::shared_ptr<Connection>> conns_;
-  std::unordered_map<const Connection*, std::thread> readers_;
-  std::vector<std::thread> doneReaders_;
+  std::vector<std::shared_ptr<Connection>> conns_ CPR_GUARDED_BY(connMu_);
+  std::unordered_map<const Connection*, std::thread> readers_
+      CPR_GUARDED_BY(connMu_) CPR_THREAD_REAPER;
+  std::vector<std::thread> doneReaders_ CPR_GUARDED_BY(connMu_)
+      CPR_THREAD_REAPER;
 };
 
 }  // namespace cpr::serve

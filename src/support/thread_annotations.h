@@ -1,0 +1,62 @@
+/// \file thread_annotations.h
+/// Lock-discipline annotation vocabulary, consumed by two analyzers:
+///
+///   1. clang's `-Wthread-safety` pass, when the build opts in with
+///      -DCPR_CLANG_THREAD_SAFETY (the dedicated CI job does; it builds
+///      against libc++ with thread-safety-annotated std::mutex/lock_guard).
+///      The macros then expand to the real capability attributes.
+///   2. `cpr_lint`'s concurrency pass (tools/lint/concurrency.h), which
+///      parses the macro names straight out of the token stream on every
+///      build of every compiler. This is what keeps the discipline enforced
+///      under g++, where the attributes cannot expand.
+///
+/// Vocabulary (DESIGN.md §15 "Concurrency discipline"):
+///
+///   CPR_GUARDED_BY(mu)   field is read/written only while `mu` is held
+///   CPR_REQUIRES(mu)     caller must hold `mu` across the call
+///   CPR_ACQUIRE(mu)      function takes `mu` and returns holding it
+///   CPR_RELEASE(mu)      function releases `mu` before returning
+///   CPR_EXCLUDES(mu)     function acquires `mu` itself; the caller must
+///                        NOT hold it (non-recursive mutexes self-deadlock)
+///
+/// Lint-only markers (no clang attribute exists for these semantics):
+///
+///   CPR_MAY_BLOCK        on a mutex field whose critical sections are
+///                        *allowed* to perform blocking calls — the mutex
+///                        exists to serialize I/O (e.g. a per-connection
+///                        write lock). Blocking under any other held lock
+///                        still fires LOCK-BLOCKING-CALL.
+///   CPR_THREAD_REAPER    on a std::thread field (or container of them):
+///                        the declared parking place whose owner documents
+///                        and implements the join discipline. A thread that
+///                        is neither joined, detached, nor moved into an
+///                        annotated reaper fires THREAD-LIFECYCLE.
+///
+/// CPR_NO_THREAD_SAFETY_ANALYSIS opts one function out of clang's pass —
+/// needed wherever std::unique_lock + condition_variable::wait appear,
+/// because libc++ does not annotate unique_lock. cpr_lint tracks
+/// unique_lock regions itself, so the *lint* checks still run there.
+#pragma once
+
+#if defined(CPR_CLANG_THREAD_SAFETY) && defined(__clang__) && \
+    defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define CPR_TS_ATTRIBUTE(x) __attribute__((x))
+#endif
+#endif
+#ifndef CPR_TS_ATTRIBUTE
+#define CPR_TS_ATTRIBUTE(x)
+#endif
+
+#define CPR_GUARDED_BY(mu) CPR_TS_ATTRIBUTE(guarded_by(mu))
+#define CPR_REQUIRES(...) CPR_TS_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define CPR_ACQUIRE(...) CPR_TS_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define CPR_RELEASE(...) CPR_TS_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define CPR_EXCLUDES(...) CPR_TS_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+#define CPR_NO_THREAD_SAFETY_ANALYSIS \
+  CPR_TS_ATTRIBUTE(no_thread_safety_analysis)
+
+// Lint-only markers: cpr_lint reads the spelling from the token stream;
+// clang has no corresponding attribute, so they always expand to nothing.
+#define CPR_MAY_BLOCK
+#define CPR_THREAD_REAPER

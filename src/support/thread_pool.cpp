@@ -89,12 +89,17 @@ void ThreadPool::workerLoop(int worker) {
 void ThreadPool::parallelFor(
     std::size_t count, const std::function<void(int, std::size_t)>& body) {
   if (count == 0) return;
+  std::exception_ptr pending;
   if (size_ == 1) {
-    // Inline fast path: no locks, no signalling.
+    // Inline fast path: no signalling; the lock below only claims the
+    // exception slot runShare may have filled.
     count_ = count;
     body_ = &body;
     next_.store(0, std::memory_order_relaxed);
     runShare(0);
+    std::lock_guard<std::mutex> lock(mu_);
+    pending = error_;
+    error_ = nullptr;
   } else {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -109,13 +114,11 @@ void ThreadPool::parallelFor(
     runShare(0);
     std::unique_lock<std::mutex> lock(mu_);
     done_.wait(lock, [&] { return busy_ == 0; });
+    pending = error_;
+    error_ = nullptr;
   }
   body_ = nullptr;
-  if (error_) {
-    std::exception_ptr e = error_;
-    error_ = nullptr;
-    std::rethrow_exception(e);
-  }
+  if (pending) std::rethrow_exception(pending);
 }
 
 bool ThreadPool::post(std::function<void()> task) {

@@ -35,6 +35,8 @@
 #include <thread>
 #include <vector>
 
+#include "support/thread_annotations.h"
+
 namespace cpr::support {
 
 class ThreadPool {
@@ -66,23 +68,24 @@ class ThreadPool {
   /// exception thrown by a body is rethrown here after the pool quiesces.
   /// Not reentrant: a body must not call parallelFor on the same pool.
   void parallelFor(std::size_t count,
-                   const std::function<void(int, std::size_t)>& body);
+                   const std::function<void(int, std::size_t)>& body)
+      CPR_EXCLUDES(mu_) CPR_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Enqueues a fire-and-forget task for the spawned workers. Returns false
   /// (dropping the task) once shutdown has begun. On a pool of size 1 there
   /// are no spawned workers, so the task runs inline before `post` returns.
   /// Task exceptions never propagate out of a worker: the first one is
   /// captured and surfaces from the next `drain()`.
-  bool post(std::function<void()> task);
+  bool post(std::function<void()> task) CPR_EXCLUDES(mu_);
 
   /// Blocks until every task posted so far finished (queue empty, no worker
   /// mid-task), then rethrows the first captured task exception, clearing
   /// it; the pool stays usable either way. Note this waits for *tasks*, not
   /// for `parallelFor` (which is synchronous already).
-  void drain();
+  void drain() CPR_EXCLUDES(mu_) CPR_NO_THREAD_SAFETY_ANALYSIS;
 
  private:
-  void workerLoop(int worker);
+  void workerLoop(int worker) CPR_EXCLUDES(mu_) CPR_NO_THREAD_SAFETY_ANALYSIS;
   /// Pulls items off the shared cursor until the range is exhausted; stores
   /// the first exception and abandons the remaining items.
   void runShare(int worker);
@@ -90,26 +93,30 @@ class ThreadPool {
   void runTask(const std::function<void()>& task);
 
   int size_ = 1;
-  std::vector<std::thread> workers_;  ///< size_ - 1 spawned threads
+  /// size_ - 1 spawned threads; joined by the destructor after stop_.
+  std::vector<std::thread> workers_ CPR_THREAD_REAPER;
 
   std::mutex mu_;
   std::condition_variable wake_;  ///< signals a new job (or shutdown)
   std::condition_variable done_;  ///< signals spawned workers finished a job
-  long generation_ = 0;           ///< job sequence number, guarded by mu_
-  int busy_ = 0;                  ///< spawned workers still in runShare
-  bool stop_ = false;
+  long generation_ CPR_GUARDED_BY(mu_) = 0;  ///< job sequence number
+  /// Spawned workers still in runShare.
+  int busy_ CPR_GUARDED_BY(mu_) = 0;
+  bool stop_ CPR_GUARDED_BY(mu_) = false;
 
   // Current job; set under mu_ before the generation bump, read by workers
   // only after they observe the bump.
   std::atomic<std::size_t> next_{0};
   std::size_t count_ = 0;
   const std::function<void(int, std::size_t)>* body_ = nullptr;
-  std::exception_ptr error_;  ///< first body exception, guarded by mu_
+  std::exception_ptr error_ CPR_GUARDED_BY(mu_);  ///< first body exception
 
   // Posted-task state, guarded by mu_. Destruction discards tasks_ unrun.
-  std::deque<std::function<void()>> tasks_;
-  int taskBusy_ = 0;           ///< workers currently inside a posted task
-  std::exception_ptr taskError_;  ///< first task exception, guarded by mu_
+  std::deque<std::function<void()>> tasks_ CPR_GUARDED_BY(mu_);
+  /// Workers currently inside a posted task.
+  int taskBusy_ CPR_GUARDED_BY(mu_) = 0;
+  /// First task exception.
+  std::exception_ptr taskError_ CPR_GUARDED_BY(mu_);
 };
 
 }  // namespace cpr::support

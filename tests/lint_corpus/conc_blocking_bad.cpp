@@ -1,0 +1,20 @@
+// lint-as: src/serve/conc_blocking_bad.cpp
+// lint-expect: LOCK-BLOCKING-CALL@13
+#include <mutex>
+
+/// Regression shape from the routing service (since fixed): the
+/// "accepted" frame was written to the socket while the admission path
+/// still held the queue mutex — one client that stopped reading stalled
+/// every admission, every pop, and shutdown behind that lock.
+class Admission {
+ public:
+  void admit(int fd, const char* frame, unsigned long n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    send(fd, frame, n, 0);
+    depth_ += 1;
+  }
+
+ private:
+  std::mutex mu_;
+  long depth_ CPR_GUARDED_BY(mu_) = 0;
+};

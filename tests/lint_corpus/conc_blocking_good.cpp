@@ -1,0 +1,24 @@
+// lint-as: src/serve/conc_blocking_good.cpp
+// lint-expect: none
+#include <mutex>
+
+/// The sanctioned shapes: bookkeeping under the queue mutex with the
+/// socket write outside it, and a blocking write under a mutex that
+/// exists to serialize writes — annotated CPR_MAY_BLOCK at the
+/// declaration, where reviewers can see the policy.
+class Writer {
+ public:
+  void deliver(int fd, const char* frame, unsigned long n) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      depth_ += 1;
+    }
+    std::lock_guard<std::mutex> wlock(writeMu_);
+    send(fd, frame, n, 0);
+  }
+
+ private:
+  std::mutex mu_;
+  std::mutex writeMu_ CPR_MAY_BLOCK;
+  long depth_ CPR_GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,23 @@
+// lint-as: src/viz/conc_guarded_by_bad.cpp
+// lint-expect: GUARDED-BY@9 GUARDED-BY@12
+#include <mutex>
+
+/// A CPR_GUARDED_BY field touched with no lock held, and under the wrong
+/// lock; both accesses fire. The properly locked method does not.
+class Counter {
+ public:
+  void bare() { ++n_; }
+  void wrongLock() {
+    std::lock_guard<std::mutex> lock(other_);
+    n_ = 0;
+  }
+  void locked() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++n_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::mutex other_;
+  long n_ CPR_GUARDED_BY(mu_) = 0;
+};

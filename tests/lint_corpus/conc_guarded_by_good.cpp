@@ -1,0 +1,25 @@
+// lint-as: src/viz/conc_guarded_by_good.cpp
+// lint-expect: none
+#include <mutex>
+
+/// Every sanctioned way to reach a guarded field: a lock_guard, a
+/// unique_lock, a CPR_REQUIRES contract (the caller supplied the lock),
+/// and the constructor/destructor exemption (no concurrent access can
+/// exist while the object is being built or torn down).
+class Counter {
+ public:
+  Counter() { n_ = 0; }
+  void bump() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++n_;
+  }
+  void alreadyHeld() CPR_REQUIRES(mu_) { ++n_; }
+  long read() {
+    std::unique_lock<std::mutex> lock(mu_);
+    return n_;
+  }
+
+ private:
+  std::mutex mu_;
+  long n_ CPR_GUARDED_BY(mu_) = 0;
+};

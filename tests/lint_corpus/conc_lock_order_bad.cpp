@@ -1,0 +1,22 @@
+// lint-as: src/viz/conc_lock_order_bad.cpp
+// lint-expect: LOCK-ORDER@12
+#include <mutex>
+
+/// Classic ABBA: two functions take the same two mutexes in opposite
+/// orders. The cycle is reported once, anchored at the site where the
+/// lexicographically-first mutex acquires the second.
+class Inversion {
+ public:
+  void forward() {
+    std::lock_guard<std::mutex> la(alpha_);
+    std::lock_guard<std::mutex> lb(beta_);
+  }
+  void reverse() {
+    std::lock_guard<std::mutex> lb(beta_);
+    std::lock_guard<std::mutex> la(alpha_);
+  }
+
+ private:
+  std::mutex alpha_;
+  std::mutex beta_;
+};

@@ -1,0 +1,24 @@
+// lint-as: src/viz/conc_lock_order_good.cpp
+// lint-expect: none
+#include <mutex>
+
+/// No cycle: one function nests beta under alpha (a consistent global
+/// order), and the other takes both atomically with std::scoped_lock —
+/// an atomic multi-acquisition has no internal order, so it adds no
+/// edges to the acquisition graph.
+class Ordered {
+ public:
+  void nested() {
+    std::lock_guard<std::mutex> la(alpha_);
+    std::lock_guard<std::mutex> lb(beta_);
+  }
+  void atomicPair() {
+    std::scoped_lock both(beta_, alpha_);
+    shared_ += 1;
+  }
+
+ private:
+  std::mutex alpha_;
+  std::mutex beta_;
+  long shared_ CPR_GUARDED_BY(alpha_) = 0;
+};

@@ -1,0 +1,21 @@
+// lint-as: src/viz/conc_thread_lifecycle_bad.cpp
+// lint-expect: THREAD-LIFECYCLE@13 THREAD-LIFECYCLE@16 THREAD-LIFECYCLE@20
+#include <thread>
+#include <vector>
+
+/// Three leaks: a local std::thread that reaches end of scope joinable
+/// (std::terminate), a bare temporary destroyed at its own semicolon,
+/// and a thread-owning field with no CPR_THREAD_REAPER annotation (so no
+/// declared owner of the join discipline).
+class Leaky {
+ public:
+  void local() {
+    std::thread worker([] {});
+  }
+  void temporary() {
+    std::thread([] {});
+  }
+
+ private:
+  std::vector<std::thread> pool_;
+};

@@ -1,0 +1,27 @@
+// lint-as: src/viz/conc_thread_lifecycle_good.cpp
+// lint-expect: none
+#include <thread>
+#include <utility>
+#include <vector>
+
+/// Every sanctioned ending for a thread: joined, detached, or moved onto
+/// a CPR_THREAD_REAPER field whose owner documents the join.
+class Tidy {
+ public:
+  void joined() {
+    std::thread worker([] {});
+    worker.join();
+  }
+  void detached() {
+    std::thread worker([] {});
+    worker.detach();
+  }
+  void parked() {
+    std::thread worker([] {});
+    pool_.push_back(std::move(worker));
+  }
+
+ private:
+  /// Joined by the destructor.
+  std::vector<std::thread> pool_ CPR_THREAD_REAPER;
+};

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "lint/arch.h"
+#include "lint/concurrency.h"
 #include "lint/ir.h"
 #include "lint/lexer.h"
 #include "lint/lint.h"
@@ -204,7 +205,7 @@ TEST(ToolsLint, CorpusCoversEveryRuleWithABadAndAGoodFixture) {
 
 TEST(ToolsLint, RuleTableIsSortedAndDocumented) {
   const auto& table = cpr::lint::ruleTable();
-  ASSERT_GE(table.size(), 12u);
+  ASSERT_EQ(table.size(), 17u);
   for (std::size_t i = 0; i < table.size(); ++i) {
     EXPECT_FALSE(table[i].id.empty());
     EXPECT_FALSE(table[i].summary.empty()) << table[i].id;
@@ -479,6 +480,310 @@ TEST(ToolsLintArch, LayerViolationsAreNotSuppressible) {
       {"LAYER-VIOLATION@src/geom/user.h", 3},
   };
   EXPECT_EQ(got, expected);
+}
+
+// -------------------------------------------------------- lock regions --
+
+struct RegionRun {
+  cpr::lint::LexResult lx;
+  cpr::lint::FileIr ir;
+  std::vector<cpr::lint::LockRegion> regions;
+};
+
+/// Lexes `src`, builds the IR, and runs findLockRegions over the first
+/// function body it finds.
+RegionRun regionsOfFirstFunction(const std::string& src) {
+  RegionRun run;
+  run.lx = cpr::lint::lex(src);
+  run.ir = cpr::lint::buildIr(run.lx.tokens);
+  for (const cpr::lint::EntityDecl& d : run.ir.decls) {
+    if (d.kind != cpr::lint::DeclKind::Function) continue;
+    run.regions =
+        cpr::lint::findLockRegions(run.lx.tokens, d.tokBegin, d.tokEnd);
+    break;
+  }
+  return run;
+}
+
+/// True when any token of line `line` falls inside the region's span.
+bool regionCoversLine(const RegionRun& run, const cpr::lint::LockRegion& r,
+                      int line) {
+  for (std::size_t i = r.tokBegin; i < r.tokEnd && i < run.lx.tokens.size();
+       ++i) {
+    if (run.lx.tokens[i].line == line) return true;
+  }
+  return false;
+}
+
+TEST(ToolsLintRegions, RaiiGuardRunsToEndOfItsEnclosingScope) {
+  const RegionRun run = regionsOfFirstFunction(
+      "#include <mutex>\n"                          // 1
+      "std::mutex mu;\n"                            // 2
+      "int n;\n"                                    // 3
+      "void f() {\n"                                // 4
+      "  n = 1;\n"                                  // 5
+      "  {\n"                                       // 6
+      "    std::lock_guard<std::mutex> lock(mu);\n" // 7
+      "    n = 2;\n"                                // 8
+      "  }\n"                                       // 9
+      "  n = 3;\n"                                  // 10
+      "}\n");
+  ASSERT_EQ(run.regions.size(), 1u);
+  const cpr::lint::LockRegion& r = run.regions[0];
+  EXPECT_EQ(r.mutexExpr, "mu");
+  EXPECT_EQ(r.line, 7);
+  EXPECT_TRUE(r.raii);
+  EXPECT_FALSE(regionCoversLine(run, r, 5));
+  EXPECT_TRUE(regionCoversLine(run, r, 8));
+  EXPECT_FALSE(regionCoversLine(run, r, 10));
+}
+
+TEST(ToolsLintRegions, DeferLockOpensNothingUntilLockAndSplitsOnUnlock) {
+  const RegionRun run = regionsOfFirstFunction(
+      "#include <mutex>\n"                                       // 1
+      "std::mutex mu;\n"                                         // 2
+      "int n;\n"                                                 // 3
+      "void f() {\n"                                             // 4
+      "  std::unique_lock<std::mutex> lk(mu, std::defer_lock);\n"// 5
+      "  n = 1;\n"                                               // 6
+      "  lk.lock();\n"                                           // 7
+      "  n = 2;\n"                                               // 8
+      "  lk.unlock();\n"                                         // 9
+      "  n = 3;\n"                                               // 10
+      "  lk.lock();\n"                                           // 11
+      "  n = 4;\n"                                               // 12
+      "}\n");
+  ASSERT_EQ(run.regions.size(), 2u);
+  EXPECT_EQ(run.regions[0].mutexExpr, "mu");
+  EXPECT_EQ(run.regions[1].mutexExpr, "mu");
+  EXPECT_FALSE(regionCoversLine(run, run.regions[0], 6));
+  EXPECT_TRUE(regionCoversLine(run, run.regions[0], 8));
+  EXPECT_FALSE(regionCoversLine(run, run.regions[0], 10));
+  EXPECT_FALSE(regionCoversLine(run, run.regions[1], 10));
+  EXPECT_TRUE(regionCoversLine(run, run.regions[1], 12));
+}
+
+TEST(ToolsLintRegions, ManualLockUnlockPairIsARegionAndNotRaii) {
+  const RegionRun run = regionsOfFirstFunction(
+      "#include <mutex>\n"   // 1
+      "std::mutex mu;\n"     // 2
+      "int n;\n"             // 3
+      "void f() {\n"         // 4
+      "  mu.lock();\n"       // 5
+      "  n = 1;\n"           // 6
+      "  mu.unlock();\n"     // 7
+      "  n = 2;\n"           // 8
+      "}\n");
+  ASSERT_EQ(run.regions.size(), 1u);
+  EXPECT_EQ(run.regions[0].mutexExpr, "mu");
+  EXPECT_FALSE(run.regions[0].raii);
+  EXPECT_TRUE(regionCoversLine(run, run.regions[0], 6));
+  EXPECT_FALSE(regionCoversLine(run, run.regions[0], 8));
+}
+
+TEST(ToolsLintRegions, ScopedLockAcquisitionsShareOneGroup) {
+  const RegionRun run = regionsOfFirstFunction(
+      "#include <mutex>\n"
+      "std::mutex a;\n"
+      "std::mutex b;\n"
+      "void f() {\n"
+      "  std::scoped_lock both(a, b);\n"
+      "}\n");
+  ASSERT_EQ(run.regions.size(), 2u);
+  EXPECT_EQ(run.regions[0].mutexExpr, "a");
+  EXPECT_EQ(run.regions[1].mutexExpr, "b");
+  EXPECT_EQ(run.regions[0].group, run.regions[1].group);
+  // Sequential guards, by contrast, get distinct groups.
+  const RegionRun seq = regionsOfFirstFunction(
+      "#include <mutex>\n"
+      "std::mutex a;\n"
+      "std::mutex b;\n"
+      "void f() {\n"
+      "  std::lock_guard<std::mutex> la(a);\n"
+      "  std::lock_guard<std::mutex> lb(b);\n"
+      "}\n");
+  ASSERT_EQ(seq.regions.size(), 2u);
+  EXPECT_NE(seq.regions[0].group, seq.regions[1].group);
+}
+
+// ------------------------------------------------- concurrency rules --
+
+// Deadlock-shaped findings must ignore allow directives, exactly like the
+// architecture rules: the sanctioned escape hatch is an annotation at the
+// mutex declaration (CPR_MAY_BLOCK), visible to every caller, never a
+// per-line pragma at one call site.
+TEST(ToolsLintConc, BlockingCallUnderLockIsNotSuppressible) {
+  const std::string src =
+      "#include <mutex>\n"                              // 1
+      "class Admission {\n"                             // 2
+      " public:\n"                                      // 3
+      "  void admit() {\n"                              // 4
+      "    std::lock_guard<std::mutex> lock(mu_);\n"    // 5
+      "    // cpr-lint: allow(LOCK-BLOCKING-CALL)\n"    // 6
+      "    send(1, nullptr, 0, 0);\n"                   // 7
+      "  }\n"                                           // 8
+      " private:\n"                                     // 9
+      "  std::mutex mu_;\n"                             // 10
+      "};\n";
+  const auto actual = found("src/viz/example.cpp", src);
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"ALLOW-UNUSED", 6}, {"LOCK-BLOCKING-CALL", 7}};
+  EXPECT_EQ(actual, expected) << describe(actual);
+}
+
+TEST(ToolsLintConc, LockOrderCyclesAreNotSuppressible) {
+  const std::string src =
+      "#include <mutex>\n"                              // 1
+      "class Inversion {\n"                             // 2
+      " public:\n"                                      // 3
+      "  void forward() {\n"                            // 4
+      "    std::lock_guard<std::mutex> la(alpha_);\n"   // 5
+      "    // cpr-lint: allow(LOCK-ORDER)\n"            // 6
+      "    std::lock_guard<std::mutex> lb(beta_);\n"    // 7
+      "  }\n"                                           // 8
+      "  void reverse() {\n"                            // 9
+      "    std::lock_guard<std::mutex> lb(beta_);\n"    // 10
+      "    std::lock_guard<std::mutex> la(alpha_);\n"   // 11
+      "  }\n"                                           // 12
+      " private:\n"                                     // 13
+      "  std::mutex alpha_;\n"                          // 14
+      "  std::mutex beta_;\n"                           // 15
+      "};\n";
+  const auto actual = found("src/viz/example.cpp", src);
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"ALLOW-UNUSED", 6}, {"LOCK-ORDER", 7}};
+  EXPECT_EQ(actual, expected) << describe(actual);
+}
+
+// The per-file concurrency rules keep the ordinary suppression contract.
+TEST(ToolsLintConc, GuardedByAndThreadLifecycleAcceptAllows) {
+  const std::string guarded =
+      "#include <mutex>\n"
+      "class Counter {\n"
+      " public:\n"
+      "  void bare() { ++n_; }  // cpr-lint: allow(GUARDED-BY)\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  long n_ CPR_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  EXPECT_TRUE(found("src/viz/example.cpp", guarded).empty())
+      << describe(found("src/viz/example.cpp", guarded));
+  const std::string lifecycle =
+      "#include <thread>\n"
+      "void f() {\n"
+      "  // cpr-lint: allow(THREAD-LIFECYCLE)\n"
+      "  std::thread t([] {});\n"
+      "}\n";
+  EXPECT_TRUE(found("src/viz/example.cpp", lifecycle).empty())
+      << describe(found("src/viz/example.cpp", lifecycle));
+}
+
+// Annotations travel across files: a header's CPR_REQUIRES covers the
+// caller in another translation unit, and lock regions in one file combine
+// with regions in another into a single whole-tree acquisition graph.
+TEST(ToolsLintConc, LockOrderGraphSpansFiles) {
+  std::vector<cpr::lint::SourceFile> files;
+  files.push_back(cpr::lint::SourceFile{
+      "src/viz/a.cpp",
+      "#include <mutex>\n"
+      "class Pair {\n"
+      " public:\n"
+      "  void forward();\n"
+      "  void reverse();\n"
+      " private:\n"
+      "  std::mutex alpha_;\n"
+      "  std::mutex beta_;\n"
+      "};\n"
+      "void Pair::forward() {\n"
+      "  std::lock_guard<std::mutex> la(alpha_);\n"
+      "  std::lock_guard<std::mutex> lb(beta_);\n"  // 12: anchor
+      "}\n"});
+  files.push_back(cpr::lint::SourceFile{
+      "src/viz/b.cpp",
+      "#include <mutex>\n"
+      "#include \"viz/a.h\"\n"
+      "void Pair::reverse() {\n"
+      "  std::lock_guard<std::mutex> lb(beta_);\n"
+      "  std::lock_guard<std::mutex> la(alpha_);\n"
+      "}\n"});
+  std::vector<std::pair<std::string, int>> got;
+  for (const Diagnostic& d : cpr::lint::lintFiles(files, nullptr)) {
+    if (d.rule == "LOCK-ORDER") got.emplace_back(d.file, d.line);
+  }
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"src/viz/a.cpp", 12}};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(ToolsLintConc, BlockingManifestParsesAndRejectsBadInput) {
+  cpr::lint::BlockingManifest m;
+  std::string error;
+  ASSERT_TRUE(cpr::lint::parseBlockingManifest(
+      "# socket calls\nsend recv\njoin\n", m, error))
+      << error;
+  const std::set<std::string> idents(m.idents.begin(), m.idents.end());
+  EXPECT_TRUE(idents.count("send"));
+  EXPECT_TRUE(idents.count("recv"));
+  EXPECT_TRUE(idents.count("join"));
+
+  EXPECT_FALSE(cpr::lint::parseBlockingManifest("send\nsend\n", m, error));
+  EXPECT_NE(error.find("send"), std::string::npos) << error;
+  EXPECT_FALSE(cpr::lint::parseBlockingManifest("not-an-ident\n", m, error));
+  EXPECT_FALSE(cpr::lint::parseBlockingManifest("# only comments\n", m, error));
+}
+
+TEST(ToolsLintConc, RepoBlockingManifestLoadsAndCoversTheProjectSeams) {
+  cpr::lint::BlockingManifest m;
+  std::string error;
+  ASSERT_TRUE(cpr::lint::loadBlockingManifest(CPR_LINT_BLOCKING_FILE, m, error))
+      << error;
+  const std::set<std::string> idents(m.idents.begin(), m.idents.end());
+  for (const char* seam :
+       {"send", "recv", "accept", "join", "drain", "parallelFor",
+        "sendToConn", "sendLocked", "pop"}) {
+    EXPECT_TRUE(idents.count(seam))
+        << "tools/lint/blocking.txt lost '" << seam << "'";
+  }
+}
+
+// ------------------------------------------------- --fix-stale-allows --
+
+TEST(ToolsLintFix, StripRemovesAWholeLineDirective) {
+  const auto r = cpr::lint::stripAllowDirectives(
+      "int a = 1;\n"
+      "// cpr-lint: allow(BANNED-FN)\n"
+      "int b = 2;\n",
+      {2});
+  EXPECT_EQ(r.source, "int a = 1;\nint b = 2;\n");
+  EXPECT_EQ(r.removed, 1);
+}
+
+TEST(ToolsLintFix, StripKeepsCodeSharingTheDirectiveLine) {
+  const auto r = cpr::lint::stripAllowDirectives(
+      "int a = atoi(x);  // cpr-lint: allow(BANNED-FN)\n", {1});
+  EXPECT_EQ(r.source, "int a = atoi(x);\n");
+  EXPECT_EQ(r.removed, 1);
+}
+
+TEST(ToolsLintFix, StripRemovesOnlyTheBlockCommentHoldingTheDirective) {
+  const auto r = cpr::lint::stripAllowDirectives(
+      "int a = 1;  /* cpr-lint: allow(BANNED-FN) */ int b = 2;\n", {1});
+  EXPECT_EQ(r.source, "int a = 1;   int b = 2;\n");
+  EXPECT_EQ(r.removed, 1);
+}
+
+TEST(ToolsLintFix, StripLeavesUnlistedLinesAlone) {
+  const std::string src =
+      "// cpr-lint: allow(BANNED-FN)\n"
+      "int a = atoi(x);\n"
+      "// cpr-lint: allow(BANNED-FN)\n"
+      "int b = atoi(y);\n";
+  const auto r = cpr::lint::stripAllowDirectives(src, {3});
+  EXPECT_EQ(r.source,
+            "// cpr-lint: allow(BANNED-FN)\n"
+            "int a = atoi(x);\n"
+            "int b = atoi(y);\n");
+  EXPECT_EQ(r.removed, 1);
 }
 
 }  // namespace

@@ -1,0 +1,794 @@
+#include "lint/concurrency.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace cpr::lint {
+
+namespace {
+
+bool isPunct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::Punct && t.text == text;
+}
+
+bool startsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+/// Last `::`-separated segment of a (possibly qualified) name.
+std::string_view lastSegment(std::string_view name) {
+  const std::size_t pos = name.rfind("::");
+  return pos == std::string_view::npos ? name : name.substr(pos + 2);
+}
+
+bool isMutexType(std::string_view text) {
+  return text == "mutex" || text == "shared_mutex" ||
+         text == "recursive_mutex" || text == "timed_mutex" ||
+         text == "recursive_timed_mutex" || text == "shared_timed_mutex";
+}
+
+/// Function-level annotation macros the pass associates with a function
+/// name (CPR_NO_THREAD_SAFETY_ANALYSIS is clang-only and carries no lint
+/// meaning; it is skipped while walking declarator trailers).
+enum class FnAnnKind { Requires, Acquire, Release, Excludes };
+
+struct FnAnnotation {
+  std::string className;  ///< "" for free functions
+  std::string name;
+  FnAnnKind kind;
+  std::vector<std::string> mutexes;  ///< resolved "Class::field" names
+};
+
+struct GuardedField {
+  std::string guard;  ///< resolved "Class::field" mutex name
+};
+
+/// Everything the pass knows about one class (identity: the unqualified
+/// class name — `struct Server::Connection` registers as "Connection").
+struct ClassInfo {
+  std::set<std::string> mutexFields;
+  /// Annotated fields of this class: field name -> guard mutex (resolved).
+  std::map<std::string, GuardedField> guarded;
+};
+
+struct LockEdge {
+  std::string file;
+  int line = 0;
+};
+
+/// Global analysis state shared by both phases.
+struct Registry {
+  std::map<std::string, ClassInfo> classes;
+  /// mutex field name -> classes declaring a mutex field of that name.
+  std::map<std::string, std::set<std::string>> mutexFieldOwners;
+  /// Qualified mutexes annotated CPR_MAY_BLOCK.
+  std::set<std::string> mayBlock;
+  std::vector<FnAnnotation> fnAnnotations;
+  /// Acquisition-order graph: (from, to) -> first site that created it.
+  std::map<std::pair<std::string, std::string>, LockEdge> edges;
+};
+
+/// Resolves a mutex expression as spelled at an acquisition/annotation
+/// site into a tree-wide identity. `className` is the enclosing class of
+/// the site ("" outside member context).
+std::string resolveMutex(const Registry& reg, std::string_view expr,
+                         const std::string& className) {
+  std::string_view e = expr;
+  if (startsWith(e, "this->")) e = e.substr(6);
+  const std::size_t dot = e.find_last_of(".>");
+  if (dot != std::string_view::npos) {
+    const std::string_view field = e.substr(dot + 1);
+    const auto it = reg.mutexFieldOwners.find(std::string(field));
+    if (it != reg.mutexFieldOwners.end() && it->second.size() == 1)
+      return *it->second.begin() + "::" + std::string(field);
+    return std::string(field);
+  }
+  const std::string bare(e);
+  if (!className.empty()) {
+    const auto cls = reg.classes.find(className);
+    if (cls != reg.classes.end() && cls->second.mutexFields.count(bare))
+      return className + "::" + bare;
+  }
+  const auto it = reg.mutexFieldOwners.find(bare);
+  if (it != reg.mutexFieldOwners.end() && it->second.size() == 1)
+    return *it->second.begin() + "::" + bare;
+  return bare;
+}
+
+/// Token ranges of declarations nested inside a class body, used to scan
+/// only the class's *direct* tokens (fields, annotations) — a local
+/// `std::mutex` in an inline member function is not a field.
+std::vector<std::pair<std::size_t, std::size_t>> nestedRanges(
+    const FileIr& ir, const EntityDecl& cls) {
+  std::vector<std::pair<std::size_t, std::size_t>> holes;
+  for (const EntityDecl& d : ir.decls) {
+    if (&d == &cls) continue;
+    if (d.tokBegin > cls.tokBegin && d.tokEnd < cls.tokEnd)
+      holes.emplace_back(d.tokBegin, d.tokEnd);
+  }
+  std::sort(holes.begin(), holes.end());
+  return holes;
+}
+
+/// Innermost class declaration whose body contains token index `i`.
+const EntityDecl* enclosingClass(const FileIr& ir, std::size_t i) {
+  const EntityDecl* best = nullptr;
+  for (const EntityDecl& d : ir.decls) {
+    if (d.kind != DeclKind::Class) continue;
+    if (d.tokBegin < i && i < d.tokEnd &&
+        (!best || d.tokBegin > best->tokBegin))
+      best = &d;
+  }
+  return best;
+}
+
+/// Joins the argument tokens of an annotation macro whose `(` sits at
+/// `open`; returns one expression per comma-separated argument and the
+/// index of the closing `)` (toks.size() when unbalanced).
+std::vector<std::string> macroArgs(const std::vector<Token>& toks,
+                                   std::size_t open, std::size_t* closeOut) {
+  std::vector<std::string> args;
+  std::string cur;
+  int depth = 0;
+  std::size_t i = open;
+  for (; i < toks.size(); ++i) {
+    if (isPunct(toks[i], "(")) {
+      if (++depth == 1) continue;
+    }
+    if (isPunct(toks[i], ")") && --depth == 0) break;
+    if (depth == 1 && isPunct(toks[i], ",")) {
+      if (!cur.empty()) args.push_back(std::move(cur));
+      cur.clear();
+      continue;
+    }
+    if (depth >= 1) cur += toks[i].text;
+  }
+  if (!cur.empty()) args.push_back(std::move(cur));
+  *closeOut = i;
+  return args;
+}
+
+/// Finds the function name a declarator-trailer annotation at token `m`
+/// belongs to: walks back over cv/noexcept/override trailers, other CPR_*
+/// macros (with their argument parens), and the parameter list, to the
+/// identifier before the `(`. Returns toks.size() when no name is found.
+std::size_t annotatedFunctionName(const std::vector<Token>& toks,
+                                  std::size_t m) {
+  std::size_t j = m;
+  while (j > 0) {
+    const Token& t = toks[j - 1];
+    if (t.kind == TokKind::Identifier) {
+      if (t.text == "const" || t.text == "noexcept" || t.text == "override" ||
+          t.text == "final" || startsWith(t.text, "CPR_")) {
+        --j;
+        continue;
+      }
+      return toks.size();  // e.g. macro after a field, not a function
+    }
+    if (isPunct(t, ")")) {
+      int depth = 0;
+      std::size_t k = j - 1;
+      for (;; --k) {
+        if (isPunct(toks[k], ")")) ++depth;
+        if (isPunct(toks[k], "(") && --depth == 0) break;
+        if (k == 0) return toks.size();
+      }
+      if (k == 0) return toks.size();
+      const Token& before = toks[k - 1];
+      if (before.kind != TokKind::Identifier) return toks.size();
+      if (before.text == "noexcept" || startsWith(before.text, "CPR_")) {
+        j = k - 1;
+        continue;
+      }
+      return k - 1;
+    }
+    return toks.size();
+  }
+  return toks.size();
+}
+
+/// Class a function belongs to: the innermost class containing its body,
+/// else the `Cls::` qualifier before the name (out-of-line definitions).
+/// Returns "" for free functions.
+std::string memberClassOf(const FileIr& ir, const std::vector<Token>& toks,
+                          const EntityDecl& fn) {
+  if (const EntityDecl* cls = enclosingClass(ir, fn.tokBegin))
+    return std::string(lastSegment(cls->name));
+  std::size_t j = fn.nameTok;
+  if (j >= 1 && isPunct(toks[j - 1], "~")) --j;  // destructor
+  if (j >= 3 && isPunct(toks[j - 1], ":") && isPunct(toks[j - 2], ":") &&
+      toks[j - 3].kind == TokKind::Identifier)
+    return toks[j - 3].text;
+  return {};
+}
+
+struct FnKey {
+  std::string className;
+  std::string name;
+};
+
+/// Annotations applying to a function, matched by (class, name); an
+/// annotation recorded on the in-class declaration applies to the
+/// out-of-line definition.
+std::vector<const FnAnnotation*> annotationsFor(const Registry& reg,
+                                                const FnKey& key) {
+  std::vector<const FnAnnotation*> out;
+  for (const FnAnnotation& a : reg.fnAnnotations)
+    if (a.name == key.name && a.className == key.className) out.push_back(&a);
+  return out;
+}
+
+/// Annotations matching a *call site*: `recvQualified` is true when the
+/// call was spelled through `.`/`->` (receiver object unknown, so any
+/// single class declaring the method matches); a bare call matches the
+/// caller's own class first, then a unique free function.
+std::vector<const FnAnnotation*> annotationsForCall(
+    const Registry& reg, const std::string& callerClass,
+    const std::string& name, bool recvQualified) {
+  std::vector<const FnAnnotation*> matches;
+  for (const FnAnnotation& a : reg.fnAnnotations)
+    if (a.name == name) matches.push_back(&a);
+  if (matches.empty()) return {};
+  if (recvQualified) {
+    std::set<std::string> owners;
+    for (const FnAnnotation* a : matches) owners.insert(a->className);
+    return owners.size() == 1 ? matches
+                              : std::vector<const FnAnnotation*>{};
+  }
+  std::vector<const FnAnnotation*> own;
+  for (const FnAnnotation* a : matches)
+    if (a->className == callerClass) own.push_back(a);
+  if (!own.empty()) return own;
+  std::vector<const FnAnnotation*> free;
+  for (const FnAnnotation* a : matches)
+    if (a->className.empty()) free.push_back(a);
+  return free;
+}
+
+/// Phase 1 (per file): class field registry, may-block marks, annotation
+/// records, and the THREAD-LIFECYCLE field diagnostics.
+void collectFile(const ConcFile& f, Registry& reg,
+                 std::vector<Diagnostic>& out) {
+  const std::vector<Token>& toks = *f.toks;
+  const FileIr& ir = *f.ir;
+
+  for (const EntityDecl& cls : ir.decls) {
+    if (cls.kind != DeclKind::Class) continue;
+    const std::string name(lastSegment(cls.name));
+    ClassInfo& info = reg.classes[name];
+    const auto holes = nestedRanges(ir, cls);
+    std::size_t hole = 0;
+    int parenDepth = 0;
+    for (std::size_t i = cls.tokBegin + 1; i < cls.tokEnd; ++i) {
+      while (hole < holes.size() && holes[hole].second < i) ++hole;
+      if (hole < holes.size() && i >= holes[hole].first) {
+        i = holes[hole].second;  // skip the nested body; loop ++ passes `}`
+        ++hole;
+        continue;
+      }
+      const Token& t = toks[i];
+      if (isPunct(t, "(")) ++parenDepth;
+      if (isPunct(t, ")")) --parenDepth;
+      if (t.kind != TokKind::Identifier || parenDepth > 0) continue;
+
+      // Mutex fields: `[mutable] std::mutex a[, b];` with optional
+      // CPR_MAY_BLOCK marker anywhere in the declaration.
+      if (isMutexType(t.text) && i > 0 && isPunct(toks[i - 1], ":")) {
+        std::vector<std::string> fields;
+        bool mayBlock = false;
+        std::size_t j = i + 1;
+        for (; j < cls.tokEnd && !isPunct(toks[j], ";"); ++j) {
+          if (toks[j].kind != TokKind::Identifier) continue;
+          if (toks[j].text == "CPR_MAY_BLOCK") {
+            mayBlock = true;
+            continue;
+          }
+          if (!startsWith(toks[j].text, "CPR_"))
+            fields.push_back(toks[j].text);
+        }
+        for (const std::string& fieldName : fields) {
+          info.mutexFields.insert(fieldName);
+          reg.mutexFieldOwners[fieldName].insert(name);
+          if (mayBlock) reg.mayBlock.insert(name + "::" + fieldName);
+        }
+        i = j;
+        continue;
+      }
+
+      // Thread-owning fields: any declaration mentioning std::thread at
+      // paren depth 0 must carry CPR_THREAD_REAPER.
+      if (t.text == "thread" && i > 0 && isPunct(toks[i - 1], ":")) {
+        std::size_t j = i + 1;
+        bool reaper = false;
+        std::string fieldName;
+        for (; j < cls.tokEnd && !isPunct(toks[j], ";"); ++j) {
+          if (toks[j].kind != TokKind::Identifier) continue;
+          if (toks[j].text == "CPR_THREAD_REAPER")
+            reaper = true;
+          else if (!startsWith(toks[j].text, "CPR_") &&
+                   toks[j].text != "thread")
+            fieldName = toks[j].text;
+        }
+        if (!reaper) {
+          out.push_back(Diagnostic{
+              "THREAD-LIFECYCLE", f.relPath, t.line,
+              "thread-owning field '" + name + "::" +
+                  (fieldName.empty() ? std::string("<unnamed>") : fieldName) +
+                  "' has no CPR_THREAD_REAPER annotation; annotate the "
+                  "field and document who joins the threads parked on it"});
+        }
+        i = j;
+        continue;
+      }
+
+      // Guarded fields: `Type field CPR_GUARDED_BY(mu) [= init];`.
+      if (t.text == "CPR_GUARDED_BY" && i + 1 < cls.tokEnd &&
+          isPunct(toks[i + 1], "(")) {
+        std::size_t close = 0;
+        const std::vector<std::string> args = macroArgs(toks, i + 1, &close);
+        std::size_t nameTok = i - 1;
+        if (isPunct(toks[nameTok], "]")) {  // array field: name before [..]
+          int depth = 0;
+          for (;; --nameTok) {
+            if (isPunct(toks[nameTok], "]")) ++depth;
+            if (isPunct(toks[nameTok], "[") && --depth == 0) break;
+            if (nameTok == 0) break;
+          }
+          if (nameTok > 0) --nameTok;
+        }
+        if (!args.empty() && toks[nameTok].kind == TokKind::Identifier) {
+          info.guarded[toks[nameTok].text] =
+              GuardedField{std::string(args[0])};  // resolved in phase 2
+        }
+        i = close;
+        continue;
+      }
+    }
+  }
+
+  // Function annotations (REQUIRES/ACQUIRE/RELEASE/EXCLUDES) anywhere in
+  // the file: on in-class declarations, out-of-line definitions, or free
+  // functions. Raw argument expressions are resolved in phase 2.
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::Identifier) continue;
+    FnAnnKind kind;
+    if (t.text == "CPR_REQUIRES")
+      kind = FnAnnKind::Requires;
+    else if (t.text == "CPR_ACQUIRE")
+      kind = FnAnnKind::Acquire;
+    else if (t.text == "CPR_RELEASE")
+      kind = FnAnnKind::Release;
+    else if (t.text == "CPR_EXCLUDES")
+      kind = FnAnnKind::Excludes;
+    else
+      continue;
+    if (i + 1 >= toks.size() || !isPunct(toks[i + 1], "(")) continue;
+    std::size_t close = 0;
+    std::vector<std::string> args = macroArgs(toks, i + 1, &close);
+    const std::size_t nameTok = annotatedFunctionName(toks, i);
+    if (nameTok >= toks.size() || args.empty()) {
+      i = close;
+      continue;
+    }
+    std::string className;
+    if (const EntityDecl* cls = enclosingClass(ir, nameTok))
+      className = std::string(lastSegment(cls->name));
+    if (className.empty() && nameTok >= 3 && isPunct(toks[nameTok - 1], ":") &&
+        isPunct(toks[nameTok - 2], ":") &&
+        toks[nameTok - 3].kind == TokKind::Identifier)
+      className = toks[nameTok - 3].text;
+    FnAnnotation ann;
+    ann.className = std::move(className);
+    ann.name = toks[nameTok].text;
+    ann.kind = kind;
+    ann.mutexes = std::move(args);  // raw; resolved in phase 2
+    reg.fnAnnotations.push_back(std::move(ann));
+    i = close;
+  }
+}
+
+/// Phase 2: resolve every recorded raw mutex expression against the
+/// complete class registry.
+void resolveRegistry(Registry& reg) {
+  for (auto& [className, info] : reg.classes)
+    for (auto& [field, guarded] : info.guarded)
+      guarded.guard = resolveMutex(reg, guarded.guard, className);
+  for (FnAnnotation& ann : reg.fnAnnotations)
+    for (std::string& mu : ann.mutexes)
+      mu = resolveMutex(reg, mu, ann.className);
+}
+
+/// One held span with its tree-wide mutex identity.
+struct HeldRegion {
+  std::string mutex;
+  int line = 0;
+  std::size_t tokBegin = 0;
+  std::size_t tokEnd = 0;
+  int group = 0;
+};
+
+/// Phase 3: per-function-body checks for one file.
+void checkFile(const ConcFile& f, Registry& reg,
+               const std::set<std::string>& blocking,
+               std::vector<Diagnostic>& out) {
+  const std::vector<Token>& toks = *f.toks;
+  const FileIr& ir = *f.ir;
+
+  for (const EntityDecl& fn : ir.decls) {
+    if (fn.kind != DeclKind::Function) continue;
+    if (fn.tokEnd >= toks.size()) continue;  // unbalanced body
+    const std::string cls = memberClassOf(ir, toks, fn);
+    const bool ctorOrDtor = !cls.empty() && fn.name == cls;
+
+    std::vector<HeldRegion> held;
+    int pseudoGroup = -1;
+    for (const LockRegion& r : findLockRegions(toks, fn.tokBegin, fn.tokEnd))
+      held.push_back(HeldRegion{resolveMutex(reg, r.mutexExpr, cls), r.line,
+                                r.tokBegin, r.tokEnd, r.group});
+    // REQUIRES/ACQUIRE/RELEASE give the whole body a held span: the caller
+    // supplied the lock (or the function holds it for part of the body —
+    // the conservative whole-body span never *adds* diagnostics).
+    for (const FnAnnotation* a :
+         annotationsFor(reg, FnKey{cls, fn.name})) {
+      if (a->kind == FnAnnKind::Excludes) continue;
+      for (const std::string& mu : a->mutexes)
+        held.push_back(HeldRegion{mu, fn.bodyBegin, fn.tokBegin + 1,
+                                  fn.tokEnd, pseudoGroup--});
+    }
+
+    auto heldAt = [&](std::size_t i) {
+      std::vector<const HeldRegion*> open;
+      for (const HeldRegion& r : held)
+        if (r.tokBegin <= i && i < r.tokEnd) open.push_back(&r);
+      return open;
+    };
+
+    // LOCK-ORDER: nested acquisitions within this body.
+    for (const HeldRegion& b : held) {
+      if (b.group < 0) continue;  // pseudo-regions never *acquire* here
+      for (const HeldRegion& a : held) {
+        if (a.group == b.group || a.mutex == b.mutex) continue;
+        if (a.tokBegin < b.tokBegin && b.tokBegin < a.tokEnd)
+          reg.edges.emplace(std::make_pair(a.mutex, b.mutex),
+                            LockEdge{f.relPath, b.line});
+      }
+    }
+
+    // Token walk: guarded-field accesses, blocking calls, annotated-call
+    // lock-order edges, and local thread lifecycles.
+    std::vector<std::string> localThreads;
+    for (std::size_t i = fn.tokBegin + 1; i < fn.tokEnd; ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::Identifier) continue;
+      const bool dotAccess =
+          (i >= 1 && isPunct(toks[i - 1], ".")) ||
+          (i >= 2 && isPunct(toks[i - 1], ">") && isPunct(toks[i - 2], "-"));
+      const bool thisAccess =
+          i >= 3 && isPunct(toks[i - 1], ">") && isPunct(toks[i - 2], "-") &&
+          toks[i - 3].kind == TokKind::Identifier &&
+          toks[i - 3].text == "this";
+      const bool scopeQualified = i >= 1 && isPunct(toks[i - 1], ":");
+      const bool calls = i + 1 < fn.tokEnd && isPunct(toks[i + 1], "(");
+
+      // GUARDED-BY.
+      if (!ctorOrDtor) {
+        const ClassInfo* owner = nullptr;
+        std::string ownerName;
+        if ((!dotAccess || thisAccess) && !scopeQualified && !cls.empty()) {
+          const auto it = reg.classes.find(cls);
+          if (it != reg.classes.end() && it->second.guarded.count(t.text)) {
+            owner = &it->second;
+            ownerName = cls;
+          }
+        } else if (dotAccess && !thisAccess) {
+          // Object-qualified: unique declaring class wins.
+          const ClassInfo* only = nullptr;
+          std::string onlyName;
+          int n = 0;
+          for (const auto& [cname, info] : reg.classes) {
+            if (!info.guarded.count(t.text)) continue;
+            ++n;
+            only = &info;
+            onlyName = cname;
+          }
+          if (n == 1) {
+            owner = only;
+            ownerName = onlyName;
+          }
+        }
+        if (owner) {
+          const std::string& guard = owner->guarded.at(t.text).guard;
+          bool ok = false;
+          for (const HeldRegion* r : heldAt(i))
+            if (r->mutex == guard) ok = true;
+          if (!ok) {
+            out.push_back(Diagnostic{
+                "GUARDED-BY", f.relPath, t.line,
+                "field '" + ownerName + "::" + t.text + "' is guarded by '" +
+                    guard +
+                    "' but is touched without holding it; take the lock or "
+                    "annotate the function CPR_REQUIRES(" +
+                    std::string(lastSegment(guard)) + ")"});
+          }
+        }
+      }
+
+      if (!calls) {
+        // Local thread lifecycle bookkeeping: uses of a tracked name.
+        continue;
+      }
+
+      // LOCK-BLOCKING-CALL.
+      if (blocking.count(t.text)) {
+        const HeldRegion* offender = nullptr;
+        for (const HeldRegion* r : heldAt(i)) {
+          if (reg.mayBlock.count(r->mutex)) continue;
+          if (!offender || r->tokBegin < offender->tokBegin) offender = r;
+        }
+        if (offender) {
+          out.push_back(Diagnostic{
+              "LOCK-BLOCKING-CALL", f.relPath, t.line,
+              "blocking call '" + t.text + "' while holding '" +
+                  offender->mutex + "' (locked at line " +
+                  std::to_string(offender->line) +
+                  "); move the call outside the critical section — a "
+                  "stalled peer here stalls every thread behind this lock"});
+        }
+      }
+
+      // Lock-order edges from calls into annotated functions.
+      if (!scopeQualified) {
+        const auto open = heldAt(i);
+        if (!open.empty()) {
+          for (const FnAnnotation* a :
+               annotationsForCall(reg, cls, t.text, dotAccess)) {
+            if (a->kind == FnAnnKind::Requires ||
+                a->kind == FnAnnKind::Release)
+              continue;
+            for (const std::string& mu : a->mutexes)
+              for (const HeldRegion* r : open)
+                reg.edges.emplace(std::make_pair(r->mutex, mu),
+                                  LockEdge{f.relPath, t.line});
+          }
+        }
+      }
+    }
+
+    // THREAD-LIFECYCLE: local std::thread declarations and temporaries.
+    for (std::size_t i = fn.tokBegin + 1; i < fn.tokEnd; ++i) {
+      if (toks[i].kind != TokKind::Identifier || toks[i].text != "thread" ||
+          i == 0 || !isPunct(toks[i - 1], ":"))
+        continue;
+      const std::size_t after = i + 1;
+      if (after >= fn.tokEnd) break;
+      if (toks[after].kind == TokKind::Identifier) {
+        const std::string& var = toks[after].text;
+        if (startsWith(var, "CPR_")) continue;
+        bool handled = false;
+        for (std::size_t j = after + 1; j + 1 < fn.tokEnd && !handled; ++j) {
+          if (toks[j].kind != TokKind::Identifier) continue;
+          if (toks[j].text == var) {
+            // var.join() / var.detach() / var.swap(...)
+            if (isPunct(toks[j + 1], ".") && j + 2 < fn.tokEnd &&
+                (toks[j + 2].text == "join" || toks[j + 2].text == "detach" ||
+                 toks[j + 2].text == "swap"))
+              handled = true;
+            continue;
+          }
+          // std::move(var) / std::swap(a, var)
+          if ((toks[j].text == "move" || toks[j].text == "swap") &&
+              isPunct(toks[j + 1], "(")) {
+            for (std::size_t k = j + 2;
+                 k < fn.tokEnd && !isPunct(toks[k], ")"); ++k)
+              if (toks[k].kind == TokKind::Identifier && toks[k].text == var)
+                handled = true;
+          }
+        }
+        if (!handled) {
+          out.push_back(Diagnostic{
+              "THREAD-LIFECYCLE", f.relPath, toks[after].line,
+              "local std::thread '" + var +
+                  "' can reach end of scope without join()/detach(); join "
+                  "it, or move it onto a CPR_THREAD_REAPER field whose "
+                  "owner joins it"});
+        }
+      } else if (isPunct(toks[after], "(") &&
+                 (i < 4 || isPunct(toks[i - 4], ";") ||
+                  isPunct(toks[i - 4], "{") || isPunct(toks[i - 4], "}"))) {
+        // i-4 is the token before the `std` of `std::thread`: only a
+        // statement-start position means the temporary is discarded.
+        // `std::thread(...)` as a bare statement: joinable temporary dies
+        // at the semicolon (std::terminate), or worse, was meant to be
+        // kept. Arguments / member-init uses have `,`/`(`/`=` before.
+        std::size_t close = after;
+        int depth = 0;
+        for (; close < fn.tokEnd; ++close) {
+          if (isPunct(toks[close], "(")) ++depth;
+          if (isPunct(toks[close], ")") && --depth == 0) break;
+        }
+        if (close + 1 < fn.tokEnd && isPunct(toks[close + 1], ";")) {
+          out.push_back(Diagnostic{
+              "THREAD-LIFECYCLE", f.relPath, toks[i].line,
+              "temporary std::thread is destroyed at the end of the "
+              "statement while joinable (std::terminate); name it and "
+              "join it"});
+        }
+      }
+    }
+  }
+}
+
+/// Phase 4: cycle detection over the acquisition-order graph — iterative
+/// DFS with a recursion stack, each distinct cycle reported once anchored
+/// at its lexicographically-smallest mutex (mirrors LAYER-CYCLE).
+void findLockCycles(const Registry& reg, std::vector<Diagnostic>& out) {
+  std::vector<std::string> nodes;
+  std::map<std::string, std::size_t> byName;
+  auto nodeId = [&](const std::string& n) {
+    const auto it = byName.find(n);
+    if (it != byName.end()) return it->second;
+    byName.emplace(n, nodes.size());
+    nodes.push_back(n);
+    return nodes.size() - 1;
+  };
+  std::vector<std::vector<std::size_t>> adj;
+  for (const auto& [edge, site] : reg.edges) {
+    const std::size_t from = nodeId(edge.first);
+    const std::size_t to = nodeId(edge.second);
+    if (adj.size() < nodes.size()) adj.resize(nodes.size());
+    adj[from].push_back(to);
+  }
+  adj.resize(nodes.size());
+
+  enum class Color { White, Gray, Black };
+  std::vector<Color> color(nodes.size(), Color::White);
+  std::vector<std::size_t> stack;
+  std::set<std::string> reported;
+  struct Frame {
+    std::size_t node;
+    std::size_t nextEdge = 0;
+  };
+  for (std::size_t root = 0; root < nodes.size(); ++root) {
+    if (color[root] != Color::White) continue;
+    std::vector<Frame> frames{{root, 0}};
+    color[root] = Color::Gray;
+    stack.push_back(root);
+    while (!frames.empty()) {
+      Frame& fr = frames.back();
+      if (fr.nextEdge < adj[fr.node].size()) {
+        const std::size_t to = adj[fr.node][fr.nextEdge++];
+        if (color[to] == Color::White) {
+          color[to] = Color::Gray;
+          stack.push_back(to);
+          frames.push_back(Frame{to, 0});
+        } else if (color[to] == Color::Gray) {
+          const auto at =
+              std::find(stack.begin(), stack.end(), to) - stack.begin();
+          std::vector<std::size_t> cycle(
+              stack.begin() + at, stack.end());
+          const auto smallest = std::min_element(
+              cycle.begin(), cycle.end(), [&](std::size_t a, std::size_t b) {
+                return nodes[a] < nodes[b];
+              });
+          std::rotate(cycle.begin(), smallest, cycle.end());
+          std::string chain;
+          for (const std::size_t n : cycle) chain += nodes[n] + " -> ";
+          chain += nodes[cycle.front()];
+          if (reported.insert(chain).second) {
+            const std::string& lead = nodes[cycle.front()];
+            const std::string& next = nodes[cycle[1 % cycle.size()]];
+            const auto site = reg.edges.find(std::make_pair(lead, next));
+            const std::string file =
+                site != reg.edges.end() ? site->second.file : "";
+            const int line = site != reg.edges.end() ? site->second.line : 1;
+            const bool self = cycle.size() == 1;
+            out.push_back(Diagnostic{
+                "LOCK-ORDER", file, line,
+                self ? "'" + lead +
+                           "' is re-acquired (via an annotated call) while "
+                           "already held — a non-recursive mutex "
+                           "self-deadlocks here"
+                     : "lock-order cycle: " + chain +
+                           "; two threads taking these locks in opposite "
+                           "orders deadlock — pick one global order and "
+                           "restructure the inner acquisition"});
+          }
+        }
+      } else {
+        color[fr.node] = Color::Black;
+        stack.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const BlockingManifest& builtinBlockingManifest() {
+  static const BlockingManifest kBuiltin = {{
+      // socket / fd I/O
+      "send", "sendto", "sendmsg", "recv", "recvfrom", "recvmsg", "accept",
+      "connect", "poll", "select", "epoll_wait",
+      // sleeps
+      "sleep", "usleep", "nanosleep", "sleep_for", "sleep_until",
+      // joins and the project's own blocking seams
+      "join", "drain", "parallelFor", "sendToConn", "sendLocked", "pop",
+  }};
+  return kBuiltin;
+}
+
+bool parseBlockingManifest(std::string_view text, BlockingManifest& out,
+                           std::string& error) {
+  out = BlockingManifest{};
+  std::set<std::string> seen;
+  std::istringstream is{std::string(text)};
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream words(line);
+    std::string word;
+    while (words >> word) {
+      for (const char c : word) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        if (!ok) {
+          error = "blocking.txt:" + std::to_string(lineNo) + ": '" + word +
+                  "' is not an identifier";
+          return false;
+        }
+      }
+      if (!seen.insert(word).second) {
+        error = "blocking.txt:" + std::to_string(lineNo) + ": '" + word +
+                "' named twice";
+        return false;
+      }
+      out.idents.push_back(word);
+    }
+  }
+  if (out.idents.empty()) {
+    error = "blocking.txt names no identifiers";
+    return false;
+  }
+  return true;
+}
+
+bool loadBlockingManifest(const std::string& path, BlockingManifest& out,
+                          std::string& error) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    error = "cannot read blocking manifest: " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parseBlockingManifest(buf.str(), out, error);
+}
+
+std::vector<Diagnostic> checkConcurrency(const std::vector<ConcFile>& files,
+                                         const BlockingManifest& blocking) {
+  Registry reg;
+  std::vector<Diagnostic> out;
+  for (const ConcFile& f : files) collectFile(f, reg, out);
+  resolveRegistry(reg);
+  const std::set<std::string> blockingSet(blocking.idents.begin(),
+                                          blocking.idents.end());
+  for (const ConcFile& f : files) checkFile(f, reg, blockingSet, out);
+  findLockCycles(reg, out);
+  std::sort(out.begin(), out.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+            });
+  return out;
+}
+
+}  // namespace cpr::lint

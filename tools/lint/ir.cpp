@@ -2,6 +2,7 @@
 
 #include <array>
 #include <algorithm>
+#include <map>
 
 namespace cpr::lint {
 
@@ -105,10 +106,22 @@ class IrBuilder {
       }
       if (t.kind == TokKind::Identifier) {
         if (t.text != "final") {
-          name = t.text;
+          // A `::` continues a qualified name (`struct Server::Connection`);
+          // otherwise each identifier replaces the candidate, so attribute
+          // macros before the real name do not stick.
+          if (name.size() >= 2 && name.compare(name.size() - 2, 2, "::") == 0)
+            name += t.text;
+          else
+            name = t.text;
           nameLine = t.line;
         }
         ++j;
+        continue;
+      }
+      if (isPunct(t, ":") && j + 1 < toks_.size() &&
+          isPunct(toks_[j + 1], ":") && !name.empty()) {
+        name += "::";
+        j += 2;
         continue;
       }
       break;
@@ -179,7 +192,7 @@ class IrBuilder {
         const std::size_t end = matchBrace(toks_, j);
         ir_.decls.push_back(EntityDecl{
             DeclKind::Function, toks_[i].text, toks_[i].line, t.line,
-            end < toks_.size() ? toks_[end].line : 0, j, end});
+            end < toks_.size() ? toks_[end].line : 0, j, end, i});
         return end + 1;  // step over the body
       }
       if (isPunct(t, ";") || isPunct(t, "=") || isPunct(t, "}")) return i;
@@ -234,5 +247,205 @@ std::size_t matchBrace(const std::vector<Token>& toks, std::size_t open) {
 }
 
 FileIr buildIr(const std::vector<Token>& toks) { return IrBuilder(toks).run(); }
+
+namespace {
+
+/// The RAII guard class names the region tracker understands. shared_lock
+/// is tracked like an exclusive hold: for the lint's purposes (blocking
+/// calls, lock order) a reader hold participates exactly like a writer one.
+bool isGuardClass(std::string_view text) {
+  return text == "lock_guard" || text == "unique_lock" ||
+         text == "scoped_lock" || text == "shared_lock";
+}
+
+/// Joins the tokens of one mutex argument ("conn -> writeMu" ->
+/// "conn->writeMu"). Returns an empty string for tag arguments
+/// (std::defer_lock and friends) so callers can skip them; `deferred` is
+/// set when the tag was specifically std::defer_lock.
+std::string joinMutexArg(const std::vector<Token>& toks, std::size_t begin,
+                         std::size_t end, bool* deferred) {
+  std::string expr;
+  std::string last;
+  for (std::size_t i = begin; i < end; ++i) {
+    expr += toks[i].text;
+    if (toks[i].kind == TokKind::Identifier) last = toks[i].text;
+  }
+  if (last == "defer_lock") {
+    *deferred = true;
+    return {};
+  }
+  if (last == "adopt_lock" || last == "try_to_lock") return {};
+  return expr;
+}
+
+}  // namespace
+
+std::vector<LockRegion> findLockRegions(const std::vector<Token>& toks,
+                                        std::size_t bodyBegin,
+                                        std::size_t bodyEnd) {
+  std::vector<LockRegion> out;
+  if (bodyBegin >= toks.size() || bodyEnd > toks.size() ||
+      bodyBegin >= bodyEnd)
+    return out;
+
+  // One declared RAII guard variable. `scopeEnd` is the token index of the
+  // `}` closing the scope it was declared in; reopened regions (unlock then
+  // lock) end there too.
+  struct GuardVar {
+    std::vector<std::string> mutexes;
+    std::size_t scopeEnd = 0;
+    std::vector<std::size_t> open;  ///< indices into `out` of open regions
+  };
+  std::map<std::string, GuardVar> guards;
+  std::vector<std::size_t> manualOpen;  ///< indices into `out`, raii=false
+  std::vector<std::size_t> braceStack{bodyBegin};
+  int nextGroup = 0;
+
+  auto is = [&](std::size_t i, std::string_view text) {
+    return i < bodyEnd && toks[i].text == text;
+  };
+  /// Receiver expression of a `.`/`->` method call whose name token is at
+  /// `name`: walks back over identifier / `::` / `.` / `->` / `this`
+  /// tokens. Returns empty when the name is not member-accessed.
+  auto receiverOf = [&](std::size_t name) {
+    std::size_t i = name;
+    if (i >= 2 && toks[i - 1].text == "." &&
+        toks[i - 1].kind == TokKind::Punct) {
+      i -= 1;
+    } else if (i >= 3 && toks[i - 1].text == ">" && toks[i - 2].text == "-") {
+      i -= 2;
+    } else {
+      return std::string();
+    }
+    const std::size_t accessor = i;
+    while (i > bodyBegin) {
+      const Token& p = toks[i - 1];
+      if (p.kind == TokKind::Identifier) {
+        --i;
+        continue;
+      }
+      if (p.text == "." || p.text == ":") {
+        --i;
+        continue;
+      }
+      if (p.text == ">" && i >= 2 && toks[i - 2].text == "-") {
+        i -= 2;
+        continue;
+      }
+      break;
+    }
+    // The expression must start with an identifier (or `this`), and must
+    // not be a chained call result like `f().lock()` — those start after
+    // a `)` which the walk above stopped at.
+    if (i >= accessor || toks[i].kind != TokKind::Identifier)
+      return std::string();
+    std::string expr;
+    for (std::size_t k = i; k < accessor; ++k) expr += toks[k].text;
+    return expr;
+  };
+
+  for (std::size_t i = bodyBegin + 1; i < bodyEnd; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::Punct) {
+      if (t.text == "{") braceStack.push_back(i);
+      if (t.text == "}" && braceStack.size() > 1) braceStack.pop_back();
+      continue;
+    }
+    if (t.kind != TokKind::Identifier) continue;
+
+    // RAII guard declaration: std::lock_guard<...> name(mu[, mu2...]);
+    if (isGuardClass(t.text) && i > bodyBegin && is(i - 1, ":")) {
+      std::size_t j = i + 1;
+      if (is(j, "<")) {  // skip template arguments
+        int depth = 0;
+        for (; j < bodyEnd; ++j) {
+          if (is(j, "<")) ++depth;
+          if (is(j, ">") && --depth == 0) break;
+        }
+        ++j;
+      }
+      if (j >= bodyEnd || toks[j].kind != TokKind::Identifier) continue;
+      const std::string var = toks[j].text;
+      const std::string open = is(j + 1, "(") ? "(" : is(j + 1, "{") ? "{" : "";
+      if (open.empty()) continue;  // e.g. `std::unique_lock<std::mutex> v;`
+      const std::string close = open == "(" ? ")" : "}";
+      std::size_t k = j + 1;
+      int depth = 0;
+      bool deferred = false;
+      std::vector<std::string> mutexes;
+      std::size_t argBegin = j + 2;
+      for (; k < bodyEnd; ++k) {
+        if (is(k, open)) ++depth;
+        if (is(k, close) && --depth == 0) break;
+        if (depth == 1 && is(k, ",")) {
+          std::string expr = joinMutexArg(toks, argBegin, k, &deferred);
+          if (!expr.empty()) mutexes.push_back(std::move(expr));
+          argBegin = k + 1;
+        }
+      }
+      if (k >= bodyEnd) continue;
+      std::string expr = joinMutexArg(toks, argBegin, k, &deferred);
+      if (!expr.empty()) mutexes.push_back(std::move(expr));
+      GuardVar gv;
+      gv.mutexes = mutexes;
+      gv.scopeEnd = matchBrace(toks, braceStack.back());
+      if (gv.scopeEnd > bodyEnd) gv.scopeEnd = bodyEnd;
+      if (!deferred) {
+        const int group = nextGroup++;
+        for (const std::string& mu : mutexes) {
+          gv.open.push_back(out.size());
+          out.push_back(LockRegion{mu, toks[j].line, k + 1, gv.scopeEnd,
+                                   group, true});
+        }
+      }
+      guards[var] = std::move(gv);
+      i = k;
+      continue;
+    }
+
+    // `.lock()` / `.unlock()` — on a guard variable (close/reopen its
+    // regions) or on a mutex expression directly (manual pairing).
+    if ((t.text == "lock" || t.text == "unlock") && is(i + 1, "(")) {
+      const std::string recv = receiverOf(i);
+      if (recv.empty()) continue;
+      const auto git = guards.find(recv);
+      if (git != guards.end()) {
+        GuardVar& gv = git->second;
+        if (t.text == "unlock") {
+          for (const std::size_t r : gv.open) out[r].tokEnd = i;
+          gv.open.clear();
+        } else if (gv.open.empty()) {
+          const int group = nextGroup++;
+          for (const std::string& mu : gv.mutexes) {
+            gv.open.push_back(out.size());
+            out.push_back(
+                LockRegion{mu, t.line, i + 3, gv.scopeEnd, group, true});
+          }
+        }
+        continue;
+      }
+      if (t.text == "lock") {
+        manualOpen.push_back(out.size());
+        out.push_back(
+            LockRegion{recv, t.line, i + 3, bodyEnd, nextGroup++, false});
+      } else {
+        for (std::size_t r = manualOpen.size(); r-- > 0;) {
+          if (out[manualOpen[r]].mutexExpr != recv) continue;
+          out[manualOpen[r]].tokEnd = i;
+          manualOpen.erase(manualOpen.begin() +
+                           static_cast<std::ptrdiff_t>(r));
+          break;
+        }
+      }
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const LockRegion& a, const LockRegion& b) {
+              return a.tokBegin != b.tokBegin ? a.tokBegin < b.tokBegin
+                                              : a.tokEnd < b.tokEnd;
+            });
+  return out;
+}
 
 }  // namespace cpr::lint

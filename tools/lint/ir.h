@@ -46,7 +46,9 @@ enum class DeclKind {
 
 /// A named declaration with a brace-matched body extent. `tokBegin/tokEnd`
 /// index the `{` / matching `}` in the token stream handed to buildIr, so
-/// rules can scan exactly the body's tokens.
+/// rules can scan exactly the body's tokens. A class defined with a
+/// qualified name (`struct Server::Connection { ... }`) keeps the
+/// qualification in `name`.
 struct EntityDecl {
   DeclKind kind = DeclKind::Function;
   std::string name;
@@ -55,6 +57,9 @@ struct EntityDecl {
   int bodyEnd = 0;    ///< line of the matching closing brace
   std::size_t tokBegin = 0;
   std::size_t tokEnd = 0;
+  /// Token index of the name (functions only; 0 otherwise) — lets passes
+  /// inspect the qualifier tokens before an out-of-line definition's name.
+  std::size_t nameTok = 0;
 };
 
 struct FileIr {
@@ -70,5 +75,45 @@ struct FileIr {
 
 /// Builds the declaration-level IR for one translation unit's tokens.
 [[nodiscard]] FileIr buildIr(const std::vector<Token>& toks);
+
+/// One span of a function body during which a mutex is held. Produced by
+/// `findLockRegions` for the concurrency rules (tools/lint/concurrency.h).
+///
+/// `mutexExpr` is the mutex argument as spelled at the acquisition site
+/// ("mu_", "conn->writeMu", "this->mu_" — resolution to a declaring class
+/// is the concurrency pass's job, not the IR's). `tokBegin/tokEnd` bound
+/// the covered tokens half-open: a token at index i is inside the region
+/// when tokBegin <= i < tokEnd.
+struct LockRegion {
+  std::string mutexExpr;
+  int line = 0;           ///< line of the acquisition
+  std::size_t tokBegin = 0;
+  std::size_t tokEnd = 0;
+  /// Acquisition group: regions sharing a group were acquired atomically
+  /// by one `std::scoped_lock`, so no lock-order edge exists between them.
+  int group = 0;
+  bool raii = true;  ///< false for manual `mu.lock()` / `mu.unlock()` pairs
+};
+
+/// Statement-level lock-region tracking over one function body, whose
+/// braces sit at token indices `bodyBegin` / `bodyEnd` (an EntityDecl's
+/// tokBegin/tokEnd). Understands:
+///
+///   - RAII guards: `std::lock_guard` / `std::unique_lock` /
+///     `std::scoped_lock` / `std::shared_lock` declarations — the region
+///     runs from the declaration to the end of its enclosing scope;
+///   - `std::defer_lock` (no region until a later `.lock()`), plus
+///     `.unlock()` / `.lock()` on the guard variable closing and reopening
+///     the region mid-scope;
+///   - manual `expr.lock()` / `expr.unlock()` pairs on anything that is
+///     not a known guard variable; an unmatched manual lock runs to the
+///     end of the body.
+///
+/// Condition-variable waits are deliberately ignored: the tokens inside a
+/// `cv.wait(lock, pred)` call execute holding the lock, which is exactly
+/// what the returned spans say.
+[[nodiscard]] std::vector<LockRegion> findLockRegions(
+    const std::vector<Token>& toks, std::size_t bodyBegin,
+    std::size_t bodyEnd);
 
 }  // namespace cpr::lint

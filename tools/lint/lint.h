@@ -9,6 +9,12 @@
 /// and every exception must be visible at the exact line it excuses. The
 /// rule table lives in DESIGN.md ("Static analysis & contracts").
 ///
+/// Some rules ignore allow directives entirely: the architecture-graph
+/// rules (LAYER-*/DEAD-HEADER, see arch.h) and the deadlock-shaped
+/// concurrency rules LOCK-ORDER / LOCK-BLOCKING-CALL (concurrency.h) —
+/// their sanctioned escape hatches are manifest/annotation changes, not
+/// per-line pragmas.
+///
 /// Scoping is path-based: `relPath` must be the repo-relative path with
 /// forward slashes (e.g. "src/core/panel_kernel.cpp"); several rules only
 /// apply under src/core, to panel_kernel translation units, or to headers.
@@ -21,7 +27,8 @@
 
 namespace cpr::lint {
 
-struct LayerManifest;  // arch.h
+struct LayerManifest;     // arch.h
+struct BlockingManifest;  // concurrency.h
 
 struct Diagnostic {
   std::string rule;
@@ -38,7 +45,9 @@ struct RuleInfo {
 /// Stable rule registry, in severity-agnostic alphabetical order.
 [[nodiscard]] const std::vector<RuleInfo>& ruleTable();
 
-/// Lints one translation unit. Diagnostics come back sorted by line then
+/// Lints one translation unit (a single-file lintFiles call, so per-file
+/// rules and the concurrency pass run; the architecture pass needs the
+/// whole set and does not). Diagnostics come back sorted by line then
 /// rule ID; suppressed findings are dropped and stale `allow(...)`
 /// directives surface as ALLOW-UNUSED.
 [[nodiscard]] std::vector<Diagnostic> lintSource(const std::string& relPath,
@@ -51,16 +60,20 @@ struct SourceFile {
   std::string source;
 };
 
-/// Lints a whole file set: per-file rules on every file, then — when a
-/// `manifest` is supplied — the architecture-graph pass (LAYER-VIOLATION /
+/// Lints a whole file set: per-file rules on every file, the concurrency
+/// pass (GUARDED-BY / LOCK-BLOCKING-CALL / LOCK-ORDER / THREAD-LIFECYCLE,
+/// see concurrency.h) over the whole set, then — when a `manifest` is
+/// supplied — the architecture-graph pass (LAYER-VIOLATION /
 /// LAYER-FORBIDDEN / LAYER-CYCLE / DEAD-HEADER, see arch.h) over the
-/// include graph of the
-/// set. Architecture diagnostics ignore allow directives by design.
-/// Diagnostics come back grouped per file in input order (architecture
-/// findings merged in), sorted by line then rule within a file.
+/// include graph of the set. `blocking` names the blocking-call manifest
+/// for LOCK-BLOCKING-CALL; null uses builtinBlockingManifest().
+/// Architecture diagnostics and LOCK-ORDER / LOCK-BLOCKING-CALL ignore
+/// allow directives by design. Diagnostics come back grouped per file in
+/// input order, sorted by line then rule within a file.
 [[nodiscard]] std::vector<Diagnostic> lintFiles(
     const std::vector<SourceFile>& files,
-    const LayerManifest* manifest = nullptr);
+    const LayerManifest* manifest = nullptr,
+    const BlockingManifest* blocking = nullptr);
 
 /// Walks `subdirs` under `rootDir`, lints every C++ source file
 /// (.h/.hpp/.cpp/.cc/.cxx), and concatenates the per-file diagnostics in
@@ -68,9 +81,24 @@ struct SourceFile {
 /// starting with '.' are skipped. When `scannedFiles` is non-null it
 /// receives the repo-relative path of every file visited. When `manifest`
 /// is non-null the architecture-graph pass runs over the whole walked set.
+/// `blocking` is forwarded to lintFiles.
 [[nodiscard]] std::vector<Diagnostic> lintTree(
     const std::filesystem::path& rootDir, const std::vector<std::string>& subdirs,
     std::vector<std::string>* scannedFiles = nullptr,
-    const LayerManifest* manifest = nullptr);
+    const LayerManifest* manifest = nullptr,
+    const BlockingManifest* blocking = nullptr);
+
+/// Result of removing stale allow directives from one source text.
+struct StripAllowResult {
+  std::string source;  ///< rewritten text
+  int removed = 0;     ///< directives actually removed
+};
+
+/// Removes the `cpr-lint:` comment directive from each 1-based line in
+/// `lines` (the lines of ALLOW-UNUSED findings). Only the comment carrying
+/// the marker is removed; code sharing the line survives, and a line left
+/// whitespace-only is dropped entirely. Backs `cpr_lint --fix-stale-allows`.
+[[nodiscard]] StripAllowResult stripAllowDirectives(
+    std::string_view source, const std::vector<int>& lines);
 
 }  // namespace cpr::lint

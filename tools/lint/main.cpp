@@ -2,26 +2,35 @@
 /// cpr_lint CLI: lints the project trees and exits non-zero on any
 /// diagnostic. Run as a ctest target (repo_lint) and as the CI lint job.
 ///
-///   cpr_lint [--root DIR] [--layers FILE] [--sarif FILE] [--report FILE]
-///            [--list-rules] [PATH...]
+///   cpr_lint [--root DIR] [--layers FILE] [--blocking FILE] [--sarif FILE]
+///            [--report FILE] [--fix-stale-allows] [--list-rules] [PATH...]
 ///
 /// PATHs are files or directories relative to --root (default: the current
 /// directory); with no PATH the standard project trees src tools tests
 /// bench are scanned. The architecture-graph pass runs whenever the layer
 /// manifest is readable (default: <root>/tools/lint/layers.txt; override
-/// with --layers). `--sarif` writes the diagnostics as a SARIF 2.1.0 log
+/// with --layers). The LOCK-BLOCKING-CALL manifest defaults to
+/// <root>/tools/lint/blocking.txt, falling back to the compiled-in list
+/// when that file is absent; an explicit --blocking that cannot be parsed
+/// is a hard error. `--sarif` writes the diagnostics as a SARIF 2.1.0 log
 /// for code-scanning upload; `--report` writes the run's own counters
 /// (lint.files / lint.diagnostics and the lint.run span) as a
-/// `cpr.report.v1` JSON. Exit codes: 0 clean, 1 diagnostics found, 2 usage
-/// or bad manifest.
+/// `cpr.report.v1` JSON. `--fix-stale-allows` rewrites the scanned files
+/// in place, deleting every allow directive flagged ALLOW-UNUSED, and
+/// drops those findings from the output. Exit codes: 0 clean, 1
+/// diagnostics found, 2 usage or bad manifest.
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "lint/arch.h"
+#include "lint/concurrency.h"
 #include "lint/lint.h"
 #include "obs/collector.h"
 #include "obs/names.h"
@@ -30,16 +39,22 @@
 namespace {
 
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--root DIR] [--layers FILE] [--sarif FILE]\n"
-               "       [--report FILE] [--list-rules] [PATH...]\n"
-               "  --root DIR    repo root the PATHs are relative to\n"
-               "  --layers FILE layer manifest for the architecture pass\n"
-               "                (default: <root>/tools/lint/layers.txt)\n"
-               "  --sarif FILE  write diagnostics as SARIF 2.1.0\n"
-               "  --report FILE write run counters as cpr.report.v1 JSON\n"
-               "  --list-rules  print the rule table and exit\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [--root DIR] [--layers FILE] [--blocking FILE]\n"
+      "       [--sarif FILE] [--report FILE] [--fix-stale-allows]\n"
+      "       [--list-rules] [PATH...]\n"
+      "  --root DIR        repo root the PATHs are relative to\n"
+      "  --layers FILE     layer manifest for the architecture pass\n"
+      "                    (default: <root>/tools/lint/layers.txt)\n"
+      "  --blocking FILE   blocking-call manifest for LOCK-BLOCKING-CALL\n"
+      "                    (default: <root>/tools/lint/blocking.txt,\n"
+      "                    else the compiled-in list)\n"
+      "  --sarif FILE      write diagnostics as SARIF 2.1.0\n"
+      "  --report FILE     write run counters as cpr.report.v1 JSON\n"
+      "  --fix-stale-allows  delete ALLOW-UNUSED directives in place\n"
+      "  --list-rules      print the rule table and exit\n",
+      argv0);
   return 2;
 }
 
@@ -94,8 +109,10 @@ bool saveSarif(const std::string& path,
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string layersPath;
+  std::string blockingPath;
   std::string sarifPath;
   std::string reportPath;
+  bool fixStaleAllows = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -108,6 +125,10 @@ int main(int argc, char** argv) {
       if (!flagValue(root)) return usage(argv[0]);
     } else if (arg == "--layers") {
       if (!flagValue(layersPath)) return usage(argv[0]);
+    } else if (arg == "--blocking") {
+      if (!flagValue(blockingPath)) return usage(argv[0]);
+    } else if (arg == "--fix-stale-allows") {
+      fixStaleAllows = true;
     } else if (arg == "--sarif") {
       if (!flagValue(sarifPath)) return usage(argv[0]);
     } else if (arg == "--report") {
@@ -145,13 +166,71 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Same policy for the blocking manifest, with the compiled-in list as
+  // the fallback when the in-repo file is absent.
+  cpr::lint::BlockingManifest blocking = cpr::lint::builtinBlockingManifest();
+  const bool blockingExplicit = !blockingPath.empty();
+  if (!blockingExplicit)
+    blockingPath = (std::filesystem::path(root) / "tools/lint/blocking.txt")
+                       .generic_string();
+  std::string blockingError;
+  if (!cpr::lint::loadBlockingManifest(blockingPath, blocking,
+                                       blockingError)) {
+    if (blockingExplicit ||
+        std::filesystem::exists(std::filesystem::path(blockingPath))) {
+      std::fprintf(stderr, "cpr_lint: %s\n", blockingError.c_str());
+      return 2;
+    }
+    blocking = cpr::lint::builtinBlockingManifest();
+  }
+
   cpr::obs::Collector collector;
   std::vector<std::string> scanned;
   std::vector<cpr::lint::Diagnostic> diags;
   {
     const cpr::obs::ScopedTimer timer(&collector,
                                       cpr::obs::names::kLintRunSpan);
-    diags = cpr::lint::lintTree(root, paths, &scanned, manifestPtr);
+    diags = cpr::lint::lintTree(root, paths, &scanned, manifestPtr,
+                                &blocking);
+  }
+
+  if (fixStaleAllows) {
+    // Rewrite each offending file once, then drop the fixed findings so
+    // the run reports (and exits on) only what remains.
+    std::map<std::string, std::vector<int>> stale;
+    for (const cpr::lint::Diagnostic& d : diags)
+      if (d.rule == "ALLOW-UNUSED") stale[d.file].push_back(d.line);
+    int removed = 0;
+    for (const auto& [rel, lines] : stale) {
+      const std::filesystem::path p = std::filesystem::path(root) / rel;
+      std::ifstream is(p, std::ios::binary);
+      if (!is) {
+        std::fprintf(stderr, "cpr_lint: cannot reread %s\n", rel.c_str());
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << is.rdbuf();
+      is.close();
+      const cpr::lint::StripAllowResult fixed =
+          cpr::lint::stripAllowDirectives(buf.str(), lines);
+      std::ofstream os(p, std::ios::binary | std::ios::trunc);
+      if (!os || !(os << fixed.source)) {
+        std::fprintf(stderr, "cpr_lint: cannot rewrite %s\n", rel.c_str());
+        return 2;
+      }
+      removed += fixed.removed;
+    }
+    if (!stale.empty()) {
+      std::fprintf(stderr,
+                   "cpr_lint: removed %d stale allow directive(s) in %zu "
+                   "file(s)\n",
+                   removed, stale.size());
+      diags.erase(std::remove_if(diags.begin(), diags.end(),
+                                 [](const cpr::lint::Diagnostic& d) {
+                                   return d.rule == "ALLOW-UNUSED";
+                                 }),
+                  diags.end());
+    }
   }
   collector.add(cpr::obs::names::kLintFiles,
                 static_cast<long>(scanned.size()));

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "lint/arch.h"
+#include "lint/concurrency.h"
 #include "lint/ir.h"
 #include "lint/lexer.h"
 #include "lint/lint.h"
@@ -357,6 +358,8 @@ const std::vector<RuleInfo>& ruleTable() {
       {"DETERMINISM",
        "range-for over an unordered container whose body emits "
        "metrics/output"},
+      {"GUARDED-BY",
+       "CPR_GUARDED_BY field touched outside a region holding its mutex"},
       {"HEADER-HYGIENE",
        "headers need #pragma once and must not 'using namespace'"},
       {"INDEX-CAST",
@@ -369,9 +372,18 @@ const std::vector<RuleInfo>& ruleTable() {
        "tools/lint/layers.txt, directly or transitively"},
       {"LAYER-VIOLATION",
        "include edge pointing up the layer manifest tools/lint/layers.txt"},
+      {"LOCK-BLOCKING-CALL",
+       "blocking call (tools/lint/blocking.txt) while holding a lock not "
+       "annotated CPR_MAY_BLOCK; not allow-suppressible"},
+      {"LOCK-ORDER",
+       "cycle in the whole-tree lock acquisition graph; not "
+       "allow-suppressible"},
       {"OBS-LITERAL",
        "inline \"pao|route|drc|ilp|serve.*\" metric literals outside "
        "obs/names.h"},
+      {"THREAD-LIFECYCLE",
+       "std::thread neither joined/detached/moved; thread field without "
+       "CPR_THREAD_REAPER"},
       {"THROW-BOUNDARY",
        "throw/abort in panel_kernel.* or trySolve-boundary files"},
   };
@@ -380,86 +392,124 @@ const std::vector<RuleInfo>& ruleTable() {
 
 std::vector<Diagnostic> lintSource(const std::string& relPath,
                                    std::string_view source) {
-  LexResult lx = lex(source);
-  FileLint fl{relPath, lx.tokens, {}};
-  fl.obsLiteral();
-  fl.deadlineRaw();
-  fl.throwBoundary();
-  fl.bannedFn();
-  fl.headerHygiene();
-  fl.contractCoverage();
-  fl.indexCast();
-  fl.determinism();
-
-  // Per-line suppression: an allow directive covers its own line and the
-  // line directly below it, for the named rules only.
-  std::vector<Diagnostic> kept;
-  for (Diagnostic& d : fl.raw) {
-    bool suppressed = false;
-    for (Allow& a : lx.allows) {
-      if (a.line != d.line && a.line + 1 != d.line) continue;
-      if (std::find(a.rules.begin(), a.rules.end(), d.rule) == a.rules.end())
-        continue;
-      a.used = true;
-      suppressed = true;
-    }
-    if (!suppressed) kept.push_back(std::move(d));
-  }
-  for (const Allow& a : lx.allows) {
-    if (a.used) continue;
-    kept.push_back(Diagnostic{
-        "ALLOW-UNUSED", relPath, a.line,
-        "suppression matches no diagnostic on this or the next line; "
-        "remove it"});
-  }
-  std::sort(kept.begin(), kept.end(),
-            [](const Diagnostic& a, const Diagnostic& b) {
-              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
-            });
-  return kept;
+  return lintFiles({SourceFile{relPath, std::string(source)}});
 }
 
 std::vector<Diagnostic> lintFiles(const std::vector<SourceFile>& files,
-                                  const LayerManifest* manifest) {
-  std::vector<Diagnostic> out;
+                                  const LayerManifest* manifest,
+                                  const BlockingManifest* blocking) {
+  // Lex and build the declaration IR once per file; every pass below
+  // (file rules, concurrency, architecture) works off these.
+  std::vector<LexResult> lexed;
+  std::vector<FileIr> irs;
+  lexed.reserve(files.size());
+  irs.reserve(files.size());
   for (const SourceFile& f : files) {
-    std::vector<Diagnostic> diags = lintSource(f.relPath, f.source);
-    out.insert(out.end(), std::make_move_iterator(diags.begin()),
-               std::make_move_iterator(diags.end()));
+    lexed.push_back(lex(f.source));
+    irs.push_back(buildIr(lexed.back().tokens));
   }
+
+  std::vector<Diagnostic> out;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    FileLint fl{files[i].relPath, lexed[i].tokens, {}};
+    fl.obsLiteral();
+    fl.deadlineRaw();
+    fl.throwBoundary();
+    fl.bannedFn();
+    fl.headerHygiene();
+    fl.contractCoverage();
+    fl.indexCast();
+    fl.determinism();
+    out.insert(out.end(), std::make_move_iterator(fl.raw.begin()),
+               std::make_move_iterator(fl.raw.end()));
+  }
+
+  // Concurrency pass over the whole set: annotations are global (a
+  // header's CPR_REQUIRES applies to the definition in its .cpp), and the
+  // lock-order graph only means anything tree-wide.
+  {
+    std::vector<ConcFile> conc;
+    conc.reserve(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i)
+      conc.push_back(ConcFile{files[i].relPath, &lexed[i].tokens, &irs[i]});
+    std::vector<Diagnostic> cd = checkConcurrency(
+        conc, blocking ? *blocking : builtinBlockingManifest());
+    out.insert(out.end(), std::make_move_iterator(cd.begin()),
+               std::make_move_iterator(cd.end()));
+  }
+
   if (manifest) {
-    // Architecture pass over the whole set. These diagnostics bypass the
-    // allow-directive machinery on purpose (see arch.h).
     std::vector<ArchFile> arch;
     arch.reserve(files.size());
-    for (const SourceFile& f : files) {
-      const LexResult lx = lex(f.source);
-      arch.push_back(ArchFile{f.relPath, buildIr(lx.tokens).includes});
-    }
+    for (std::size_t i = 0; i < files.size(); ++i)
+      arch.push_back(ArchFile{files[i].relPath, irs[i].includes});
     std::vector<Diagnostic> graph = checkArchitecture(arch, *manifest);
     out.insert(out.end(), std::make_move_iterator(graph.begin()),
                std::make_move_iterator(graph.end()));
-    // Re-establish the per-file grouping (input order) with line-then-rule
-    // order inside each file.
-    std::map<std::string, std::size_t> order;
-    for (std::size_t i = 0; i < files.size(); ++i)
-      order.emplace(files[i].relPath, i);
-    std::stable_sort(out.begin(), out.end(),
-                     [&](const Diagnostic& a, const Diagnostic& b) {
-                       const std::size_t fa = order.at(a.file);
-                       const std::size_t fb = order.at(b.file);
-                       if (fa != fb) return fa < fb;
-                       if (a.line != b.line) return a.line < b.line;
-                       return a.rule < b.rule;
-                     });
   }
-  return out;
+
+  // Per-line suppression: an allow directive covers its own line and the
+  // line directly below it, for the named rules only. The architecture
+  // rules and the deadlock-shaped concurrency rules bypass allows by
+  // design (see lint.h): their escape hatches are manifest and annotation
+  // changes, visible at the declaration, never a per-line pragma.
+  auto allowBypassing = [](const std::string& rule) {
+    return rule == "LAYER-VIOLATION" || rule == "LAYER-FORBIDDEN" ||
+           rule == "LAYER-CYCLE" || rule == "DEAD-HEADER" ||
+           rule == "LOCK-ORDER" || rule == "LOCK-BLOCKING-CALL";
+  };
+  std::map<std::string, std::size_t> order;
+  for (std::size_t i = 0; i < files.size(); ++i)
+    order.emplace(files[i].relPath, i);
+  std::vector<Diagnostic> kept;
+  kept.reserve(out.size());
+  for (Diagnostic& d : out) {
+    bool suppressed = false;
+    const auto idx = order.find(d.file);
+    if (!allowBypassing(d.rule) && idx != order.end()) {
+      for (Allow& a : lexed[idx->second].allows) {
+        if (a.line != d.line && a.line + 1 != d.line) continue;
+        if (std::find(a.rules.begin(), a.rules.end(), d.rule) ==
+            a.rules.end())
+          continue;
+        a.used = true;
+        suppressed = true;
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(d));
+  }
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    for (const Allow& a : lexed[i].allows) {
+      if (a.used) continue;
+      kept.push_back(Diagnostic{
+          "ALLOW-UNUSED", files[i].relPath, a.line,
+          "suppression matches no diagnostic on this or the next line; "
+          "remove it"});
+    }
+  }
+
+  // Per-file grouping (input order) with line-then-rule order inside each
+  // file; diagnostics on unknown files (none expected) sort last.
+  std::stable_sort(kept.begin(), kept.end(),
+                   [&](const Diagnostic& a, const Diagnostic& b) {
+                     const auto ia = order.find(a.file);
+                     const auto ib = order.find(b.file);
+                     const std::size_t fa =
+                         ia != order.end() ? ia->second : order.size();
+                     const std::size_t fb =
+                         ib != order.end() ? ib->second : order.size();
+                     if (fa != fb) return fa < fb;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+  return kept;
 }
 
 std::vector<Diagnostic> lintTree(const fs::path& rootDir,
                                  const std::vector<std::string>& subdirs,
                                  std::vector<std::string>* scannedFiles,
-                                 const LayerManifest* manifest) {
+                                 const LayerManifest* manifest,
+                                 const BlockingManifest* blocking) {
   auto skipDir = [](const std::string& name) {
     return startsWith(name, "build") || startsWith(name, ".") ||
            name == "corpus" || name == "lint_corpus" || name == "results";
@@ -503,7 +553,58 @@ std::vector<Diagnostic> lintTree(const fs::path& rootDir,
     buf << is.rdbuf();
     sources.push_back(SourceFile{rel, buf.str()});
   }
-  return lintFiles(sources, manifest);
+  return lintFiles(sources, manifest, blocking);
+}
+
+StripAllowResult stripAllowDirectives(std::string_view source,
+                                      const std::vector<int>& lines) {
+  const std::set<int> targets(lines.begin(), lines.end());
+  const bool finalNewline = !source.empty() && source.back() == '\n';
+  std::vector<std::string> text;
+  {
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= source.size(); ++i) {
+      if (i == source.size() || source[i] == '\n') {
+        if (i == source.size() && start == i) break;
+        text.emplace_back(source.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+  }
+
+  StripAllowResult result;
+  std::vector<bool> drop(text.size(), false);
+  for (const int lineNo : targets) {
+    if (lineNo < 1 || lineNo > static_cast<int>(text.size())) continue;
+    std::string& ln = text[lineNo - 1];
+    const std::size_t marker = ln.find("cpr-lint:");
+    if (marker == std::string::npos) continue;
+    // The directive lives inside a comment; remove exactly that comment.
+    const std::size_t lineCmt = ln.rfind("//", marker);
+    const std::size_t blockCmt = ln.rfind("/*", marker);
+    if (lineCmt != std::string::npos &&
+        (blockCmt == std::string::npos || blockCmt < lineCmt)) {
+      ln.erase(lineCmt);
+    } else if (blockCmt != std::string::npos) {
+      const std::size_t close = ln.find("*/", marker);
+      if (close == std::string::npos) continue;  // malformed; leave it
+      ln.erase(blockCmt, close + 2 - blockCmt);
+    } else {
+      continue;
+    }
+    while (!ln.empty() && (ln.back() == ' ' || ln.back() == '\t'))
+      ln.pop_back();
+    if (ln.find_first_not_of(" \t") == std::string::npos)
+      drop[lineNo - 1] = true;
+    ++result.removed;
+  }
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (drop[i]) continue;
+    result.source += text[i];
+    if (i + 1 < text.size() || finalNewline) result.source += '\n';
+  }
+  return result;
 }
 
 }  // namespace cpr::lint
