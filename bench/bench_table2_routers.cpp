@@ -24,6 +24,7 @@
 #include "obs/names.h"
 #include "route/cpr.h"
 #include "route/sequential_router.h"
+#include "support/alloc_hook.h"
 
 namespace {
 
@@ -85,6 +86,13 @@ int main(int argc, char** argv) {
   const auto suite = h.suite();
   obs::Collector report;
   report.note("bench", "table2_routers");
+
+  // Arm the hot-path allocation gate for the whole run (the counting
+  // operator new is linked into every bench). Any allocation inside a
+  // support::alloc::HotRegion — today the maze A* loop — lands in the
+  // `pao.alloc.hot_path_allocs` counter below; CI asserts it stays 0.
+  support::alloc::resetHotRegionAllocs();
+  support::alloc::arm(true);
 
   std::printf("Table 2: comparisons on solution qualities of different "
               "routing approaches\n");
@@ -184,6 +192,11 @@ int main(int argc, char** argv) {
     }
     bench::hr();
   }
+  support::alloc::arm(false);
+  const long hotAllocs = support::alloc::hotRegionAllocs();
+  report.add(obs::names::kPaoHotPathAllocs, hotAllocs);
+  std::printf("\nhot-path allocations (armed gate, all runs): %ld\n",
+              hotAllocs);
   h.maybeWriteReport(report);
-  return 0;
+  return hotAllocs == 0 ? 0 : 3;
 }

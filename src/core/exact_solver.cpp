@@ -39,12 +39,16 @@ struct Search {
     const std::size_t n = k.numIntervals();
     const std::size_t nPins = k.numPins();
     s.activePins.clear();
+    s.activePins.reserve(nPins);
     for (std::size_t j = 0; j < nPins; ++j) {
       if (!k.candidatesOf(PinIdx{j}).empty()) s.activePins.push_back(PinIdx{j});
     }
     s.status.assign(n, kFree);
     s.assignedTo.assign(nPins, CandIdx::invalid());
-    s.trail.clear();
+    // Fixed-capacity undo stack: a status change is trailed at most once per
+    // interval and an assignment at most once per pin along any search path.
+    s.trail.resize(std::max(s.trail.size(), n + nPins));
+    s.trailLen = 0;
     s.chosenStamp.assign(n, -1);
     s.csStamp.assign(k.numConflicts(), -1);
     s.csCount.assign(k.numConflicts(), 0);
@@ -167,12 +171,11 @@ struct Search {
     return false;
   }
 
-  std::size_t mark() const { return s.trail.size(); }
+  std::size_t mark() const { return s.trailLen; }
 
   void undoTo(std::size_t m) {
-    while (s.trail.size() > m) {
-      const ExactTrailOp op = s.trail.back();
-      s.trail.pop_back();
+    while (s.trailLen > m) {
+      const ExactTrailOp op = s.trail[--s.trailLen];
       if (op.isStatus) {
         CPR_DCHECK(op.cand.idx() < s.status.size());
         s.status[op.cand.idx()] = kFree;
@@ -189,7 +192,8 @@ struct Search {
     if (st == kOne) return false;
     if (st == kFree) {
       st = kZero;
-      s.trail.push_back({true, i, PinIdx::invalid()});
+      CPR_DCHECK(s.trailLen < s.trail.size());
+      s.trail[s.trailLen++] = {true, i, PinIdx::invalid()};
     }
     return true;
   }
@@ -201,14 +205,16 @@ struct Search {
     if (st == kZero) return false;
     if (st == kFree) {
       st = kOne;
-      s.trail.push_back({true, i, PinIdx::invalid()});
+      CPR_DCHECK(s.trailLen < s.trail.size());
+      s.trail[s.trailLen++] = {true, i, PinIdx::invalid()};
     }
     for (const PinIdx q : k.pinsOf(i)) {
       if (s.assignedTo[q.idx()].valid()) {
         if (s.assignedTo[q.idx()] != i) return false;
       } else {
         s.assignedTo[q.idx()] = i;
-        s.trail.push_back({false, CandIdx::invalid(), q});
+        CPR_DCHECK(s.trailLen < s.trail.size());
+        s.trail[s.trailLen++] = {false, CandIdx::invalid(), q};
       }
       for (const CandIdx c : k.candidatesOf(q)) {
         if (c != i && !setZero(c)) return false;
@@ -260,6 +266,7 @@ struct Search {
     // interval; both yield a free interval to branch on.
     ++epoch;
     s.nodeChosen.clear();
+    s.nodeChosen.reserve(k.numPins());  // no-op warm; one entry per pin max
     for (const PinIdx j : s.activePins) {
       const CandIdx i = s.nodeChoice[j.idx()];
       long& st = s.chosenStamp[i.idx()];

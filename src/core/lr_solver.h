@@ -20,6 +20,7 @@
 #include "core/problem.h"
 #include "obs/collector.h"
 #include "support/deadline.h"
+#include "support/hot_annotations.h"
 
 namespace cpr::core {
 
@@ -86,9 +87,10 @@ struct LrScratch {
   std::vector<char> selFlag;
   // conflict-removal / re-expansion buffers
   std::vector<int> usage, freedWithin;
+  std::vector<CandIdx> members;  ///< selected members of one conflict set
 
   /// Current capacity across all buffers, for the optimizer's arena gauge.
-  [[nodiscard]] std::size_t footprintBytes() const;
+  [[nodiscard]] std::size_t footprintBytes() const CPR_NOALLOC;
 };
 
 /// Solves the compiled instance `k` with Lagrangian relaxation. Requires
@@ -105,7 +107,7 @@ struct LrScratch {
                                  LrStats* stats = nullptr,
                                  obs::Collector* obs = nullptr,
                                  LrScratch* scratch = nullptr,
-                                 support::Deadline deadline = {});
+                                 support::Deadline deadline = {}) CPR_HOT;
 
 /// Convenience overload: compiles `p` into a temporary kernel and solves.
 [[nodiscard]] Assignment solveLr(const Problem& p, const LrOptions& opts = {},

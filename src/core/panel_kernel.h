@@ -31,6 +31,7 @@
 #include "core/ids.h"
 #include "core/problem.h"
 #include "support/contracts.h"
+#include "support/hot_annotations.h"
 
 namespace cpr::core {
 
@@ -42,7 +43,9 @@ class PanelKernel {
   /// flat arrays preserve the nested iteration order exactly, so solvers
   /// running on the kernel produce bit-identical results to the nested
   /// paths they replaced.
-  [[nodiscard]] static PanelKernel compile(Problem&& p);
+  /// CPR_COLD_OK: compilation is per-panel setup that allocates the CSR
+  /// arrays by design; the hot solve loops only ever read the result.
+  [[nodiscard]] static PanelKernel compile(Problem&& p) CPR_COLD_OK;
 
   /// The moved-in instance, for cold paths (reporting, tests, decode).
   [[nodiscard]] const Problem& problem() const { return problem_; }
@@ -152,6 +155,9 @@ class PanelKernel {
 /// Flat-path audit: same semantics as `audit(const Problem&, ...)` but
 /// iterating the kernel's CSR arrays. The two must agree exactly (enforced
 /// by the panel-kernel property test).
-[[nodiscard]] AssignmentAudit audit(const PanelKernel& k, const Assignment& a);
+/// CPR_COLD_OK: the audit is a correctness cross-check (seed validation,
+/// test ground truth) that groups by track through a std::map by design.
+[[nodiscard]] AssignmentAudit audit(const PanelKernel& k,
+                                    const Assignment& a) CPR_COLD_OK;
 
 }  // namespace cpr::core

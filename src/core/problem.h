@@ -14,6 +14,7 @@
 
 #include "geom/interval.h"
 #include "geom/types.h"
+#include "support/hot_annotations.h"
 
 namespace cpr::core {
 
@@ -101,7 +102,10 @@ struct AssignmentAudit {
   int unassignedPins = 0;
   bool eachPinCovered = true;   ///< every assigned interval actually covers its pin
 };
-[[nodiscard]] AssignmentAudit audit(const Problem& p, const Assignment& a);
+/// CPR_COLD_OK: correctness cross-check, allocates by design (see the
+/// kernel overload).
+[[nodiscard]] AssignmentAudit audit(const Problem& p,
+                                    const Assignment& a) CPR_COLD_OK;
 
 /// Human-readable one-line summary ("pins=.. intervals=.. conflicts=..").
 [[nodiscard]] std::string summary(const Problem& p);

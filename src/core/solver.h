@@ -29,6 +29,7 @@
 #include "ilp/branch_and_bound.h"
 #include "obs/collector.h"
 #include "support/deadline.h"
+#include "support/hot_annotations.h"
 #include "support/status.h"
 
 namespace cpr::core {
@@ -100,7 +101,8 @@ class LrSolver final : public Solver {
   [[nodiscard]] Assignment solve(const PanelKernel& k,
                                  PanelScratch* scratch = nullptr,
                                  obs::Collector* obs = nullptr,
-                                 support::Deadline deadline = {}) const override;
+                                 support::Deadline deadline = {}) const override
+      CPR_HOT;
   [[nodiscard]] const LrOptions& options() const { return opts_; }
 
  private:
@@ -117,7 +119,8 @@ class ExactSolver final : public Solver {
   [[nodiscard]] Assignment solve(const PanelKernel& k,
                                  PanelScratch* scratch = nullptr,
                                  obs::Collector* obs = nullptr,
-                                 support::Deadline deadline = {}) const override;
+                                 support::Deadline deadline = {}) const override
+      CPR_HOT;
   [[nodiscard]] const ExactOptions& options() const { return opts_; }
 
  private:
@@ -131,10 +134,14 @@ class IlpSolver final : public Solver {
   using Solver::solve;
   explicit IlpSolver(ilp::IlpOptions opts = {}) : opts_(opts) {}
   [[nodiscard]] std::string_view name() const override { return "ilp"; }
+  // CPR_COLD_OK: the generic translation path exists as a cross-checking
+  // baseline; building the ilp::Model allocates by design and is never on
+  // the scaling-critical path.
   [[nodiscard]] Assignment solve(const PanelKernel& k,
                                  PanelScratch* scratch = nullptr,
                                  obs::Collector* obs = nullptr,
-                                 support::Deadline deadline = {}) const override;
+                                 support::Deadline deadline = {}) const override
+      CPR_COLD_OK;
   [[nodiscard]] const ilp::IlpOptions& options() const { return opts_; }
 
  private:

@@ -23,6 +23,8 @@
 #include <string_view>
 #include <vector>
 
+#include "support/hot_annotations.h"
+
 namespace cpr::obs {
 
 using Clock = std::chrono::steady_clock;
@@ -53,24 +55,29 @@ class Collector {
 
   [[nodiscard]] int src() const { return src_; }
 
+  // The write-side entry points are CPR_COLD_OK: instrumentation is the
+  // sanctioned cold island inside hot code — map/string upkeep allocates by
+  // design, call sites are either behind a null check or flushed after the
+  // parallel region, and the runtime gate pauses its hot region around them.
+
   // ---- counters (merged by summation) ----
-  void add(std::string_view name, long delta = 1);
+  void add(std::string_view name, long delta = 1) CPR_COLD_OK;
   /// 0 when the counter was never touched.
   [[nodiscard]] long counter(std::string_view name) const;
 
   // ---- gauges (last write wins, also across merges) ----
-  void gauge(std::string_view name, double value);
+  void gauge(std::string_view name, double value) CPR_COLD_OK;
   [[nodiscard]] double gaugeOr(std::string_view name, double fallback) const;
 
   // ---- run metadata (string key/value, last write wins) ----
-  void note(std::string_view key, std::string_view value);
+  void note(std::string_view key, std::string_view value) CPR_COLD_OK;
 
   // ---- series ----
   /// Appends one row to `name`, creating the series (with "src" prepended to
   /// `columns`) on first use. Callers must pass the same columns every time.
   void row(std::string_view name,
            std::initializer_list<std::string_view> columns,
-           std::initializer_list<double> values);
+           std::initializer_list<double> values) CPR_COLD_OK;
 
   /// Folds `other` into this collector: counters sum, gauges and notes
   /// overwrite, series rows and spans append in order. Merging the same

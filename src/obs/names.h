@@ -75,6 +75,12 @@ inline constexpr std::string_view kPaoKernelBytes = "pao.kernel.bytes";
 /// panels landed on workers, so it may vary with the thread count).
 inline constexpr std::string_view kPaoScratchPeakBytes =
     "pao.scratch.peak_bytes";
+/// Heap allocations observed inside armed hot regions (alloc_hook.h) by the
+/// bench harness's counting allocator. The release bench asserts 0: the
+/// scratch-arena warmup has to absorb every allocation before the kernels
+/// run (DESIGN.md §16 "Hot-path discipline").
+inline constexpr std::string_view kPaoHotPathAllocs =
+    "pao.alloc.hot_path_allocs";
 // Optimizer phase spans (ScopedTimer names) and run notes.
 inline constexpr std::string_view kPaoGenSpan = "pao.gen";
 inline constexpr std::string_view kPaoConflictSpan = "pao.conflict";
@@ -132,6 +138,10 @@ inline constexpr std::string_view kDrcDirtyNets = "drc.nets.dirty";
 // cpr.report.v1 JSON so linter cost is trackable like any other phase).
 inline constexpr std::string_view kLintFiles = "lint.files";
 inline constexpr std::string_view kLintDiagnostics = "lint.diagnostics";
+/// Unique intra-project call edges the hot-path pass resolved (hotpath.h);
+/// a sudden drop means the resolver lost track of the tree.
+inline constexpr std::string_view kLintCallgraphEdges =
+    "lint.callgraph.edges";
 /// ScopedTimer span around the whole lintTree walk.
 inline constexpr std::string_view kLintRunSpan = "lint.run";
 // Routing service (src/serve, DESIGN.md "Service failure model"). The
@@ -181,7 +191,7 @@ inline constexpr std::string_view kServeEvRejected = "serve.job.rejected";
 /// are unique and follow the `^[a-z]+(\.[a-z_]+)+$` grammar, which is what
 /// catches a typo'd or duplicated metric name at test time rather than in a
 /// dashboard.
-inline constexpr std::array<std::string_view, 83> kAll = {
+inline constexpr std::array<std::string_view, 85> kAll = {
     kGenIntervals,         kGenShared,           kGenBlockedPins,
     kConflictSets,         kLrIterations,        kLrRemovalRounds,
     kLrReexpandUpgrades,   kLrTimeout,           kExactNodes,
@@ -209,7 +219,8 @@ inline constexpr std::array<std::string_view, 83> kAll = {
     kServeJobsFailed,      kServeJobsRetried,    kServeJobsCancelled,
     kServeQueuePeakDepth,  kServeJobSpan,        kServeEvAccepted,
     kServeEvStarted,       kServeEvRetrying,     kServeEvCompleted,
-    kServeEvFailed,        kServeEvRejected,
+    kServeEvFailed,        kServeEvRejected,     kPaoHotPathAllocs,
+    kLintCallgraphEdges,
 };
 
 }  // namespace cpr::obs::names

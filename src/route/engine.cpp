@@ -107,7 +107,8 @@ NetPlan RouteEngine::searchNet(Index net, const MazeCosts& costs,
   const NetInfo& info = infos_[static_cast<std::size_t>(net)];
   if (info.access.empty()) return plan;
   scratch.bind(grid_.numNodes());
-  plan.recUsedXs.resize(info.recs.size());
+  plan.recUsedXs.reserve(info.recs.size());
+  plan.recUsedXs.resize(info.recs.size());  // default Interval = empty extent
 
   const Coord m = margin_ + extraMargin;
   geom::Rect window{
@@ -125,8 +126,19 @@ NetPlan RouteEngine::searchNet(Index net, const MazeCosts& costs,
     return design_.pin(pa).shape.x.lo < design_.pin(pb).shape.x.lo;
   });
 
+  // Plan-assembly vectors get their expected sizes up front: one V1 per pin
+  // (+1 for the first pin's projection V1), one path per connection, and the
+  // seed targets for the tree. Landed paths can still grow vias/tree past
+  // these — that growth is plan assembly between searches, outside the
+  // armed hot region, not the A* inner loop.
+  std::size_t seedCap = 0;
+  for (const PinAccess& a : info.access) seedCap += a.targets.size();
+  plan.vias.reserve(info.access.size() + 1);
+  plan.paths.reserve(info.access.size());
   const long treeEpoch = ++scratch.treeEpoch;
-  std::vector<int> tree;
+  std::vector<int>& tree = scratch.tree;
+  tree.clear();
+  tree.reserve(seedCap);  // warm no-op once the largest net has been seen
   auto addTree = [&](int id) {
     if (scratch.treeStamp[static_cast<std::size_t>(id)] != treeEpoch) {
       scratch.treeStamp[static_cast<std::size_t>(id)] = treeEpoch;
@@ -135,9 +147,11 @@ NetPlan RouteEngine::searchNet(Index net, const MazeCosts& costs,
   };
   auto noteIntervalUse = [&](int nodeId) {
     const int rec = recOf(info, nodeId);
-    if (rec >= 0)
-      plan.recUsedXs[static_cast<std::size_t>(rec)].push_back(
-          grid_.node(nodeId).x);
+    if (rec >= 0) {
+      geom::Interval& used = plan.recUsedXs[static_cast<std::size_t>(rec)];
+      used = geom::hull(used,
+                        geom::Interval::point(grid_.node(nodeId).x));
+    }
   };
 
   // Projection-pin V1 sites are discovered at landing time; searches must
@@ -216,9 +230,7 @@ void RouteEngine::commitPlan(Index net, const NetPlan& plan) {
   // (unused tails are not manufactured; Section 5's WL stays comparable).
   for (std::size_t r = 0; r < info.recs.size(); ++r) {
     const IntervalRec& rec = info.recs[r];
-    geom::Interval trimmed = rec.needed;
-    for (Coord x : plan.recUsedXs[r])
-      trimmed = geom::hull(trimmed, geom::Interval::point(x));
+    geom::Interval trimmed = geom::hull(rec.needed, plan.recUsedXs[r]);
     trimmed = geom::intersect(trimmed, rec.span);
     for (Coord x = trimmed.lo; x <= trimmed.hi; ++x)
       committed.push_back(grid_.id(Node{RLayer::M2, x, rec.track}));

@@ -29,6 +29,7 @@
 #include "route/grid.h"
 #include "route/maze.h"
 #include "route/result.h"
+#include "support/hot_annotations.h"
 
 namespace cpr::route {
 
@@ -39,9 +40,12 @@ struct NetPlan {
   bool found = false;
   std::vector<std::vector<int>> paths;  ///< node-id paths, one per connection
   std::vector<ViaSite> vias;            ///< V1 + V2 vias in discovery order
-  /// Interval connection points discovered while routing, parallel to the
-  /// net's interval records (commit trims each interval to needed+used).
-  std::vector<std::vector<Coord>> recUsedXs;
+  /// Used x-extent per interval record (parallel to the net's records;
+  /// default-empty when the record was never touched). Commit trims each
+  /// interval to hull(needed, used) — identical to hulling the individual
+  /// connection points, since only the extent ever mattered, and it keeps
+  /// the search phase allocation-free.
+  std::vector<geom::Interval> recUsedXs;
 };
 
 class RouteEngine {
@@ -84,7 +88,7 @@ class RouteEngine {
   /// with `flushSearchStats` outside any parallel region.
   [[nodiscard]] NetPlan searchNet(Index net, const MazeCosts& costs,
                                   Coord extraMargin,
-                                  MazeScratch& scratch) const;
+                                  MazeScratch& scratch) const CPR_HOT;
 
   /// Commit phase: writes a found plan's metal, vias, interval trims, and
   /// line-end extensions into the grid and the net's state. Must be called

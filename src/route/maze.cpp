@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
-#include <queue>
 
 #include "obs/names.h"
+#include "support/alloc_hook.h"
 
 namespace cpr::route {
 
@@ -27,7 +28,9 @@ void MazeScratch::bind(int numNodes) {
 
 std::size_t MazeScratch::footprintBytes() const {
   return dist.size() * sizeof(float) + parent.size() * sizeof(int) +
-         (stamp.size() + targetStamp.size() + treeStamp.size()) * sizeof(long);
+         (stamp.size() + targetStamp.size() + treeStamp.size()) * sizeof(long) +
+         tree.capacity() * sizeof(int) +
+         heap.capacity() * sizeof(std::pair<float, int>);
 }
 
 MazeRouter::MazeRouter(const RoutingGrid& grid, obs::Collector* obs)
@@ -97,8 +100,15 @@ std::optional<std::vector<int>> MazeRouter::findPath(
     return costs.metal * static_cast<float>(dx + dy);
   };
 
-  using QEntry = std::pair<float, int>;  // (f = g + h, node)
-  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> open;
+  // Worst-case open-list size, so the hot loop never grows the heap: the
+  // heuristic is consistent (L1 distance to the target bbox scaled by the
+  // minimum edge cost), so each node is expanded at most once after its
+  // first fresh pop, each expansion pushes at most 3 entries (two lateral
+  // moves plus one via), and the seed pass pushes one entry per source.
+  // Warm scratches satisfy this reserve without touching the allocator.
+  scratch.heap.clear();
+  scratch.heap.reserve(static_cast<std::size_t>(grid_.numNodes()) * 3 +
+                       sources.size());
 
   auto relax = [&](int id, float g, int from) {
     std::size_t i = static_cast<std::size_t>(id);
@@ -106,54 +116,69 @@ std::optional<std::vector<int>> MazeRouter::findPath(
     scratch.stamp[i] = epoch;
     scratch.dist[i] = g;
     scratch.parent[i] = from;
-    open.push({g + heuristic(grid_.node(id)), id});
+    scratch.heap.push_back({g + heuristic(grid_.node(id)), id});
+    std::push_heap(scratch.heap.begin(), scratch.heap.end(), std::greater<>{});
   };
 
-  for (int s : sources) relax(s, 0.0F, -1);
+  int goal = -1;
+  {
+    const support::alloc::HotRegion hotRegion;  // runtime zero-alloc pin
+    for (int s : sources) relax(s, 0.0F, -1);
 
-  while (!open.empty()) {
-    const auto [f, u] = open.top();
-    open.pop();
-    ++pops;
-    const std::size_t ui = static_cast<std::size_t>(u);
-    if (scratch.stamp[ui] != epoch ||
-        f > scratch.dist[ui] + heuristic(grid_.node(u)) + 1e-5F)
-      continue;  // stale entry
-    if (scratch.targetStamp[ui] == epoch) {
-      std::vector<int> path;
-      for (int v = u; v != -1; v = scratch.parent[static_cast<std::size_t>(v)])
-        path.push_back(v);
-      std::reverse(path.begin(), path.end());
-      scratch.pops += pops;
-      return path;
-    }
-    const Node n = grid_.node(u);
-    const float g = scratch.dist[ui];
-
-    auto tryMove = [&](Coord x, Coord y, RLayer layer, bool viaMove) {
-      if (!grid_.inside(x, y) || !window.contains(geom::Point{x, y})) return;
-      const int vid = grid_.id(Node{layer, x, y});
-      float step = nodeCost(vid, net, costs);
-      if (step == kInf) return;
-      if (viaMove) {
-        step += costs.via;
-        if (grid_.viaForbidden(x, y, net)) step += costs.forbiddenVia;
+    while (!scratch.heap.empty()) {
+      const auto [f, u] = scratch.heap.front();
+      std::pop_heap(scratch.heap.begin(), scratch.heap.end(),
+                    std::greater<>{});
+      scratch.heap.pop_back();
+      ++pops;
+      const std::size_t ui = static_cast<std::size_t>(u);
+      if (scratch.stamp[ui] != epoch ||
+          f > scratch.dist[ui] + heuristic(grid_.node(u)) + 1e-5F)
+        continue;  // stale entry
+      if (scratch.targetStamp[ui] == epoch) {
+        goal = u;
+        break;
       }
-      relax(vid, g + step, u);
-    };
+      const Node n = grid_.node(u);
+      const float g = scratch.dist[ui];
 
-    if (n.layer == RLayer::M2) {
-      tryMove(n.x - 1, n.y, RLayer::M2, false);
-      tryMove(n.x + 1, n.y, RLayer::M2, false);
-      tryMove(n.x, n.y, RLayer::M3, true);  // V2 up
-    } else {
-      tryMove(n.x, n.y - 1, RLayer::M3, false);
-      tryMove(n.x, n.y + 1, RLayer::M3, false);
-      tryMove(n.x, n.y, RLayer::M2, true);  // V2 down
+      auto tryMove = [&](Coord x, Coord y, RLayer layer, bool viaMove) {
+        if (!grid_.inside(x, y) || !window.contains(geom::Point{x, y})) return;
+        const int vid = grid_.id(Node{layer, x, y});
+        float step = nodeCost(vid, net, costs);
+        if (step == kInf) return;
+        if (viaMove) {
+          step += costs.via;
+          if (grid_.viaForbidden(x, y, net)) step += costs.forbiddenVia;
+        }
+        relax(vid, g + step, u);
+      };
+
+      if (n.layer == RLayer::M2) {
+        tryMove(n.x - 1, n.y, RLayer::M2, false);
+        tryMove(n.x + 1, n.y, RLayer::M2, false);
+        tryMove(n.x, n.y, RLayer::M3, true);  // V2 up
+      } else {
+        tryMove(n.x, n.y - 1, RLayer::M3, false);
+        tryMove(n.x, n.y + 1, RLayer::M3, false);
+        tryMove(n.x, n.y, RLayer::M2, true);  // V2 down
+      }
     }
   }
   scratch.pops += pops;
-  return std::nullopt;
+  if (goal == -1) return std::nullopt;
+
+  // Result assembly happens outside the hot region: the path vector is the
+  // caller's to keep, so it cannot live in scratch.
+  std::size_t len = 0;
+  for (int v = goal; v != -1; v = scratch.parent[static_cast<std::size_t>(v)])
+    ++len;
+  std::vector<int> path;
+  path.reserve(len);
+  for (int v = goal; v != -1; v = scratch.parent[static_cast<std::size_t>(v)])
+    path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
 }
 
 std::optional<std::vector<int>> MazeRouter::findPath(

@@ -17,11 +17,13 @@
 #pragma once
 
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "geom/rect.h"
 #include "obs/collector.h"
 #include "route/grid.h"
+#include "support/hot_annotations.h"
 
 namespace cpr::route {
 
@@ -51,13 +53,28 @@ struct MazeScratch {
   long epoch = 0;
   std::vector<long> treeStamp;    ///< epoch per node for tree membership
   long treeEpoch = 0;
+  /// Scratch-resident Steiner-tree node list for the engine's searchNet:
+  /// the multi-source seed set grows with every landed path, and keeping
+  /// it here means warm searches reuse the capacity of the largest net
+  /// seen instead of paying a fresh allocation per net (large seed sets
+  /// cross glibc's mmap threshold, which made the per-call buffer a
+  /// measurable per-net cost, not just churn).
+  std::vector<int> tree;
   long searches = 0;  ///< route.astar.searches since the last flush
   long pops = 0;      ///< route.astar.pops since the last flush
+  /// Binary-heap storage for the A* open list ((f, node) min-heap via
+  /// std::push_heap/pop_heap with std::greater<>, which is exactly the
+  /// std::priority_queue protocol — pop order, and therefore route
+  /// digests, are bit-identical to a fresh priority_queue). Scratch-
+  /// resident so warm searches never touch the heap allocator; findPath
+  /// reserves the worst-case entry count before entering the hot loop.
+  std::vector<std::pair<float, int>> heap;
 
   /// Sizes the arrays for a grid of `numNodes` nodes (no-op when already
-  /// bound to the same size).
-  void bind(int numNodes);
-  [[nodiscard]] std::size_t footprintBytes() const;
+  /// bound to the same size). Sanctioned warmup allocation: everything the
+  /// hot search loop touches is (re)allocated here or not at all.
+  void bind(int numNodes) CPR_COLD_OK;
+  [[nodiscard]] std::size_t footprintBytes() const CPR_NOALLOC;
 };
 
 class MazeRouter {
@@ -76,7 +93,7 @@ class MazeRouter {
   [[nodiscard]] std::optional<std::vector<int>> findPath(
       const std::vector<int>& sources, const std::vector<int>& targets,
       const geom::Rect& window, Index net, const MazeCosts& costs,
-      MazeScratch& scratch) const;
+      MazeScratch& scratch) const CPR_HOT;
 
   /// Single-threaded convenience: searches through the router's own scratch
   /// and reports `route.astar.searches` / `route.astar.pops` to the observer
@@ -86,7 +103,8 @@ class MazeRouter {
       const geom::Rect& window, Index net, const MazeCosts& costs);
 
  private:
-  [[nodiscard]] float nodeCost(int id, Index net, const MazeCosts& c) const;
+  [[nodiscard]] float nodeCost(int id, Index net,
+                               const MazeCosts& c) const CPR_HOT;
 
   const RoutingGrid& grid_;
   obs::Collector* obs_ = nullptr;

@@ -46,15 +46,21 @@ std::vector<std::vector<geom::Index>> WaveScheduler::partition(
     const std::vector<geom::Index>& nets,
     const std::vector<geom::Rect>& boxes) {
   conflicts_ = 0;
+  // Every pass admits at least one net (a fresh wave id never collides), so
+  // the wave count — and with it the result vector — is bounded by the net
+  // count; per-wave members are bounded by what is still pending.
   std::vector<std::vector<geom::Index>> waves;
+  waves.reserve(nets.size());
   // Pending nets carry their position in the caller's box array.
   std::vector<std::size_t> pending(nets.size());
   for (std::size_t k = 0; k < nets.size(); ++k) pending[k] = k;
 
   std::vector<std::size_t> deferred;
+  deferred.reserve(nets.size());
   while (!pending.empty()) {
     const long wave = waveId_++;
     std::vector<geom::Index> members;
+    members.reserve(pending.size());
     deferred.clear();
     for (std::size_t k : pending) {
       // A degenerate (empty) box never blocks anyone; route it anywhere.

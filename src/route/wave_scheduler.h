@@ -23,6 +23,7 @@
 
 #include "geom/rect.h"
 #include "geom/types.h"
+#include "support/hot_annotations.h"
 
 namespace cpr::route {
 
@@ -39,14 +40,14 @@ class WaveScheduler {
   /// concatenation of all waves is a permutation of `nets`.
   [[nodiscard]] std::vector<std::vector<geom::Index>> partition(
       const std::vector<geom::Index>& nets,
-      const std::vector<geom::Rect>& boxes);
+      const std::vector<geom::Rect>& boxes) CPR_HOT;
 
   /// Deferrals during the last `partition` call: the number of times a net
   /// had to wait for a later wave because its box touched the current wave.
   [[nodiscard]] long conflicts() const { return conflicts_; }
 
  private:
-  [[nodiscard]] bool tryClaim(const geom::Rect& box, long wave);
+  [[nodiscard]] bool tryClaim(const geom::Rect& box, long wave) CPR_HOT;
 
   geom::Coord tile_;
   int tilesX_ = 0;

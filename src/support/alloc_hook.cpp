@@ -1,0 +1,48 @@
+#include "support/alloc_hook.h"
+
+#include <atomic>
+
+namespace cpr::support::alloc {
+namespace {
+
+// Process-wide switch and tally. Relaxed ordering is enough: the harness
+// arms the hook, runs the workload, joins its workers, then reads the
+// counter — the thread join supplies the ordering.
+std::atomic<bool> gArmed{false};
+std::atomic<long> gHotAllocs{0};
+
+// Per-thread region bookkeeping. `tDepth` counts open HotRegions, `tPaused`
+// counts open HotRegionPauses; the thread is hot iff at least one region is
+// open and no pause is.
+thread_local int tDepth = 0;
+thread_local int tPaused = 0;
+
+}  // namespace
+
+void arm(bool on) noexcept { gArmed.store(on, std::memory_order_relaxed); }
+
+bool armed() noexcept { return gArmed.load(std::memory_order_relaxed); }
+
+long hotRegionAllocs() noexcept {
+  return gHotAllocs.load(std::memory_order_relaxed);
+}
+
+void resetHotRegionAllocs() noexcept {
+  gHotAllocs.store(0, std::memory_order_relaxed);
+}
+
+bool inHotRegion() noexcept { return tDepth > 0 && tPaused == 0; }
+
+void noteAlloc() noexcept {
+  if (inHotRegion() && gArmed.load(std::memory_order_relaxed)) {
+    gHotAllocs.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+HotRegion::HotRegion() noexcept { ++tDepth; }
+HotRegion::~HotRegion() { --tDepth; }
+
+HotRegionPause::HotRegionPause() noexcept { ++tPaused; }
+HotRegionPause::~HotRegionPause() { --tPaused; }
+
+}  // namespace cpr::support::alloc

@@ -35,7 +35,7 @@ enum class StatusCode {
 /// conservative reading of a status this build does not know.
 [[nodiscard]] StatusCode statusCodeFromName(std::string_view name);
 
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() = default;  // Ok
 
@@ -83,7 +83,7 @@ class Status {
 /// partial) value, because degradable stages often have a best-effort
 /// result worth inspecting even when the status is not Ok.
 template <typename T>
-class Outcome {
+class [[nodiscard]] Outcome {
  public:
   Outcome() = default;
   /* implicit */ Outcome(T value)  // NOLINT(google-explicit-constructor)

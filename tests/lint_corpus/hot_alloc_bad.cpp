@@ -1,0 +1,15 @@
+// lint-as: src/core/hot_alloc_bad.cpp
+// lint-expect: HOT-ALLOC@11 HOT-ALLOC@12
+#include <vector>
+
+/// Direct allocations inside a CPR_HOT kernel: `new` and a push_back with
+/// no prior reserve() on the same receiver both fire, each with a
+/// one-node call chain.
+void hotKernel(std::vector<int>& out) CPR_HOT {
+  out.clear();
+  for (int i = 0; i < 8; ++i) {
+    int* p = new int(i);
+    out.push_back(*p);
+    delete p;
+  }
+}

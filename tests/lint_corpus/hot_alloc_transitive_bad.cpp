@@ -1,0 +1,16 @@
+// lint-as: src/core/hot_alloc_transitive_bad.cpp
+// lint-expect: HOT-ALLOC@10
+#include <string>
+
+/// The allocation sits two intra-project call hops below the annotated
+/// root; the diagnostic lands on the allocating call and carries the
+/// full chain hotRoot -> spill -> format. Neither intermediate function
+/// carries an annotation of its own.
+int format(int v) {
+  const std::string s = std::to_string(v);
+  return static_cast<int>(s.size());
+}
+
+int spill(int v) { return format(v) + 1; }
+
+int hotRoot(int v) CPR_HOT { return spill(v); }

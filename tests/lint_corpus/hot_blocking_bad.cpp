@@ -1,0 +1,17 @@
+// lint-as: src/route/hot_blocking_bad.cpp
+// lint-expect: HOT-BLOCKING@11
+#include <chrono>
+#include <thread>
+
+/// A blocking-manifest call (sleep_for) reachable from a CPR_HOT root.
+/// Backoff, pool drains, and socket I/O belong in the drivers around the
+/// hot kernels, never inside them.
+void backoff(int attempt) {
+  const auto wait = std::chrono::milliseconds(1 << attempt);
+  std::this_thread::sleep_for(wait);
+}
+
+int hotRoot(int attempt) CPR_HOT {
+  backoff(attempt);
+  return attempt;
+}

@@ -1,0 +1,18 @@
+// lint-as: src/core/hot_cold_ok_good.cpp
+// lint-expect: none
+#include <string>
+#include <vector>
+
+/// CPR_COLD_OK is the sanctioned escape hatch: the annotated callee is
+/// excluded from the hot closure entirely, so its allocations (and
+/// anything it calls) never fire. The annotation is visible in the
+/// signature, which is the point — cold islands are a review decision,
+/// not a per-line suppression.
+void trace(std::vector<std::string>& log, int v) CPR_COLD_OK {
+  log.push_back(std::to_string(v));
+}
+
+int hotRoot(std::vector<std::string>& log, int v) CPR_HOT {
+  if (v < 0) trace(log, v);
+  return v * 2;
+}

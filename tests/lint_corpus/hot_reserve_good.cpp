@@ -1,0 +1,20 @@
+// lint-as: src/core/hot_reserve_good.cpp
+// lint-expect: none
+#include <vector>
+
+/// The scratch-arena idiom the HOT-ALLOC growth rule is built around:
+/// push_back is exempt because the same receiver was reserve()d earlier
+/// in the same body, and the CPR_NOALLOC helper passes its standalone
+/// body check because it only reads.
+int peak(const std::vector<int>& xs) CPR_NOALLOC {
+  int best = 0;
+  for (int x : xs) best = x > best ? x : best;
+  return best;
+}
+
+int hotKernel(std::vector<int>& out, int n) CPR_HOT {
+  out.clear();
+  out.reserve(static_cast<unsigned long>(n));
+  for (int i = 0; i < n; ++i) out.push_back(i * i);
+  return peak(out);
+}

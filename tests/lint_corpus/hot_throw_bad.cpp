@@ -1,0 +1,13 @@
+// lint-as: src/core/hot_throw_bad.cpp
+// lint-expect: HOT-THROW@9
+#include <stdexcept>
+
+/// A throw one call hop below a CPR_HOT root, with no try/catch in the
+/// throwing function's own body: kernels report failure through Status /
+/// sentinel values, never by unwinding across panel workers.
+int pick(int v) {
+  if (v < 0) throw std::out_of_range("negative index");
+  return v;
+}
+
+int hotRoot(int v) CPR_HOT { return pick(v); }

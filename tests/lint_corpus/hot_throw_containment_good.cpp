@@ -1,0 +1,17 @@
+// lint-as: src/core/hot_throw_containment_good.cpp
+// lint-expect: none
+#include <stdexcept>
+
+/// The containment idiom from Solver::trySolve: a throw inside a
+/// try/catch of the same function body never unwinds out of the hot
+/// closure, so HOT-THROW stays quiet.
+int guarded(int v) {
+  try {
+    if (v < 0) throw std::out_of_range("negative index");
+    return v;
+  } catch (const std::out_of_range&) {
+    return 0;
+  }
+}
+
+int hotRoot(int v) CPR_HOT { return guarded(v); }

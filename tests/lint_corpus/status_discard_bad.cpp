@@ -1,0 +1,12 @@
+// lint-as: src/serve/status_discard_bad.cpp
+// lint-expect: STATUS-DISCARD@12
+struct Status {
+  bool ok = true;
+};
+
+/// A Status-returning call used as a bare expression statement. The rule
+/// backs up the [[nodiscard]] sweep at the token level, so it also fires
+/// in builds where the compiler warning is off.
+Status flush(int fd) { return Status{fd >= 0}; }
+
+void tick(int fd) { flush(fd); }

@@ -1,0 +1,16 @@
+// lint-as: src/serve/status_discard_good.cpp
+// lint-expect: none
+struct Status {
+  bool ok = true;
+};
+
+/// Checked and explicitly-voided Status results stay quiet: the rule only
+/// fires on a bare expression statement, the one shape where the result
+/// provably goes nowhere.
+Status flush(int fd) { return Status{fd >= 0}; }
+
+bool tick(int fd) {
+  const Status s = flush(fd);
+  (void)flush(fd);  // best-effort second flush; failure is ignorable
+  return s.ok;
+}

@@ -1,0 +1,144 @@
+/// Allocation-regression gate: this binary (and only this binary, plus the
+/// benches) links `cpr::alloc_guard`, which replaces the global operator
+/// new/delete with a counting pair that reports into support/alloc_hook.h.
+/// The tests first prove the guard is actually live — an allocation inside
+/// an armed HotRegion must be observed — and then pin the real contract:
+/// `MazeRouter::findPath` performs ZERO heap allocations inside its hot
+/// region, from the very first armed search on a bound scratch (reserve
+/// happens outside the region, so there is no warmup forgiveness), and the
+/// paths it returns are identical to the unarmed run.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "route/maze.h"
+#include "support/alloc_hook.h"
+
+namespace cpr::route {
+namespace {
+
+namespace alloc = cpr::support::alloc;
+
+using db::Design;
+using geom::Interval;
+using geom::Rect;
+
+/// Arms the hook for one scope and disarms + clears on the way out, so a
+/// failing test never leaks an armed counter into its neighbors.
+class ArmedScope {
+ public:
+  ArmedScope() {
+    alloc::resetHotRegionAllocs();
+    alloc::arm(true);
+  }
+  ArmedScope(const ArmedScope&) = delete;
+  ArmedScope& operator=(const ArmedScope&) = delete;
+  ~ArmedScope() {
+    alloc::arm(false);
+    alloc::resetHotRegionAllocs();
+  }
+};
+
+Design openField() {
+  Design d("maze", 30, 1, 10);
+  const db::Index a = d.addNet("A");
+  const db::Index b = d.addNet("B");
+  d.addPin("a1", a, Rect{Interval::point(0), Interval{1, 3}});
+  d.addPin("a2", a, Rect{Interval::point(29), Interval{1, 3}});
+  d.addPin("b1", b, Rect{Interval::point(0), Interval{6, 8}});
+  d.addPin("b2", b, Rect{Interval::point(29), Interval{6, 8}});
+  return d;
+}
+
+geom::Rect fullWindow(const RoutingGrid& g) {
+  return {0, 0, g.width() - 1, g.height() - 1};
+}
+
+// Negative control: without this, every zero below could be vacuous (the
+// guard not linked, or the hook disarmed). A vector forced to grow inside
+// an armed region must be seen by the replaced operator new.
+TEST(AllocGate, GuardObservesAllocationsInsideArmedRegions) {
+  ArmedScope armed;
+  {
+    const alloc::HotRegion region;
+    std::vector<int> v;
+    v.reserve(64);  // reserve also allocates; it is hot here on purpose
+    v.push_back(1);
+  }
+  EXPECT_GT(alloc::hotRegionAllocs(), 0)
+      << "cpr::alloc_guard is not intercepting operator new";
+}
+
+TEST(AllocGate, AllocationsOutsideRegionsOrWhileDisarmedAreIgnored) {
+  alloc::resetHotRegionAllocs();
+  alloc::arm(true);
+  std::vector<int> outside(128, 7);  // no region open
+  EXPECT_EQ(alloc::hotRegionAllocs(), 0);
+  alloc::arm(false);
+  {
+    const alloc::HotRegion region;
+    std::vector<int> disarmed(128, 7);  // region open but hook disarmed
+  }
+  EXPECT_EQ(alloc::hotRegionAllocs(), 0);
+  alloc::resetHotRegionAllocs();
+}
+
+TEST(AllocGate, PauseSuppressesCountingAndNestingRestoresIt) {
+  ArmedScope armed;
+  {
+    const alloc::HotRegion region;
+    {
+      const alloc::HotRegionPause pause;
+      std::vector<int> cold(128, 7);  // sanctioned cold island
+    }
+    EXPECT_EQ(alloc::hotRegionAllocs(), 0);
+    std::vector<int> hot(128, 7);  // back inside the region
+  }
+  EXPECT_GT(alloc::hotRegionAllocs(), 0);
+}
+
+// The gate itself. Zero from the FIRST armed search: bind() and the heap
+// reserve run outside the hot region, so there is no warmup pass whose
+// allocations the gate forgives.
+TEST(AllocGate, MazeSearchHotRegionIsAllocationFreeFromTheFirstRun) {
+  const Design d = openField();
+  const RoutingGrid g(d, nullptr);
+  const MazeRouter maze(g);
+  MazeScratch scratch;
+
+  const int s = g.id(Node{RLayer::M2, 1, 1});
+  const int t = g.id(Node{RLayer::M2, 20, 8});
+
+  const auto unarmed = maze.findPath({s}, {t}, fullWindow(g), 0, {}, scratch);
+  ASSERT_TRUE(unarmed.has_value());
+
+  ArmedScope armed;
+  std::optional<std::vector<int>> path;
+  for (int run = 0; run < 5; ++run) {
+    path = maze.findPath({s}, {t}, fullWindow(g), 0, {}, scratch);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(alloc::hotRegionAllocs(), 0)
+        << "hot-path allocation on armed run " << run;
+  }
+  EXPECT_EQ(*path, *unarmed) << "arming the gate changed the route";
+}
+
+// A fresh (never-bound) scratch allocates in bind() and in the reserve —
+// but still not inside the hot region.
+TEST(AllocGate, ColdScratchBindStaysOutsideTheHotRegion) {
+  const Design d = openField();
+  const RoutingGrid g(d, nullptr);
+  const MazeRouter maze(g);
+
+  ArmedScope armed;
+  MazeScratch cold;
+  const int s = g.id(Node{RLayer::M2, 2, 2});
+  const int t = g.id(Node{RLayer::M2, 12, 2});
+  const auto path = maze.findPath({s}, {t}, fullWindow(g), 0, {}, cold);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(alloc::hotRegionAllocs(), 0);
+}
+
+}  // namespace
+}  // namespace cpr::route

@@ -34,6 +34,7 @@
 
 #include "lint/arch.h"
 #include "lint/concurrency.h"
+#include "lint/hotpath.h"
 #include "lint/ir.h"
 #include "lint/lexer.h"
 #include "lint/lint.h"
@@ -205,7 +206,7 @@ TEST(ToolsLint, CorpusCoversEveryRuleWithABadAndAGoodFixture) {
 
 TEST(ToolsLint, RuleTableIsSortedAndDocumented) {
   const auto& table = cpr::lint::ruleTable();
-  ASSERT_EQ(table.size(), 17u);
+  ASSERT_EQ(table.size(), 21u);
   for (std::size_t i = 0; i < table.size(); ++i) {
     EXPECT_FALSE(table[i].id.empty());
     EXPECT_FALSE(table[i].summary.empty()) << table[i].id;
@@ -744,6 +745,189 @@ TEST(ToolsLintConc, RepoBlockingManifestLoadsAndCoversTheProjectSeams) {
     EXPECT_TRUE(idents.count(seam))
         << "tools/lint/blocking.txt lost '" << seam << "'";
   }
+}
+
+// ------------------------------------------------------ hot-path pass --
+
+// Like LOCK-ORDER, the HOT-* rules ignore per-line allow directives: the
+// sanctioned escape hatches are the annotations themselves (CPR_COLD_OK /
+// CPR_NOALLOC), visible in the signature and in review.
+TEST(ToolsLintHot, HotRulesAreNotSuppressible) {
+  const std::string src =
+      "#include <vector>\n"                          // 1
+      "void hot(std::vector<int>& v) CPR_HOT {\n"    // 2
+      "  // cpr-lint: allow(HOT-ALLOC)\n"            // 3
+      "  v.push_back(1);\n"                          // 4
+      "}\n";
+  const auto actual = found("src/core/example.cpp", src);
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"ALLOW-UNUSED", 3}, {"HOT-ALLOC", 4}};
+  EXPECT_EQ(actual, expected) << describe(actual);
+}
+
+TEST(ToolsLintHot, HotAllocDiagnosticCarriesTheFullCallChain) {
+  const std::string src =
+      "#include <string>\n"                                  // 1
+      "int leaf(int v) {\n"                                  // 2
+      "  return static_cast<int>(std::to_string(v).size());\n"  // 3
+      "}\n"                                                  // 4
+      "int mid(int v) { return leaf(v); }\n"                 // 5
+      "int hotRoot(int v) CPR_HOT { return mid(v); }\n";     // 6
+  std::vector<std::string> messages;
+  for (const Diagnostic& d :
+       cpr::lint::lintSource("src/core/example.cpp", src)) {
+    if (d.rule == "HOT-ALLOC") messages.push_back(d.message);
+  }
+  ASSERT_EQ(messages.size(), 1u);
+  EXPECT_NE(messages[0].find("call chain: hotRoot -> mid -> leaf"),
+            std::string::npos)
+      << messages[0];
+}
+
+// Annotations travel across files like CPR_REQUIRES does: a CPR_HOT on the
+// header prototype covers the out-of-line definition in another translation
+// unit, and the closure keeps descending through callees defined in a third.
+TEST(ToolsLintHot, HeaderAnnotationCoversTheOutOfLineDefinition) {
+  std::vector<cpr::lint::SourceFile> files;
+  files.push_back(cpr::lint::SourceFile{
+      "src/core/kern.h",
+      "#pragma once\n"
+      "int kern(int v) CPR_HOT;\n"});
+  files.push_back(cpr::lint::SourceFile{
+      "src/core/kern.cpp",
+      "#include \"core/kern.h\"\n"
+      "#include \"core/leaf.h\"\n"
+      "int kern(int v) { return leaf(v); }\n"});
+  files.push_back(cpr::lint::SourceFile{
+      "src/core/leaf.cpp",
+      "#include <string>\n"
+      "#include \"core/leaf.h\"\n"
+      "int leaf(int v) {\n"
+      "  return static_cast<int>(std::to_string(v).size());\n"  // 4: fires
+      "}\n"});
+  std::vector<std::pair<std::string, int>> got;
+  for (const Diagnostic& d : cpr::lint::lintFiles(files, nullptr)) {
+    if (d.rule == "HOT-ALLOC") got.emplace_back(d.file, d.line);
+  }
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"src/core/leaf.cpp", 4}};
+  EXPECT_EQ(got, expected);
+}
+
+// Free-function overloads share one call-graph node, so a call to the clean
+// overload still reaches the allocating one's body — the pass checks the
+// union, which over-approximates but never misses.
+TEST(ToolsLintHot, OverloadsShareACallGraphNode) {
+  const std::string src =
+      "#include <string>\n"                                  // 1
+      "int helper(int v) { return v; }\n"                    // 2
+      "int helper(double v) {\n"                             // 3
+      "  return static_cast<int>(std::to_string(v).size());\n"  // 4: fires
+      "}\n"                                                  // 5
+      "int hotRoot(int v) CPR_HOT { return helper(v); }\n";  // 6
+  const auto actual = found("src/core/example.cpp", src);
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"HOT-ALLOC", 4}};
+  EXPECT_EQ(actual, expected) << describe(actual);
+}
+
+// A receiver-qualified call binds to the unique class defining the method;
+// when two classes define the same name, the edge stays unresolved (the
+// documented under-approximation — wrappers get annotated directly instead).
+TEST(ToolsLintHot, ReceiverCallsBindOnlyWhenTheDefiningClassIsUnique) {
+  const std::string unique =
+      "#include <vector>\n"                            // 1
+      "class Arena {\n"                                // 2
+      " public:\n"                                     // 3
+      "  void grow() { v_.push_back(1); }\n"           // 4: fires via chain
+      " private:\n"                                    // 5
+      "  std::vector<int> v_;\n"                       // 6
+      "};\n"                                           // 7
+      "void hotRoot(Arena& a) CPR_HOT { a.grow(); }\n";  // 8
+  const auto one = found("src/core/example.cpp", unique);
+  const std::vector<std::pair<std::string, int>> expectOne = {
+      {"HOT-ALLOC", 4}};
+  EXPECT_EQ(one, expectOne) << describe(one);
+
+  const std::string ambiguous =
+      "#include <vector>\n"
+      "class A {\n"
+      " public:\n"
+      "  void grow() { v_.push_back(1); }\n"
+      " private:\n"
+      "  std::vector<int> v_;\n"
+      "};\n"
+      "class B {\n"
+      " public:\n"
+      "  void grow() {}\n"
+      "};\n"
+      "void hotRoot(A& a) CPR_HOT { a.grow(); }\n";
+  EXPECT_TRUE(found("src/core/example.cpp", ambiguous).empty())
+      << describe(found("src/core/example.cpp", ambiguous));
+}
+
+// A local lambda is not a resolvable callee: calls through its name stay
+// off the graph, and its body is scanned as part of the enclosing function.
+TEST(ToolsLintHot, LambdaBodiesAreScannedInlineButTheirNamesStayUnresolved) {
+  const std::string src =
+      "#include <vector>\n"                            // 1
+      "void hotRoot(std::vector<int>& v) CPR_HOT {\n"  // 2
+      "  const auto shove = [&v](int x) {\n"           // 3
+      "    v.push_back(x);\n"                          // 4: inline scan fires
+      "  };\n"                                         // 5
+      "  shove(1);\n"                                  // 6
+      "}\n";
+  const auto actual = found("src/core/example.cpp", src);
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"HOT-ALLOC", 4}};
+  EXPECT_EQ(actual, expected) << describe(actual);
+}
+
+TEST(ToolsLintHot, AllocManifestParsesAndRejectsBadInput) {
+  cpr::lint::AllocManifest m;
+  std::string error;
+  ASSERT_TRUE(cpr::lint::parseAllocManifest(
+      "# raw heap\nmalloc calloc\ngrow: push_back resize\nto_string\n", m,
+      error))
+      << error;
+  const std::set<std::string> always(m.always.begin(), m.always.end());
+  const std::set<std::string> growth(m.growth.begin(), m.growth.end());
+  EXPECT_TRUE(always.count("malloc"));
+  EXPECT_TRUE(always.count("to_string"));
+  EXPECT_TRUE(growth.count("push_back"));
+  EXPECT_TRUE(growth.count("resize"));
+  EXPECT_FALSE(growth.count("malloc"));
+
+  EXPECT_FALSE(cpr::lint::parseAllocManifest("malloc\nmalloc\n", m, error));
+  EXPECT_NE(error.find("malloc"), std::string::npos) << error;
+  EXPECT_FALSE(
+      cpr::lint::parseAllocManifest("malloc\ngrow: push_back\npush_back\n", m,
+                                    error))
+      << "a word cannot be both always-alloc and growth";
+  EXPECT_FALSE(cpr::lint::parseAllocManifest("not-an-ident\n", m, error));
+  EXPECT_FALSE(cpr::lint::parseAllocManifest("# only comments\n", m, error));
+}
+
+TEST(ToolsLintHot, RepoAllocManifestLoadsAndCoversTheSeams) {
+  cpr::lint::AllocManifest m;
+  std::string error;
+  ASSERT_TRUE(cpr::lint::loadAllocManifest(CPR_LINT_ALLOCATING_FILE, m, error))
+      << error;
+  const std::set<std::string> always(m.always.begin(), m.always.end());
+  const std::set<std::string> growth(m.growth.begin(), m.growth.end());
+  for (const char* seam : {"malloc", "make_unique", "make_shared",
+                           "to_string", "aligned_alloc"}) {
+    EXPECT_TRUE(always.count(seam))
+        << "tools/lint/allocating.txt lost '" << seam << "'";
+  }
+  for (const char* seam : {"push_back", "emplace_back", "insert", "resize"}) {
+    EXPECT_TRUE(growth.count(seam))
+        << "tools/lint/allocating.txt lost growth word '" << seam << "'";
+  }
+  // The sanctioned warm-reset idiom: assign and reserve are deliberately
+  // not manifest words (DESIGN.md "Hot-path discipline").
+  EXPECT_FALSE(always.count("assign") || growth.count("assign"));
+  EXPECT_FALSE(always.count("reserve") || growth.count("reserve"));
 }
 
 // ------------------------------------------------- --fix-stale-allows --

@@ -2,23 +2,26 @@
 /// cpr_lint CLI: lints the project trees and exits non-zero on any
 /// diagnostic. Run as a ctest target (repo_lint) and as the CI lint job.
 ///
-///   cpr_lint [--root DIR] [--layers FILE] [--blocking FILE] [--sarif FILE]
-///            [--report FILE] [--fix-stale-allows] [--list-rules] [PATH...]
+///   cpr_lint [--root DIR] [--layers FILE] [--blocking FILE]
+///            [--allocating FILE] [--sarif FILE] [--report FILE]
+///            [--fix-stale-allows] [--list-rules] [PATH...]
 ///
 /// PATHs are files or directories relative to --root (default: the current
 /// directory); with no PATH the standard project trees src tools tests
 /// bench are scanned. The architecture-graph pass runs whenever the layer
 /// manifest is readable (default: <root>/tools/lint/layers.txt; override
-/// with --layers). The LOCK-BLOCKING-CALL manifest defaults to
-/// <root>/tools/lint/blocking.txt, falling back to the compiled-in list
-/// when that file is absent; an explicit --blocking that cannot be parsed
-/// is a hard error. `--sarif` writes the diagnostics as a SARIF 2.1.0 log
-/// for code-scanning upload; `--report` writes the run's own counters
-/// (lint.files / lint.diagnostics and the lint.run span) as a
-/// `cpr.report.v1` JSON. `--fix-stale-allows` rewrites the scanned files
-/// in place, deleting every allow directive flagged ALLOW-UNUSED, and
-/// drops those findings from the output. Exit codes: 0 clean, 1
-/// diagnostics found, 2 usage or bad manifest.
+/// with --layers). The LOCK-BLOCKING-CALL / HOT-BLOCKING manifest defaults
+/// to <root>/tools/lint/blocking.txt, and the HOT-ALLOC manifest to
+/// <root>/tools/lint/allocating.txt, each falling back to the compiled-in
+/// list when the file is absent; an explicit --blocking / --allocating
+/// that cannot be parsed is a hard error. `--sarif` writes the diagnostics
+/// as a SARIF 2.1.0 log for code-scanning upload; `--report` writes the
+/// run's own counters (lint.files / lint.diagnostics /
+/// lint.callgraph.edges and the lint.run span) as a `cpr.report.v1` JSON.
+/// `--fix-stale-allows` rewrites the scanned files in place, deleting
+/// every allow directive flagged ALLOW-UNUSED, and drops those findings
+/// from the output. Exit codes: 0 clean, 1 diagnostics found, 2 usage or
+/// bad manifest.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -31,6 +34,7 @@
 
 #include "lint/arch.h"
 #include "lint/concurrency.h"
+#include "lint/hotpath.h"
 #include "lint/lint.h"
 #include "obs/collector.h"
 #include "obs/names.h"
@@ -42,13 +46,17 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--root DIR] [--layers FILE] [--blocking FILE]\n"
-      "       [--sarif FILE] [--report FILE] [--fix-stale-allows]\n"
-      "       [--list-rules] [PATH...]\n"
+      "       [--allocating FILE] [--sarif FILE] [--report FILE]\n"
+      "       [--fix-stale-allows] [--list-rules] [PATH...]\n"
       "  --root DIR        repo root the PATHs are relative to\n"
       "  --layers FILE     layer manifest for the architecture pass\n"
       "                    (default: <root>/tools/lint/layers.txt)\n"
       "  --blocking FILE   blocking-call manifest for LOCK-BLOCKING-CALL\n"
+      "                    and HOT-BLOCKING\n"
       "                    (default: <root>/tools/lint/blocking.txt,\n"
+      "                    else the compiled-in list)\n"
+      "  --allocating FILE allocation manifest for HOT-ALLOC\n"
+      "                    (default: <root>/tools/lint/allocating.txt,\n"
       "                    else the compiled-in list)\n"
       "  --sarif FILE      write diagnostics as SARIF 2.1.0\n"
       "  --report FILE     write run counters as cpr.report.v1 JSON\n"
@@ -110,6 +118,7 @@ int main(int argc, char** argv) {
   std::string root = ".";
   std::string layersPath;
   std::string blockingPath;
+  std::string allocatingPath;
   std::string sarifPath;
   std::string reportPath;
   bool fixStaleAllows = false;
@@ -127,6 +136,8 @@ int main(int argc, char** argv) {
       if (!flagValue(layersPath)) return usage(argv[0]);
     } else if (arg == "--blocking") {
       if (!flagValue(blockingPath)) return usage(argv[0]);
+    } else if (arg == "--allocating") {
+      if (!flagValue(allocatingPath)) return usage(argv[0]);
     } else if (arg == "--fix-stale-allows") {
       fixStaleAllows = true;
     } else if (arg == "--sarif") {
@@ -184,14 +195,33 @@ int main(int argc, char** argv) {
     blocking = cpr::lint::builtinBlockingManifest();
   }
 
+  // Same policy again for the allocation manifest.
+  cpr::lint::AllocManifest allocating = cpr::lint::builtinAllocManifest();
+  const bool allocatingExplicit = !allocatingPath.empty();
+  if (!allocatingExplicit)
+    allocatingPath =
+        (std::filesystem::path(root) / "tools/lint/allocating.txt")
+            .generic_string();
+  std::string allocatingError;
+  if (!cpr::lint::loadAllocManifest(allocatingPath, allocating,
+                                    allocatingError)) {
+    if (allocatingExplicit ||
+        std::filesystem::exists(std::filesystem::path(allocatingPath))) {
+      std::fprintf(stderr, "cpr_lint: %s\n", allocatingError.c_str());
+      return 2;
+    }
+    allocating = cpr::lint::builtinAllocManifest();
+  }
+
   cpr::obs::Collector collector;
   std::vector<std::string> scanned;
   std::vector<cpr::lint::Diagnostic> diags;
+  cpr::lint::LintStats stats;
   {
     const cpr::obs::ScopedTimer timer(&collector,
                                       cpr::obs::names::kLintRunSpan);
     diags = cpr::lint::lintTree(root, paths, &scanned, manifestPtr,
-                                &blocking);
+                                &blocking, &allocating, &stats);
   }
 
   if (fixStaleAllows) {
@@ -236,6 +266,7 @@ int main(int argc, char** argv) {
                 static_cast<long>(scanned.size()));
   collector.add(cpr::obs::names::kLintDiagnostics,
                 static_cast<long>(diags.size()));
+  collector.add(cpr::obs::names::kLintCallgraphEdges, stats.callGraphEdges);
 
   for (const cpr::lint::Diagnostic& d : diags)
     std::printf("%s:%d: [%s] %s\n", d.file.c_str(), d.line, d.rule.c_str(),

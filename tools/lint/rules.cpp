@@ -9,6 +9,7 @@
 
 #include "lint/arch.h"
 #include "lint/concurrency.h"
+#include "lint/hotpath.h"
 #include "lint/ir.h"
 #include "lint/lexer.h"
 #include "lint/lint.h"
@@ -362,6 +363,16 @@ const std::vector<RuleInfo>& ruleTable() {
        "CPR_GUARDED_BY field touched outside a region holding its mutex"},
       {"HEADER-HYGIENE",
        "headers need #pragma once and must not 'using namespace'"},
+      {"HOT-ALLOC",
+       "heap allocation (new, tools/lint/allocating.txt call, or "
+       "unreserved container growth) reachable from CPR_HOT code or inside "
+       "a CPR_NOALLOC body; not allow-suppressible"},
+      {"HOT-BLOCKING",
+       "blocking call (tools/lint/blocking.txt) reachable from CPR_HOT "
+       "code; not allow-suppressible"},
+      {"HOT-THROW",
+       "throw reachable from CPR_HOT code outside a same-body try/catch; "
+       "not allow-suppressible"},
       {"INDEX-CAST",
        "static_cast<std::size_t> in strong-index kernel/solver files; use "
        "ids.h idx()"},
@@ -381,6 +392,9 @@ const std::vector<RuleInfo>& ruleTable() {
       {"OBS-LITERAL",
        "inline \"pao|route|drc|ilp|serve.*\" metric literals outside "
        "obs/names.h"},
+      {"STATUS-DISCARD",
+       "call to a Status/Outcome-returning function used as a bare "
+       "expression statement"},
       {"THREAD-LIFECYCLE",
        "std::thread neither joined/detached/moved; thread field without "
        "CPR_THREAD_REAPER"},
@@ -397,7 +411,9 @@ std::vector<Diagnostic> lintSource(const std::string& relPath,
 
 std::vector<Diagnostic> lintFiles(const std::vector<SourceFile>& files,
                                   const LayerManifest* manifest,
-                                  const BlockingManifest* blocking) {
+                                  const BlockingManifest* blocking,
+                                  const AllocManifest* allocating,
+                                  LintStats* stats) {
   // Lex and build the declaration IR once per file; every pass below
   // (file rules, concurrency, architecture) works off these.
   std::vector<LexResult> lexed;
@@ -424,9 +440,10 @@ std::vector<Diagnostic> lintFiles(const std::vector<SourceFile>& files,
                std::make_move_iterator(fl.raw.end()));
   }
 
-  // Concurrency pass over the whole set: annotations are global (a
-  // header's CPR_REQUIRES applies to the definition in its .cpp), and the
-  // lock-order graph only means anything tree-wide.
+  // Concurrency and hot-path passes over the whole set: annotations are
+  // global (a header's CPR_REQUIRES / CPR_HOT applies to the definition in
+  // its .cpp), and the lock-order and call graphs only mean anything
+  // tree-wide.
   {
     std::vector<ConcFile> conc;
     conc.reserve(files.size());
@@ -436,6 +453,13 @@ std::vector<Diagnostic> lintFiles(const std::vector<SourceFile>& files,
         conc, blocking ? *blocking : builtinBlockingManifest());
     out.insert(out.end(), std::make_move_iterator(cd.begin()),
                std::make_move_iterator(cd.end()));
+    HotPathStats hotStats;
+    std::vector<Diagnostic> hd = checkHotPaths(
+        conc, blocking ? *blocking : builtinBlockingManifest(),
+        allocating ? *allocating : builtinAllocManifest(), &hotStats);
+    out.insert(out.end(), std::make_move_iterator(hd.begin()),
+               std::make_move_iterator(hd.end()));
+    if (stats) stats->callGraphEdges = hotStats.callGraphEdges;
   }
 
   if (manifest) {
@@ -456,7 +480,9 @@ std::vector<Diagnostic> lintFiles(const std::vector<SourceFile>& files,
   auto allowBypassing = [](const std::string& rule) {
     return rule == "LAYER-VIOLATION" || rule == "LAYER-FORBIDDEN" ||
            rule == "LAYER-CYCLE" || rule == "DEAD-HEADER" ||
-           rule == "LOCK-ORDER" || rule == "LOCK-BLOCKING-CALL";
+           rule == "LOCK-ORDER" || rule == "LOCK-BLOCKING-CALL" ||
+           rule == "HOT-ALLOC" || rule == "HOT-THROW" ||
+           rule == "HOT-BLOCKING";
   };
   std::map<std::string, std::size_t> order;
   for (std::size_t i = 0; i < files.size(); ++i)
@@ -509,7 +535,9 @@ std::vector<Diagnostic> lintTree(const fs::path& rootDir,
                                  const std::vector<std::string>& subdirs,
                                  std::vector<std::string>* scannedFiles,
                                  const LayerManifest* manifest,
-                                 const BlockingManifest* blocking) {
+                                 const BlockingManifest* blocking,
+                                 const AllocManifest* allocating,
+                                 LintStats* stats) {
   auto skipDir = [](const std::string& name) {
     return startsWith(name, "build") || startsWith(name, ".") ||
            name == "corpus" || name == "lint_corpus" || name == "results";
@@ -553,7 +581,7 @@ std::vector<Diagnostic> lintTree(const fs::path& rootDir,
     buf << is.rdbuf();
     sources.push_back(SourceFile{rel, buf.str()});
   }
-  return lintFiles(sources, manifest, blocking);
+  return lintFiles(sources, manifest, blocking, allocating, stats);
 }
 
 StripAllowResult stripAllowDirectives(std::string_view source,
